@@ -1,0 +1,36 @@
+//! Criterion bench: scheduling one slot under `S*` vs greedy maximal
+//! matching (the Theorem 2 ablation pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hycap_geom::Point;
+use hycap_wireless::{GreedyMatchingScheduler, SStarScheduler, Scheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn positions(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_slot");
+    for &n in &[500usize, 2_000, 8_000] {
+        let pos = positions(n, 11);
+        let range = 0.4 / (n as f64).sqrt();
+        let sstar = SStarScheduler::new(0.5);
+        group.bench_with_input(BenchmarkId::new("sstar", n), &n, |b, _| {
+            b.iter(|| sstar.schedule(black_box(&pos), range))
+        });
+        let greedy = GreedyMatchingScheduler::new(0.5);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy.schedule(black_box(&pos), range))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

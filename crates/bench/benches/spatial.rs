@@ -1,0 +1,65 @@
+//! Criterion bench: spatial-hash neighbor queries vs brute force.
+//!
+//! The `S*` scheduler's cost is dominated by guard-zone queries; this bench
+//! documents the speedup that makes slot-level simulation of `n > 10³`
+//! networks feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hycap_geom::{Point, SpatialHash};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radius_query");
+    for &n in &[1_000usize, 10_000] {
+        let pts = points(n, 42);
+        let radius = 1.0 / (n as f64).sqrt();
+        let hash = SpatialHash::build(&pts, radius);
+        let probes = points(100, 7);
+        group.bench_with_input(BenchmarkId::new("spatial_hash", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &p in &probes {
+                    total += hash.count_within(black_box(p), radius);
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &p in &probes {
+                    total += pts
+                        .iter()
+                        .filter(|q| q.torus_dist_sq(black_box(p)) < radius * radius)
+                        .count();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_build");
+    for &n in &[1_000usize, 10_000] {
+        let pts = points(n, 43);
+        let radius = 1.0 / (n as f64).sqrt();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SpatialHash::build(black_box(&pts), radius))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_build);
+criterion_main!(benches);

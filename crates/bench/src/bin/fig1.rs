@@ -1,0 +1,115 @@
+//! Regenerates **Figure 1**: an example of a non-uniformly dense network
+//! (left) versus a uniformly dense one (right).
+//!
+//! The paper's figure shows node scatter plots; we render the *local
+//! density field* `ρ(X)` of Definition 7 as a heatmap and report the
+//! `max/min` density ratio, which is the quantity Definition 8 actually
+//! constrains: bounded for the uniformly dense network, diverging with `n`
+//! for the clustered one.
+//!
+//! ```text
+//! cargo run -p hycap-bench --release --bin fig1 [--seed S]
+//! ```
+
+use hycap_bench::report;
+use hycap_mobility::{density, ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn density_field(
+    n: usize,
+    alpha: f64,
+    clusters: ClusteredModel,
+    seed: u64,
+) -> density::DensityStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = PopulationConfig::builder(n)
+        .alpha(alpha)
+        .clusters(clusters)
+        .kernel(Kernel::uniform_disk(1.0))
+        .mobility(MobilityKind::IidStationary)
+        .build();
+    let mut pop = Population::generate(&config, &mut rng);
+    let radius = (1.0 / (n as f64).sqrt()).max(0.02);
+    density::estimate_density(&mut pop, 40, 24, radius, &mut rng)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    println!("Figure 1 — non-uniformly dense (left) vs uniformly dense (right)\n");
+
+    let n = 2000;
+    // Non-uniform: strongly clustered, small mobility relative to spacing.
+    let clustered = density_field(n, 0.5, ClusteredModel::explicit(6, 0.03), seed);
+    // Uniform: cluster-free home-points, full-support mobility.
+    let uniform = density_field(n, 0.0, ClusteredModel::uniform(), seed + 1);
+
+    println!("non-uniformly dense (m = 6 clusters, α = 1/2):");
+    println!(
+        "{}",
+        report::ansi_heatmap(&clustered.field, clustered.probes_per_side, "x", "y")
+    );
+    println!("uniformly dense (m = n, α = 0):");
+    println!(
+        "{}",
+        report::ansi_heatmap(&uniform.field, uniform.probes_per_side, "x", "y")
+    );
+
+    let ratio = |s: &density::DensityStats| {
+        if s.ratio().is_finite() {
+            format!("{:.2}", s.ratio())
+        } else {
+            "∞ (empty probes)".to_string()
+        }
+    };
+    println!(
+        "{}",
+        report::ascii_table(
+            &["network", "min ρ", "max ρ", "mean ρ", "max/min"],
+            &[
+                vec![
+                    "clustered (non-uniform)".into(),
+                    report::fmt_val(clustered.min),
+                    report::fmt_val(clustered.max),
+                    report::fmt_val(clustered.mean),
+                    ratio(&clustered),
+                ],
+                vec![
+                    "uniform".into(),
+                    report::fmt_val(uniform.min),
+                    report::fmt_val(uniform.max),
+                    report::fmt_val(uniform.mean),
+                    ratio(&uniform),
+                ],
+            ]
+        )
+    );
+
+    // Scaling of the ratio with n: bounded vs diverging.
+    println!("density ratio max/min vs n (Definition 8 check):");
+    let mut csv = Vec::new();
+    let mut rows = Vec::new();
+    for &nn in &[500usize, 1000, 2000, 4000] {
+        let c = density_field(nn, 0.5, ClusteredModel::explicit(6, 0.03), seed + nn as u64);
+        let u = density_field(nn, 0.0, ClusteredModel::uniform(), seed + nn as u64 + 7);
+        rows.push(vec![nn.to_string(), ratio(&c), ratio(&u)]);
+        csv.push(vec![
+            nn.to_string(),
+            format!("{:.4}", c.ratio()),
+            format!("{:.4}", u.ratio()),
+        ]);
+    }
+    println!(
+        "{}",
+        report::ascii_table(&["n", "clustered max/min", "uniform max/min"], &rows)
+    );
+    let path = report::write_csv("fig1", &["n", "clustered_ratio", "uniform_ratio"], &csv);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,137 @@
+//! Regenerates **Figure 2**: a walk-through of optimal routing scheme B
+//! (Definition 12).
+//!
+//! The paper's figure sketches one flow: the source MS relays to the BSs of
+//! its squarelet (phase 1), those BSs wire the data to the BSs of the
+//! destination squarelet (phase 2), which deliver it to the destination MS
+//! (phase 3). This binary realizes a small hybrid network, compiles the
+//! scheme-B plan, renders the squarelet map and narrates one flow's phases.
+//!
+//! ```text
+//! cargo run -p hycap-bench --release --bin fig2 [--seed S]
+//! ```
+
+use hycap_bench::report;
+use hycap_infra::{Backbone, BaseStations};
+use hycap_mobility::{Kernel, Population, PopulationConfig};
+use hycap_routing::{SchemeBPlan, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    println!("Figure 2 — optimal routing scheme B example\n");
+
+    let n = 24;
+    let cells_per_side = 3;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = PopulationConfig::builder(n)
+        .alpha(0.0)
+        .kernel(Kernel::uniform_disk(0.2))
+        .build();
+    let pop = Population::generate(&config, &mut rng);
+    let bs = BaseStations::generate_regular(9, 1.0);
+    let homes = pop.home_points().points().to_vec();
+    let traffic = TrafficMatrix::permutation(n, &mut rng);
+    let plan = SchemeBPlan::build(&homes, &traffic, &bs, cells_per_side);
+    let grid = plan.grid().expect("squarelet plan");
+
+    // Pick a flow whose endpoints live in different squarelets.
+    let flow = plan
+        .flows()
+        .iter()
+        .find(|f| f.src_group != f.dst_group)
+        .expect("some flow crosses squarelets");
+
+    // Render the squarelet map.
+    println!("squarelet map ({cells_per_side}×{cells_per_side}, one row per squarelet row; top row = y near 1):");
+    for row in (0..cells_per_side).rev() {
+        let mut line = String::from("  ");
+        for col in 0..cells_per_side {
+            let g = grid.cell(row, col).index();
+            let tag = if g == flow.src_group {
+                "[SRC]"
+            } else if g == flow.dst_group {
+                "[DST]"
+            } else {
+                "[   ]"
+            };
+            line.push_str(&format!(
+                "{tag} ms:{:>2} bs:{} ",
+                plan.ms_members(g).len(),
+                plan.bs_count()[g]
+            ));
+        }
+        println!("{line}");
+    }
+
+    println!("\nflow {} → {}:", flow.src, flow.dst);
+    println!(
+        "  phase 1 (uplink):   MS {} (home {}) relays to the {} BSs of squarelet {}: {:?}",
+        flow.src,
+        homes[flow.src],
+        plan.bs_count()[flow.src_group],
+        flow.src_group,
+        plan.bs_members(flow.src_group)
+    );
+    println!(
+        "  phase 2 (backbone): squarelet {} ships over {} wires to squarelet {}",
+        flow.src_group,
+        plan.bs_count()[flow.src_group] * plan.bs_count()[flow.dst_group],
+        flow.dst_group,
+    );
+    println!(
+        "  phase 3 (downlink): the {} BSs of squarelet {} ({:?}) deliver to MS {} (home {})",
+        plan.bs_count()[flow.dst_group],
+        flow.dst_group,
+        plan.bs_members(flow.dst_group),
+        flow.dst,
+        homes[flow.dst],
+    );
+
+    let backbone = Backbone::new(bs.len(), bs.bandwidth());
+    println!("\nplan-wide rates:");
+    println!(
+        "{}",
+        report::ascii_table(
+            &["quantity", "value"],
+            &[
+                vec![
+                    "flows crossing the backbone".into(),
+                    format!("{}", plan.backbone_load().total_flows()),
+                ],
+                vec![
+                    "phase II max uniform rate".into(),
+                    report::fmt_val(plan.backbone_load().max_uniform_rate(&backbone)),
+                ],
+                vec![
+                    "analytic scheme-B rate".into(),
+                    report::fmt_val(plan.analytic_rate(&backbone, 1.0)),
+                ],
+            ]
+        )
+    );
+
+    let mut csv = Vec::new();
+    for f in plan.flows() {
+        csv.push(vec![
+            f.src.to_string(),
+            f.dst.to_string(),
+            f.src_group.to_string(),
+            f.dst_group.to_string(),
+        ]);
+    }
+    let path = report::write_csv(
+        "fig2",
+        &["src", "dst", "src_squarelet", "dst_squarelet"],
+        &csv,
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,287 @@
+//! Subcommand implementations. Each returns the text to print so the logic
+//! is unit-testable without capturing stdout.
+
+use crate::args::{ArgError, Args};
+use hycap::{theory as laws, MobilityRegime, ModelExponents, Scenario};
+use hycap_mobility::MobilityKind;
+use hycap_sim::fit_loglog;
+use std::fmt::Write as _;
+
+/// Usage text shared by `help` and error paths.
+pub const USAGE: &str = "\
+hycap — capacity scaling of hybrid mobile ad hoc networks (ICDCS 2010)
+
+USAGE:
+  hycap classify --alpha A --m M --r R --k K --phi P [--static]
+  hycap theory   --alpha A --m M --r R --k K --phi P [--static] [--no-bs]
+  hycap measure  --alpha A --m M --r R --k K --phi P --n N
+                 [--slots S] [--seed X] [--static] [--no-bs]
+  hycap sweep    --alpha A --m M --r R --k K --phi P
+                 [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
+  hycap surface  --phi P [--res 21]
+
+EXPONENTS (the paper's model family):
+  --alpha  network side f(n) = n^alpha, alpha in [0, 1/2]
+  --m      cluster count m = n^M, M in [0, 1] (1 = uniform home-points)
+  --r      cluster radius n^-R, 0 <= R <= alpha (ignored when M = 1)
+  --k      base stations k = n^K
+  --phi    backbone mu_c = k*c(n) = n^phi
+  --static treat nodes as static (forces the trivial regime)
+  --no-bs  remove the infrastructure
+";
+
+type CmdResult = Result<String, Box<dyn std::error::Error>>;
+
+fn exponents(args: &Args) -> Result<ModelExponents, Box<dyn std::error::Error>> {
+    let alpha: f64 = args.require("alpha")?;
+    let m: f64 = args.get_or("m", 1.0)?;
+    let r: f64 = args.get_or("r", 0.0)?;
+    let k: f64 = args.get_or("k", 0.5)?;
+    let phi: f64 = args.get_or("phi", 0.0)?;
+    Ok(ModelExponents::new(alpha, m, r, k, phi)?)
+}
+
+fn regime_of(exps: &ModelExponents, is_static: bool) -> Result<MobilityRegime, hycap::RegimeError> {
+    if is_static {
+        exps.classify_with_excursion(f64::INFINITY)
+    } else {
+        exps.classify()
+    }
+}
+
+/// `hycap classify` — the regime trichotomy with its margins.
+pub fn classify(args: &Args) -> CmdResult {
+    let exps = exponents(args)?;
+    let mut out = String::new();
+    writeln!(out, "gamma:          {}", exps.gamma())?;
+    writeln!(out, "gamma~:         {}", exps.gamma_tilde())?;
+    writeln!(out, "f*sqrt(gamma):  {}", exps.strong_margin())?;
+    writeln!(out, "f*sqrt(gamma~): {}", exps.weak_margin())?;
+    match regime_of(&exps, args.flag("static")) {
+        Ok(regime) => writeln!(out, "regime:         {regime} mobility")?,
+        Err(e) => writeln!(out, "regime:         unclassifiable ({e})")?,
+    }
+    Ok(out)
+}
+
+/// `hycap theory` — the Table I row for the family.
+pub fn theory(args: &Args) -> CmdResult {
+    let exps = exponents(args)?;
+    let with_bs = !args.flag("no-bs");
+    let regime = regime_of(&exps, args.flag("static"))?;
+    let capacity = if with_bs {
+        laws::capacity_with_bs(regime, &exps)
+    } else {
+        laws::capacity_no_bs(regime, &exps)
+    };
+    let range = laws::optimal_range(regime, with_bs, &exps);
+    let mut out = String::new();
+    writeln!(out, "regime:            {regime} mobility")?;
+    writeln!(out, "per-node capacity: {capacity}")?;
+    writeln!(out, "optimal range:     {range}")?;
+    if regime == MobilityRegime::Strong && with_bs {
+        writeln!(
+            out,
+            "dominant term:     {:?}",
+            laws::dominance(exps.alpha, exps.k_exp, exps.phi)
+        )?;
+    }
+    Ok(out)
+}
+
+fn scenario(args: &Args, exps: ModelExponents, n: usize) -> Result<Scenario, ArgError> {
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut builder = Scenario::builder(exps, n).seed(seed);
+    if args.flag("static") {
+        builder = builder.mobility(MobilityKind::Static);
+    }
+    if args.flag("no-bs") {
+        builder = builder.without_bs();
+    }
+    Ok(builder.build())
+}
+
+/// `hycap measure` — one finite-network capacity measurement.
+pub fn measure(args: &Args) -> CmdResult {
+    let exps = exponents(args)?;
+    let n: usize = args.require("n")?;
+    let slots: usize = args.get_or("slots", 300)?;
+    let report = scenario(args, exps, n)?.measure(slots);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "realized: n = {}, k = {}, m = {}, r = {:.4}, c = {:.5}, f = {:.3}",
+        report.params.n,
+        report.params.k,
+        report.params.m,
+        report.params.r,
+        report.params.c,
+        report.params.f
+    )?;
+    match report.regime {
+        Some(r) => writeln!(out, "regime: {r} mobility")?,
+        None => writeln!(out, "regime: boundary (measurement still runs)")?,
+    }
+    if let Some(l) = report.lambda_mobility {
+        writeln!(
+            out,
+            "mobility path:       lambda = {l:.6} (typical {:.6})",
+            report.lambda_mobility_typical.unwrap_or(0.0)
+        )?;
+    }
+    if let Some(l) = report.lambda_infra {
+        writeln!(
+            out,
+            "infrastructure path: lambda = {l:.6} (typical {:.6})",
+            report.lambda_infra_typical.unwrap_or(0.0)
+        )?;
+    }
+    writeln!(out, "total:               lambda = {:.6}", report.lambda)?;
+    if let Some(t) = report.theory {
+        writeln!(out, "theory:              {t}")?;
+    }
+    Ok(out)
+}
+
+/// `hycap sweep` — capacity over an `n`-ladder with a log–log exponent fit.
+pub fn sweep(args: &Args) -> CmdResult {
+    let exps = exponents(args)?;
+    let ns: Vec<usize> = args
+        .get_list("ns")?
+        .unwrap_or_else(|| vec![200, 400, 800, 1600]);
+    if ns.len() < 2 {
+        return Err("sweep needs at least two ladder points".into());
+    }
+    let slots: usize = args.get_or("slots", 400)?;
+    let mut out = String::new();
+    let mut lambdas = Vec::new();
+    for &n in &ns {
+        let report = scenario(args, exps, n)?.measure(slots);
+        let typical = report
+            .lambda_mobility_typical
+            .unwrap_or(0.0)
+            .max(report.lambda_infra_typical.unwrap_or(0.0));
+        writeln!(
+            out,
+            "n = {n:6}: lambda = {:.6} (typical {typical:.6})",
+            report.lambda
+        )?;
+        lambdas.push(typical);
+    }
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    if lambdas.iter().filter(|&&l| l > 0.0).count() >= 2 {
+        let fit = fit_loglog(&xs, &lambdas);
+        writeln!(
+            out,
+            "fit: lambda ~ n^{:.3} (R^2 = {:.3})",
+            fit.slope, fit.r2
+        )?;
+        if let Ok(regime) = regime_of(&exps, args.flag("static")) {
+            let law = if args.flag("no-bs") {
+                laws::capacity_no_bs(regime, &exps)
+            } else {
+                laws::capacity_with_bs(regime, &exps)
+            };
+            writeln!(out, "theory: {law} (exponent {:.3})", law.poly)?;
+        }
+    } else {
+        writeln!(out, "fit: not enough positive measurements")?;
+    }
+    Ok(out)
+}
+
+/// `hycap surface` — the Figure 3 exponent surface as text rows.
+pub fn surface(args: &Args) -> CmdResult {
+    let phi: f64 = args.get_or("phi", 0.0)?;
+    let res: usize = args.get_or("res", 11)?;
+    if res < 2 {
+        return Err("surface resolution must be at least 2".into());
+    }
+    let mut out = String::new();
+    writeln!(out, "capacity exponent over (alpha, K) at phi = {phi}")?;
+    writeln!(out, "rows: K from 1 (top) to 0; cols: alpha from 0 to 1/2")?;
+    let surface = hycap::phase_surface(phi, res, res);
+    for row in (0..res).rev() {
+        let mut line = String::new();
+        for col in 0..res {
+            let (_, _, e, _) = surface[row * res + col];
+            let _ = write!(line, "{e:7.3}");
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn classify_strong_family() {
+        let out = classify(&args("classify --alpha 0.25 --m 1.0 --k 0.75")).unwrap();
+        assert!(out.contains("strong mobility"), "{out}");
+    }
+
+    #[test]
+    fn classify_static_flag_forces_trivial() {
+        let out = classify(&args(
+            "classify --alpha 0.4 --m 0.2 --r 0.4 --k 0.6 --static",
+        ))
+        .unwrap();
+        assert!(out.contains("trivial mobility"), "{out}");
+    }
+
+    #[test]
+    fn theory_prints_table_row() {
+        let out = theory(&args("theory --alpha 0.25 --m 1.0 --k 0.75")).unwrap();
+        assert!(out.contains("Θ(n^-0.25)"), "{out}");
+        assert!(out.contains("Θ(n^-0.5)"), "{out}");
+    }
+
+    #[test]
+    fn theory_no_bs_uses_other_column() {
+        let out = theory(&args("theory --alpha 0.4 --m 0.2 --r 0.4 --k 0.6 --no-bs")).unwrap();
+        assert!(out.contains("log n"), "{out}");
+    }
+
+    #[test]
+    fn measure_runs_small_network() {
+        let out = measure(&args(
+            "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 80 --seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("total:"), "{out}");
+        assert!(out.contains("regime: strong"), "{out}");
+    }
+
+    #[test]
+    fn sweep_fits_exponent() {
+        let out = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 60 --seed 4",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("fit: lambda ~ n^") || out.contains("not enough"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn surface_renders_grid() {
+        let out = surface(&args("surface --phi 0 --res 5")).unwrap();
+        assert_eq!(out.lines().count(), 2 + 5);
+        assert!(out.contains("-0.5") || out.contains("-0.500"));
+    }
+
+    #[test]
+    fn invalid_exponents_error_cleanly() {
+        let err = classify(&args("classify --alpha 0.2 --m 0.5 --r 0.1 --k 0.6"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("overlap"), "{err}");
+    }
+}

@@ -1,0 +1,55 @@
+//! `hycap` — command-line front end for the capacity-scaling toolkit.
+//!
+//! ```text
+//! hycap classify --alpha A --m M --r R --k K --phi P [--static]
+//! hycap theory   --alpha A --m M --r R --k K --phi P [--static] [--no-bs]
+//! hycap measure  --alpha A --m M --r R --k K --phi P --n N
+//!                [--slots S] [--seed X] [--static] [--no-bs]
+//! hycap sweep    --alpha A --m M --r R --k K --phi P
+//!                [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
+//! hycap surface  --phi P [--res 21]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv.first().is_some_and(|a| a == "help" || a == "--help") {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if parsed.flag("help") {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let result = match parsed.command() {
+        "classify" => commands::classify(&parsed),
+        "theory" => commands::theory(&parsed),
+        "measure" => commands::measure(&parsed),
+        "sweep" => commands::sweep(&parsed),
+        "surface" => commands::surface(&parsed),
+        other => {
+            eprintln!("error: unknown subcommand '{other}'");
+            eprint!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Asymptotic order arithmetic: exact manipulation of `Θ(n^p·(log n)^q)`.
+//!
+//! Every condition and result in the paper is a statement about orders —
+//! `f√γ = o(1)`, `λ = Θ(min(k²c/n, k/n))`, `R_T = Θ(√(log m/m))`. This
+//! module represents such quantities as `(p, q)` exponent pairs and
+//! implements the comparison lattice (`o`, `ω`, `Θ`), products, powers and
+//! the order-min/max, so regime classification and the Table I formulas can
+//! be evaluated symbolically instead of numerically.
+
+use std::fmt;
+use std::ops::{Div, Mul};
+
+/// The asymptotic order `Θ(n^poly · (log n)^log)`.
+///
+/// Comparison is lexicographic: the polynomial exponent dominates, the
+/// logarithmic exponent breaks ties. Two orders are `Θ`-equal iff both
+/// exponents match.
+///
+/// # Example
+///
+/// ```
+/// use hycap::Order;
+/// let f_sqrt_gamma = Order::new(0.25 - 1.0 / 2.0, 0.5); // f·√γ with α=0.25, M=1
+/// assert!(f_sqrt_gamma.vanishes()); // o(1): strong mobility
+/// let capacity = Order::theta_min(Order::new(-0.5, 0.0), Order::new(-0.25, 0.0));
+/// assert_eq!(capacity, Order::new(-0.5, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Order {
+    /// Exponent of `n`.
+    pub poly: f64,
+    /// Exponent of `log n`.
+    pub log: f64,
+}
+
+impl Order {
+    /// The constant order `Θ(1)`.
+    pub const ONE: Order = Order {
+        poly: 0.0,
+        log: 0.0,
+    };
+
+    /// The order `Θ(log n)`.
+    pub const LOG: Order = Order {
+        poly: 0.0,
+        log: 1.0,
+    };
+
+    /// The order `Θ(n)`.
+    pub const N: Order = Order {
+        poly: 1.0,
+        log: 0.0,
+    };
+
+    /// Creates an order from its exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either exponent is not finite.
+    pub fn new(poly: f64, log: f64) -> Self {
+        assert!(
+            poly.is_finite() && log.is_finite(),
+            "order exponents must be finite"
+        );
+        Order { poly, log }
+    }
+
+    /// `Θ(n^p)`.
+    pub fn n_pow(p: f64) -> Self {
+        Order::new(p, 0.0)
+    }
+
+    /// The reciprocal order `Θ(1/self)`.
+    pub fn recip(self) -> Self {
+        Order::new(-self.poly, -self.log)
+    }
+
+    /// The square-root order `Θ(√self)`.
+    pub fn sqrt(self) -> Self {
+        Order::new(self.poly / 2.0, self.log / 2.0)
+    }
+
+    /// Raises the order to a real power.
+    pub fn powf(self, e: f64) -> Self {
+        Order::new(self.poly * e, self.log * e)
+    }
+
+    /// Lexicographic asymptotic comparison: returns `Ordering::Less` when
+    /// `self = o(other)`, `Equal` when `Θ`-equal, `Greater` when
+    /// `self = ω(other)`.
+    pub fn cmp_order(self, other: Order) -> std::cmp::Ordering {
+        match self.poly.total_cmp(&other.poly) {
+            std::cmp::Ordering::Equal => self.log.total_cmp(&other.log),
+            o => o,
+        }
+    }
+
+    /// `self = o(other)` — strictly asymptotically smaller.
+    pub fn is_o(self, other: Order) -> bool {
+        self.cmp_order(other) == std::cmp::Ordering::Less
+    }
+
+    /// `self = ω(other)` — strictly asymptotically larger.
+    pub fn is_omega(self, other: Order) -> bool {
+        self.cmp_order(other) == std::cmp::Ordering::Greater
+    }
+
+    /// `self = Θ(other)` — the same order.
+    pub fn is_theta(self, other: Order) -> bool {
+        self.cmp_order(other) == std::cmp::Ordering::Equal
+    }
+
+    /// `self = o(1)`: the quantity vanishes as `n → ∞`.
+    pub fn vanishes(self) -> bool {
+        self.is_o(Order::ONE)
+    }
+
+    /// `self = ω(1)`: the quantity diverges as `n → ∞`.
+    pub fn diverges(self) -> bool {
+        self.is_omega(Order::ONE)
+    }
+
+    /// The asymptotically smaller of two orders (`Θ(min(a, b))`).
+    pub fn theta_min(a: Order, b: Order) -> Order {
+        if a.cmp_order(b) == std::cmp::Ordering::Greater {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// The asymptotically larger of two orders — also the order of the
+    /// *sum* `Θ(a + b)`.
+    pub fn theta_max(a: Order, b: Order) -> Order {
+        if a.cmp_order(b) == std::cmp::Ordering::Less {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Evaluates the order at a finite `n` (for plotting/anchoring; the
+    /// multiplicative Θ constant is taken as 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (so `log n > 0`).
+    pub fn eval(self, n: usize) -> f64 {
+        assert!(n >= 2, "order evaluation needs n >= 2, got {n}");
+        let nf = n as f64;
+        nf.powf(self.poly) * nf.ln().powf(self.log)
+    }
+}
+
+impl Mul for Order {
+    type Output = Order;
+    fn mul(self, rhs: Order) -> Order {
+        Order::new(self.poly + rhs.poly, self.log + rhs.log)
+    }
+}
+
+impl Div for Order {
+    type Output = Order;
+    fn div(self, rhs: Order) -> Order {
+        Order::new(self.poly - rhs.poly, self.log - rhs.log)
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.poly == 0.0 && self.log == 0.0 {
+            return write!(f, "Θ(1)");
+        }
+        let mut parts = Vec::new();
+        if self.poly != 0.0 {
+            if self.poly == 1.0 {
+                parts.push("n".to_string());
+            } else {
+                parts.push(format!("n^{}", trim(self.poly)));
+            }
+        }
+        if self.log != 0.0 {
+            if self.log == 1.0 {
+                parts.push("log n".to_string());
+            } else {
+                parts.push(format!("(log n)^{}", trim(self.log)));
+            }
+        }
+        write!(f, "Θ({})", parts.join("·"))
+    }
+}
+
+fn trim(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Order::ONE, Order::new(0.0, 0.0));
+        assert_eq!(Order::LOG, Order::new(0.0, 1.0));
+        assert_eq!(Order::N, Order::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn algebra() {
+        let a = Order::new(0.5, 1.0);
+        let b = Order::new(-0.25, 0.5);
+        assert_eq!(a * b, Order::new(0.25, 1.5));
+        assert_eq!(a / b, Order::new(0.75, 0.5));
+        assert_eq!(a.recip(), Order::new(-0.5, -1.0));
+        assert_eq!(a.sqrt(), Order::new(0.25, 0.5));
+        assert_eq!(a.powf(2.0), Order::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn comparison_lexicographic() {
+        // n^0.5 beats n^0.4·log^100.
+        let a = Order::new(0.5, 0.0);
+        let b = Order::new(0.4, 100.0);
+        assert_eq!(a.cmp_order(b), Ordering::Greater);
+        assert!(b.is_o(a));
+        assert!(a.is_omega(b));
+        // Log breaks ties.
+        let c = Order::new(0.5, -1.0);
+        assert!(c.is_o(a));
+        assert!(a.is_theta(Order::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn vanishes_and_diverges() {
+        assert!(Order::new(-0.1, 5.0).vanishes());
+        assert!(Order::new(0.0, -0.5).vanishes());
+        assert!(Order::new(0.0, 0.5).diverges());
+        assert!(Order::new(0.1, -5.0).diverges());
+        assert!(!Order::ONE.vanishes());
+        assert!(!Order::ONE.diverges());
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Order::new(-0.5, 0.0);
+        let b = Order::new(-0.25, 0.0);
+        assert_eq!(Order::theta_min(a, b), a);
+        assert_eq!(Order::theta_max(a, b), b);
+        // Ties pick either (equal).
+        assert_eq!(Order::theta_min(a, a), a);
+    }
+
+    #[test]
+    fn sum_is_max() {
+        // Θ(1/f) + Θ(k/n): the sum's order is the max.
+        let mob = Order::new(-0.25, 0.0);
+        let infra = Order::new(-0.5, 0.0);
+        assert_eq!(Order::theta_max(mob, infra), mob);
+    }
+
+    #[test]
+    fn eval_matches_formula() {
+        let o = Order::new(0.5, 1.0);
+        let n = 10_000usize;
+        let expect = (n as f64).sqrt() * (n as f64).ln();
+        assert!((o.eval(n) - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Order::ONE.to_string(), "Θ(1)");
+        assert_eq!(Order::new(0.5, 0.0).to_string(), "Θ(n^0.5)");
+        assert_eq!(Order::new(-0.5, 0.5).to_string(), "Θ(n^-0.5·(log n)^0.5)");
+        assert_eq!(Order::new(1.0, 1.0).to_string(), "Θ(n·log n)");
+    }
+
+    #[test]
+    fn paper_gamma_orders() {
+        // γ = log m / m with m = n^M: Θ(n^-M · log n).
+        let m_exp = 0.5f64;
+        let gamma = Order::new(-m_exp, 1.0);
+        // f√γ with f = n^α.
+        let f = Order::n_pow(0.25);
+        let margin = f * gamma.sqrt();
+        assert_eq!(margin, Order::new(0.0, 0.5));
+        // Exactly the α = M/2 boundary: not o(1), the condition fails.
+        assert!(!margin.vanishes());
+        // Slightly smaller α: strong mobility.
+        let margin2 = Order::n_pow(0.2) * gamma.sqrt();
+        assert!(margin2.vanishes());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn eval_rejects_tiny_n() {
+        let _ = Order::ONE.eval(1);
+    }
+}

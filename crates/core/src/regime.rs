@@ -1,0 +1,437 @@
+//! Mobility-regime classification (Theorem 1, Section V).
+//!
+//! The paper divides mobility into three regimes via two order conditions:
+//!
+//! * **strong** — `f·√γ = o(1)` with `γ = log m / m`: mobility exceeds the
+//!   critical connectivity range, the network is uniformly dense (Thm 1);
+//! * **weak** — `f·√γ = ω(1)` and `f·√γ̃ = o(1)` with
+//!   `γ̃ = r²·log(n/m)/(n/m)`: clusters are separated but each cluster is
+//!   internally uniformly dense;
+//! * **trivial** — `f·√γ̃ = ω(log(n/m))`: even within a cluster, mobility
+//!   is too weak to matter and the network behaves as static (Thm 8).
+//!
+//! Remark 14: the regime is an attribute of the *network* (exponents
+//! `α, M, R`), not of a node's kernel.
+
+use crate::Order;
+use std::fmt;
+
+/// The paper's mobility regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MobilityRegime {
+    /// Uniformly dense: mobility dominates clustering (Section IV).
+    Strong,
+    /// Clusters separated, subnets uniformly dense (Section V-A).
+    Weak,
+    /// Effectively static even within clusters (Section V-B).
+    Trivial,
+}
+
+impl fmt::Display for MobilityRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityRegime::Strong => write!(f, "strong"),
+            MobilityRegime::Weak => write!(f, "weak"),
+            MobilityRegime::Trivial => write!(f, "trivial"),
+        }
+    }
+}
+
+/// Why a parameter combination cannot be classified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegimeError {
+    /// A parameter is outside its allowed range.
+    InvalidParameter(String),
+    /// The combination sits on a regime boundary (the conditions are
+    /// neither `o` nor sufficiently `ω`), where the paper makes no claim.
+    Boundary(String),
+}
+
+impl fmt::Display for RegimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegimeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            RegimeError::Boundary(msg) => write!(f, "regime boundary: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegimeError {}
+
+/// The scaling exponents defining a network family:
+/// `f(n) = n^alpha`, `m = n^m_exp`, `r = n^-r_exp`, `k = n^k_exp`,
+/// `µ_c = k·c = n^phi`.
+///
+/// # Example
+///
+/// ```
+/// use hycap::{ModelExponents, MobilityRegime};
+/// let exps = ModelExponents::new(0.25, 1.0, 0.0, 0.8, 0.0).unwrap();
+/// assert_eq!(exps.classify().unwrap(), MobilityRegime::Strong);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelExponents {
+    /// Network extension exponent `α ∈ [0, 1/2]`.
+    pub alpha: f64,
+    /// Cluster count exponent `M ∈ [0, 1]` (`m = Θ(n^M)`; `M = 1` ⇒
+    /// uniform, cluster-free).
+    pub m_exp: f64,
+    /// Cluster radius exponent `R` (`r = Θ(n^-R)`, `0 ≤ R ≤ α`).
+    pub r_exp: f64,
+    /// Base-station count exponent `K` (`k = Θ(n^K)`).
+    pub k_exp: f64,
+    /// Backbone exponent `ϕ` (`µ_c = k·c(n) = Θ(n^ϕ)`).
+    pub phi: f64,
+}
+
+impl ModelExponents {
+    /// Validates and creates the exponent set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegimeError::InvalidParameter`] when:
+    /// * `α ∉ [0, 1/2]` (Remark 1),
+    /// * `M ∉ [0, 1]`,
+    /// * `R ∉ [0, α]` (clusters must not shrink relative to the network)
+    ///   — except in the uniform case `M = 1` where `R` is ignored,
+    /// * `M − 2R ≥ 0` while `M < 1` (clusters would overlap w.h.p.),
+    /// * `K ∉ [0, 1]` or `K ≤ M` while `M < 1` (the paper requires
+    ///   `k = ω(m)` so every cluster gets BSs w.h.p.).
+    pub fn new(
+        alpha: f64,
+        m_exp: f64,
+        r_exp: f64,
+        k_exp: f64,
+        phi: f64,
+    ) -> Result<Self, RegimeError> {
+        let bad = |msg: String| Err(RegimeError::InvalidParameter(msg));
+        if !(0.0..=0.5).contains(&alpha) || !alpha.is_finite() {
+            return bad(format!("alpha must be in [0, 1/2], got {alpha}"));
+        }
+        if !(0.0..=1.0).contains(&m_exp) || !m_exp.is_finite() {
+            return bad(format!("M must be in [0, 1], got {m_exp}"));
+        }
+        if !(0.0..=1.0).contains(&k_exp) || !k_exp.is_finite() {
+            return bad(format!("K must be in [0, 1], got {k_exp}"));
+        }
+        if !phi.is_finite() {
+            return bad(format!("phi must be finite, got {phi}"));
+        }
+        if m_exp < 1.0 {
+            if !(0.0..=alpha).contains(&r_exp) || !r_exp.is_finite() {
+                return bad(format!(
+                    "R must be in [0, alpha] = [0, {alpha}], got {r_exp}"
+                ));
+            }
+            if m_exp - 2.0 * r_exp >= 0.0 {
+                return bad(format!(
+                    "clusters overlap w.h.p.: need M - 2R < 0, got {}",
+                    m_exp - 2.0 * r_exp
+                ));
+            }
+            if k_exp <= m_exp {
+                return bad(format!(
+                    "need k = ω(m) so every cluster hosts BSs: K = {k_exp} <= M = {m_exp}"
+                ));
+            }
+        }
+        Ok(ModelExponents {
+            alpha,
+            m_exp,
+            r_exp,
+            k_exp,
+            phi,
+        })
+    }
+
+    /// The order of `γ(n) = log m / m`.
+    pub fn gamma(&self) -> Order {
+        Order::new(-self.m_exp, 1.0)
+    }
+
+    /// The order of `γ̃(n) = r²·log(n/m)/(n/m)`.
+    ///
+    /// Defined for `M < 1` (clustered case); for the uniform case the
+    /// subnet notion degenerates and this returns `γ` instead.
+    pub fn gamma_tilde(&self) -> Order {
+        if self.m_exp >= 1.0 {
+            return self.gamma();
+        }
+        // ñ = n^{1-M}; γ̃ = n^{-2R}·log(ñ)/ñ.
+        Order::new(-2.0 * self.r_exp - (1.0 - self.m_exp), 1.0)
+    }
+
+    /// The order of the strong-mobility margin `f·√γ`.
+    pub fn strong_margin(&self) -> Order {
+        Order::n_pow(self.alpha) * self.gamma().sqrt()
+    }
+
+    /// The order of the in-cluster margin `f·√γ̃`.
+    pub fn weak_margin(&self) -> Order {
+        Order::n_pow(self.alpha) * self.gamma_tilde().sqrt()
+    }
+
+    /// Classifies the mobility regime, assuming the standard constant-
+    /// support kernel (node excursion `Θ(1/f) = Θ(n^-α)`).
+    ///
+    /// Note an interesting consequence of the paper's own parameter ranges
+    /// (`R ≤ α ≤ 1/2`, `M − 2R < 0`): with a constant kernel support the
+    /// in-cluster margin satisfies
+    /// `α − R − (1−M)/2 < α − 1/2 ≤ 0`, so the *trivial* regime is
+    /// unreachable in pure exponent space — it arises when nodes are
+    /// (near-)static, i.e. when the kernel support itself shrinks. Use
+    /// [`ModelExponents::classify_with_excursion`] with a larger excursion
+    /// exponent (or `f64::INFINITY` for static nodes) to reach it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegimeError::Boundary`] when the parameters sit exactly on
+    /// a regime boundary (e.g. `f√γ = Θ(polylog)`), where the paper's
+    /// trichotomy makes no claim.
+    pub fn classify(&self) -> Result<MobilityRegime, RegimeError> {
+        self.classify_with_excursion(self.alpha)
+    }
+
+    /// Classifies the regime with an explicit excursion exponent `e`: the
+    /// node's mobility radius scales as `n^-e`. For the standard constant-
+    /// support kernel `e = α`; a kernel whose support shrinks as `n^-s` has
+    /// `e = α + s`; static nodes have `e = ∞`.
+    ///
+    /// # Errors
+    ///
+    /// Same boundary conditions as [`ModelExponents::classify`].
+    pub fn classify_with_excursion(&self, e: f64) -> Result<MobilityRegime, RegimeError> {
+        assert!(
+            e >= self.alpha,
+            "excursion exponent must be at least alpha (mobility cannot exceed the kernel scale)"
+        );
+        if e.is_infinite() {
+            // Static nodes: never strong; within clusters also static →
+            // trivial (Theorem 8 applies verbatim).
+            return Ok(MobilityRegime::Trivial);
+        }
+        let strong = Order::n_pow(e) * self.gamma().sqrt();
+        if strong.vanishes() {
+            return Ok(MobilityRegime::Strong);
+        }
+        if !strong.diverges() {
+            return Err(RegimeError::Boundary(format!(
+                "f·√γ = {strong} is neither o(1) nor ω(1)"
+            )));
+        }
+        let weak = Order::n_pow(e) * self.gamma_tilde().sqrt();
+        if weak.vanishes() {
+            return Ok(MobilityRegime::Weak);
+        }
+        // Trivial requires f√γ̃ = ω(log(n/m)) = ω(Θ(log n)) in order terms.
+        if weak.is_omega(Order::LOG) {
+            return Ok(MobilityRegime::Trivial);
+        }
+        Err(RegimeError::Boundary(format!(
+            "f·√γ̃ = {weak} lies between o(1) and ω(log n)"
+        )))
+    }
+
+    /// Realizes the exponents at a finite `n`, returning
+    /// `(k, m, r, c)` — BS count, cluster count, cluster radius, backbone
+    /// edge bandwidth (`c = n^{ϕ-K}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn realize(&self, n: usize) -> RealizedParams {
+        assert!(n >= 2, "need n >= 2 to realize exponents");
+        let nf = n as f64;
+        let m = nf.powf(self.m_exp).round().max(1.0) as usize;
+        RealizedParams {
+            n,
+            k: nf.powf(self.k_exp).round().max(1.0) as usize,
+            m: m.min(n),
+            r: nf.powf(-self.r_exp).min(0.49),
+            c: nf.powf(self.phi - self.k_exp),
+            f: nf.powf(self.alpha),
+        }
+    }
+}
+
+/// Finite-`n` realization of a [`ModelExponents`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealizedParams {
+    /// Mobile-station count.
+    pub n: usize,
+    /// Base-station count `k = n^K`.
+    pub k: usize,
+    /// Cluster count `m = n^M` (capped at `n`).
+    pub m: usize,
+    /// Cluster radius `r = n^-R` (capped below 1/2).
+    pub r: f64,
+    /// Backbone edge bandwidth `c = n^{ϕ-K}`.
+    pub c: f64,
+    /// Network side `f = n^α`.
+    pub f: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exps(alpha: f64, m: f64, r: f64, k: f64, phi: f64) -> ModelExponents {
+        ModelExponents::new(alpha, m, r, k, phi).expect("valid exponents")
+    }
+
+    #[test]
+    fn strong_regime_examples() {
+        // Dense network, uniform home-points: classic MANET.
+        assert_eq!(
+            exps(0.0, 1.0, 0.0, 0.5, 0.0).classify().unwrap(),
+            MobilityRegime::Strong
+        );
+        // Moderate extension, uniform home-points: α < 1/2 = M/2.
+        assert_eq!(
+            exps(0.25, 1.0, 0.0, 0.8, 0.0).classify().unwrap(),
+            MobilityRegime::Strong
+        );
+    }
+
+    #[test]
+    fn disjoint_clusters_are_never_strong() {
+        // The paper's own constraints (R > M/2 for disjointness, R ≤ α)
+        // force α > M/2, so f√γ diverges for every valid clustered family:
+        // the strong regime lives in the (effectively) uniform case M = 1.
+        for &(alpha, m, r) in &[(0.3, 0.4, 0.25), (0.4, 0.2, 0.4), (0.5, 0.5, 0.3)] {
+            let e = exps(alpha, m, r, 0.95, 0.0);
+            assert_ne!(e.classify().ok(), Some(MobilityRegime::Strong));
+        }
+    }
+
+    #[test]
+    fn weak_regime_example() {
+        // α > M/2 (clusters separate) but α < R + (1-M)/2 (in-cluster dense):
+        // α=0.4, M=0.2, R=0.4: margins: 0.4-0.1=0.3>0 (not strong);
+        // 0.4-0.4-0.4=-0.4<0 (weak).
+        assert_eq!(
+            exps(0.4, 0.2, 0.4, 0.5, 0.0).classify().unwrap(),
+            MobilityRegime::Weak
+        );
+    }
+
+    #[test]
+    fn trivial_regime_via_static_nodes() {
+        // Static nodes (infinite excursion exponent) are always trivial.
+        let e = exps(0.5, 0.8, 0.45, 0.9, 0.0);
+        assert_eq!(
+            e.classify_with_excursion(f64::INFINITY).unwrap(),
+            MobilityRegime::Trivial
+        );
+        // The same exponents with the standard kernel are merely weak.
+        assert_eq!(e.classify().unwrap(), MobilityRegime::Weak);
+    }
+
+    #[test]
+    fn trivial_regime_via_shrinking_kernel() {
+        // A kernel whose support shrinks as n^-0.4 on top of f: e = α + 0.4.
+        let e = exps(0.5, 0.8, 0.45, 0.9, 0.0);
+        // weak margin poly with excursion 0.9: 0.9 - 0.45 - 0.1 = 0.35 > 0.
+        assert_eq!(
+            e.classify_with_excursion(0.9).unwrap(),
+            MobilityRegime::Trivial
+        );
+    }
+
+    #[test]
+    fn trivial_unreachable_with_constant_kernel() {
+        // Under R ≤ α ≤ 1/2 and M - 2R < 0, f√γ̃ has negative poly exponent
+        // whenever f√γ diverges, so classify() never yields Trivial.
+        for &(alpha, m, r) in &[
+            (0.5, 0.8, 0.45),
+            (0.4, 0.2, 0.4),
+            (0.5, 0.0, 0.5),
+            (0.3, 0.3, 0.3),
+        ] {
+            if let Ok(e) = ModelExponents::new(alpha, m, r, 0.95, 0.0) {
+                if let Ok(regime) = e.classify() {
+                    assert_ne!(regime, MobilityRegime::Trivial, "at {alpha},{m},{r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_is_reported() {
+        // α = M/2 exactly (uniform case, α = 1/2): f√γ = Θ(log^0.5 n).
+        let e = exps(0.5, 1.0, 0.0, 0.6, 0.0);
+        match e.classify() {
+            Err(RegimeError::Boundary(_)) => {}
+            other => panic!("expected boundary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extended_uniform_network_is_boundary() {
+        // α = 1/2, M = 1: f√γ = Θ(log^0.5 n): neither o(1) nor Strong.
+        let e = exps(0.5, 1.0, 0.0, 0.5, 0.0);
+        assert!(matches!(e.classify(), Err(RegimeError::Boundary(_))));
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_clusters() {
+        assert!(matches!(
+            ModelExponents::new(0.4, 0.5, 0.2, 0.6, 0.0),
+            Err(RegimeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn validation_requires_k_omega_m() {
+        assert!(matches!(
+            ModelExponents::new(0.25, 0.5, 0.3, 0.4, 0.0),
+            Err(RegimeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn validation_requires_r_le_alpha() {
+        assert!(matches!(
+            ModelExponents::new(0.2, 0.5, 0.3, 0.8, 0.0),
+            Err(RegimeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_case_ignores_r() {
+        // M = 1: R out of [0, α] is fine because clusters don't exist.
+        assert!(ModelExponents::new(0.0, 1.0, 0.0, 0.5, 0.0).is_ok());
+    }
+
+    #[test]
+    fn realize_produces_consistent_params() {
+        let e = exps(0.4, 0.5, 0.4, 0.75, 0.0);
+        let p = e.realize(10_000);
+        assert_eq!(p.n, 10_000);
+        assert_eq!(p.m, 100);
+        assert_eq!(p.k, 1_000);
+        assert!((p.r - 10_000f64.powf(-0.4)).abs() < 1e-12);
+        assert!((p.f - 10_000f64.powf(0.4)).abs() < 1e-9);
+        // ϕ = 0 → c = n^-K = 1/k.
+        assert!((p.c - 1.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margins_match_hand_computation() {
+        let e = exps(0.3, 0.4, 0.25, 0.5, 0.0);
+        assert_eq!(e.gamma(), Order::new(-0.4, 1.0));
+        assert_eq!(e.strong_margin(), Order::new(0.3 - 0.2, 0.5));
+        assert_eq!(e.gamma_tilde(), Order::new(-0.5 - 0.6, 1.0));
+        let wm = e.weak_margin();
+        assert!((wm.poly - (0.3 - 0.55)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(MobilityRegime::Strong.to_string(), "strong");
+        assert_eq!(MobilityRegime::Weak.to_string(), "weak");
+        assert_eq!(MobilityRegime::Trivial.to_string(), "trivial");
+        let err = RegimeError::Boundary("x".into());
+        assert!(err.to_string().contains("boundary"));
+    }
+}

@@ -1,0 +1,439 @@
+//! The one-stop scenario API: exponents in, measured-vs-predicted capacity
+//! out.
+//!
+//! A [`Scenario`] bundles every model parameter of the paper — network size
+//! `n`, extension exponent `α`, clustering `(M, R)`, infrastructure
+//! `(K, ϕ)`, kernel, trajectory model, BS placement and protocol constants
+//! — and knows how to realize a concrete network, pick the regime-optimal
+//! communication scheme (A, B-by-squarelets, B-by-clusters, or C) and
+//! measure its per-node capacity with the fluid engine.
+
+use crate::theory;
+use crate::{MobilityRegime, ModelExponents, Order, RealizedParams, RegimeError};
+use hycap_infra::{Backbone, BaseStations, BsPlacement, CellularLayout};
+use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
+use hycap_routing::{SchemeAPlan, SchemeBPlan, SchemeCPlan, TrafficMatrix};
+use hycap_sim::{FluidEngine, HybridNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully specified experiment scenario.
+///
+/// # Example
+///
+/// ```
+/// use hycap::{ModelExponents, Scenario};
+/// let exps = ModelExponents::new(0.25, 1.0, 0.0, 0.75, 0.0).unwrap();
+/// let scenario = Scenario::builder(exps, 300).seed(7).build();
+/// let report = scenario.measure(150);
+/// assert!(report.lambda >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    exponents: ModelExponents,
+    n: usize,
+    kernel: Kernel,
+    mobility: MobilityKind,
+    placement: BsPlacement,
+    with_bs: bool,
+    delta: f64,
+    c_t: f64,
+    scheme_b_cells: usize,
+    seed: u64,
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    inner: Scenario,
+}
+
+impl Scenario {
+    /// Starts a builder with sensible defaults: uniform-disk kernel of unit
+    /// physical support, i.i.d. stationary mobility, matched-clustered BS
+    /// placement, `Δ = 0.5`, `c_T = 0.4`, 4×4 scheme-B squarelets, seed 0.
+    pub fn builder(exponents: ModelExponents, n: usize) -> ScenarioBuilder {
+        assert!(n >= 4, "scenario needs at least 4 nodes, got {n}");
+        ScenarioBuilder {
+            inner: Scenario {
+                exponents,
+                n,
+                kernel: Kernel::uniform_disk(1.0),
+                mobility: MobilityKind::IidStationary,
+                placement: BsPlacement::MatchedClustered,
+                with_bs: true,
+                delta: 0.5,
+                c_t: 0.4,
+                scheme_b_cells: 4,
+                seed: 0,
+            },
+        }
+    }
+
+    /// The exponent family.
+    pub fn exponents(&self) -> &ModelExponents {
+        &self.exponents
+    }
+
+    /// Number of mobile stations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Classifies the scenario's mobility regime, accounting for a static
+    /// trajectory model (which forces the trivial regime, Theorem 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegimeError`] from classification.
+    pub fn regime(&self) -> Result<MobilityRegime, RegimeError> {
+        if matches!(self.mobility, MobilityKind::Static) {
+            self.exponents.classify_with_excursion(f64::INFINITY)
+        } else {
+            self.exponents.classify()
+        }
+    }
+
+    /// The theoretical capacity order for this scenario (Table I row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegimeError`] from classification.
+    pub fn theory_capacity(&self) -> Result<Order, RegimeError> {
+        let regime = self.regime()?;
+        Ok(if self.with_bs {
+            theory::capacity_with_bs(regime, &self.exponents)
+        } else {
+            theory::capacity_no_bs(regime, &self.exponents)
+        })
+    }
+
+    /// Realizes the scenario: generates the population, base stations and
+    /// traffic with the scenario seed.
+    pub fn realize(&self) -> Realization {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let params = self.exponents.realize(self.n);
+        let clusters = if self.exponents.m_exp >= 1.0 {
+            ClusteredModel::uniform()
+        } else {
+            ClusteredModel::explicit(params.m, params.r)
+        };
+        let config = PopulationConfig::builder(self.n)
+            .alpha(self.exponents.alpha)
+            .clusters(clusters)
+            .kernel(self.kernel)
+            .mobility(self.mobility)
+            .build();
+        let population = Population::generate(&config, &mut rng);
+        let traffic = TrafficMatrix::permutation(self.n, &mut rng);
+        let net = if self.with_bs {
+            let bs = BaseStations::generate(
+                self.placement,
+                params.k,
+                population.home_points(),
+                &self.kernel,
+                population.torus(),
+                params.c,
+                &mut rng,
+            );
+            HybridNetwork::with_infrastructure(population, bs)
+        } else {
+            HybridNetwork::ad_hoc(population)
+        };
+        Realization {
+            net,
+            traffic,
+            params,
+            rng,
+        }
+    }
+
+    /// Measures per-node capacity with the regime-optimal scheme(s) over
+    /// `slots` mobility slots, and returns the full report.
+    ///
+    /// * strong — scheme A (+ scheme B when BSs are present; the paper's
+    ///   capacity is the *sum* of the two terms);
+    /// * weak — scheme B grouped by clusters (Theorem 7);
+    /// * trivial — scheme C (Theorem 9; its TDMA rate is deterministic
+    ///   given the layout, no slot sampling needed);
+    /// * boundary parameters — measured with scheme A only, reported with
+    ///   `regime = None`.
+    pub fn measure(&self, slots: usize) -> ScenarioReport {
+        let Realization {
+            mut net,
+            traffic,
+            params,
+            mut rng,
+        } = self.realize();
+        let engine = FluidEngine::new(self.delta, self.c_t);
+        let regime = self.regime().ok();
+        let homes = net.population().home_points().points().to_vec();
+        let mut lambda_mobility = None;
+        let mut lambda_infra = None;
+        let mut lambda_mobility_typical = None;
+        let mut lambda_infra_typical = None;
+        match regime {
+            Some(MobilityRegime::Strong) | None => {
+                let plan = SchemeAPlan::build(&homes, &traffic, params.f.max(1.0));
+                let report = engine.measure_scheme_a(&mut net, &plan, slots, &mut rng);
+                lambda_mobility = Some(report.lambda);
+                lambda_mobility_typical = Some(report.lambda_typical);
+                if self.with_bs && regime.is_some() {
+                    let bs = net.base_stations().expect("with_bs").clone();
+                    let plan_b = SchemeBPlan::build(&homes, &traffic, &bs, self.scheme_b_cells);
+                    let rb = engine.measure_scheme_b(&mut net, &plan_b, slots, &mut rng);
+                    lambda_infra = Some(rb.lambda);
+                    lambda_infra_typical = Some(rb.lambda_typical);
+                }
+            }
+            Some(MobilityRegime::Weak) => {
+                if self.with_bs {
+                    let bs = net.base_stations().expect("with_bs").clone();
+                    let centers = net.population().home_points().centers().to_vec();
+                    let plan = SchemeBPlan::by_clusters(&homes, &traffic, &bs, &centers);
+                    // Table I: the weak-regime optimal range is Θ(r√(m/n)),
+                    // the inverse in-cluster density scale — c_T/√n would
+                    // leave the guard zones permanently crowded.
+                    let range = params.r * ((params.m as f64 / self.n as f64).sqrt());
+                    let engine = engine.with_range(range.max(1e-6));
+                    let rb = engine.measure_scheme_b(&mut net, &plan, slots, &mut rng);
+                    lambda_infra = Some(rb.lambda);
+                    lambda_infra_typical = Some(rb.lambda_typical);
+                }
+            }
+            Some(MobilityRegime::Trivial) => {
+                if self.with_bs {
+                    let hp = net.population().home_points();
+                    let centers = hp.centers().to_vec();
+                    let cluster_of = hp.cluster_of().to_vec();
+                    let radius = hp.radius().max(1e-3);
+                    let layout =
+                        CellularLayout::build(&centers, radius, params.k.max(centers.len()));
+                    let plan = SchemeCPlan::build(&homes, &cluster_of, &layout, &traffic);
+                    let backbone = Backbone::new(layout.total_cells().max(1), params.c);
+                    lambda_infra = Some(plan.analytic_rate_with_traffic(&backbone, &traffic));
+                    lambda_infra_typical =
+                        Some(plan.typical_rate_with_traffic(&backbone, &traffic));
+                }
+            }
+        }
+        let lambda = lambda_mobility.unwrap_or(0.0) + lambda_infra.unwrap_or(0.0);
+        ScenarioReport {
+            regime,
+            lambda_mobility,
+            lambda_infra,
+            lambda_mobility_typical,
+            lambda_infra_typical,
+            lambda,
+            theory: self.theory_capacity().ok(),
+            params,
+            slots,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Sets the mobility kernel.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.inner.kernel = kernel;
+        self
+    }
+
+    /// Sets the trajectory model.
+    pub fn mobility(mut self, mobility: MobilityKind) -> Self {
+        mobility.validate();
+        self.inner.mobility = mobility;
+        self
+    }
+
+    /// Sets the BS placement model.
+    pub fn placement(mut self, placement: BsPlacement) -> Self {
+        self.inner.placement = placement;
+        self
+    }
+
+    /// Removes the infrastructure (BS-free rows of Table I).
+    pub fn without_bs(mut self) -> Self {
+        self.inner.with_bs = false;
+        self
+    }
+
+    /// Sets the protocol guard factor `Δ`.
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta >= 0.0 && delta.is_finite(), "Δ must be non-negative");
+        self.inner.delta = delta;
+        self
+    }
+
+    /// Sets the range constant `c_T` (`R_T = c_T/√n`).
+    pub fn c_t(mut self, c_t: f64) -> Self {
+        assert!(c_t > 0.0 && c_t.is_finite(), "c_T must be positive");
+        self.inner.c_t = c_t;
+        self
+    }
+
+    /// Sets the scheme-B squarelet grid resolution (cells per side).
+    pub fn scheme_b_cells(mut self, cells: usize) -> Self {
+        assert!(cells >= 1, "need at least one squarelet");
+        self.inner.scheme_b_cells = cells;
+        self
+    }
+
+    /// Sets the RNG seed (the scenario is fully deterministic given it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> Scenario {
+        self.inner
+    }
+}
+
+/// A realized scenario: network, traffic and finite-`n` parameters.
+#[derive(Debug)]
+pub struct Realization {
+    /// The hybrid network (population + optional BSs).
+    pub net: HybridNetwork,
+    /// The permutation traffic.
+    pub traffic: TrafficMatrix,
+    /// Realized `(k, m, r, c, f)` parameters.
+    pub params: RealizedParams,
+    /// The RNG, positioned after generation (for continued simulation).
+    pub rng: StdRng,
+}
+
+/// The result of [`Scenario::measure`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The classified regime (`None` on boundary parameters).
+    pub regime: Option<MobilityRegime>,
+    /// Measured scheme-A (mobility-path) capacity, when applicable
+    /// (strict min-over-resources).
+    pub lambda_mobility: Option<f64>,
+    /// Measured infrastructure-path capacity (scheme B or C), when
+    /// applicable (strict min-over-resources).
+    pub lambda_infra: Option<f64>,
+    /// Median-resource variant of `lambda_mobility` — same asymptotic
+    /// order, far less finite-sample tail noise; use for exponent fits.
+    pub lambda_mobility_typical: Option<f64>,
+    /// Median-resource variant of `lambda_infra`.
+    pub lambda_infra_typical: Option<f64>,
+    /// Total per-node capacity (sum of the applicable terms, as in
+    /// Theorem 5's lower bound).
+    pub lambda: f64,
+    /// The Table I theoretical order, when the regime is classifiable.
+    pub theory: Option<Order>,
+    /// Realized finite-`n` parameters.
+    pub params: RealizedParams,
+    /// Slots sampled per measurement.
+    pub slots: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strong_exps() -> ModelExponents {
+        ModelExponents::new(0.25, 1.0, 0.0, 0.75, 0.0).unwrap()
+    }
+
+    #[test]
+    fn strong_scenario_measures_both_terms() {
+        let scenario = Scenario::builder(strong_exps(), 400).seed(1).build();
+        assert_eq!(scenario.regime().unwrap(), MobilityRegime::Strong);
+        let report = scenario.measure(250);
+        assert_eq!(report.regime, Some(MobilityRegime::Strong));
+        assert!(report.lambda_mobility.is_some());
+        assert!(report.lambda_infra.is_some());
+        assert!(report.lambda > 0.0, "report: {report:?}");
+        assert!(report.theory.is_some());
+    }
+
+    #[test]
+    fn no_bs_scenario_skips_infra() {
+        let scenario = Scenario::builder(strong_exps(), 300)
+            .without_bs()
+            .seed(2)
+            .build();
+        let report = scenario.measure(200);
+        assert!(report.lambda_infra.is_none());
+        assert!(report.lambda_mobility.is_some());
+    }
+
+    #[test]
+    fn weak_scenario_uses_cluster_grouping() {
+        // α=0.4, M=0.2, R=0.4, K=0.6: weak regime.
+        let exps = ModelExponents::new(0.4, 0.2, 0.4, 0.6, 0.0).unwrap();
+        let scenario = Scenario::builder(exps, 400).seed(3).build();
+        assert_eq!(scenario.regime().unwrap(), MobilityRegime::Weak);
+        let report = scenario.measure(250);
+        assert!(report.lambda_mobility.is_none());
+        assert!(report.lambda_infra.is_some());
+    }
+
+    #[test]
+    fn static_scenario_is_trivial_and_uses_scheme_c() {
+        let exps = ModelExponents::new(0.4, 0.2, 0.4, 0.6, 0.0).unwrap();
+        let scenario = Scenario::builder(exps, 300)
+            .mobility(MobilityKind::Static)
+            .seed(4)
+            .build();
+        assert_eq!(scenario.regime().unwrap(), MobilityRegime::Trivial);
+        let report = scenario.measure(10);
+        assert!(report.lambda_infra.is_some());
+        assert!(report.lambda >= 0.0);
+    }
+
+    #[test]
+    fn realization_is_deterministic_per_seed() {
+        let scenario = Scenario::builder(strong_exps(), 100).seed(5).build();
+        let a = scenario.realize();
+        let b = scenario.realize();
+        assert_eq!(
+            a.net.population().home_points().points(),
+            b.net.population().home_points().points()
+        );
+        let pairs_a: Vec<_> = a.traffic.pairs().collect();
+        let pairs_b: Vec<_> = b.traffic.pairs().collect();
+        assert_eq!(pairs_a, pairs_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s1 = Scenario::builder(strong_exps(), 100).seed(6).build();
+        let s2 = Scenario::builder(strong_exps(), 100).seed(7).build();
+        assert_ne!(
+            s1.realize().net.population().home_points().points(),
+            s2.realize().net.population().home_points().points()
+        );
+    }
+
+    #[test]
+    fn theory_capacity_matches_table1() {
+        let scenario = Scenario::builder(strong_exps(), 100).build();
+        let cap = scenario.theory_capacity().unwrap();
+        // α=0.25, K=0.75, φ=0: max(n^-0.25, n^-0.25) = n^-0.25.
+        assert_eq!(cap, Order::n_pow(-0.25));
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let scenario = Scenario::builder(strong_exps(), 64)
+            .delta(1.0)
+            .c_t(0.5)
+            .scheme_b_cells(2)
+            .placement(BsPlacement::RegularGrid)
+            .kernel(Kernel::uniform_disk(2.0))
+            .build();
+        assert_eq!(scenario.n(), 64);
+        assert_eq!(scenario.exponents().alpha, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 nodes")]
+    fn tiny_scenario_rejected() {
+        let _ = Scenario::builder(strong_exps(), 2);
+    }
+}

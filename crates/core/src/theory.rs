@@ -1,0 +1,349 @@
+//! Closed-form capacity laws: Table I and the Figure 3 phase diagram.
+
+use crate::{MobilityRegime, ModelExponents, Order, RegimeError};
+
+/// Which feature dominates the per-node capacity (Remark 10's two states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// `λ = Θ(1/f(n))`: the mobility path is the larger term.
+    Mobility,
+    /// `λ = Θ(min(k²c/n, k/n))`: the infrastructure path is larger.
+    Infrastructure,
+    /// Both terms share the same order (the boundary curve in Figure 3).
+    Balanced,
+}
+
+/// The order of the infrastructure capacity term `min(k²c/n, k/n)`
+/// (Theorems 4, 5, 7, 9) for `k = n^K`, `µ_c = k·c = n^ϕ`.
+///
+/// With `c = n^{ϕ-K}`: `k²c/n = n^{K+ϕ-1}` and `k/n = n^{K-1}`, so the min
+/// picks `K+ϕ-1` when `ϕ < 0` (backbone-limited) and `K-1` otherwise
+/// (access-limited) — the `ϕ` dichotomy plotted in Figure 3.
+pub fn infrastructure_order(k_exp: f64, phi: f64) -> Order {
+    Order::theta_min(Order::n_pow(k_exp + phi - 1.0), Order::n_pow(k_exp - 1.0))
+}
+
+/// The order of the mobility capacity term `Θ(1/f(n))` (Theorem 3).
+pub fn mobility_order(alpha: f64) -> Order {
+    Order::n_pow(-alpha)
+}
+
+/// Per-node capacity *with* infrastructure in the given regime (Table I):
+///
+/// * strong — `Θ(1/f) + Θ(min(k²c/n, k/n))` (the sum's order is the max);
+/// * weak / trivial — `Θ(min(k²c/n, k/n))`.
+pub fn capacity_with_bs(regime: MobilityRegime, exps: &ModelExponents) -> Order {
+    let infra = infrastructure_order(exps.k_exp, exps.phi);
+    match regime {
+        MobilityRegime::Strong => Order::theta_max(mobility_order(exps.alpha), infra),
+        MobilityRegime::Weak | MobilityRegime::Trivial => infra,
+    }
+}
+
+/// Per-node capacity *without* infrastructure (Table I):
+///
+/// * strong — `Θ(1/f(n))` (Theorem 3);
+/// * weak / trivial — `Θ(√(m/(n² log m)))` (Corollary 3).
+pub fn capacity_no_bs(regime: MobilityRegime, exps: &ModelExponents) -> Order {
+    match regime {
+        MobilityRegime::Strong => mobility_order(exps.alpha),
+        MobilityRegime::Weak | MobilityRegime::Trivial => {
+            // √(m/(n²·log m)) = n^{(M-2)/2}·(log n)^{-1/2}.
+            Order::new((exps.m_exp - 2.0) / 2.0, -0.5)
+        }
+    }
+}
+
+/// Optimal transmission range per Table I.
+///
+/// * strong (with or without BSs) — `Θ(1/√n)`;
+/// * weak/trivial without BSs — `Θ(√(log m / m))` (Lemma 10);
+/// * weak with BSs — `Θ(r·√(m/n))` (Lemma 12 / Theorem 7);
+/// * trivial with BSs — `Θ(r·√(m/k))` (scheme C cell side).
+pub fn optimal_range(regime: MobilityRegime, with_bs: bool, exps: &ModelExponents) -> Order {
+    match (regime, with_bs) {
+        (MobilityRegime::Strong, _) => Order::n_pow(-0.5),
+        (_, false) => Order::new(-exps.m_exp / 2.0, 0.5),
+        (MobilityRegime::Weak, true) => {
+            // r·√(m/n) = n^{-R + (M-1)/2}.
+            Order::n_pow(-exps.r_exp + (exps.m_exp - 1.0) / 2.0)
+        }
+        (MobilityRegime::Trivial, true) => {
+            // r·√(m/k) = n^{-R + (M-K)/2}.
+            Order::n_pow(-exps.r_exp + (exps.m_exp - exps.k_exp) / 2.0)
+        }
+    }
+}
+
+/// The Figure 3 capacity exponent surface: per-node capacity exponent in
+/// the strong-mobility (uniformly dense) regime as a function of `α`
+/// (x-axis) and `K` (y-axis), with `ϕ` as parameter:
+///
+/// ```text
+/// exponent = max(-α, min(K + ϕ - 1, K - 1))
+/// ```
+pub fn capacity_exponent(alpha: f64, k_exp: f64, phi: f64) -> f64 {
+    (-alpha).max((k_exp + phi - 1.0).min(k_exp - 1.0))
+}
+
+/// Which term wins at `(α, K, ϕ)` in the strong-mobility regime — the
+/// region boundary drawn in Figure 3.
+pub fn dominance(alpha: f64, k_exp: f64, phi: f64) -> Dominance {
+    let mobility = -alpha;
+    let infra = (k_exp + phi - 1.0).min(k_exp - 1.0);
+    if (mobility - infra).abs() < 1e-12 {
+        Dominance::Balanced
+    } else if mobility > infra {
+        Dominance::Mobility
+    } else {
+        Dominance::Infrastructure
+    }
+}
+
+/// Samples the Figure 3 surface on a `res_alpha × res_k` grid over
+/// `α ∈ [0, 1/2]`, `K ∈ [0, 1]`. Returns row-major rows of
+/// `(alpha, k, exponent, dominance)`.
+pub fn phase_surface(phi: f64, res_alpha: usize, res_k: usize) -> Vec<(f64, f64, f64, Dominance)> {
+    assert!(res_alpha >= 2 && res_k >= 2, "need at least a 2x2 grid");
+    let mut out = Vec::with_capacity(res_alpha * res_k);
+    for i in 0..res_k {
+        let k = i as f64 / (res_k - 1) as f64;
+        for j in 0..res_alpha {
+            let a = 0.5 * j as f64 / (res_alpha - 1) as f64;
+            out.push((a, k, capacity_exponent(a, k, phi), dominance(a, k, phi)));
+        }
+    }
+    out
+}
+
+/// One row of the reproduced Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Human-readable regime label.
+    pub label: &'static str,
+    /// Whether base stations are present.
+    pub with_bs: bool,
+    /// The regime the row describes.
+    pub regime: MobilityRegime,
+    /// The order condition defining the regime.
+    pub condition: String,
+    /// Per-node capacity order.
+    pub capacity: Order,
+    /// Optimal transmission range order.
+    pub optimal_range: Order,
+}
+
+/// Reproduces Table I for a concrete exponent family.
+///
+/// # Errors
+///
+/// Propagates [`RegimeError`] from validation (the rows are computed for
+/// every regime regardless of which one `exps` itself falls into, matching
+/// the table's role as a summary).
+pub fn table1(exps: &ModelExponents) -> Result<Vec<Table1Row>, RegimeError> {
+    // Validate by reconstructing.
+    let exps = ModelExponents::new(exps.alpha, exps.m_exp, exps.r_exp, exps.k_exp, exps.phi)?;
+    let rows = vec![
+        Table1Row {
+            label: "Strong mobility without BSs",
+            with_bs: false,
+            regime: MobilityRegime::Strong,
+            condition: format!("f√γ = {} = o(1)", exps.strong_margin()),
+            capacity: capacity_no_bs(MobilityRegime::Strong, &exps),
+            optimal_range: optimal_range(MobilityRegime::Strong, false, &exps),
+        },
+        Table1Row {
+            label: "Strong mobility with BSs",
+            with_bs: true,
+            regime: MobilityRegime::Strong,
+            condition: format!("f√γ = {} = o(1)", exps.strong_margin()),
+            capacity: capacity_with_bs(MobilityRegime::Strong, &exps),
+            optimal_range: optimal_range(MobilityRegime::Strong, true, &exps),
+        },
+        Table1Row {
+            label: "Weak/trivial mobility without BSs",
+            with_bs: false,
+            regime: MobilityRegime::Weak,
+            condition: format!("f√γ = {} = ω(1)", exps.strong_margin()),
+            capacity: capacity_no_bs(MobilityRegime::Weak, &exps),
+            optimal_range: optimal_range(MobilityRegime::Weak, false, &exps),
+        },
+        Table1Row {
+            label: "Weak mobility with BSs",
+            with_bs: true,
+            regime: MobilityRegime::Weak,
+            condition: format!("f√γ = ω(1), f√γ̃ = {} = o(1)", exps.weak_margin()),
+            capacity: capacity_with_bs(MobilityRegime::Weak, &exps),
+            optimal_range: optimal_range(MobilityRegime::Weak, true, &exps),
+        },
+        Table1Row {
+            label: "Trivial mobility with BSs",
+            with_bs: true,
+            regime: MobilityRegime::Trivial,
+            condition: "f√γ̃ = ω(log(n/m))".to_string(),
+            capacity: capacity_with_bs(MobilityRegime::Trivial, &exps),
+            optimal_range: optimal_range(MobilityRegime::Trivial, true, &exps),
+        },
+    ];
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exps() -> ModelExponents {
+        ModelExponents::new(0.3, 0.5, 0.3, 0.75, 0.0).unwrap()
+    }
+
+    #[test]
+    fn infrastructure_order_dichotomy() {
+        // ϕ ≥ 0: access-limited, exponent K - 1.
+        assert_eq!(infrastructure_order(0.75, 0.0), Order::n_pow(-0.25));
+        assert_eq!(infrastructure_order(0.75, 0.5), Order::n_pow(-0.25));
+        // ϕ < 0: backbone-limited, exponent K + ϕ - 1.
+        assert_eq!(infrastructure_order(0.75, -0.5), Order::n_pow(-0.75));
+    }
+
+    #[test]
+    fn strong_capacity_is_sum_of_terms() {
+        let e = exps();
+        // mobility term n^-0.25, infra term n^-0.25: balanced.
+        let cap = capacity_with_bs(MobilityRegime::Strong, &e);
+        assert_eq!(cap, Order::n_pow(-0.25));
+        // Raise K: infrastructure wins.
+        let e2 = ModelExponents::new(0.3, 0.5, 0.3, 0.9, 0.0).unwrap();
+        let cap2 = capacity_with_bs(MobilityRegime::Strong, &e2);
+        assert!((cap2.poly + 0.1).abs() < 1e-12 && cap2.log == 0.0, "{cap2}");
+    }
+
+    #[test]
+    fn weak_capacity_ignores_mobility_term() {
+        let e = exps();
+        assert_eq!(
+            capacity_with_bs(MobilityRegime::Weak, &e),
+            infrastructure_order(0.75, 0.0)
+        );
+        assert_eq!(
+            capacity_with_bs(MobilityRegime::Trivial, &e),
+            capacity_with_bs(MobilityRegime::Weak, &e)
+        );
+    }
+
+    #[test]
+    fn no_bs_capacities_match_table() {
+        let e = exps();
+        assert_eq!(
+            capacity_no_bs(MobilityRegime::Strong, &e),
+            Order::n_pow(-0.3)
+        );
+        // √(m/(n² log m)) with M = 0.5: n^-0.75·log^-0.5.
+        assert_eq!(
+            capacity_no_bs(MobilityRegime::Weak, &e),
+            Order::new(-0.75, -0.5)
+        );
+    }
+
+    #[test]
+    fn optimal_ranges_match_table() {
+        let e = exps();
+        assert_eq!(
+            optimal_range(MobilityRegime::Strong, true, &e),
+            Order::n_pow(-0.5)
+        );
+        assert_eq!(
+            optimal_range(MobilityRegime::Weak, false, &e),
+            Order::new(-0.25, 0.5)
+        );
+        // r√(m/n): -0.3 + (0.5-1)/2 = -0.55.
+        assert_eq!(
+            optimal_range(MobilityRegime::Weak, true, &e),
+            Order::n_pow(-0.55)
+        );
+        // r√(m/k): -0.3 + (0.5-0.75)/2 = -0.425.
+        assert_eq!(
+            optimal_range(MobilityRegime::Trivial, true, &e),
+            Order::n_pow(-0.425)
+        );
+    }
+
+    #[test]
+    fn capacity_exponent_figure3_anchors() {
+        // Figure 3 left (ϕ ≥ 0): boundary at K = 1 - α.
+        assert_eq!(capacity_exponent(0.25, 0.75, 0.0), -0.25); // on boundary
+        assert!(capacity_exponent(0.25, 0.5, 0.0) == -0.25); // mobility side: max(-0.25, -0.5)
+        assert!(capacity_exponent(0.25, 0.9, 0.0) > -0.25); // infra side
+                                                            // Figure 3 right (ϕ = -1/2): boundary shifts to K = 3/2 - α... but
+                                                            // clipped by K ≤ 1; infrastructure wins only for K + ϕ - 1 > -α,
+                                                            // e.g. K = 1, α = 0.5: max(-0.5, -0.5) = -0.5 (balanced corner).
+        assert_eq!(capacity_exponent(0.5, 1.0, -0.5), -0.5);
+        assert_eq!(capacity_exponent(0.25, 1.0, -0.5), -0.25);
+    }
+
+    #[test]
+    fn dominance_regions() {
+        assert_eq!(dominance(0.25, 0.5, 0.0), Dominance::Mobility);
+        assert_eq!(dominance(0.25, 0.9, 0.0), Dominance::Infrastructure);
+        assert_eq!(dominance(0.25, 0.75, 0.0), Dominance::Balanced);
+        // ϕ < 0 moves the boundary: K = 0.75 is now mobility-dominant.
+        assert_eq!(dominance(0.25, 0.75, -0.5), Dominance::Mobility);
+    }
+
+    #[test]
+    fn phase_surface_covers_grid() {
+        let surface = phase_surface(0.0, 11, 21);
+        assert_eq!(surface.len(), 11 * 21);
+        // Exponents are in [-1/2, 0].
+        for &(a, k, e, _) in &surface {
+            assert!((0.0..=0.5).contains(&a));
+            assert!((0.0..=1.0).contains(&k));
+            assert!((-1.0..=0.0).contains(&e), "exponent {e}");
+        }
+        // The corner (α=0, K=1, ϕ=0) reaches Θ(1).
+        let corner = surface
+            .iter()
+            .find(|&&(a, k, _, _)| a == 0.0 && k == 1.0)
+            .unwrap();
+        assert_eq!(corner.2, 0.0);
+    }
+
+    #[test]
+    fn table1_has_five_rows() {
+        let rows = table1(&exps()).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.iter().filter(|r| r.with_bs).count(), 3);
+        // Weak and trivial with BSs share the same capacity order.
+        assert_eq!(rows[3].capacity, rows[4].capacity);
+        // Each row formats cleanly.
+        for row in &rows {
+            assert!(!row.label.is_empty());
+            assert!(row.condition.contains('='));
+            let _ = format!("{} {}", row.capacity, row.optimal_range);
+        }
+    }
+
+    #[test]
+    fn table1_rejects_invalid_exponents() {
+        let bad = ModelExponents {
+            alpha: 0.25,
+            m_exp: 0.9,
+            r_exp: 0.1,
+            k_exp: 0.95,
+            phi: 0.0,
+        };
+        assert!(table1(&bad).is_err());
+    }
+
+    #[test]
+    fn phi_one_is_optimal_bandwidth() {
+        // Remark 10: ϕ = 1 (c = Θ(1)) saturates the access bound; larger ϕ
+        // wastes wires, smaller ϕ loses capacity.
+        let at_phi1 = capacity_exponent(0.25, 0.5, 1.0);
+        let at_phi2 = capacity_exponent(0.25, 0.5, 2.0);
+        let at_phi_half = capacity_exponent(0.25, 0.5, 0.5);
+        assert_eq!(at_phi1, at_phi2);
+        assert!(at_phi_half <= at_phi1 + 1e-12);
+        // Below zero it strictly decreases (when infrastructure-dominant).
+        assert!(capacity_exponent(0.5, 0.9, -0.2) < capacity_exponent(0.5, 0.9, 0.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for order arithmetic, the regime classifier and
+//! the capacity laws.
+
+use hycap::{
+    capacity_exponent, capacity_no_bs, capacity_with_bs, infrastructure_order, mobility_order,
+    MobilityRegime, ModelExponents, Order,
+};
+use proptest::prelude::*;
+
+fn arb_order() -> impl Strategy<Value = Order> {
+    (-3.0f64..3.0, -3.0f64..3.0).prop_map(|(p, l)| Order::new(p, l))
+}
+
+proptest! {
+    /// Order multiplication is commutative and associative; ONE is neutral.
+    #[test]
+    fn order_monoid_laws(a in arb_order(), b in arb_order(), c in arb_order()) {
+        prop_assert_eq!(a * b, b * a);
+        let ab_c = (a * b) * c;
+        let a_bc = a * (b * c);
+        prop_assert!((ab_c.poly - a_bc.poly).abs() < 1e-12);
+        prop_assert!((ab_c.log - a_bc.log).abs() < 1e-12);
+        prop_assert_eq!(a * Order::ONE, a);
+    }
+
+    /// Division inverts multiplication and recip is an involution.
+    #[test]
+    fn order_division_inverts(a in arb_order(), b in arb_order()) {
+        let q = (a * b) / b;
+        prop_assert!((q.poly - a.poly).abs() < 1e-12);
+        prop_assert!((q.log - a.log).abs() < 1e-12);
+        prop_assert_eq!(a.recip().recip(), a);
+    }
+
+    /// sqrt ∘ square is the identity on orders.
+    #[test]
+    fn order_sqrt_square(a in arb_order()) {
+        let r = a.powf(2.0).sqrt();
+        prop_assert!((r.poly - a.poly).abs() < 1e-12);
+        prop_assert!((r.log - a.log).abs() < 1e-12);
+    }
+
+    /// The order lattice: min ≤ both arguments ≤ max, and min·max = a·b.
+    #[test]
+    fn order_lattice(a in arb_order(), b in arb_order()) {
+        let lo = Order::theta_min(a, b);
+        let hi = Order::theta_max(a, b);
+        prop_assert!(!lo.is_omega(a) && !lo.is_omega(b));
+        prop_assert!(!hi.is_o(a) && !hi.is_o(b));
+        prop_assert_eq!(lo * hi, a * b);
+    }
+
+    /// Exactly one of o / Θ / ω holds for any pair (trichotomy).
+    #[test]
+    fn order_trichotomy(a in arb_order(), b in arb_order()) {
+        let flags = [a.is_o(b), a.is_theta(b), a.is_omega(b)];
+        prop_assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+
+    /// Order comparison agrees with numeric evaluation at large n whenever
+    /// the polynomial gap dominates any opposing log factor (at finite n a
+    /// (log n)^q term can outweigh a small n^p gap — that is exactly why
+    /// the comparison is lexicographic in the limit).
+    #[test]
+    fn order_matches_evaluation(a in arb_order(), b in arb_order()) {
+        let n = 100_000_000usize;
+        let nf = n as f64;
+        let poly_gap = (a.poly - b.poly).abs() * nf.ln();
+        let log_gap = (a.log - b.log).abs() * nf.ln().ln();
+        prop_assume!(poly_gap > log_gap + 2.0);
+        let (ea, eb) = (a.eval(n), b.eval(n));
+        prop_assume!(ea.is_finite() && eb.is_finite() && ea > 0.0 && eb > 0.0);
+        if a.is_o(b) {
+            prop_assert!(ea < eb, "{a} vs {b}: {ea} !< {eb}");
+        } else if a.is_omega(b) {
+            prop_assert!(ea > eb, "{a} vs {b}: {ea} !> {eb}");
+        }
+    }
+
+    /// The classifier is total on valid exponents: strong, weak, trivial or
+    /// an explicit boundary error — never a panic.
+    #[test]
+    fn classifier_total_on_valid_inputs(
+        alpha in 0.0f64..=0.5,
+        m in 0.0f64..=1.0,
+        r in 0.0f64..=0.5,
+        k in 0.0f64..=1.0,
+        phi in -2.0f64..2.0,
+    ) {
+        if let Ok(exps) = ModelExponents::new(alpha, m, r, k, phi) {
+            let _ = exps.classify();
+            // Static classification always succeeds.
+            prop_assert_eq!(
+                exps.classify_with_excursion(f64::INFINITY).unwrap(),
+                MobilityRegime::Trivial
+            );
+        }
+    }
+
+    /// Validated exponents satisfy the paper's constraints.
+    #[test]
+    fn validation_invariants(
+        alpha in 0.0f64..=0.5,
+        m in 0.0f64..=1.0,
+        r in 0.0f64..=0.5,
+        k in 0.0f64..=1.0,
+    ) {
+        if let Ok(e) = ModelExponents::new(alpha, m, r, k, 0.0) {
+            if e.m_exp < 1.0 {
+                prop_assert!(e.r_exp <= e.alpha + 1e-12);
+                prop_assert!(e.m_exp - 2.0 * e.r_exp < 0.0);
+                prop_assert!(e.k_exp > e.m_exp);
+            }
+        }
+    }
+
+    /// Capacity laws: adding infrastructure never lowers the order, and
+    /// the strong capacity equals the Figure 3 exponent.
+    #[test]
+    fn capacity_laws_consistent(
+        alpha in 0.0f64..=0.5,
+        k in 0.0f64..=1.0,
+        phi in -1.5f64..1.5,
+    ) {
+        if let Ok(e) = ModelExponents::new(alpha, 1.0, 0.0, k, phi) {
+            if let Ok(regime) = e.classify() {
+                let with_bs = capacity_with_bs(regime, &e);
+                let without = capacity_no_bs(regime, &e);
+                prop_assert!(!with_bs.is_o(without));
+                if regime == MobilityRegime::Strong {
+                    prop_assert!((with_bs.poly - capacity_exponent(alpha, k, phi)).abs() < 1e-12);
+                    prop_assert_eq!(
+                        with_bs,
+                        Order::theta_max(mobility_order(alpha), infrastructure_order(k, phi))
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Figure 3 exponent surface is monotone: more BSs or more wire
+    /// bandwidth never hurts, larger networks never help.
+    #[test]
+    fn capacity_exponent_monotone(
+        alpha in 0.0f64..=0.5,
+        k in 0.0f64..=0.9,
+        phi in -1.0f64..1.0,
+    ) {
+        let base = capacity_exponent(alpha, k, phi);
+        prop_assert!(capacity_exponent(alpha, k + 0.1, phi) >= base - 1e-12);
+        prop_assert!(capacity_exponent(alpha, k, phi + 0.1) >= base - 1e-12);
+        if alpha <= 0.4 {
+            prop_assert!(capacity_exponent(alpha + 0.1, k, phi) <= base + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Cuts: simple closed curves dividing the torus into inside and outside.
+//!
+//! Lemma 6 of the paper upper-bounds per-node capacity by the ratio of the
+//! aggregate link capacity crossing an arbitrary simple closed convex curve
+//! `L` over the number of source–destination pairs separated by `L`. A
+//! [`Cut`] is the crate-level abstraction of such a curve: a membership test
+//! for the interior region `I_L` plus its measure.
+
+use crate::Point;
+
+/// A simple closed curve dividing the torus `O` into an interior `I_L` and
+/// an exterior `E_L`.
+pub trait Cut {
+    /// Returns `true` when the point lies in the interior region `I_L`.
+    fn contains(&self, p: Point) -> bool;
+
+    /// Area of the interior region.
+    fn interior_area(&self) -> f64;
+
+    /// Length of the boundary curve `L`.
+    fn perimeter(&self) -> f64;
+
+    /// Counts how many of the given points fall in the interior.
+    fn count_inside(&self, points: &[Point]) -> usize {
+        points.iter().filter(|&&p| self.contains(p)).count()
+    }
+}
+
+/// A disk-shaped cut `B(center, radius)`.
+///
+/// # Example
+///
+/// ```
+/// use hycap_geom::{Cut, DiskCut, Point};
+/// let cut = DiskCut::new(Point::new(0.5, 0.5), 0.25);
+/// assert!(cut.contains(Point::new(0.6, 0.5)));
+/// assert!(!cut.contains(Point::new(0.9, 0.9)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskCut {
+    center: Point,
+    radius: f64,
+}
+
+impl DiskCut {
+    /// Creates a disk cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < radius < 1/2`, so that the disk is a simple region
+    /// on the torus.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius < 0.5,
+            "disk cut radius must be in (0, 1/2), got {radius}"
+        );
+        DiskCut { center, radius }
+    }
+
+    /// The disk center.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The disk radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl Cut for DiskCut {
+    fn contains(&self, p: Point) -> bool {
+        self.center.within(p, self.radius)
+    }
+
+    fn interior_area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    fn perimeter(&self) -> f64 {
+        std::f64::consts::TAU * self.radius
+    }
+}
+
+/// An axis-aligned rectangular cut `[x0, x0+w) × [y0, y0+h)` (wrapped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectCut {
+    origin: Point,
+    width: f64,
+    height: f64,
+}
+
+impl RectCut {
+    /// Creates a rectangle cut anchored at `origin` (its lower-left corner).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` and `height` are in `(0, 1)`.
+    pub fn new(origin: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && width < 1.0 && height > 0.0 && height < 1.0,
+            "rect cut sides must be in (0, 1), got {width} x {height}"
+        );
+        RectCut {
+            origin,
+            width,
+            height,
+        }
+    }
+}
+
+impl Cut for RectCut {
+    fn contains(&self, p: Point) -> bool {
+        // Wrapped offsets from the origin in [0, 1).
+        let dx = (p.x - self.origin.x).rem_euclid(1.0);
+        let dy = (p.y - self.origin.y).rem_euclid(1.0);
+        dx < self.width && dy < self.height
+    }
+
+    fn interior_area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    fn perimeter(&self) -> f64 {
+        2.0 * (self.width + self.height)
+    }
+}
+
+/// A vertical strip of the torus, `x ∈ [x0, x0 + width)` (wrapped).
+///
+/// On a torus a strip is bounded by *two* vertical circles, which together
+/// form the closed boundary separating inside from outside; the paper's cut
+/// argument applies unchanged. A half strip (`width = 1/2`) is the canonical
+/// "bisection" cut: it separates a constant fraction of the
+/// source–destination pairs w.h.p.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfStripCut {
+    x0: f64,
+    width: f64,
+}
+
+impl HalfStripCut {
+    /// Creates a strip cut starting at `x0` with the given `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width ∈ (0, 1)`.
+    pub fn new(x0: f64, width: f64) -> Self {
+        assert!(
+            width > 0.0 && width < 1.0,
+            "strip width must be in (0, 1), got {width}"
+        );
+        HalfStripCut {
+            x0: x0.rem_euclid(1.0),
+            width,
+        }
+    }
+
+    /// The canonical bisection: left half of the torus.
+    pub fn bisection() -> Self {
+        HalfStripCut::new(0.0, 0.5)
+    }
+}
+
+impl Cut for HalfStripCut {
+    fn contains(&self, p: Point) -> bool {
+        (p.x - self.x0).rem_euclid(1.0) < self.width
+    }
+
+    fn interior_area(&self) -> f64 {
+        self.width
+    }
+
+    fn perimeter(&self) -> f64 {
+        2.0 // two vertical circles of length 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn disk_cut_membership_and_measures() {
+        let cut = DiskCut::new(Point::new(0.5, 0.5), 0.25);
+        assert!(cut.contains(Point::new(0.6, 0.5)));
+        assert!(!cut.contains(Point::new(0.76, 0.5)));
+        assert!((cut.interior_area() - std::f64::consts::PI * 0.0625).abs() < 1e-12);
+        assert!((cut.perimeter() - std::f64::consts::TAU * 0.25).abs() < 1e-12);
+        assert_eq!(cut.center(), Point::new(0.5, 0.5));
+        assert_eq!(cut.radius(), 0.25);
+    }
+
+    #[test]
+    fn disk_cut_wraps() {
+        let cut = DiskCut::new(Point::new(0.02, 0.02), 0.1);
+        assert!(cut.contains(Point::new(0.98, 0.98)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be in")]
+    fn disk_cut_rejects_half_torus() {
+        let _ = DiskCut::new(Point::ORIGIN, 0.5);
+    }
+
+    #[test]
+    fn rect_cut_membership() {
+        let cut = RectCut::new(Point::new(0.9, 0.9), 0.2, 0.2);
+        assert!(cut.contains(Point::new(0.95, 0.95)));
+        assert!(cut.contains(Point::new(0.05, 0.05))); // wrapped corner
+        assert!(!cut.contains(Point::new(0.5, 0.5)));
+        assert!((cut.interior_area() - 0.04).abs() < 1e-12);
+        assert!((cut.perimeter() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strip_cut_bisection_splits_mass() {
+        let cut = HalfStripCut::bisection();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point> = (0..20_000)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let inside = cut.count_inside(&pts);
+        let frac = inside as f64 / pts.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "bisection captured {frac}");
+        assert_eq!(cut.interior_area(), 0.5);
+        assert_eq!(cut.perimeter(), 2.0);
+    }
+
+    #[test]
+    fn strip_cut_wraps_origin() {
+        let cut = HalfStripCut::new(0.9, 0.2);
+        assert!(cut.contains(Point::new(0.95, 0.3)));
+        assert!(cut.contains(Point::new(0.05, 0.3)));
+        assert!(!cut.contains(Point::new(0.5, 0.3)));
+    }
+
+    #[test]
+    fn monte_carlo_area_agrees_with_interior_area() {
+        let cut = DiskCut::new(Point::new(0.3, 0.7), 0.2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 40_000;
+        let inside = (0..n)
+            .filter(|_| cut.contains(Point::new(rng.gen::<f64>(), rng.gen::<f64>())))
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - cut.interior_area()).abs() < 0.01);
+    }
+}

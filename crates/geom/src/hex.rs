@@ -1,0 +1,302 @@
+//! Hexagonal cell lattices for the cellular scheme C (Definition 13).
+//!
+//! In the trivial-mobility regime the paper regularly places base stations
+//! inside every cluster so that they tessellate the subnet area into
+//! hexagonal *cells*, each with a BS at its center. Cells are arranged into
+//! non-interfering groups that are activated in a TDMA round-robin. A
+//! [`HexLattice`] generates the cell centers covering a disk-shaped cluster
+//! and assigns points to their nearest cell (which is exactly the hexagonal
+//! Voronoi region).
+
+use crate::{Point, Vec2};
+
+/// One hexagonal cell of a [`HexLattice`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HexCell {
+    /// Index of the cell within its lattice.
+    pub id: usize,
+    /// Center of the cell (BS position) on the torus.
+    pub center: Point,
+    /// Axial coordinate `q` of the cell in the lattice.
+    pub q: i32,
+    /// Axial coordinate `r` of the cell in the lattice.
+    pub r: i32,
+}
+
+/// A pointy-top hexagonal lattice covering the disk `B(center, region_radius)`.
+///
+/// The lattice uses axial coordinates `(q, r)`: cell centers are at
+/// `x = side·√3·(q + r/2)`, `y = side·(3/2)·r` relative to the lattice
+/// center (before torus wrapping). The *side* of a hexagon equals its
+/// circumradius; the paper's scheme C uses the side length as the access
+/// transmission range.
+///
+/// # Example
+///
+/// ```
+/// use hycap_geom::{HexLattice, Point};
+/// let lat = HexLattice::covering_disk(Point::new(0.5, 0.5), 0.1, 0.02);
+/// assert!(lat.cells().len() > 10);
+/// // Every covered point is assigned to a nearby cell center.
+/// let cell = lat.assign(Point::new(0.52, 0.48)).unwrap();
+/// assert!(cell.center.torus_dist(Point::new(0.52, 0.48)) <= 0.02 + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HexLattice {
+    center: Point,
+    region_radius: f64,
+    side: f64,
+    cells: Vec<HexCell>,
+}
+
+impl HexLattice {
+    /// Builds the lattice of hexagons with the given `side` length whose
+    /// centers cover the disk `B(center, region_radius)`.
+    ///
+    /// Centers strictly outside the region are dropped, but the remaining
+    /// cells cover every point of the region (each point is within one
+    /// hexagon circumradius + lattice pitch of some kept center, checked by
+    /// [`HexLattice::assign`] with a tolerance of one cell diameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` or `region_radius` is not finite and positive, or if
+    /// the region spans more than the half-torus (clusters never do: the
+    /// paper requires non-overlapping clusters w.h.p.).
+    pub fn covering_disk(center: Point, region_radius: f64, side: f64) -> Self {
+        assert!(
+            side.is_finite() && side > 0.0,
+            "hexagon side must be positive, got {side}"
+        );
+        assert!(
+            region_radius.is_finite() && region_radius > 0.0,
+            "region radius must be positive, got {region_radius}"
+        );
+        assert!(
+            region_radius < 0.5,
+            "cluster region must fit in the half-torus, got radius {region_radius}"
+        );
+        let sqrt3 = 3.0f64.sqrt();
+        // Generous axial bounds: |x| and |y| of any kept center are at most
+        // region_radius + side.
+        let reach = region_radius + 2.0 * side;
+        let r_max = (reach / (1.5 * side)).ceil() as i32 + 1;
+        let q_max = (reach / (sqrt3 * side)).ceil() as i32 + r_max + 1;
+        let mut cells = Vec::new();
+        for r in -r_max..=r_max {
+            for q in -q_max..=q_max {
+                let dx = sqrt3 * side * (q as f64 + r as f64 / 2.0);
+                let dy = 1.5 * side * r as f64;
+                if dx.hypot(dy) <= region_radius + side {
+                    let c = center.translate(Vec2::new(dx, dy));
+                    cells.push(HexCell {
+                        id: cells.len(),
+                        center: c,
+                        q,
+                        r,
+                    });
+                }
+            }
+        }
+        HexLattice {
+            center,
+            region_radius,
+            side,
+            cells,
+        }
+    }
+
+    /// The lattice (cluster) center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Radius of the covered disk.
+    #[inline]
+    pub fn region_radius(&self) -> f64 {
+        self.region_radius
+    }
+
+    /// Hexagon side length (= circumradius = scheme-C transmission range).
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// All cells of the lattice.
+    #[inline]
+    pub fn cells(&self) -> &[HexCell] {
+        &self.cells
+    }
+
+    /// Assigns a point to its nearest cell (its hexagonal Voronoi region).
+    ///
+    /// Returns `None` when the point is farther than one hexagon diameter
+    /// from every cell center, i.e. clearly outside the covered region.
+    pub fn assign(&self, p: Point) -> Option<HexCell> {
+        let mut best: Option<(f64, HexCell)> = None;
+        for cell in &self.cells {
+            let d = cell.center.torus_dist_sq(p);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, *cell));
+            }
+        }
+        let (d2, cell) = best?;
+        if d2.sqrt() <= 2.0 * self.side {
+            Some(cell)
+        } else {
+            None
+        }
+    }
+
+    /// Partitions the cells into TDMA groups such that any two cells in the
+    /// same group have centers at least `min_separation` apart.
+    ///
+    /// Uses greedy coloring of the cell "interference graph" (centers closer
+    /// than `min_separation`); because the lattice has bounded degree this
+    /// yields a bounded number of groups — the "well-known fact about vertex
+    /// coloring of graphs of bounded degree" the paper invokes in Theorem 9.
+    ///
+    /// Returns group assignments indexed by cell id; group count is
+    /// `assignments.iter().max() + 1`.
+    pub fn tdma_groups(&self, min_separation: f64) -> Vec<usize> {
+        let n = self.cells.len();
+        let mut color = vec![usize::MAX; n];
+        for i in 0..n {
+            let used: Vec<usize> = color
+                .iter()
+                .enumerate()
+                .filter(|&(j, &c)| {
+                    j != i
+                        && c != usize::MAX
+                        && self.cells[i].center.torus_dist(self.cells[j].center) < min_separation
+                })
+                .map(|(_, &c)| c)
+                .collect();
+            let mut c = 0;
+            while used.contains(&c) {
+                c += 1;
+            }
+            color[i] = c;
+        }
+        color
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice() -> HexLattice {
+        HexLattice::covering_disk(Point::new(0.5, 0.5), 0.1, 0.02)
+    }
+
+    #[test]
+    fn centers_stay_near_region() {
+        let lat = lattice();
+        for cell in lat.cells() {
+            assert!(
+                lat.center().torus_dist(cell.center) <= lat.region_radius() + lat.side() + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn cell_count_scales_with_area_ratio() {
+        let lat = lattice();
+        // Hexagon area = (3√3/2)·side²; expect roughly region_area / hex_area cells.
+        let hex_area = 1.5 * 3.0f64.sqrt() * lat.side() * lat.side();
+        let expect = std::f64::consts::PI * lat.region_radius().powi(2) / hex_area;
+        let got = lat.cells().len() as f64;
+        assert!(
+            got > 0.6 * expect && got < 1.8 * expect,
+            "got {got} cells, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn assign_returns_nearest_center() {
+        let lat = lattice();
+        let p = Point::new(0.53, 0.47);
+        let assigned = lat.assign(p).unwrap();
+        for cell in lat.cells() {
+            assert!(assigned.center.torus_dist_sq(p) <= cell.center.torus_dist_sq(p) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn assign_rejects_far_points() {
+        let lat = lattice();
+        assert!(lat.assign(Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn every_region_point_is_covered() {
+        let lat = lattice();
+        // Sample a grid of points inside the region; all must be assigned
+        // within one hexagon circumradius (Voronoi property of the lattice).
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(
+                    0.5 - 0.095 + 0.19 * i as f64 / 19.0,
+                    0.5 - 0.095 + 0.19 * j as f64 / 19.0,
+                );
+                if lat.center().torus_dist(p) > lat.region_radius() {
+                    continue;
+                }
+                let cell = lat.assign(p).expect("region point not covered");
+                assert!(
+                    cell.center.torus_dist(p) <= lat.side() + 1e-9,
+                    "point {p} is {} from its cell center (side {})",
+                    cell.center.torus_dist(p),
+                    lat.side()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tdma_groups_are_valid_coloring() {
+        let lat = lattice();
+        let sep = 3.0 * lat.side();
+        let groups = lat.tdma_groups(sep);
+        assert_eq!(groups.len(), lat.cells().len());
+        for (i, ci) in lat.cells().iter().enumerate() {
+            for (j, cj) in lat.cells().iter().enumerate() {
+                if i != j && groups[i] == groups[j] {
+                    assert!(
+                        ci.center.torus_dist(cj.center) >= sep,
+                        "same-group cells {i},{j} too close"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tdma_group_count_is_bounded() {
+        let lat = lattice();
+        let groups = lat.tdma_groups(3.0 * lat.side());
+        let count = groups.iter().max().unwrap() + 1;
+        // Bounded-degree coloring: the number of groups must be a constant
+        // independent of lattice size (the interference neighborhood holds
+        // at most ~π·3²/(3√3/2) ≈ 11 cells).
+        assert!(count <= 16, "too many TDMA groups: {count}");
+    }
+
+    #[test]
+    fn wrapping_lattice_near_boundary() {
+        let lat = HexLattice::covering_disk(Point::new(0.02, 0.98), 0.05, 0.01);
+        let p = Point::new(0.99, 0.01); // wraps across both axes
+        if lat.center().torus_dist(p) <= lat.region_radius() {
+            assert!(lat.assign(p).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "half-torus")]
+    fn oversized_region_rejected() {
+        let _ = HexLattice::covering_disk(Point::new(0.5, 0.5), 0.6, 0.01);
+    }
+}

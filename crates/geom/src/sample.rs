@@ -1,0 +1,225 @@
+//! Random-variate sampling helpers built on `rand` primitives only.
+//!
+//! The offline dependency set does not include `rand_distr`, so the handful
+//! of continuous distributions needed by the mobility models are implemented
+//! here: standard normal (Box–Muller), exponential (inversion), truncated
+//! normal (rejection from the untruncated normal), and uniform angles.
+
+use rand::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = hycap_geom::sample::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against u1 == 0 which would send ln to -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, sigma²)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be non-negative, got {sigma}"
+    );
+    mean + sigma * standard_normal(rng)
+}
+
+/// Samples a normal variate conditioned on `|x - mean| <= bound` by
+/// rejection.
+///
+/// # Panics
+///
+/// Panics if `bound` is not positive, or if `bound < sigma / 1e6` (the
+/// acceptance probability would make rejection sampling pathological).
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64, bound: f64) -> f64 {
+    assert!(
+        bound > 0.0,
+        "truncation bound must be positive, got {bound}"
+    );
+    assert!(
+        bound >= sigma / 1e6,
+        "truncation bound {bound} is degenerate relative to sigma {sigma}"
+    );
+    if sigma == 0.0 {
+        return mean;
+    }
+    loop {
+        let x = normal(rng, mean, sigma);
+        if (x - mean).abs() <= bound {
+            return x;
+        }
+    }
+}
+
+/// Samples `Exp(rate)` by inversion.
+///
+/// # Panics
+///
+/// Panics if `rate` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be positive, got {rate}"
+    );
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+/// Samples an angle uniformly in `[0, 2π)`.
+pub fn uniform_angle<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen::<f64>() * std::f64::consts::TAU
+}
+
+/// Samples an index from a discrete distribution proportional to `weights`.
+///
+/// Returns `None` when `weights` is empty or sums to zero.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or non-finite.
+pub fn discrete<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let mut total = 0.0;
+    for &w in weights {
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weights must be non-negative, got {w}"
+        );
+        total += w;
+    }
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return Some(i);
+        }
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(44);
+        assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut rng, 1.0, 0.5, 0.75);
+            assert!((x - 1.0).abs() <= 0.75);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_zero_sigma() {
+        let mut rng = StdRng::seed_from_u64(46);
+        assert_eq!(truncated_normal(&mut rng, 2.0, 0.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 2.0)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn uniform_angle_range() {
+        let mut rng = StdRng::seed_from_u64(48);
+        for _ in 0..1000 {
+            let a = uniform_angle(&mut rng);
+            assert!((0.0..std::f64::consts::TAU).contains(&a));
+        }
+    }
+
+    #[test]
+    fn discrete_follows_weights() {
+        let mut rng = StdRng::seed_from_u64(49);
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..50_000 {
+            counts[discrete(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let f1 = counts[1] as f64 / 50_000.0;
+        let f3 = counts[3] as f64 / 50_000.0;
+        assert!((f1 - 0.3).abs() < 0.02, "f1 {f1}");
+        assert!((f3 - 0.6).abs() < 0.02, "f3 {f3}");
+    }
+
+    #[test]
+    fn discrete_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(50);
+        assert_eq!(discrete(&mut rng, &[]), None);
+        assert_eq!(discrete(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(discrete(&mut rng, &[0.0, 1.0]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn discrete_rejects_negative() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let _ = discrete(&mut rng, &[1.0, -1.0]);
+    }
+}

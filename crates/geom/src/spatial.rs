@@ -1,0 +1,283 @@
+//! Grid-bucket spatial index for fast radius queries on the torus.
+//!
+//! The scheduler `S*` (Definition 10) must, for every candidate link, check
+//! that no third node lies inside the guard zone of either endpoint. A naive
+//! implementation is `O(n²)` per slot; bucketing positions into a grid whose
+//! cell side is at least the query radius makes each query `O(1)` expected
+//! for the densities that occur in the paper's regimes.
+
+use crate::{Point, SquareGrid};
+
+/// A spatial hash of indexed points on the unit torus.
+///
+/// # Example
+///
+/// ```
+/// use hycap_geom::{Point, SpatialHash};
+/// let pts = vec![Point::new(0.1, 0.1), Point::new(0.12, 0.1), Point::new(0.9, 0.9)];
+/// let hash = SpatialHash::build(&pts, 0.05);
+/// let mut near = hash.query(Point::new(0.11, 0.1), 0.05);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialHash {
+    grid: SquareGrid,
+    /// Bucketed point ids, indexed by flat cell index.
+    buckets: Vec<Vec<u32>>,
+    points: Vec<Point>,
+    cell_len: f64,
+}
+
+impl SpatialHash {
+    /// Builds an index over `points`, tuned for radius queries up to
+    /// `max_radius`.
+    ///
+    /// Queries with a radius larger than `max_radius` are still correct but
+    /// degrade gracefully toward a full scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_radius` is not finite and positive, or if more than
+    /// `u32::MAX` points are indexed.
+    pub fn build(points: &[Point], max_radius: f64) -> Self {
+        assert!(
+            max_radius.is_finite() && max_radius > 0.0,
+            "max_radius must be positive, got {max_radius}"
+        );
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "too many points for the spatial hash"
+        );
+        // Cell side >= max_radius so that a radius-r query only needs the
+        // 3x3 (or slightly larger) block of cells around the query point.
+        // Cap the cell count for tiny radii to bound memory.
+        let cells = (1.0 / max_radius).floor().clamp(1.0, 2048.0) as usize;
+        let grid = SquareGrid::with_cells_per_side(cells);
+        let mut buckets = vec![Vec::new(); grid.cell_count()];
+        for (i, &p) in points.iter().enumerate() {
+            buckets[grid.cell_of(p).index()].push(i as u32);
+        }
+        SpatialHash {
+            cell_len: grid.cell_len(),
+            grid,
+            buckets,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed position of point `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn position(&self, id: usize) -> Point {
+        self.points[id]
+    }
+
+    /// Ids of all points strictly within distance `radius` of `center`
+    /// (torus metric). The center point itself is included when indexed.
+    pub fn query(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |id| out.push(id));
+        out
+    }
+
+    /// Calls `f(id)` for every point strictly within `radius` of `center`.
+    ///
+    /// This is the allocation-free variant of [`SpatialHash::query`].
+    pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+        let r2 = radius * radius;
+        let s = self.grid.cells_per_side() as isize;
+        let reach = (radius / self.cell_len).ceil() as isize + 1;
+        let home = self.grid.cell_of(center);
+        // When the reach covers the whole grid, visit each cell exactly once.
+        let (lo, hi) = if 2 * reach + 1 >= s {
+            (0, s - 1)
+        } else {
+            (-reach, reach)
+        };
+        let whole = 2 * reach + 1 >= s;
+        for dr in lo..=hi {
+            for dc in lo..=hi {
+                let (row, col) = if whole {
+                    (dr as usize, dc as usize)
+                } else {
+                    (
+                        (home.row() as isize + dr).rem_euclid(s) as usize,
+                        (home.col() as isize + dc).rem_euclid(s) as usize,
+                    )
+                };
+                let idx = self.grid.cell(row, col).index();
+                for &id in &self.buckets[idx] {
+                    if self.points[id as usize].torus_dist_sq(center) < r2 {
+                        f(id as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when any indexed point other than those in `exclude`
+    /// lies strictly within `radius` of `center`.
+    ///
+    /// This is the primitive used for the guard-zone test of scheduler `S*`:
+    /// "for every other node `l`, `min(d_lj, d_li) > (1+Δ)R_T`".
+    pub fn any_within_excluding(&self, center: Point, radius: f64, exclude: &[usize]) -> bool {
+        let r2 = radius * radius;
+        let s = self.grid.cells_per_side() as isize;
+        let reach = (radius / self.cell_len).ceil() as isize + 1;
+        let home = self.grid.cell_of(center);
+        let (lo, hi) = if 2 * reach + 1 >= s {
+            (0, s - 1)
+        } else {
+            (-reach, reach)
+        };
+        let whole = 2 * reach + 1 >= s;
+        for dr in lo..=hi {
+            for dc in lo..=hi {
+                let (row, col) = if whole {
+                    (dr as usize, dc as usize)
+                } else {
+                    (
+                        (home.row() as isize + dr).rem_euclid(s) as usize,
+                        (home.col() as isize + dc).rem_euclid(s) as usize,
+                    )
+                };
+                let idx = self.grid.cell(row, col).index();
+                for &id in &self.buckets[idx] {
+                    let id = id as usize;
+                    if !exclude.contains(&id) && self.points[id].torus_dist_sq(center) < r2 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Counts indexed points strictly within `radius` of `center`.
+    pub fn count_within(&self, center: Point, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(center, radius, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(points: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.torus_dist_sq(center) < radius * radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let pts = random_points(500, 7);
+        let hash = SpatialHash::build(&pts, 0.05);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let c = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            let mut got = hash.query(c, 0.05);
+            got.sort_unstable();
+            let mut want = brute_force(&pts, c, 0.05);
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn query_with_radius_above_build_hint() {
+        let pts = random_points(300, 9);
+        let hash = SpatialHash::build(&pts, 0.02);
+        let c = Point::new(0.5, 0.5);
+        let mut got = hash.query(c, 0.3); // much larger than the hint
+        got.sort_unstable();
+        let mut want = brute_force(&pts, c, 0.3);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn query_wraps_boundaries() {
+        let pts = vec![Point::new(0.99, 0.99), Point::new(0.01, 0.01)];
+        let hash = SpatialHash::build(&pts, 0.05);
+        let got = hash.query(Point::new(0.0, 0.0), 0.05);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn any_within_excluding_ignores_excluded() {
+        let pts = vec![
+            Point::new(0.5, 0.5),
+            Point::new(0.51, 0.5),
+            Point::new(0.9, 0.9),
+        ];
+        let hash = SpatialHash::build(&pts, 0.1);
+        assert!(hash.any_within_excluding(Point::new(0.5, 0.5), 0.1, &[]));
+        assert!(hash.any_within_excluding(Point::new(0.5, 0.5), 0.1, &[0]));
+        assert!(!hash.any_within_excluding(Point::new(0.5, 0.5), 0.1, &[0, 1]));
+    }
+
+    #[test]
+    fn count_within_matches_query_len() {
+        let pts = random_points(200, 11);
+        let hash = SpatialHash::build(&pts, 0.08);
+        let c = Point::new(0.3, 0.7);
+        assert_eq!(hash.count_within(c, 0.08), hash.query(c, 0.08).len());
+    }
+
+    #[test]
+    fn tiny_radius_caps_cell_count() {
+        // Must not allocate a gigantic grid for microscopic radii.
+        let pts = random_points(10, 13);
+        let hash = SpatialHash::build(&pts, 1e-9);
+        assert!(hash.grid.cells_per_side() <= 2048);
+        assert_eq!(hash.query(pts[0], 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn empty_index() {
+        let hash = SpatialHash::build(&[], 0.1);
+        assert!(hash.is_empty());
+        assert_eq!(hash.len(), 0);
+        assert!(hash.query(Point::new(0.5, 0.5), 0.2).is_empty());
+    }
+
+    #[test]
+    fn position_roundtrip() {
+        let pts = random_points(50, 17);
+        let hash = SpatialHash::build(&pts, 0.1);
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(hash.position(i), p);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The network extension `O`: a unit torus with a size-scaling factor.
+
+use crate::{Point, Vec2};
+use rand::Rng;
+
+/// The network extension `O` of Definition 1: a unit torus that represents a
+/// physical square of side `f(n) = n^α` after normalization.
+///
+/// Per Remark 1 of the paper, any quantity representing a *constant physical
+/// distance* must be scaled down by `1/f(n)` on the normalized torus. A
+/// `Torus` therefore carries `f(n)` and offers [`Torus::normalize_len`] to
+/// perform that conversion, so model code can be written in physical units.
+///
+/// # Example
+///
+/// ```
+/// use hycap_geom::Torus;
+/// // A network whose side grows as f(n) = n^0.25, with n = 10_000 nodes.
+/// let torus = Torus::from_exponent(10_000, 0.25);
+/// assert!((torus.scale() - 10.0).abs() < 1e-9);
+/// // A constant physical distance D = 2 becomes 0.2 on the unit torus.
+/// assert!((torus.normalize_len(2.0) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Torus {
+    scale: f64,
+}
+
+impl Torus {
+    /// The unit torus with no size scaling (`f(n) = 1`, the *dense network*
+    /// case `α = 0`).
+    pub const UNIT: Torus = Torus { scale: 1.0 };
+
+    /// Creates a torus with an explicit scaling factor `f(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and strictly positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "torus scale f(n) must be finite and positive, got {scale}"
+        );
+        Torus { scale }
+    }
+
+    /// Creates the torus for a network of `n` nodes whose side scales as
+    /// `f(n) = n^alpha`.
+    ///
+    /// The paper restricts `α ∈ [0, 1/2]`: `α = 0` is the dense network and
+    /// `α = 1/2` the extended network with constant node density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not finite.
+    pub fn from_exponent(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "network must contain at least one node");
+        assert!(alpha.is_finite(), "alpha must be finite");
+        Torus::new((n as f64).powf(alpha))
+    }
+
+    /// The scaling factor `f(n)` (physical side length of the network).
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Converts a constant physical length to its normalized equivalent on
+    /// the unit torus (`len / f(n)`), saturating at the torus half-diagonal
+    /// relevance threshold is left to callers.
+    #[inline]
+    pub fn normalize_len(&self, len: f64) -> f64 {
+        len / self.scale
+    }
+
+    /// Converts a normalized length back to physical units (`len * f(n)`).
+    #[inline]
+    pub fn physical_len(&self, len: f64) -> f64 {
+        len * self.scale
+    }
+
+    /// Area of the disk `B(·, r)` of normalized radius `r`, clipped at the
+    /// torus total area 1. Used by density computations; for the small radii
+    /// that occur in practice (`r = Θ(1/√n)`) no clipping happens.
+    #[inline]
+    pub fn disk_area(&self, r: f64) -> f64 {
+        (std::f64::consts::PI * r * r).min(1.0)
+    }
+
+    /// Samples a point uniformly at random on the torus.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(rng.gen::<f64>(), rng.gen::<f64>())
+    }
+
+    /// Samples a point uniformly at random inside the (wrapped) disk
+    /// `B(center, r)`.
+    ///
+    /// Uses the standard `r√u` radial inversion, so the result is exactly
+    /// uniform over the disk before wrapping.
+    pub fn sample_in_disk<R: Rng + ?Sized>(&self, rng: &mut R, center: Point, r: f64) -> Point {
+        let u: f64 = rng.gen();
+        let radius = r * u.sqrt();
+        let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+        center.translate(Vec2::from_polar(radius, angle))
+    }
+}
+
+impl Default for Torus {
+    fn default() -> Self {
+        Torus::UNIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_exponent_matches_powf() {
+        let t = Torus::from_exponent(10_000, 0.25);
+        assert!((t.scale() - 10.0).abs() < 1e-9);
+        let dense = Torus::from_exponent(500, 0.0);
+        assert_eq!(dense.scale(), 1.0);
+        let extended = Torus::from_exponent(10_000, 0.5);
+        assert!((extended.scale() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn from_exponent_rejects_zero_n() {
+        let _ = Torus::from_exponent(0, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn new_rejects_nonpositive_scale() {
+        let _ = Torus::new(0.0);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let t = Torus::new(7.5);
+        let d = 1.3;
+        assert!((t.physical_len(t.normalize_len(d)) - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_area_clips_at_one() {
+        let t = Torus::UNIT;
+        assert!((t.disk_area(0.1) - std::f64::consts::PI * 0.01).abs() < 1e-12);
+        assert_eq!(t.disk_area(10.0), 1.0);
+    }
+
+    #[test]
+    fn sample_uniform_in_range() {
+        let t = Torus::UNIT;
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = t.sample_uniform(&mut rng);
+            assert!(p.x >= 0.0 && p.x < 1.0);
+            assert!(p.y >= 0.0 && p.y < 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_in_disk_stays_in_disk() {
+        let t = Torus::UNIT;
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Point::new(0.95, 0.05); // wraps around the corner
+        for _ in 0..1000 {
+            let p = t.sample_in_disk(&mut rng, c, 0.08);
+            assert!(c.torus_dist(p) <= 0.08 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_in_disk_is_roughly_uniform() {
+        // The mean distance from the center of a uniform disk sample of
+        // radius r is 2r/3; check it within Monte-Carlo tolerance.
+        let t = Torus::UNIT;
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Point::new(0.5, 0.5);
+        let r = 0.2;
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| c.torus_dist(t.sample_in_disk(&mut rng, c, r)))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 2.0 * r / 3.0).abs() < 0.003,
+            "mean radial distance {mean} deviates from {}",
+            2.0 * r / 3.0
+        );
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(Torus::default(), Torus::UNIT);
+    }
+}

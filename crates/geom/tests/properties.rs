@@ -1,0 +1,147 @@
+//! Property-based tests for the torus geometry primitives.
+
+use hycap_geom::{Cut, DiskCut, HalfStripCut, Point, RectCut, SpatialHash, SquareGrid, Vec2};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (
+        any::<f64>().prop_map(|x| x.rem_euclid(1e6)),
+        any::<f64>().prop_map(|y| y.rem_euclid(1e6)),
+    )
+        .prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_unit_point() -> impl Strategy<Value = Point> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// The torus metric is symmetric.
+    #[test]
+    fn metric_symmetry(a in arb_point(), b in arb_point()) {
+        prop_assert!((a.torus_dist(b) - b.torus_dist(a)).abs() < 1e-12);
+    }
+
+    /// The torus metric satisfies the triangle inequality.
+    #[test]
+    fn metric_triangle(a in arb_unit_point(), b in arb_unit_point(), c in arb_unit_point()) {
+        prop_assert!(a.torus_dist(c) <= a.torus_dist(b) + b.torus_dist(c) + 1e-12);
+    }
+
+    /// Identity of indiscernibles (one direction): d(a, a) = 0.
+    #[test]
+    fn metric_identity(a in arb_point()) {
+        prop_assert!(a.torus_dist(a) < 1e-12);
+    }
+
+    /// Distances are invariant under a common translation (torus homogeneity).
+    #[test]
+    fn metric_translation_invariant(
+        a in arb_unit_point(),
+        b in arb_unit_point(),
+        tx in -2.0f64..2.0,
+        ty in -2.0f64..2.0,
+    ) {
+        let t = Vec2::new(tx, ty);
+        let d0 = a.torus_dist(b);
+        let d1 = a.translate(t).torus_dist(b.translate(t));
+        prop_assert!((d0 - d1).abs() < 1e-9, "d0={d0} d1={d1}");
+    }
+
+    /// The torus diameter is √2/2.
+    #[test]
+    fn metric_bounded(a in arb_unit_point(), b in arb_unit_point()) {
+        prop_assert!(a.torus_dist(b) <= std::f64::consts::SQRT_2 / 2.0 + 1e-12);
+    }
+
+    /// delta_to followed by translate recovers the target point.
+    #[test]
+    fn delta_translate_roundtrip(a in arb_unit_point(), b in arb_unit_point()) {
+        let c = a.translate(a.delta_to(b));
+        prop_assert!(c.torus_dist(b) < 1e-9);
+    }
+
+    /// Point coordinates are always canonical.
+    #[test]
+    fn coordinates_canonical(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+        let p = Point::new(x, y);
+        prop_assert!((0.0..1.0).contains(&p.x));
+        prop_assert!((0.0..1.0).contains(&p.y));
+    }
+
+    /// Every point belongs to exactly the cell reported by `cell_of`, and
+    /// that cell's flat index is in range.
+    #[test]
+    fn grid_cell_of_in_range(p in arb_unit_point(), s in 1usize..64) {
+        let g = SquareGrid::with_cells_per_side(s);
+        let c = g.cell_of(p);
+        prop_assert!(c.row() < s && c.col() < s);
+        prop_assert!(c.index() < g.cell_count());
+    }
+
+    /// Scheme-A paths visit `manhattan + 1` cells and only adjacent steps.
+    #[test]
+    fn scheme_a_path_structure(
+        s in 2usize..32,
+        r1 in 0usize..32, c1 in 0usize..32,
+        r2 in 0usize..32, c2 in 0usize..32,
+    ) {
+        let g = SquareGrid::with_cells_per_side(s);
+        let a = g.cell(r1 % s, c1 % s);
+        let b = g.cell(r2 % s, c2 % s);
+        let path = g.scheme_a_path(a, b);
+        prop_assert_eq!(path.hops(), g.manhattan(a, b));
+        for (u, v) in path.links() {
+            prop_assert_eq!(g.manhattan(u, v), 1);
+        }
+        prop_assert_eq!(path.cells().first().copied(), Some(a));
+        prop_assert_eq!(path.cells().last().copied(), Some(b));
+    }
+
+    /// The spatial hash returns exactly the brute-force neighbor set.
+    #[test]
+    fn spatial_hash_equals_brute_force(
+        pts in prop::collection::vec(arb_unit_point(), 0..200),
+        center in arb_unit_point(),
+        radius in 0.001f64..0.4,
+    ) {
+        let hash = SpatialHash::build(&pts, radius.max(0.01));
+        let mut got = hash.query(center, radius);
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.torus_dist_sq(center) < radius * radius)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Cut membership agrees with the defining geometry of each cut.
+    #[test]
+    fn cuts_membership_matches_geometry(p in arb_unit_point()) {
+        let center = Point::new(0.5, 0.5);
+        let disk = DiskCut::new(center, 0.3);
+        prop_assert_eq!(disk.contains(p), center.torus_dist(p) < 0.3);
+        let strip = HalfStripCut::bisection();
+        prop_assert_eq!(strip.contains(p), p.x < 0.5);
+        let rect = RectCut::new(Point::new(0.2, 0.2), 0.4, 0.3);
+        let inside_rect = (0.2..0.6).contains(&p.x) && (0.2..0.5).contains(&p.y);
+        prop_assert_eq!(rect.contains(p), inside_rect);
+        // Interior areas are consistent probabilities.
+        prop_assert!(disk.interior_area() > 0.0 && disk.interior_area() < 1.0);
+        prop_assert!(rect.interior_area() > 0.0 && rect.interior_area() < 1.0);
+        prop_assert!((strip.interior_area() - 0.5).abs() < 1e-12);
+    }
+
+    /// Vector algebra: (a + b) - b == a.
+    #[test]
+    fn vec2_add_sub_inverse(ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+                            bx in -10.0f64..10.0, by in -10.0f64..10.0) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        let c = (a + b) - b;
+        prop_assert!((c.x - a.x).abs() < 1e-9 && (c.y - a.y).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! MS↔BS access-phase bounds (Lemmas 8 and 9).
+//!
+//! Under the protocol model a base station can exchange `Θ(1)` traffic with
+//! mobile stations per unit time, so the aggregate MS↔infrastructure rate is
+//! `Θ(k)` and the per-MS share cannot exceed `Θ(k/n)` (Lemma 8). Lemma 9
+//! shows the matching lower bound: a generic MS can sustain `Θ(k/n)` to the
+//! *global* infrastructure because its kernel mass integrates to `Θ(1/f²)`
+//! (Proposition 1) against `k` station positions.
+
+/// Closed-form access-phase bounds for a network of `n` MSs and `k` BSs.
+///
+/// # Example
+///
+/// ```
+/// use hycap_infra::AccessBounds;
+/// let b = AccessBounds::new(1000, 50);
+/// assert!((b.per_ms_rate() - 0.05).abs() < 1e-12);
+/// assert_eq!(b.aggregate_rate(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessBounds {
+    n: usize,
+    k: usize,
+}
+
+impl AccessBounds {
+    /// Creates the bounds object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > 0, "need at least one mobile station");
+        assert!(k > 0, "need at least one base station");
+        AccessBounds { n, k }
+    }
+
+    /// Lemma 9's per-MS access rate to the global infrastructure, `k/n`
+    /// (in units of the wireless bandwidth `W = 1`, up to the Θ constant).
+    pub fn per_ms_rate(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Lemma 8's aggregate MS↔infrastructure rate, `Θ(k)`: each BS moves
+    /// `Θ(1)` per unit time.
+    pub fn aggregate_rate(&self) -> f64 {
+        self.k as f64
+    }
+
+    /// The infrastructure-path per-node capacity `min(k²c/n, k/n)` of
+    /// Theorems 4/5, for backbone edge bandwidth `c`.
+    ///
+    /// The first argument of the min is the backbone (phase II) bottleneck,
+    /// the second the access (phases I/III) bottleneck; they cross at
+    /// `k·c = 1`, i.e. `ϕ = 0` in the paper's `µ_c = Θ(n^ϕ)` parameter.
+    pub fn infrastructure_rate(&self, c: f64) -> f64 {
+        assert!(
+            c.is_finite() && c > 0.0,
+            "bandwidth must be positive, got {c}"
+        );
+        let k = self.k as f64;
+        let n = self.n as f64;
+        (k * k * c / n).min(k / n)
+    }
+
+    /// Returns `true` when the backbone (not the access phase) is the
+    /// infrastructure bottleneck, i.e. `k·c < 1` (`ϕ < 0`).
+    pub fn backbone_limited(&self, c: f64) -> bool {
+        (self.k as f64) * c < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_ms_rate_is_k_over_n() {
+        let b = AccessBounds::new(1000, 50);
+        assert!((b.per_ms_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(b.aggregate_rate(), 50.0);
+    }
+
+    #[test]
+    fn infrastructure_rate_min_behavior() {
+        let b = AccessBounds::new(1000, 10);
+        // Large c: access-limited → k/n.
+        assert!((b.infrastructure_rate(10.0) - 0.01).abs() < 1e-12);
+        // Tiny c: backbone-limited → k²c/n.
+        assert!((b.infrastructure_rate(0.001) - 100.0 * 0.001 / 1000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn crossover_at_kc_equal_one() {
+        let b = AccessBounds::new(100, 10);
+        // k·c = 1 exactly: both terms equal k/n.
+        let c = 0.1;
+        assert!((b.infrastructure_rate(c) - 0.1).abs() < 1e-12);
+        assert!(!b.backbone_limited(c));
+        assert!(b.backbone_limited(0.05));
+        assert!(!b.backbone_limited(0.2));
+    }
+
+    #[test]
+    fn phi_equals_one_wastes_nothing() {
+        // Remark after Corollary 2: ϕ = 1 ⇔ c = Θ(1) is optimal — raising c
+        // beyond the point where access dominates does not help.
+        let b = AccessBounds::new(10_000, 100);
+        let at_c1 = b.infrastructure_rate(1.0);
+        let at_c10 = b.infrastructure_rate(10.0);
+        assert_eq!(at_c1, at_c10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mobile station")]
+    fn rejects_zero_n() {
+        let _ = AccessBounds::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_bad_bandwidth() {
+        let _ = AccessBounds::new(1, 1).infrastructure_rate(0.0);
+    }
+}

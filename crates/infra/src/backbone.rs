@@ -1,0 +1,373 @@
+//! The wired backbone: a complete graph on the base stations with per-edge
+//! bandwidth `c(n)` (Section II-B), plus the phase-II feasibility
+//! computation of Theorem 5.
+//!
+//! Routing scheme B ships each flow's traffic from the BS group of the
+//! source squarelet to the BS group of the destination squarelet, spreading
+//! it uniformly over the `N_b(S)·N_b(D)` wires connecting the two groups.
+//! Phase II sustains rate `λ` iff no wire is overloaded:
+//! `λ·(flows between the squarelet pair)/(N_b(S)·N_b(D)) ≤ c(n)`.
+
+use std::collections::HashMap;
+
+/// The wired core connecting `k` base stations pairwise with bandwidth `c`.
+///
+/// # Example
+///
+/// ```
+/// use hycap_infra::Backbone;
+/// let bb = Backbone::new(10, 0.5);
+/// assert_eq!(bb.edge_count(), 45);
+/// assert!((bb.total_capacity() - 22.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backbone {
+    k: usize,
+    c: f64,
+}
+
+impl Backbone {
+    /// Creates the backbone for `k` BSs with per-edge bandwidth `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `c` is not positive.
+    pub fn new(k: usize, c: f64) -> Self {
+        assert!(k > 0, "backbone needs at least one base station");
+        assert!(
+            c.is_finite() && c > 0.0,
+            "edge bandwidth must be positive, got {c}"
+        );
+        Backbone { k, c }
+    }
+
+    /// Number of base stations.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-edge (pairwise wire) bandwidth `c(n)`.
+    pub fn edge_bandwidth(&self) -> f64 {
+        self.c
+    }
+
+    /// Number of wires, `k(k−1)/2`.
+    pub fn edge_count(&self) -> usize {
+        self.k * (self.k - 1) / 2
+    }
+
+    /// Aggregate wire capacity `c·k(k−1)/2`.
+    pub fn total_capacity(&self) -> f64 {
+        self.c * self.edge_count() as f64
+    }
+
+    /// Per-BS aggregate bandwidth to the rest of the infrastructure,
+    /// `µ_c = (k−1)·c ≈ k·c` — the paper's bottleneck parameter (Remark 10).
+    pub fn per_bs_aggregate(&self) -> f64 {
+        (self.k.saturating_sub(1)) as f64 * self.c
+    }
+
+    /// The Lemma 7 cut quantity: aggregate wire bandwidth crossing any
+    /// constant-length cut separating the BS population into groups of
+    /// `k_in` and `k_out` stations — `k_in·k_out·c = Θ(k²c)`.
+    pub fn cut_capacity(&self, k_in: usize, k_out: usize) -> f64 {
+        debug_assert!(k_in + k_out <= self.k);
+        k_in as f64 * k_out as f64 * self.c
+    }
+
+    /// The uniform rate sustainable with Valiant (two-hop) load balancing:
+    /// each flow routes `source BS → random intermediate BS → destination
+    /// BS`, so `flows` flows spread `2·flows` wire-hops uniformly over the
+    /// `k(k−1)/2` wires and each wire carries `4·flows/k²` of them w.h.p.
+    ///
+    /// This is how the full wired graph delivers its `Θ(k²c)` aggregate to
+    /// *point-to-point* BS traffic (scheme C, where every cell has exactly
+    /// one BS): direct-wire routing would bottleneck at `Θ(c)` on the
+    /// busiest wire, a factor `k²/n` below Theorem 9's `k²c/n`.
+    ///
+    /// Returns `∞` when `flows == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is negative.
+    pub fn valiant_uniform_rate(&self, flows: f64) -> f64 {
+        assert!(flows >= 0.0, "flow count must be non-negative, got {flows}");
+        if flows == 0.0 {
+            return f64::INFINITY;
+        }
+        if self.k < 2 {
+            return 0.0;
+        }
+        let wires = (self.k * (self.k - 1)) as f64 / 2.0;
+        // Each flow consumes 2 wire-hops; per-wire load = 2·flows/wires.
+        self.c * wires / (2.0 * flows)
+    }
+}
+
+/// Accumulated phase-II load: flow counts between BS groups.
+///
+/// Groups are abstract (squarelets for scheme B, clusters for weak
+/// mobility); what matters is each group's BS count and the number of flows
+/// routed between each ordered group pair.
+///
+/// # Example
+///
+/// ```
+/// use hycap_infra::{Backbone, BackboneLoad};
+/// let bb = Backbone::new(4, 1.0);
+/// let mut load = BackboneLoad::new(vec![2, 2]);
+/// load.add_flows(0, 1, 8.0);
+/// // 8 flows over 2×2 wires of bandwidth 1 → λ ≤ 0.5.
+/// assert!((load.max_uniform_rate(&bb) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackboneLoad {
+    group_sizes: Vec<usize>,
+    flows: HashMap<(usize, usize), f64>,
+}
+
+impl BackboneLoad {
+    /// Creates an empty load over groups with the given BS counts.
+    pub fn new(group_sizes: Vec<usize>) -> Self {
+        BackboneLoad {
+            group_sizes,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// BS count of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_size(&self, g: usize) -> usize {
+        self.group_sizes[g]
+    }
+
+    /// Adds `count` unit-rate flows from group `src` to group `dst`.
+    /// Intra-group traffic (`src == dst`) never touches the backbone in
+    /// scheme B and is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either group id is out of range or `count` is negative.
+    pub fn add_flows(&mut self, src: usize, dst: usize, count: f64) {
+        assert!(
+            src < self.group_sizes.len() && dst < self.group_sizes.len(),
+            "group id out of range"
+        );
+        assert!(count >= 0.0, "flow count must be non-negative, got {count}");
+        if src == dst || count == 0.0 {
+            return;
+        }
+        *self.flows.entry((src, dst)).or_insert(0.0) += count;
+    }
+
+    /// Total flows crossing the backbone.
+    pub fn total_flows(&self) -> f64 {
+        self.flows.values().sum()
+    }
+
+    /// The maximum uniform per-flow rate `λ` the backbone sustains: for
+    /// every group pair, the pair's traffic `λ·flows` is spread evenly over
+    /// its `N_b(src)·N_b(dst)` wires, each of bandwidth `c`. Wires are
+    /// shared by *both* directions and by every squarelet pair that uses
+    /// them, so each wire's aggregate utilization is also checked.
+    ///
+    /// Returns `f64::INFINITY` when no flow crosses the backbone; `0.0`
+    /// when some used group has zero BSs (the squarelet is unreachable —
+    /// per Lemma 1 this does not happen w.h.p. in valid regimes).
+    pub fn max_uniform_rate(&self, backbone: &Backbone) -> f64 {
+        let mut best = f64::INFINITY;
+        // Pair-local constraint: λ·flows/(s·d) ≤ c.
+        for (&(s, d), &count) in &self.flows {
+            let wires = (self.group_sizes[s] * self.group_sizes[d]) as f64;
+            if wires == 0.0 {
+                return 0.0;
+            }
+            best = best.min(backbone.edge_bandwidth() * wires / count);
+        }
+        if self.flows.is_empty() {
+            return f64::INFINITY;
+        }
+        // Per-BS constraint: the traffic leaving group s is spread over its
+        // N_b(s) stations; each has only (k-1)·c of wire bandwidth.
+        let mut out_flow = vec![0.0f64; self.group_sizes.len()];
+        for (&(s, d), &count) in &self.flows {
+            out_flow[s] += count;
+            out_flow[d] += count;
+        }
+        for (g, &flow) in out_flow.iter().enumerate() {
+            if flow > 0.0 {
+                let stations = self.group_sizes[g] as f64;
+                if stations == 0.0 {
+                    return 0.0;
+                }
+                best = best.min(stations * backbone.per_bs_aggregate() / flow);
+            }
+        }
+        best
+    }
+
+    /// Per-pair wire utilization at rate `lambda`, for reporting: returns
+    /// `(src, dst, utilization ∈ [0, ∞))` triples sorted by utilization
+    /// descending.
+    pub fn utilization(&self, backbone: &Backbone, lambda: f64) -> Vec<(usize, usize, f64)> {
+        let mut out: Vec<(usize, usize, f64)> = self
+            .flows
+            .iter()
+            .map(|(&(s, d), &count)| {
+                let wires = (self.group_sizes[s] * self.group_sizes[d]) as f64;
+                let util = if wires == 0.0 {
+                    f64::INFINITY
+                } else {
+                    lambda * count / (wires * backbone.edge_bandwidth())
+                };
+                (s, d, util)
+            })
+            .collect();
+        out.sort_by(|a, b| b.2.total_cmp(&a.2));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_counts() {
+        let bb = Backbone::new(10, 0.5);
+        assert_eq!(bb.k(), 10);
+        assert_eq!(bb.edge_count(), 45);
+        assert!((bb.total_capacity() - 22.5).abs() < 1e-12);
+        assert!((bb.per_bs_aggregate() - 4.5).abs() < 1e-12);
+        assert!((bb.cut_capacity(4, 6) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bs_backbone() {
+        let bb = Backbone::new(1, 1.0);
+        assert_eq!(bb.edge_count(), 0);
+        assert_eq!(bb.per_bs_aggregate(), 0.0);
+    }
+
+    #[test]
+    fn max_rate_pair_constraint() {
+        let bb = Backbone::new(4, 1.0);
+        let mut load = BackboneLoad::new(vec![2, 2]);
+        load.add_flows(0, 1, 8.0);
+        assert!((load.max_uniform_rate(&bb) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rate_respects_per_bs_constraint() {
+        // Two big groups, few flows per pair, but one group funnels
+        // everything through a single BS.
+        let bb = Backbone::new(11, 1.0);
+        let mut load = BackboneLoad::new(vec![1, 10]);
+        load.add_flows(0, 1, 100.0);
+        // Pair constraint: c·(1·10)/100 = 0.1.
+        // Per-BS constraint on group 0: 1·(10·1)/100 = 0.1. Same here.
+        assert!((load.max_uniform_rate(&bb) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rate_multiple_pairs_takes_min() {
+        let bb = Backbone::new(6, 2.0);
+        let mut load = BackboneLoad::new(vec![2, 2, 2]);
+        load.add_flows(0, 1, 4.0); // λ ≤ 2·4/4 = 2
+        load.add_flows(1, 2, 16.0); // λ ≤ 2·4/16 = 0.5
+        let rate = load.max_uniform_rate(&bb);
+        assert!(rate <= 0.5 + 1e-12, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_load_is_unconstrained() {
+        let bb = Backbone::new(3, 1.0);
+        let load = BackboneLoad::new(vec![1, 2]);
+        assert!(load.max_uniform_rate(&bb).is_infinite());
+        assert_eq!(load.total_flows(), 0.0);
+    }
+
+    #[test]
+    fn empty_group_yields_zero_rate() {
+        let bb = Backbone::new(3, 1.0);
+        let mut load = BackboneLoad::new(vec![0, 3]);
+        load.add_flows(0, 1, 1.0);
+        assert_eq!(load.max_uniform_rate(&bb), 0.0);
+    }
+
+    #[test]
+    fn intra_group_flows_ignored() {
+        let bb = Backbone::new(4, 1.0);
+        let mut load = BackboneLoad::new(vec![2, 2]);
+        load.add_flows(0, 0, 100.0);
+        assert!(load.max_uniform_rate(&bb).is_infinite());
+    }
+
+    #[test]
+    fn utilization_sorts_descending() {
+        let bb = Backbone::new(6, 1.0);
+        let mut load = BackboneLoad::new(vec![2, 2, 2]);
+        load.add_flows(0, 1, 2.0);
+        load.add_flows(0, 2, 8.0);
+        let util = load.utilization(&bb, 1.0);
+        assert_eq!(util.len(), 2);
+        assert!(util[0].2 >= util[1].2);
+        assert_eq!((util[0].0, util[0].1), (0, 2));
+        assert!((util[0].2 - 2.0).abs() < 1e-12); // 8 flows / 4 wires
+    }
+
+    #[test]
+    fn theorem5_scaling_shape() {
+        // k²c/n shape: doubling k with the same aggregate flow count
+        // quadruples the sustainable rate via the pair constraint.
+        let n_flows = 1000.0;
+        let bb1 = Backbone::new(20, 1.0);
+        let mut l1 = BackboneLoad::new(vec![10, 10]);
+        l1.add_flows(0, 1, n_flows);
+        let bb2 = Backbone::new(40, 1.0);
+        let mut l2 = BackboneLoad::new(vec![20, 20]);
+        l2.add_flows(0, 1, n_flows);
+        let r1 = l1.max_uniform_rate(&bb1);
+        let r2 = l2.max_uniform_rate(&bb2);
+        assert!((r2 / r1 - 4.0).abs() < 1e-9, "ratio {}", r2 / r1);
+    }
+
+    #[test]
+    fn valiant_rate_scales_with_k_squared() {
+        let flows = 1000.0;
+        let r1 = Backbone::new(20, 1.0).valiant_uniform_rate(flows);
+        let r2 = Backbone::new(40, 1.0).valiant_uniform_rate(flows);
+        // k(k-1)/2: 190 vs 780 wires → ratio ≈ 4.1.
+        assert!((r2 / r1 - 780.0 / 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valiant_rate_edge_cases() {
+        let bb = Backbone::new(10, 0.5);
+        assert!(bb.valiant_uniform_rate(0.0).is_infinite());
+        assert_eq!(Backbone::new(1, 1.0).valiant_uniform_rate(5.0), 0.0);
+        // 45 wires, c = 0.5, 9 flows: 0.5·45/18 = 1.25.
+        assert!((bb.valiant_uniform_rate(9.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "group id out of range")]
+    fn add_flows_validates_group() {
+        let mut load = BackboneLoad::new(vec![1]);
+        load.add_flows(0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one base station")]
+    fn backbone_rejects_zero_k() {
+        let _ = Backbone::new(0, 1.0);
+    }
+}

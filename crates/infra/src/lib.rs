@@ -1,0 +1,33 @@
+//! Base-station placement, wired backbone and cellular access layer
+//! (Section II and Definitions 12–13 of the ICDCS 2010 paper).
+//!
+//! The paper adds `k = Θ(n^K)` base stations (BSs) to the mobile ad hoc
+//! network. BSs act as relays only, are static, and are wired pairwise with
+//! bandwidth `c(n)`:
+//!
+//! * [`placement`] — the three BS deployment models compared by Theorem 6:
+//!   the *matched clustered* placement of Section II-A (BS home-points drawn
+//!   from the same clustered distribution as users, then displaced by the
+//!   mobility kernel), plus *uniform* and *regular grid* placements, which
+//!   Theorem 6 proves capacity-equivalent in uniformly dense networks.
+//! * [`backbone`] — the wired core: a complete graph on the BSs with
+//!   per-edge bandwidth `c(n)`, plus the phase-II feasibility computation of
+//!   Theorem 5 (`λ·n ≤ c·N_b(S)·N_b(D)` for squarelet pairs).
+//! * [`access`] — the MS↔BS access-phase bounds: Lemma 9's `Θ(k/n)` per-MS
+//!   rate to the global infrastructure and Lemma 8's `Θ(k)` aggregate cap.
+//! * [`cells`] — the cellular layout of scheme C (Definition 13): hexagonal
+//!   cells inside each cluster with a BS at each center, TDMA cell groups,
+//!   and symmetric uplink/downlink channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod backbone;
+pub mod cells;
+pub mod placement;
+
+pub use access::AccessBounds;
+pub use backbone::{Backbone, BackboneLoad};
+pub use cells::{CellularLayout, ClusterCells};
+pub use placement::{BaseStations, BsPlacement};

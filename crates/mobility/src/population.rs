@@ -1,0 +1,467 @@
+//! A complete mobile-station population: home-points + kernel + processes.
+
+use crate::{ClusteredModel, HomePoints, Kernel, MobilityKind, NodeProcess};
+use hycap_geom::{Point, Torus};
+use rand::Rng;
+
+/// Configuration of a mobile-station population.
+///
+/// Gathers every Section II-A parameter: network size `n`, extension
+/// exponent `α` (`f(n) = n^α`), the clustered home-point model, the mobility
+/// kernel `s(d)` and the trajectory model.
+///
+/// # Example
+///
+/// ```
+/// use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, PopulationConfig};
+/// let config = PopulationConfig::builder(1000)
+///     .alpha(0.5)
+///     .clusters(ClusteredModel::from_exponents(0.5, 0.25))
+///     .kernel(Kernel::uniform_disk(1.0))
+///     .mobility(MobilityKind::IidStationary)
+///     .build();
+/// assert_eq!(config.n, 1000);
+/// assert!((config.torus().scale() - 1000f64.sqrt()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of mobile stations `n`.
+    pub n: usize,
+    /// Network-extension exponent `α ∈ [0, 1/2]`: side length `f(n) = n^α`.
+    pub alpha: f64,
+    /// Home-point clustering model.
+    pub clusters: ClusteredModel,
+    /// Mobility kernel `s(d)` (physical units). When
+    /// [`PopulationConfig::kernel_mixture`] is non-empty this is the
+    /// first (reference) class; per-node kernels are drawn from the
+    /// mixture.
+    pub kernel: Kernel,
+    /// Heterogeneous node classes: `(kernel, weight)` pairs. Empty means a
+    /// homogeneous population using [`PopulationConfig::kernel`]. The
+    /// paper's model is homogeneous; the mixture follows its references
+    /// \[3\]/\[13\] (heterogeneous mobile nodes), where each node class
+    /// keeps its own `s(d)`.
+    pub kernel_mixture: Vec<(Kernel, f64)>,
+    /// Trajectory model sharing the kernel's stationary law.
+    pub mobility: MobilityKind,
+}
+
+impl PopulationConfig {
+    /// Starts building a configuration for `n` mobile stations.
+    pub fn builder(n: usize) -> PopulationConfigBuilder {
+        PopulationConfigBuilder {
+            n,
+            alpha: 0.0,
+            clusters: ClusteredModel::Uniform,
+            kernel: Kernel::uniform_disk(1.0),
+            kernel_mixture: Vec::new(),
+            mobility: MobilityKind::IidStationary,
+        }
+    }
+
+    /// The network extension for this configuration.
+    pub fn torus(&self) -> Torus {
+        Torus::from_exponent(self.n, self.alpha)
+    }
+
+    /// The normalized mobility radius `D/f(n)` (Lemma 4's excursion bound);
+    /// for a mixture, the largest class support.
+    pub fn normalized_support(&self) -> f64 {
+        let d = self
+            .kernel_mixture
+            .iter()
+            .map(|(k, _)| k.support_radius())
+            .fold(self.kernel.support_radius(), f64::max);
+        d / self.torus().scale()
+    }
+}
+
+/// Builder for [`PopulationConfig`].
+#[derive(Debug, Clone)]
+pub struct PopulationConfigBuilder {
+    n: usize,
+    alpha: f64,
+    clusters: ClusteredModel,
+    kernel: Kernel,
+    kernel_mixture: Vec<(Kernel, f64)>,
+    mobility: MobilityKind,
+}
+
+impl PopulationConfigBuilder {
+    /// Sets the extension exponent `α` (`f(n) = n^α`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ [0, 1/2]`, the range the paper analyzes.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&alpha),
+            "alpha must be in [0, 1/2], got {alpha}"
+        );
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the home-point clustering model.
+    pub fn clusters(mut self, clusters: ClusteredModel) -> Self {
+        self.clusters = clusters;
+        self
+    }
+
+    /// Sets the mobility kernel (homogeneous population).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Makes the population heterogeneous: each node's kernel is drawn from
+    /// the weighted `classes` at generation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or any weight is non-positive.
+    pub fn kernel_mixture(mut self, classes: Vec<(Kernel, f64)>) -> Self {
+        assert!(!classes.is_empty(), "mixture needs at least one class");
+        for &(_, w) in &classes {
+            assert!(
+                w > 0.0 && w.is_finite(),
+                "class weights must be positive, got {w}"
+            );
+        }
+        self.kernel = classes[0].0;
+        self.kernel_mixture = classes;
+        self
+    }
+
+    /// Sets the trajectory model.
+    pub fn mobility(mut self, mobility: MobilityKind) -> Self {
+        mobility.validate();
+        self.mobility = mobility;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build(self) -> PopulationConfig {
+        assert!(self.n > 0, "population must contain at least one node");
+        PopulationConfig {
+            n: self.n,
+            alpha: self.alpha,
+            clusters: self.clusters,
+            kernel: self.kernel,
+            kernel_mixture: self.kernel_mixture,
+            mobility: self.mobility,
+        }
+    }
+}
+
+/// A realized population of `n` mobile stations.
+///
+/// Holds the home-points, the per-node mobility processes and a position
+/// cache refreshed by [`Population::advance`].
+#[derive(Debug, Clone)]
+pub struct Population {
+    config: PopulationConfig,
+    torus: Torus,
+    home: HomePoints,
+    processes: Vec<NodeProcess>,
+    positions: Vec<Point>,
+}
+
+impl Population {
+    /// Generates a population: draws home-points from the clustered model
+    /// and starts every node at a stationary sample of its kernel.
+    pub fn generate<R: Rng + ?Sized>(config: &PopulationConfig, rng: &mut R) -> Self {
+        let home = HomePoints::generate(&config.clusters, config.n, config.n, rng);
+        Self::with_home_points(config, home, rng)
+    }
+
+    /// Builds a population over pre-generated home-points (useful when BSs
+    /// must share the same cluster realization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home.len() != config.n`.
+    pub fn with_home_points<R: Rng + ?Sized>(
+        config: &PopulationConfig,
+        home: HomePoints,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(
+            home.len(),
+            config.n,
+            "home-point count must equal the population size"
+        );
+        let torus = config.torus();
+        let norm = 1.0 / torus.scale();
+        let weights: Vec<f64> = config.kernel_mixture.iter().map(|&(_, w)| w).collect();
+        let processes: Vec<NodeProcess> = home
+            .points()
+            .iter()
+            .map(|&h| {
+                let kernel = if config.kernel_mixture.is_empty() {
+                    config.kernel
+                } else {
+                    let idx = hycap_geom::sample::discrete(rng, &weights)
+                        .expect("mixture weights validated positive");
+                    config.kernel_mixture[idx].0
+                };
+                NodeProcess::new(h, kernel, norm, config.mobility, rng)
+            })
+            .collect();
+        let positions = processes.iter().map(NodeProcess::position).collect();
+        Population {
+            config: config.clone(),
+            torus,
+            home,
+            processes,
+            positions,
+        }
+    }
+
+    /// The population configuration.
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// Number of mobile stations.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Returns `true` when the population is empty (never happens for a
+    /// validated config; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// The network extension.
+    pub fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    /// The home-points (with cluster structure).
+    pub fn home_points(&self) -> &HomePoints {
+        &self.home
+    }
+
+    /// Current positions of all nodes (refreshed by [`Population::advance`]).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Current position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// Advances every node by one slot and refreshes the position cache.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for (proc_, slot) in self.processes.iter_mut().zip(self.positions.iter_mut()) {
+            proc_.advance(rng);
+            *slot = proc_.position();
+        }
+    }
+
+    /// Redraws every node from its stationary distribution. Equivalent to
+    /// an `advance` for [`MobilityKind::IidStationary`]; useful to decorrelate
+    /// snapshots for the slower processes.
+    pub fn resample_stationary<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for (proc_, slot) in self.processes.iter_mut().zip(self.positions.iter_mut()) {
+            proc_.reset_stationary(rng);
+            *slot = proc_.position();
+        }
+    }
+
+    /// The normalized excursion bound `D/f(n)` common to all nodes.
+    pub fn normalized_support(&self) -> f64 {
+        self.config.normalized_support()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> PopulationConfig {
+        PopulationConfig::builder(200)
+            .alpha(0.25)
+            .clusters(ClusteredModel::explicit(5, 0.05))
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::IidStationary)
+            .build()
+    }
+
+    #[test]
+    fn generate_produces_n_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = Population::generate(&small_config(), &mut rng);
+        assert_eq!(pop.len(), 200);
+        assert_eq!(pop.positions().len(), 200);
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn positions_stay_near_home_points() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pop = Population::generate(&small_config(), &mut rng);
+        let support = pop.normalized_support();
+        for _ in 0..50 {
+            pop.advance(&mut rng);
+            for (i, &p) in pop.positions().iter().enumerate() {
+                let h = pop.home_points().points()[i];
+                assert!(h.torus_dist(p) <= support + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_support_scales_with_alpha() {
+        let c = small_config();
+        // f(n) = 200^0.25, D = 1.
+        let expect = 1.0 / 200f64.powf(0.25);
+        assert!((c.normalized_support() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_changes_positions_for_mobile_nodes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pop = Population::generate(&small_config(), &mut rng);
+        let before = pop.positions().to_vec();
+        pop.advance(&mut rng);
+        let moved = pop
+            .positions()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a.torus_dist(**b) > 1e-12)
+            .count();
+        assert!(moved > 150, "only {moved} nodes moved");
+    }
+
+    #[test]
+    fn static_population_never_moves() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = PopulationConfig::builder(50)
+            .mobility(MobilityKind::Static)
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        let before = pop.positions().to_vec();
+        pop.advance(&mut rng);
+        for (a, b) in pop.positions().iter().zip(&before) {
+            assert!(a.torus_dist(*b) < 1e-12);
+        }
+        // Static nodes sit exactly at their home-points.
+        for (p, h) in pop.positions().iter().zip(pop.home_points().points()) {
+            assert!(p.torus_dist(*h) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn with_home_points_shares_clusters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = small_config();
+        let home = HomePoints::generate(&config.clusters, config.n, config.n, &mut rng);
+        let centers = home.centers().to_vec();
+        let pop = Population::with_home_points(&config, home, &mut rng);
+        assert_eq!(pop.home_points().centers(), centers.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal the population size")]
+    fn home_point_count_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = small_config();
+        let home = HomePoints::generate(&config.clusters, config.n, 10, &mut rng);
+        let _ = Population::with_home_points(&config, home, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn builder_rejects_bad_alpha() {
+        let _ = PopulationConfig::builder(10).alpha(0.75);
+    }
+
+    #[test]
+    fn resample_stationary_matches_kernel() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pop = Population::generate(&small_config(), &mut rng);
+        pop.resample_stationary(&mut rng);
+        let support = pop.normalized_support();
+        for (i, &p) in pop.positions().iter().enumerate() {
+            assert!(pop.home_points().points()[i].torus_dist(p) <= support + 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod mixture_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixture_population_has_two_excursion_classes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Commuters roam support 1.0, homebodies support 0.1.
+        let config = PopulationConfig::builder(300)
+            .alpha(0.0)
+            .kernel_mixture(vec![
+                (Kernel::uniform_disk(1.0), 1.0),
+                (Kernel::uniform_disk(0.1), 1.0),
+            ])
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        // Measure per-node max excursion over many slots.
+        let homes = pop.home_points().points().to_vec();
+        let mut max_d = vec![0.0f64; 300];
+        for _ in 0..150 {
+            pop.advance(&mut rng);
+            for (i, &p) in pop.positions().iter().enumerate() {
+                max_d[i] = max_d[i].max(homes[i].torus_dist(p));
+            }
+        }
+        let far = max_d.iter().filter(|&&d| d > 0.15).count();
+        let near = max_d.iter().filter(|&&d| d <= 0.1 + 1e-9).count();
+        // Roughly half of each class (wide tolerance).
+        assert!(far > 90, "only {far} wide-roaming nodes");
+        assert!(near > 90, "only {near} homebody nodes");
+        assert_eq!(far + near, 300, "every node in exactly one class");
+    }
+
+    #[test]
+    fn mixture_support_is_max_class_support() {
+        let config = PopulationConfig::builder(10)
+            .alpha(0.0)
+            .kernel_mixture(vec![
+                (Kernel::uniform_disk(0.2), 3.0),
+                (Kernel::uniform_disk(0.4), 1.0),
+            ])
+            .build();
+        assert!((config.normalized_support() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mixture_means_homogeneous() {
+        let config = PopulationConfig::builder(10)
+            .kernel(Kernel::uniform_disk(0.3))
+            .build();
+        assert!(config.kernel_mixture.is_empty());
+        assert!((config.normalized_support() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn mixture_rejects_zero_weight() {
+        let _ =
+            PopulationConfig::builder(10).kernel_mixture(vec![(Kernel::uniform_disk(1.0), 0.0)]);
+    }
+}

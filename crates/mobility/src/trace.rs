@@ -1,0 +1,489 @@
+//! Mobility-trace recording, CSV exchange and analysis.
+//!
+//! The paper motivates its home-point model from real mobility traces
+//! (its reference \[14\]: "extracting places from traces of locations").
+//! This module closes that loop for downstream users: record a synthetic
+//! population (or import a measured trace as CSV), then *estimate the
+//! model's ingredients from the trace* — home-points, excursion radii, the
+//! empirical kernel `s(d)` and contact statistics — so a real deployment
+//! can be mapped onto the paper's exponent family.
+
+use crate::Population;
+use hycap_geom::Point;
+use rand::Rng;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from trace I/O and validation.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed CSV line (1-based line number and content).
+    Parse(usize, String),
+    /// The records do not form a dense `slots × n` grid.
+    Inconsistent(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse(line, content) => {
+                write!(f, "malformed trace line {line}: '{content}'")
+            }
+            TraceError::Inconsistent(msg) => write!(f, "inconsistent trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A recorded mobility trace: positions of `n` nodes over `slots` slots
+/// (slot-major storage).
+///
+/// # Example
+///
+/// ```
+/// use hycap_mobility::{Population, PopulationConfig, Trace};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut pop = Population::generate(&PopulationConfig::builder(20).build(), &mut rng);
+/// let trace = Trace::record(&mut pop, 50, &mut rng);
+/// assert_eq!(trace.n(), 20);
+/// assert_eq!(trace.slots(), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    n: usize,
+    slots: usize,
+    data: Vec<Point>,
+}
+
+impl Trace {
+    /// Records `slots` slots of a population's motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn record<R: Rng + ?Sized>(population: &mut Population, slots: usize, rng: &mut R) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        let n = population.len();
+        let mut data = Vec::with_capacity(n * slots);
+        for _ in 0..slots {
+            population.advance(rng);
+            data.extend_from_slice(population.positions());
+        }
+        Trace { n, slots, data }
+    }
+
+    /// Builds a trace from raw slot-major positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Inconsistent`] unless
+    /// `data.len() == n × slots` with both positive.
+    pub fn from_positions(n: usize, slots: usize, data: Vec<Point>) -> Result<Self, TraceError> {
+        if n == 0 || slots == 0 || data.len() != n * slots {
+            return Err(TraceError::Inconsistent(format!(
+                "expected {n} x {slots} = {} positions, got {}",
+                n * slots,
+                data.len()
+            )));
+        }
+        Ok(Trace { n, slots, data })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Positions of every node at one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn positions(&self, slot: usize) -> &[Point] {
+        &self.data[slot * self.n..(slot + 1) * self.n]
+    }
+
+    /// The trajectory of one node across slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn trajectory(&self, node: usize) -> impl Iterator<Item = Point> + '_ {
+        assert!(node < self.n, "node index out of range");
+        (0..self.slots).map(move |s| self.data[s * self.n + node])
+    }
+
+    /// Writes the trace as CSV (`slot,node,x,y` with a header line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        writeln!(w, "slot,node,x,y")?;
+        for slot in 0..self.slots {
+            for (node, p) in self.positions(slot).iter().enumerate() {
+                writeln!(w, "{slot},{node},{:.9},{:.9}", p.x, p.y)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a trace from `slot,node,x,y` CSV (header optional, rows in any
+    /// order, but the `(slot, node)` grid must be dense).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Parse`] on malformed lines, [`TraceError::Inconsistent`]
+    /// on missing or duplicate records.
+    pub fn read_csv<R: Read>(r: R) -> Result<Self, TraceError> {
+        let reader = BufReader::new(r);
+        let mut records: Vec<(usize, usize, Point)> = Vec::new();
+        let mut max_slot = 0usize;
+        let mut max_node = 0usize;
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with("slot") {
+                continue;
+            }
+            let mut parts = trimmed.split(',');
+            let parse =
+                |field: Option<&str>| -> Option<f64> { field.and_then(|f| f.trim().parse().ok()) };
+            let slot = parse(parts.next());
+            let node = parse(parts.next());
+            let x = parse(parts.next());
+            let y = parse(parts.next());
+            match (slot, node, x, y) {
+                (Some(s), Some(nd), Some(x), Some(y))
+                    if s >= 0.0 && nd >= 0.0 && s.fract() == 0.0 && nd.fract() == 0.0 =>
+                {
+                    let (s, nd) = (s as usize, nd as usize);
+                    max_slot = max_slot.max(s);
+                    max_node = max_node.max(nd);
+                    records.push((s, nd, Point::new(x, y)));
+                }
+                _ => return Err(TraceError::Parse(idx + 1, trimmed.to_string())),
+            }
+        }
+        if records.is_empty() {
+            return Err(TraceError::Inconsistent("empty trace".into()));
+        }
+        let (n, slots) = (max_node + 1, max_slot + 1);
+        if records.len() != n * slots {
+            return Err(TraceError::Inconsistent(format!(
+                "{} records do not fill a {slots} x {n} grid",
+                records.len()
+            )));
+        }
+        let mut data = vec![None; n * slots];
+        for (s, nd, p) in records {
+            let cell = &mut data[s * n + nd];
+            if cell.is_some() {
+                return Err(TraceError::Inconsistent(format!(
+                    "duplicate record for slot {s}, node {nd}"
+                )));
+            }
+            *cell = Some(p);
+        }
+        let data = data
+            .into_iter()
+            .collect::<Option<Vec<Point>>>()
+            .ok_or_else(|| TraceError::Inconsistent("missing records".into()))?;
+        Ok(Trace { n, slots, data })
+    }
+
+    /// Estimates each node's home-point as the circular mean of its
+    /// trajectory (the torus-correct time-average, Remark 2: the home-point
+    /// is "the place visited most often").
+    pub fn estimate_home_points(&self) -> Vec<Point> {
+        (0..self.n)
+            .map(|node| {
+                let (mut sx, mut cx, mut sy, mut cy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for p in self.trajectory(node) {
+                    let ax = std::f64::consts::TAU * p.x;
+                    let ay = std::f64::consts::TAU * p.y;
+                    sx += ax.sin();
+                    cx += ax.cos();
+                    sy += ay.sin();
+                    cy += ay.cos();
+                }
+                Point::new(
+                    sx.atan2(cx) / std::f64::consts::TAU,
+                    sy.atan2(cy) / std::f64::consts::TAU,
+                )
+            })
+            .collect()
+    }
+
+    /// Per-node maximal excursion from the estimated home-point — the
+    /// empirical `D/f(n)` of Lemma 4.
+    pub fn excursion_radii(&self) -> Vec<f64> {
+        let homes = self.estimate_home_points();
+        (0..self.n)
+            .map(|node| {
+                self.trajectory(node)
+                    .map(|p| homes[node].torus_dist(p))
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// The empirical radial presence density around home-points: histogram
+    /// of home-distances over all (node, slot) samples, normalized so the
+    /// bins sum to 1. Bin `i` covers distances
+    /// `[i·max_d/bins, (i+1)·max_d/bins)`.
+    ///
+    /// Dividing bin mass by the annulus area recovers the kernel shape
+    /// `s(d)` up to normalization (Definition 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `max_d` is not positive.
+    pub fn radial_histogram(&self, bins: usize, max_d: f64) -> Vec<f64> {
+        assert!(bins > 0, "need at least one bin");
+        assert!(max_d > 0.0, "max distance must be positive");
+        let homes = self.estimate_home_points();
+        let mut hist = vec![0.0f64; bins];
+        let mut total = 0.0f64;
+        for (node, &home) in homes.iter().enumerate() {
+            for p in self.trajectory(node) {
+                let d = home.torus_dist(p);
+                let bin = ((d / max_d) * bins as f64) as usize;
+                if bin < bins {
+                    hist[bin] += 1.0;
+                    total += 1.0;
+                }
+            }
+        }
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+
+    /// Contact statistics at transmission range `range`: the mean number of
+    /// in-range (unordered) pairs per slot and the pair contact probability
+    /// (fraction of (pair, slot) samples in contact) — the raw material of
+    /// the Lemma 2 link-capacity estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive.
+    pub fn contact_stats(&self, range: f64) -> ContactStats {
+        assert!(range > 0.0, "range must be positive");
+        let mut contacts = 0u64;
+        for slot in 0..self.slots {
+            let hash = hycap_geom::SpatialHash::build(self.positions(slot), range.min(0.25));
+            for (i, &p) in self.positions(slot).iter().enumerate() {
+                hash.for_each_within(p, range, |j| {
+                    if j > i {
+                        contacts += 1;
+                    }
+                });
+            }
+        }
+        let pairs = (self.n * (self.n - 1) / 2) as f64;
+        ContactStats {
+            mean_contacts_per_slot: contacts as f64 / self.slots as f64,
+            pair_contact_prob: if pairs > 0.0 {
+                contacts as f64 / (pairs * self.slots as f64)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Output of [`Trace::contact_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactStats {
+    /// Mean number of in-range unordered pairs per slot.
+    pub mean_contacts_per_slot: f64,
+    /// Probability that a uniformly chosen pair is in contact at a
+    /// uniformly chosen slot.
+    pub pair_contact_prob: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kernel, MobilityKind, PopulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn record(n: usize, slots: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PopulationConfig::builder(n)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::IidStationary)
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        Trace::record(&mut pop, slots, &mut rng)
+    }
+
+    #[test]
+    fn record_produces_full_grid() {
+        let t = record(15, 40, 1);
+        assert_eq!(t.n(), 15);
+        assert_eq!(t.slots(), 40);
+        assert_eq!(t.positions(0).len(), 15);
+        assert_eq!(t.trajectory(3).count(), 40);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_trace() {
+        let t = record(8, 20, 2);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let back = Trace::read_csv(&buf[..]).unwrap();
+        assert_eq!(back.n(), t.n());
+        assert_eq!(back.slots(), t.slots());
+        for slot in 0..t.slots() {
+            for (a, b) in t.positions(slot).iter().zip(back.positions(slot)) {
+                assert!(a.torus_dist(*b) < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn read_csv_rejects_garbage() {
+        assert!(matches!(
+            Trace::read_csv("slot,node,x,y\n0,0,abc,0.5\n".as_bytes()),
+            Err(TraceError::Parse(2, _))
+        ));
+        assert!(matches!(
+            Trace::read_csv("".as_bytes()),
+            Err(TraceError::Inconsistent(_))
+        ));
+        // Missing one record of the 2x2 grid.
+        let partial = "0,0,0.1,0.1\n0,1,0.2,0.2\n1,0,0.3,0.3\n";
+        assert!(matches!(
+            Trace::read_csv(partial.as_bytes()),
+            Err(TraceError::Inconsistent(_))
+        ));
+        // Duplicate record.
+        let dup = "0,0,0.1,0.1\n0,0,0.2,0.2\n";
+        assert!(matches!(
+            Trace::read_csv(dup.as_bytes()),
+            Err(TraceError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn estimated_homes_are_near_true_homes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = PopulationConfig::builder(20)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(0.5))
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        let true_homes = pop.home_points().points().to_vec();
+        let support = pop.normalized_support();
+        let t = Trace::record(&mut pop, 400, &mut rng);
+        let est = t.estimate_home_points();
+        for (e, h) in est.iter().zip(&true_homes) {
+            assert!(
+                e.torus_dist(*h) < support * 0.5,
+                "estimated home {} too far from true {} (support {})",
+                e,
+                h,
+                support
+            );
+        }
+    }
+
+    #[test]
+    fn circular_mean_handles_wraparound() {
+        // A node oscillating across the torus seam: home near (0, 0.5).
+        let pts = vec![
+            Point::new(0.95, 0.5),
+            Point::new(0.05, 0.5),
+            Point::new(0.97, 0.5),
+            Point::new(0.03, 0.5),
+        ];
+        let t = Trace::from_positions(1, 4, pts).unwrap();
+        let home = t.estimate_home_points()[0];
+        assert!(
+            home.torus_dist(Point::new(0.0, 0.5)) < 0.02,
+            "home {home} missed the seam"
+        );
+    }
+
+    #[test]
+    fn excursions_bounded_by_kernel_support() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = PopulationConfig::builder(10)
+            .alpha(0.0)
+            .kernel(Kernel::uniform_disk(0.1))
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        let t = Trace::record(&mut pop, 200, &mut rng);
+        for r in t.excursion_radii() {
+            // Estimated home may be slightly off-center: allow 2.2x.
+            assert!(r <= 0.22, "excursion {r}");
+        }
+    }
+
+    #[test]
+    fn radial_histogram_recovers_disk_kernel_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = PopulationConfig::builder(30)
+            .alpha(0.0)
+            .kernel(Kernel::uniform_disk(0.2))
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        let t = Trace::record(&mut pop, 300, &mut rng);
+        let hist = t.radial_histogram(10, 0.25);
+        assert!((hist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // For a uniform disk, mass per annulus grows ~linearly with d up to
+        // the support 0.2 (bin 8) and vanishes beyond.
+        assert!(hist[7] > hist[1], "mass must grow with the annulus area");
+        assert!(hist[9] < 0.02, "mass beyond the support: {}", hist[9]);
+    }
+
+    #[test]
+    fn contact_stats_scale_with_range() {
+        let t = record(40, 100, 6);
+        let small = t.contact_stats(0.02);
+        let large = t.contact_stats(0.08);
+        assert!(large.mean_contacts_per_slot > small.mean_contacts_per_slot);
+        assert!(large.pair_contact_prob > small.pair_contact_prob);
+        // ~16x the contact area → roughly 16x the contact probability.
+        let ratio = large.pair_contact_prob / small.pair_contact_prob.max(1e-12);
+        assert!((8.0..32.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn from_positions_validates() {
+        assert!(Trace::from_positions(2, 2, vec![Point::ORIGIN; 3]).is_err());
+        assert!(Trace::from_positions(0, 2, vec![]).is_err());
+        assert!(Trace::from_positions(2, 2, vec![Point::ORIGIN; 4]).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TraceError::Parse(3, "bad".into());
+        assert!(err.to_string().contains("line 3"));
+        let err = TraceError::Inconsistent("x".into());
+        assert!(err.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for kernels, placement and mobility processes.
+
+use hycap_geom::Point;
+use hycap_mobility::{ClusteredModel, HomePoints, Kernel, MobilityKind, NodeProcess};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        (0.1f64..3.0).prop_map(Kernel::uniform_disk),
+        (0.05f64..1.0, 1.0f64..3.0).prop_map(|(s, d)| Kernel::truncated_gaussian(s, s * d)),
+        (0.5f64..4.0, 0.1f64..2.0).prop_map(|(e, d)| Kernel::power_law(e, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kernels are non-increasing with support exactly `support_radius`.
+    #[test]
+    fn kernel_shape_invariants(k in arb_kernel(), steps in 10usize..50) {
+        let d_max = k.support_radius();
+        prop_assert!(d_max > 0.0);
+        let mut prev = k.density(0.0);
+        prop_assert!(prev > 0.0);
+        for i in 1..=steps {
+            let d = d_max * i as f64 / steps as f64;
+            let v = k.density(d);
+            prop_assert!(v <= prev + 1e-12, "{k:?} increased at {d}");
+            prop_assert!(v >= 0.0);
+            prev = v;
+        }
+        prop_assert_eq!(k.density(d_max * 1.0001), 0.0);
+    }
+
+    /// Samples from every kernel stay inside the support disk.
+    #[test]
+    fn kernel_samples_in_support(k in arb_kernel(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let v = k.sample_offset(&mut rng);
+            prop_assert!(v.norm() <= k.support_radius() + 1e-12);
+        }
+    }
+
+    /// Clustered home-points always lie inside their assigned cluster.
+    #[test]
+    fn home_points_in_clusters(
+        m in 1usize..20,
+        radius in 0.005f64..0.2,
+        count in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ClusteredModel::explicit(m, radius);
+        let hp = HomePoints::generate(&model, count.max(m), count, &mut rng);
+        prop_assert_eq!(hp.len(), count);
+        prop_assert_eq!(hp.cluster_count(), m);
+        for (i, &p) in hp.points().iter().enumerate() {
+            let c = hp.centers()[hp.cluster_of()[i]];
+            prop_assert!(c.torus_dist(p) <= radius + 1e-12);
+        }
+    }
+
+    /// Every mobility process respects its normalized excursion bound
+    /// (except Brownian motion, which is unbounded by design).
+    #[test]
+    fn processes_respect_excursion(
+        k in arb_kernel(),
+        norm in 0.01f64..0.3,
+        seed in any::<u64>(),
+        kind_pick in 0usize..3,
+        hx in 0.0f64..1.0,
+        hy in 0.0f64..1.0,
+    ) {
+        let kind = match kind_pick {
+            0 => MobilityKind::IidStationary,
+            1 => MobilityKind::TetheredWalk { step_frac: 0.4 },
+            _ => MobilityKind::DiscreteOu { decay: 0.8 },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let home = Point::new(hx, hy);
+        let mut proc_ = NodeProcess::new(home, k, norm, kind, &mut rng);
+        let bound = proc_.normalized_support() + 1e-9;
+        for _ in 0..100 {
+            proc_.advance(&mut rng);
+            prop_assert!(home.torus_dist(proc_.position()) <= bound);
+        }
+    }
+
+    /// The uniform model degenerates to one cluster per node.
+    #[test]
+    fn uniform_model_identity_clusters(n in 1usize..100, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hp = HomePoints::generate(&ClusteredModel::uniform(), n, n, &mut rng);
+        prop_assert_eq!(hp.cluster_count(), n);
+        prop_assert_eq!(hp.radius(), 0.0);
+        for (i, &p) in hp.points().iter().enumerate() {
+            prop_assert!(hp.centers()[i].torus_dist(p) < 1e-12);
+        }
+    }
+
+    /// `members_by_cluster` is a partition of the node set.
+    #[test]
+    fn members_partition(
+        m in 1usize..10,
+        count in 1usize..150,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hp = HomePoints::generate(&ClusteredModel::explicit(m, 0.05), 1000, count, &mut rng);
+        let members = hp.members_by_cluster();
+        let mut seen = vec![false; count];
+        for cluster in &members {
+            for &i in cluster {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

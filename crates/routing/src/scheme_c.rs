@@ -1,0 +1,338 @@
+//! Optimal routing & scheduling scheme C (Definition 13): the cellular
+//! scheme for the trivial-mobility regime.
+//!
+//! Base stations are regularly placed inside every cluster, tessellating it
+//! into hexagonal cells (one BS per cell). Cells are activated in TDMA
+//! groups; an active cell serves its MSs in TDMA with transmission range
+//! equal to the cell side and symmetric uplink/downlink channels. Traffic
+//! travels MS → serving BS → (backbone) → destination's serving BS →
+//! destination. Phase II uses Valiant (two-hop) routing over the complete
+//! wired graph so the point-to-point BS traffic spreads over all `Θ(k²)`
+//! wires — direct-wire routing would cap at `Θ(c)` per flow. Theorem 9:
+//! `λ = Θ(min(k²c/n, k/n))`.
+
+use crate::TrafficMatrix;
+use hycap_geom::Point;
+use hycap_infra::{Backbone, BackboneLoad, CellularLayout};
+
+/// A compiled scheme-C plan: serving cells, member counts and backbone load.
+#[derive(Debug, Clone)]
+pub struct SchemeCPlan {
+    /// Global serving cell of each MS (`usize::MAX` when out of coverage).
+    serving_cell: Vec<usize>,
+    /// MS count per global cell.
+    cell_members: Vec<usize>,
+    /// Per-flow `(src_cell, dst_cell)` global indices.
+    flow_cells: Vec<(usize, usize)>,
+    /// Cluster index of each global cell.
+    cluster_of_cell: Vec<usize>,
+    /// TDMA group count per cluster, aligned with `CellularLayout`.
+    group_count: Vec<usize>,
+    backbone_load: BackboneLoad,
+    uncovered: usize,
+}
+
+impl SchemeCPlan {
+    /// Compiles the plan: assigns each MS *position* (static, Theorem 8) to
+    /// its serving cell within its cluster and accumulates per-cell and
+    /// backbone loads.
+    ///
+    /// `cluster_of_ms[i]` names the cluster of MS `i` so that cells are
+    /// searched in the right cluster only; MSs whose position falls outside
+    /// every cell of their cluster are counted in
+    /// [`SchemeCPlan::uncovered`] and excluded from the rate (they occur
+    /// only with measure-zero geometry at cluster borders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree or a cluster index is out of range.
+    pub fn build(
+        positions: &[Point],
+        cluster_of_ms: &[usize],
+        layout: &CellularLayout,
+        traffic: &TrafficMatrix,
+    ) -> Self {
+        assert_eq!(
+            positions.len(),
+            cluster_of_ms.len(),
+            "positions/cluster sizes differ"
+        );
+        assert_eq!(
+            positions.len(),
+            traffic.len(),
+            "positions/traffic sizes differ"
+        );
+        // Global cell index = offset of cluster + local cell id.
+        let mut offset = Vec::with_capacity(layout.clusters().len());
+        let mut total_cells = 0usize;
+        for cluster in layout.clusters() {
+            offset.push(total_cells);
+            total_cells += cluster.cell_count();
+        }
+        let mut cluster_of_cell = vec![0usize; total_cells];
+        let mut group_count = vec![0usize; layout.clusters().len()];
+        for (ci, cluster) in layout.clusters().iter().enumerate() {
+            group_count[ci] = cluster.group_count();
+            for local in 0..cluster.cell_count() {
+                cluster_of_cell[offset[ci] + local] = ci;
+            }
+        }
+        let mut serving_cell = vec![usize::MAX; positions.len()];
+        let mut cell_members = vec![0usize; total_cells];
+        let mut uncovered = 0usize;
+        for (i, &p) in positions.iter().enumerate() {
+            let ci = cluster_of_ms[i];
+            assert!(
+                ci < layout.clusters().len(),
+                "cluster index {ci} out of range"
+            );
+            match layout.clusters()[ci].assign(p) {
+                Some(cell) => {
+                    let g = offset[ci] + cell.id;
+                    serving_cell[i] = g;
+                    cell_members[g] += 1;
+                }
+                None => uncovered += 1,
+            }
+        }
+        // Backbone groups: one per cell, each holding exactly one BS.
+        let mut backbone_load = BackboneLoad::new(vec![1; total_cells]);
+        let mut flow_cells = Vec::with_capacity(traffic.len());
+        for (s, d) in traffic.pairs() {
+            let (cs, cd) = (serving_cell[s], serving_cell[d]);
+            flow_cells.push((cs, cd));
+            if cs != usize::MAX && cd != usize::MAX {
+                backbone_load.add_flows(cs, cd, 1.0);
+            }
+        }
+        SchemeCPlan {
+            serving_cell,
+            cell_members,
+            flow_cells,
+            cluster_of_cell,
+            group_count,
+            backbone_load,
+            uncovered,
+        }
+    }
+
+    /// Global serving cell of MS `i` (`usize::MAX` when uncovered).
+    pub fn serving_cell(&self, i: usize) -> usize {
+        self.serving_cell[i]
+    }
+
+    /// MS count per global cell.
+    pub fn cell_members(&self) -> &[usize] {
+        &self.cell_members
+    }
+
+    /// Per-flow `(src_cell, dst_cell)` global indices.
+    pub fn flow_cells(&self) -> &[(usize, usize)] {
+        &self.flow_cells
+    }
+
+    /// Number of MSs that fell outside every cell of their cluster.
+    pub fn uncovered(&self) -> usize {
+        self.uncovered
+    }
+
+    /// The phase-II backbone load (groups = cells, one BS each).
+    pub fn backbone_load(&self) -> &BackboneLoad {
+        &self.backbone_load
+    }
+
+    /// The access rate of MS `i`: its cell is active `1/groups` of the
+    /// time, shares the slot TDMA-fashion among members, and splits the
+    /// unit bandwidth into symmetric up/down channels. Returns 0 for
+    /// uncovered MSs.
+    pub fn access_rate(&self, i: usize) -> f64 {
+        let cell = self.serving_cell[i];
+        if cell == usize::MAX {
+            return 0.0;
+        }
+        let members = self.cell_members[cell];
+        let groups = self.group_count[self.cluster_of_cell[cell]];
+        0.5 / (groups as f64 * members as f64)
+    }
+
+    /// The sustainable uniform rate: the minimum over flows of the source
+    /// uplink rate, the destination downlink rate and the phase-II wire
+    /// rate, given the traffic matrix that built the plan.
+    ///
+    /// Returns 0 when any flow endpoint is uncovered.
+    pub fn analytic_rate_with_traffic(&self, backbone: &Backbone, traffic: &TrafficMatrix) -> f64 {
+        let mut rate = backbone.valiant_uniform_rate(self.backbone_load.total_flows());
+        for (s, d) in traffic.pairs() {
+            if self.serving_cell[s] == usize::MAX || self.serving_cell[d] == usize::MAX {
+                return 0.0;
+            }
+            rate = rate.min(self.access_rate(s)).min(self.access_rate(d));
+        }
+        rate
+    }
+
+    /// The *typical* (median-resource) rate: the median over occupied cells
+    /// of the per-member TDMA rate `1/(2·groups·members)`, capped by the
+    /// phase-II wire rate.
+    ///
+    /// Shares the asymptotic order of
+    /// [`SchemeCPlan::analytic_rate_with_traffic`] (Lemma 11 balances the
+    /// cells) without the finite-`n` max-cell-occupancy tail. A median over
+    /// *flows* would not do: a random flow lands in a cell size-biased
+    /// (proportionally to its occupancy), which re-introduces the tail the
+    /// median is meant to remove. Exponent fits use this estimator,
+    /// mirroring the fluid engine's median-over-resources `lambda_typical`.
+    pub fn typical_rate_with_traffic(&self, backbone: &Backbone, _traffic: &TrafficMatrix) -> f64 {
+        let backbone_rate = backbone.valiant_uniform_rate(self.backbone_load.total_flows());
+        let mut rates: Vec<f64> = self
+            .cell_members
+            .iter()
+            .enumerate()
+            .filter(|&(_, &members)| members > 0)
+            .map(|(cell, &members)| {
+                let groups = self.group_count[self.cluster_of_cell[cell]];
+                0.5 / (groups as f64 * members as f64)
+            })
+            .collect();
+        if rates.is_empty() {
+            return 0.0;
+        }
+        rates.sort_by(f64::total_cmp);
+        rates[rates.len() / 2].min(backbone_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycap_geom::Torus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_setup(
+        n: usize,
+        m: usize,
+        radius: f64,
+        k: usize,
+        seed: u64,
+    ) -> (Vec<Point>, Vec<usize>, CellularLayout, TrafficMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let torus = Torus::UNIT;
+        let centers: Vec<Point> = (0..m).map(|_| torus.sample_uniform(&mut rng)).collect();
+        let mut positions = Vec::with_capacity(n);
+        let mut cluster_of = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % m;
+            cluster_of.push(c);
+            positions.push(torus.sample_in_disk(&mut rng, centers[c], radius * 0.95));
+        }
+        let layout = CellularLayout::build(&centers, radius, k);
+        let traffic = TrafficMatrix::permutation(n, &mut rng);
+        (positions, cluster_of, layout, traffic)
+    }
+
+    #[test]
+    fn build_assigns_most_ms_to_cells() {
+        let (pos, cl, layout, traffic) = clustered_setup(200, 4, 0.08, 40, 1);
+        let plan = SchemeCPlan::build(&pos, &cl, &layout, &traffic);
+        assert!(plan.uncovered() < 10, "{} uncovered", plan.uncovered());
+        let assigned: usize = plan.cell_members().iter().sum();
+        assert_eq!(assigned + plan.uncovered(), 200);
+    }
+
+    #[test]
+    fn access_rate_halved_by_duplex_and_shared_by_members() {
+        let (pos, cl, layout, traffic) = clustered_setup(100, 2, 0.1, 20, 2);
+        let plan = SchemeCPlan::build(&pos, &cl, &layout, &traffic);
+        for i in 0..100 {
+            let cell = plan.serving_cell(i);
+            if cell == usize::MAX {
+                continue;
+            }
+            let r = plan.access_rate(i);
+            assert!(r > 0.0 && r <= 0.5);
+            // Members in the same cell share the same rate.
+            for j in 0..100 {
+                if plan.serving_cell(j) == cell {
+                    assert!((plan.access_rate(j) - r).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_rate_positive_and_bounded() {
+        let (pos, cl, layout, traffic) = clustered_setup(150, 3, 0.09, 36, 3);
+        let plan = SchemeCPlan::build(&pos, &cl, &layout, &traffic);
+        if plan.uncovered() == 0 {
+            let backbone = Backbone::new(layout.total_cells(), 1.0);
+            let rate = plan.analytic_rate_with_traffic(&backbone, &traffic);
+            assert!(rate > 0.0);
+            assert!(rate <= 0.5);
+        }
+    }
+
+    #[test]
+    fn rate_zero_with_uncovered_endpoint() {
+        // Position one MS far outside its cluster.
+        let (mut pos, cl, layout, traffic) = clustered_setup(50, 2, 0.05, 10, 4);
+        // Find the cluster-0 center by looking at assigned positions.
+        pos[0] = Point::new(
+            (pos[0].x + 0.5).rem_euclid(1.0),
+            (pos[0].y + 0.5).rem_euclid(1.0),
+        );
+        let plan = SchemeCPlan::build(&pos, &cl, &layout, &traffic);
+        if plan.serving_cell(0) == usize::MAX {
+            let backbone = Backbone::new(layout.total_cells(), 1.0);
+            assert_eq!(plan.analytic_rate_with_traffic(&backbone, &traffic), 0.0);
+        }
+    }
+
+    #[test]
+    fn backbone_load_counts_cross_cell_flows() {
+        let (pos, cl, layout, traffic) = clustered_setup(120, 3, 0.08, 24, 5);
+        let plan = SchemeCPlan::build(&pos, &cl, &layout, &traffic);
+        let cross = plan
+            .flow_cells()
+            .iter()
+            .filter(|&&(a, b)| a != usize::MAX && b != usize::MAX && a != b)
+            .count() as f64;
+        assert!((plan.backbone_load().total_flows() - cross).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_bs_means_higher_access_rate() {
+        // Splitting the same users over more cells raises per-MS rate.
+        let (pos, cl, layout_small, traffic) = clustered_setup(200, 2, 0.1, 8, 6);
+        let layout_big = {
+            let centers: Vec<Point> = layout_small
+                .clusters()
+                .iter()
+                .map(|c| c.lattice().center())
+                .collect();
+            CellularLayout::build(&centers, 0.1, 64)
+        };
+        let plan_small = SchemeCPlan::build(&pos, &cl, &layout_small, &traffic);
+        let plan_big = SchemeCPlan::build(&pos, &cl, &layout_big, &traffic);
+        let mean = |p: &SchemeCPlan| {
+            let rates: Vec<f64> = (0..200)
+                .map(|i| p.access_rate(i))
+                .filter(|&r| r > 0.0)
+                .collect();
+            rates.iter().sum::<f64>() / rates.len().max(1) as f64
+        };
+        assert!(
+            mean(&plan_big) > mean(&plan_small),
+            "big {} vs small {}",
+            mean(&plan_big),
+            mean(&plan_small)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn mismatched_inputs_rejected() {
+        let (pos, _, layout, traffic) = clustered_setup(20, 2, 0.05, 4, 7);
+        let _ = SchemeCPlan::build(&pos, &[0; 5], &layout, &traffic);
+    }
+}

@@ -1,0 +1,201 @@
+//! The uniform permutation traffic model (Section II-B).
+//!
+//! `n` source–destination pairs exchange data at common rate `λ`; the pair
+//! selection ensures every MS is both a source and a destination exactly
+//! once, and no MS sends to itself. BSs never originate or sink traffic —
+//! they only relay.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation traffic matrix: flow `i` runs from source `i` to
+/// destination `dest[i]`, where `dest` is a fixed-point-free permutation.
+///
+/// # Example
+///
+/// ```
+/// use hycap_routing::TrafficMatrix;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let traffic = TrafficMatrix::permutation(10, &mut rng);
+/// assert_eq!(traffic.len(), 10);
+/// for (s, d) in traffic.pairs() {
+///     assert_ne!(s, d);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    dest: Vec<usize>,
+}
+
+impl TrafficMatrix {
+    /// Draws a uniform fixed-point-free permutation (derangement-like; the
+    /// repair step preserves the "every node is source and destination
+    /// exactly once" invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a single node cannot avoid sending to itself).
+    pub fn permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(
+            n >= 2,
+            "permutation traffic needs at least two nodes, got {n}"
+        );
+        let mut dest: Vec<usize> = (0..n).collect();
+        dest.shuffle(rng);
+        // Repair fixed points by swapping with a neighbor (cyclically);
+        // after one pass no fixed point remains: if dest[i] == i we swap
+        // with position (i+1) % n, and a swapped-in value can never equal
+        // its new index because it just came from a different index...
+        // except when both were fixed points, which the swap also fixes.
+        for i in 0..n {
+            if dest[i] == i {
+                let j = (i + 1) % n;
+                dest.swap(i, j);
+            }
+        }
+        // A final sweep for the rare corner where the swap re-created a
+        // fixed point at j; rotate through a random other index.
+        for i in 0..n {
+            while dest[i] == i {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    dest.swap(i, j);
+                }
+            }
+        }
+        TrafficMatrix { dest }
+    }
+
+    /// Builds a traffic matrix from an explicit destination map.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dest` is a fixed-point-free permutation of `0..n`.
+    pub fn from_permutation(dest: Vec<usize>) -> Self {
+        let n = dest.len();
+        assert!(n >= 2, "permutation traffic needs at least two nodes");
+        let mut seen = vec![false; n];
+        for (i, &d) in dest.iter().enumerate() {
+            assert!(d < n, "destination {d} out of range");
+            assert!(d != i, "node {i} sends to itself");
+            assert!(!seen[d], "destination {d} used twice");
+            seen[d] = true;
+        }
+        TrafficMatrix { dest }
+    }
+
+    /// Number of flows (= number of nodes).
+    pub fn len(&self) -> usize {
+        self.dest.len()
+    }
+
+    /// Returns `true` when there are no flows (never constructed; for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.dest.is_empty()
+    }
+
+    /// Destination of flow `i` (the flow sourced at node `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn dest_of(&self, i: usize) -> usize {
+        self.dest[i]
+    }
+
+    /// Iterates over `(source, destination)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.dest.iter().enumerate().map(|(s, &d)| (s, d))
+    }
+
+    /// Counts flows whose source and destination fall on opposite sides of
+    /// the predicate `inside` (used by the Lemma 6 cut bound: the
+    /// denominator counts separated pairs).
+    pub fn crossing_count<F: Fn(usize) -> bool>(&self, inside: F) -> usize {
+        self.pairs()
+            .filter(|&(s, d)| inside(s) != inside(d))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn permutation_has_no_fixed_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2, 3, 5, 10, 100, 1001] {
+            let t = TrafficMatrix::permutation(n, &mut rng);
+            for (s, d) in t.pairs() {
+                assert_ne!(s, d, "fixed point at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = TrafficMatrix::permutation(500, &mut rng);
+        let mut seen = vec![false; 500];
+        for (_, d) in t.pairs() {
+            assert!(!seen[d], "destination {d} repeated");
+            seen[d] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn from_permutation_validates() {
+        let t = TrafficMatrix::from_permutation(vec![1, 2, 0]);
+        assert_eq!(t.dest_of(0), 1);
+        assert_eq!(t.dest_of(2), 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sends to itself")]
+    fn from_permutation_rejects_fixed_point() {
+        let _ = TrafficMatrix::from_permutation(vec![0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn from_permutation_rejects_duplicates() {
+        let _ = TrafficMatrix::from_permutation(vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn crossing_count_for_half_split() {
+        // dest[i] = (i + n/2) % n sends every flow across the halves.
+        let n = 10;
+        let dest: Vec<usize> = (0..n).map(|i| (i + n / 2) % n).collect();
+        let t = TrafficMatrix::from_permutation(dest);
+        assert_eq!(t.crossing_count(|i| i < n / 2), n);
+        // A rotation by 1 crosses exactly twice.
+        let dest: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        let t = TrafficMatrix::from_permutation(dest);
+        assert_eq!(t.crossing_count(|i| i < n / 2), 2);
+    }
+
+    #[test]
+    fn random_crossing_is_about_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let t = TrafficMatrix::permutation(n, &mut rng);
+        let crossings = t.crossing_count(|i| i < n / 2);
+        let frac = crossings as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.06, "crossing fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_network_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = TrafficMatrix::permutation(1, &mut rng);
+    }
+}

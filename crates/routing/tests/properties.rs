@@ -1,0 +1,127 @@
+//! Property-based tests for traffic and routing-plan invariants.
+
+use hycap_geom::Point;
+use hycap_infra::BaseStations;
+use hycap_routing::{SchemeAPlan, SchemeBPlan, TrafficMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_homes(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y)),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Permutation traffic is always a fixed-point-free bijection.
+    #[test]
+    fn traffic_is_derangement(n in 2usize..300, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = TrafficMatrix::permutation(n, &mut rng);
+        let mut seen = vec![false; n];
+        for (s, d) in t.pairs() {
+            prop_assert_ne!(s, d);
+            prop_assert!(!seen[d]);
+            seen[d] = true;
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+    }
+
+    /// Scheme-A edge loads: total load equals total hops plus the number of
+    /// same-squarelet flows, and every path's endpoints match the traffic.
+    #[test]
+    fn scheme_a_load_conservation(
+        homes in arb_homes(40),
+        seed in any::<u64>(),
+        f in 1.0f64..8.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traffic = TrafficMatrix::permutation(40, &mut rng);
+        let plan = SchemeAPlan::build(&homes, &traffic, f);
+        let grid = plan.grid();
+        let total_load: f64 = plan.edge_load().values().sum();
+        let mut expect = 0.0;
+        for ((s, d), path) in traffic.pairs().zip(plan.paths()) {
+            prop_assert_eq!(path.cells()[0], grid.cell_of(homes[s]));
+            prop_assert_eq!(*path.cells().last().unwrap(), grid.cell_of(homes[d]));
+            expect += if path.hops() == 0 { 1.0 } else { path.hops() as f64 };
+        }
+        prop_assert!((total_load - expect).abs() < 1e-9);
+    }
+
+    /// Scheme-A relay chains always start at the source, end at the
+    /// destination, and never repeat a node consecutively.
+    #[test]
+    fn scheme_a_chains_well_formed(
+        homes in arb_homes(30),
+        seed in any::<u64>(),
+        f in 1.0f64..6.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traffic = TrafficMatrix::permutation(30, &mut rng);
+        let plan = SchemeAPlan::build(&homes, &traffic, f);
+        let chains = plan.materialize_relays(&traffic, &mut rng);
+        for ((s, d), chain) in traffic.pairs().zip(&chains) {
+            prop_assert!(chain.len() >= 2);
+            prop_assert_eq!(chain[0], s);
+            prop_assert_eq!(*chain.last().unwrap(), d);
+            for w in chain.windows(2) {
+                prop_assert_ne!(w[0], w[1]);
+            }
+        }
+    }
+
+    /// Scheme-B bookkeeping: MSs and BSs partition into groups, access load
+    /// counts two endpoints per flow, and the backbone holds exactly the
+    /// cross-group flows.
+    #[test]
+    fn scheme_b_conservation(
+        homes in arb_homes(50),
+        seed in any::<u64>(),
+        cells in 1usize..5,
+        k in 1usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traffic = TrafficMatrix::permutation(50, &mut rng);
+        let bs = BaseStations::generate_uniform(k, 1.0, &mut rng);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, cells);
+        let total_ms: usize = (0..plan.group_count()).map(|g| plan.ms_members(g).len()).sum();
+        let total_bs: usize = plan.bs_count().iter().sum();
+        prop_assert_eq!(total_ms, 50);
+        prop_assert_eq!(total_bs, k);
+        let total_access: f64 = plan.access_load().iter().sum();
+        prop_assert!((total_access - 100.0).abs() < 1e-9);
+        let cross = plan.flows().iter().filter(|f| f.src_group != f.dst_group).count() as f64;
+        prop_assert!((plan.backbone_load().total_flows() - cross).abs() < 1e-9);
+    }
+
+    /// Scheme-B analytic rate is monotone in the backbone bandwidth.
+    #[test]
+    fn scheme_b_rate_monotone_in_c(
+        homes in arb_homes(40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traffic = TrafficMatrix::permutation(40, &mut rng);
+        let bs = BaseStations::generate_regular(16, 1.0);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 2);
+        let r_small = plan.analytic_rate(&hycap_infra::Backbone::new(16, 1e-4), 1.0);
+        let r_big = plan.analytic_rate(&hycap_infra::Backbone::new(16, 1.0), 1.0);
+        prop_assert!(r_small <= r_big + 1e-12);
+    }
+
+    /// Crossing counts are symmetric in the predicate's complement.
+    #[test]
+    fn crossing_count_complement_symmetric(n in 2usize..200, seed in any::<u64>(), half in 1usize..199) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = TrafficMatrix::permutation(n, &mut rng);
+        let cut = half.min(n - 1);
+        let a = t.crossing_count(|i| i < cut);
+        let b = t.crossing_count(|i| i >= cut);
+        prop_assert_eq!(a, b);
+    }
+}

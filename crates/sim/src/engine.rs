@@ -1,0 +1,139 @@
+//! The hybrid network state shared by the capacity-measurement engines.
+
+use hycap_geom::Point;
+use hycap_infra::BaseStations;
+use hycap_mobility::Population;
+use rand::Rng;
+
+/// A hybrid wireless network: `n` mobile stations plus (optionally) `k`
+/// static base stations.
+///
+/// Node ids follow the paper's `Z` numbering: MSs occupy `0..n`, BSs
+/// `n..n+k`. The scheduler `S*` sees *all* nodes (Definition 10 counts every
+/// node when testing guard zones, "regardless of node l activity").
+#[derive(Debug, Clone)]
+pub struct HybridNetwork {
+    population: Population,
+    bs: Option<BaseStations>,
+}
+
+impl HybridNetwork {
+    /// Creates an ad hoc network without infrastructure.
+    pub fn ad_hoc(population: Population) -> Self {
+        HybridNetwork {
+            population,
+            bs: None,
+        }
+    }
+
+    /// Creates a hybrid network with infrastructure support.
+    pub fn with_infrastructure(population: Population, bs: BaseStations) -> Self {
+        HybridNetwork {
+            population,
+            bs: Some(bs),
+        }
+    }
+
+    /// Number of mobile stations `n`.
+    pub fn n(&self) -> usize {
+        self.population.len()
+    }
+
+    /// Number of base stations `k` (0 without infrastructure).
+    pub fn k(&self) -> usize {
+        self.bs.as_ref().map_or(0, BaseStations::len)
+    }
+
+    /// Total node count `n + k`.
+    pub fn total_nodes(&self) -> usize {
+        self.n() + self.k()
+    }
+
+    /// The mobile population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Mutable access to the population (used by engines to advance slots).
+    pub fn population_mut(&mut self) -> &mut Population {
+        &mut self.population
+    }
+
+    /// The base stations, when present.
+    pub fn base_stations(&self) -> Option<&BaseStations> {
+        self.bs.as_ref()
+    }
+
+    /// Returns `true` when `id` addresses a base station.
+    pub fn is_bs(&self, id: usize) -> bool {
+        id >= self.n()
+    }
+
+    /// Advances the mobility processes one slot and writes the combined
+    /// `MS ++ BS` position snapshot into `buf`.
+    pub fn advance_into<R: Rng + ?Sized>(&mut self, rng: &mut R, buf: &mut Vec<Point>) {
+        self.population.advance(rng);
+        buf.clear();
+        buf.extend_from_slice(self.population.positions());
+        if let Some(bs) = &self.bs {
+            buf.extend_from_slice(bs.positions());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycap_mobility::PopulationConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize, seed: u64) -> (Population, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = Population::generate(&PopulationConfig::builder(n).build(), &mut rng);
+        (pop, rng)
+    }
+
+    #[test]
+    fn ad_hoc_network_has_no_bs() {
+        let (pop, _) = population(20, 1);
+        let net = HybridNetwork::ad_hoc(pop);
+        assert_eq!(net.n(), 20);
+        assert_eq!(net.k(), 0);
+        assert_eq!(net.total_nodes(), 20);
+        assert!(net.base_stations().is_none());
+        assert!(!net.is_bs(19));
+    }
+
+    #[test]
+    fn hybrid_network_counts_bs() {
+        let (pop, mut rng) = population(20, 2);
+        let bs = BaseStations::generate_uniform(5, 1.0, &mut rng);
+        let net = HybridNetwork::with_infrastructure(pop, bs);
+        assert_eq!(net.k(), 5);
+        assert_eq!(net.total_nodes(), 25);
+        assert!(net.is_bs(20));
+        assert!(net.is_bs(24));
+        assert!(!net.is_bs(19));
+    }
+
+    #[test]
+    fn advance_into_produces_combined_snapshot() {
+        let (pop, mut rng) = population(10, 3);
+        let bs = BaseStations::generate_uniform(3, 1.0, &mut rng);
+        let bs_positions = bs.positions().to_vec();
+        let mut net = HybridNetwork::with_infrastructure(pop, bs);
+        let mut buf = Vec::new();
+        net.advance_into(&mut rng, &mut buf);
+        assert_eq!(buf.len(), 13);
+        // BS tail never moves.
+        for (i, &p) in bs_positions.iter().enumerate() {
+            assert!(buf[10 + i].torus_dist(p) < 1e-12);
+        }
+        // Advancing again keeps the BS tail fixed and length constant.
+        let before = buf[10];
+        net.advance_into(&mut rng, &mut buf);
+        assert_eq!(buf.len(), 13);
+        assert!(buf[10].torus_dist(before) < 1e-12);
+    }
+}

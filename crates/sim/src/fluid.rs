@@ -1,0 +1,520 @@
+//! The fluid (flow-level) capacity engine.
+//!
+//! For a compiled routing plan, the per-node capacity is the largest uniform
+//! rate `λ` such that no resource is overloaded: every squarelet edge,
+//! access group and backbone wire must serve its flows. The engine measures
+//! each wireless resource's *service rate* — how many `S*`-scheduled pairs
+//! can move its traffic per slot — by Monte-Carlo slot sampling, then takes
+//! the bottleneck ratio
+//!
+//! ```text
+//! λ = min over resources   service_rate(resource) / load(resource)
+//! ```
+//!
+//! This is exactly the computation behind Lemma 5 (`Θ(1/f)` for scheme A)
+//! and Theorem 5 (`Θ(min(k²c/n, k/n))` for scheme B), with the ergodic
+//! averages replaced by finite-sample estimates. The packet-level engine
+//! ([`crate::packet`]) validates these estimates with real queues.
+
+use crate::HybridNetwork;
+use hycap_geom::Point;
+use hycap_infra::Backbone;
+use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
+use hycap_wireless::{critical_range, SStarScheduler, Scheduler};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// What limited the measured capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bottleneck {
+    /// A squarelet edge of scheme A (by canonical edge key).
+    WirelessEdge(EdgeKey),
+    /// The access phase of scheme B in the given group.
+    Access(usize),
+    /// The wired backbone (phase II of scheme B).
+    Backbone,
+    /// A resource with offered load received no service during the sample —
+    /// the estimate is 0 and more slots (or a denser network) are needed.
+    Starved,
+    /// No resource was loaded (e.g. empty traffic).
+    Unconstrained,
+}
+
+/// The result of a fluid capacity measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluidReport {
+    /// Measured per-node capacity (units of the wireless bandwidth `W = 1`):
+    /// the **minimum** service/load ratio over loaded resources — the rate
+    /// every flow can sustain simultaneously.
+    pub lambda: f64,
+    /// The **median** service/load ratio over loaded wireless resources
+    /// (still capped by the backbone where applicable). The min and the
+    /// median share the same Θ order asymptotically (Lemma 1 makes all
+    /// squarelets statistically alike), but the min carries a heavy
+    /// finite-sample tail penalty; exponent fits should use this field.
+    pub lambda_typical: f64,
+    /// The limiting resource.
+    pub bottleneck: Bottleneck,
+    /// Slots sampled.
+    pub slots: usize,
+    /// Mean number of `S*`-scheduled pairs per slot (a load-independent
+    /// wellness indicator: `Θ(n)` in uniformly dense networks by Lemma 3).
+    pub scheduled_pairs_per_slot: f64,
+}
+
+/// Two-hop relay (Grossglauser–Tse) measurement: per-flow rates are spread
+/// out, so the report keeps distribution summaries rather than a single
+/// bottleneck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoHopReport {
+    /// Mean per-flow rate `min(µ(s,r), µ(r,d))/2`.
+    pub mean_rate: f64,
+    /// 10th-percentile per-flow rate.
+    pub p10_rate: f64,
+    /// Number of flows measured.
+    pub flows: usize,
+    /// Slots sampled.
+    pub slots: usize,
+}
+
+/// The fluid capacity engine: `S*` scheduling with guard factor `Δ` and
+/// range constant `c_T` (`R_T = c_T/√n`).
+///
+/// The defaults `Δ = 0.5`, `c_T = 0.4` maximize the `S*` activity constant
+/// `Θ(c_T²)·e^{-π(1+Δ)²c_T²}` (Lemma 3) so finite networks yield
+/// well-conditioned estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidEngine {
+    delta: f64,
+    c_t: f64,
+    range_override: Option<f64>,
+}
+
+impl FluidEngine {
+    /// Creates an engine with explicit protocol parameters.
+    pub fn new(delta: f64, c_t: f64) -> Self {
+        assert!(
+            c_t > 0.0 && c_t.is_finite(),
+            "c_T must be positive, got {c_t}"
+        );
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "Δ must be non-negative, got {delta}"
+        );
+        FluidEngine {
+            delta,
+            c_t,
+            range_override: None,
+        }
+    }
+
+    /// Overrides the transmission range with an explicit value instead of
+    /// the default `c_T/√n`.
+    ///
+    /// The override implements Table I's *optimal transmission range*
+    /// column: `c_T/√n` is only optimal in uniformly dense networks
+    /// (Theorem 2); the weak regime needs `Θ(r√(m/n))` — the inverse of the
+    /// in-cluster node density — or the `S*` guard zones are never clear
+    /// and every link starves (the `R_T` ablation bench quantifies this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive.
+    pub fn with_range(mut self, range: f64) -> Self {
+        assert!(
+            range.is_finite() && range > 0.0,
+            "range override must be positive, got {range}"
+        );
+        self.range_override = Some(range);
+        self
+    }
+
+    /// The transmission range used for `n` mobile stations.
+    pub fn range_for(&self, n: usize) -> f64 {
+        self.range_override
+            .unwrap_or_else(|| critical_range(n, self.c_t))
+    }
+
+    /// The guard factor `Δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The range constant `c_T`.
+    pub fn c_t(&self) -> f64 {
+        self.c_t
+    }
+
+    /// Measures scheme A: credits each scheduled MS–MS pair to the squarelet
+    /// edge joining the pair's *home* squarelets (same or edge-adjacent),
+    /// then bottlenecks against the plan's edge loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn measure_scheme_a<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        rng: &mut R,
+    ) -> FluidReport {
+        assert!(slots > 0, "need at least one slot");
+        let n = net.n();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        let grid = *plan.grid();
+        let homes: Vec<Point> = net.population().home_points().points().to_vec();
+        let mut service: HashMap<EdgeKey, f64> = HashMap::new();
+        let mut buf = Vec::new();
+        let mut total_pairs = 0usize;
+        for _ in 0..slots {
+            net.advance_into(rng, &mut buf);
+            let pairs = scheduler.schedule(&buf, range);
+            total_pairs += pairs.len();
+            for pair in pairs {
+                if pair.a >= n || pair.b >= n {
+                    continue; // MS–BS contacts do not serve scheme A
+                }
+                let ca = grid.cell_of(homes[pair.a]);
+                let cb = grid.cell_of(homes[pair.b]);
+                if ca == cb || grid.manhattan(ca, cb) == 1 {
+                    *service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let mut lambda = f64::INFINITY;
+        let mut bottleneck = Bottleneck::Unconstrained;
+        let mut ratios = Vec::with_capacity(plan.edge_load().len());
+        for (&edge, &load) in plan.edge_load() {
+            let rate = service.get(&edge).copied().unwrap_or(0.0) / slots as f64;
+            let this = rate / load;
+            ratios.push(this);
+            if rate == 0.0 {
+                lambda = 0.0;
+                bottleneck = Bottleneck::Starved;
+                continue;
+            }
+            if this < lambda {
+                lambda = this;
+                bottleneck = Bottleneck::WirelessEdge(edge);
+            }
+        }
+        if lambda.is_infinite() {
+            lambda = 0.0;
+        }
+        FluidReport {
+            lambda,
+            lambda_typical: median(&mut ratios),
+            bottleneck,
+            slots,
+            scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
+        }
+    }
+
+    /// Measures scheme B: credits each scheduled MS–BS pair to the BS's
+    /// group when the MS is homed in that group (phases I/III happen inside
+    /// a squarelet/cluster), then bottlenecks the access phases against
+    /// `plan.access_load()` and phase II against the Theorem 5 wire
+    /// feasibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or the network has no base stations.
+    pub fn measure_scheme_b<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        rng: &mut R,
+    ) -> FluidReport {
+        assert!(slots > 0, "need at least one slot");
+        let n = net.n();
+        let k = net.k();
+        assert!(k > 0, "scheme B requires base stations");
+        let bandwidth = net
+            .base_stations()
+            .expect("scheme B requires base stations")
+            .bandwidth();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        // Reverse group maps from the plan.
+        let mut ms_group = vec![usize::MAX; n];
+        let mut bs_group = vec![usize::MAX; k];
+        for g in 0..plan.group_count() {
+            for &i in plan.ms_members(g) {
+                ms_group[i] = g;
+            }
+            for &b in plan.bs_members(g) {
+                bs_group[b] = g;
+            }
+        }
+        let mut service = vec![0.0f64; plan.group_count()];
+        let mut buf = Vec::new();
+        let mut total_pairs = 0usize;
+        for _ in 0..slots {
+            net.advance_into(rng, &mut buf);
+            let pairs = scheduler.schedule(&buf, range);
+            total_pairs += pairs.len();
+            for pair in pairs {
+                // Classify MS–BS contacts.
+                let (ms, bs) = if pair.a < n && pair.b >= n {
+                    (pair.a, pair.b - n)
+                } else if pair.b < n && pair.a >= n {
+                    (pair.b, pair.a - n)
+                } else {
+                    continue;
+                };
+                let g = bs_group[bs];
+                if g != usize::MAX && ms_group[ms] == g {
+                    service[g] += 1.0;
+                }
+            }
+        }
+        let backbone = Backbone::new(k, bandwidth);
+        let backbone_rate = plan.backbone_load().max_uniform_rate(&backbone);
+        let mut lambda = backbone_rate;
+        let mut bottleneck = if lambda.is_finite() {
+            Bottleneck::Backbone
+        } else {
+            Bottleneck::Unconstrained
+        };
+        let mut ratios = Vec::with_capacity(plan.group_count());
+        for (g, &served) in service.iter().enumerate() {
+            let load = plan.access_load()[g];
+            if load == 0.0 {
+                continue;
+            }
+            let rate = served / slots as f64;
+            let this = rate / load;
+            ratios.push(this);
+            if rate == 0.0 {
+                lambda = 0.0;
+                bottleneck = Bottleneck::Starved;
+                continue;
+            }
+            if this < lambda {
+                lambda = this;
+                bottleneck = Bottleneck::Access(g);
+            }
+        }
+        if lambda.is_infinite() {
+            lambda = 0.0;
+            bottleneck = Bottleneck::Unconstrained;
+        }
+        let lambda_typical = if ratios.is_empty() {
+            lambda
+        } else {
+            median(&mut ratios).min(backbone_rate)
+        };
+        FluidReport {
+            lambda,
+            lambda_typical,
+            bottleneck,
+            slots,
+            scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
+        }
+    }
+
+    /// Measures the two-hop relay baseline: per-flow rate is the minimum of
+    /// the two hop link capacities, halved for the relay's receive/send
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn measure_two_hop<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &TwoHopPlan,
+        traffic: &TrafficMatrix,
+        slots: usize,
+        rng: &mut R,
+    ) -> TwoHopReport {
+        assert!(slots > 0, "need at least one slot");
+        let n = net.n();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        // hop -> flow ids listening on it.
+        let mut hop_index: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+        for (s, d) in traffic.pairs() {
+            let r = plan.relay_of(s);
+            let h1 = if s < r { (s, r) } else { (r, s) };
+            let h2 = if r < d { (r, d) } else { (d, r) };
+            hop_index.entry(h1).or_default().push((s, 0));
+            hop_index.entry(h2).or_default().push((s, 1));
+        }
+        let mut hop_counts: HashMap<usize, [f64; 2]> = HashMap::new();
+        let mut buf = Vec::new();
+        for _ in 0..slots {
+            net.advance_into(rng, &mut buf);
+            for pair in scheduler.schedule(&buf, range) {
+                if pair.a >= n || pair.b >= n {
+                    continue;
+                }
+                if let Some(watchers) = hop_index.get(&(pair.a, pair.b)) {
+                    for &(flow, hop) in watchers {
+                        hop_counts.entry(flow).or_insert([0.0; 2])[hop] += 1.0;
+                    }
+                }
+            }
+        }
+        let mut rates: Vec<f64> = traffic
+            .pairs()
+            .map(|(s, _)| {
+                let counts = hop_counts.get(&s).copied().unwrap_or([0.0; 2]);
+                0.5 * counts[0].min(counts[1]) / slots as f64
+            })
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        let p10 = rates[rates.len() / 10];
+        TwoHopReport {
+            mean_rate: mean,
+            p10_rate: p10,
+            flows: rates.len(),
+            slots,
+        }
+    }
+}
+
+impl Default for FluidEngine {
+    fn default() -> Self {
+        FluidEngine::new(0.5, 0.4)
+    }
+}
+
+/// Median of a mutable slice (0 for an empty slice).
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycap_infra::BaseStations;
+    use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_net(n: usize, seed: u64) -> (HybridNetwork, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PopulationConfig::builder(n)
+            .alpha(0.25)
+            .clusters(ClusteredModel::uniform())
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::IidStationary)
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        (HybridNetwork::ad_hoc(pop), rng)
+    }
+
+    #[test]
+    fn scheme_a_yields_positive_capacity() {
+        let (mut net, mut rng) = uniform_net(600, 1);
+        let f = (600f64).powf(0.25);
+        let traffic = TrafficMatrix::permutation(600, &mut rng);
+        let homes = net.population().home_points().points().to_vec();
+        let plan = SchemeAPlan::build(&homes, &traffic, f);
+        let engine = FluidEngine::default();
+        let report = engine.measure_scheme_a(&mut net, &plan, 400, &mut rng);
+        assert!(
+            report.lambda > 0.0,
+            "lambda 0, bottleneck {:?}, pairs/slot {}",
+            report.bottleneck,
+            report.scheduled_pairs_per_slot
+        );
+        assert!(report.scheduled_pairs_per_slot > 1.0);
+    }
+
+    #[test]
+    fn scheme_b_yields_positive_capacity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = PopulationConfig::builder(400)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(1.0))
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        let bs = BaseStations::generate_regular(64, 1.0);
+        let homes = pop.home_points().points().to_vec();
+        let traffic = TrafficMatrix::permutation(400, &mut rng);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        let mut net = HybridNetwork::with_infrastructure(pop, bs);
+        let engine = FluidEngine::default();
+        let report = engine.measure_scheme_b(&mut net, &plan, 400, &mut rng);
+        assert!(
+            report.lambda > 0.0,
+            "lambda 0, bottleneck {:?}",
+            report.bottleneck
+        );
+    }
+
+    #[test]
+    fn scheme_b_backbone_limited_when_c_tiny() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = PopulationConfig::builder(300)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(1.0))
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        let bs = BaseStations::generate_regular(64, 1e-6);
+        let homes = pop.home_points().points().to_vec();
+        let traffic = TrafficMatrix::permutation(300, &mut rng);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        let mut net = HybridNetwork::with_infrastructure(pop, bs);
+        let report = FluidEngine::default().measure_scheme_b(&mut net, &plan, 200, &mut rng);
+        assert_eq!(report.bottleneck, Bottleneck::Backbone);
+        assert!(report.lambda > 0.0 && report.lambda < 1e-4);
+    }
+
+    #[test]
+    fn two_hop_beats_scheme_a_in_dense_full_mobility() {
+        // f = Θ(1): two-hop achieves Θ(1) while scheme A's grid degenerates.
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = PopulationConfig::builder(200)
+            .alpha(0.0)
+            .kernel(Kernel::uniform_disk(1.0))
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        let mut net = HybridNetwork::ad_hoc(pop);
+        let traffic = TrafficMatrix::permutation(200, &mut rng);
+        let plan = TwoHopPlan::build(&traffic, &mut rng);
+        let report =
+            FluidEngine::default().measure_two_hop(&mut net, &plan, &traffic, 600, &mut rng);
+        assert!(report.mean_rate > 0.0, "two-hop starved");
+        assert_eq!(report.flows, 200);
+    }
+
+    #[test]
+    fn engine_accessors() {
+        let e = FluidEngine::new(1.0, 0.3);
+        assert_eq!(e.delta(), 1.0);
+        assert_eq!(e.c_t(), 0.3);
+        assert!((e.range_for(900) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires base stations")]
+    fn scheme_b_requires_bs() {
+        let (mut net, mut rng) = uniform_net(50, 5);
+        let traffic = TrafficMatrix::permutation(50, &mut rng);
+        let bs = BaseStations::generate_regular(4, 1.0);
+        let homes = net.population().home_points().points().to_vec();
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 2);
+        let _ = FluidEngine::default().measure_scheme_b(&mut net, &plan, 10, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let (mut net, mut rng) = uniform_net(50, 6);
+        let traffic = TrafficMatrix::permutation(50, &mut rng);
+        let homes = net.population().home_points().points().to_vec();
+        let plan = SchemeAPlan::build(&homes, &traffic, 2.0);
+        let _ = FluidEngine::default().measure_scheme_a(&mut net, &plan, 0, &mut rng);
+    }
+}

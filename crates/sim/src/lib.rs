@@ -1,0 +1,47 @@
+//! Capacity-measurement engines for the hybrid MANET model: fluid
+//! (flow-level) and packet-level simulation, plus the scaling-sweep harness.
+//!
+//! The paper's feasible-throughput notion (Definition 5) asks for a
+//! scheduling scheme under which every node sustains `g(n)` bits per second
+//! end to end. This crate measures it two ways:
+//!
+//! * [`FluidEngine`] — Monte-Carlo service-rate estimation per resource
+//!   (squarelet edge, access group, backbone wire) combined with a routing
+//!   plan's load map: `λ = min service/load`. Fast; used for `n`-sweeps.
+//! * [`PacketEngine`] — a slotted queueing simulator with real buffers and
+//!   a bisection search for the stability boundary. Slower; validates the
+//!   fluid numbers.
+//! * [`sweep`] — geometric `n` ladders, log–log exponent fits and a scoped-
+//!   thread parallel driver, used by every Table-I / Figure-3 experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use hycap_mobility::{Kernel, Population, PopulationConfig};
+//! use hycap_routing::{SchemeAPlan, TrafficMatrix};
+//! use hycap_sim::{FluidEngine, HybridNetwork};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let config = PopulationConfig::builder(300).alpha(0.25).build();
+//! let pop = Population::generate(&config, &mut rng);
+//! let homes = pop.home_points().points().to_vec();
+//! let traffic = TrafficMatrix::permutation(300, &mut rng);
+//! let plan = SchemeAPlan::build(&homes, &traffic, 300f64.powf(0.25));
+//! let mut net = HybridNetwork::ad_hoc(pop);
+//! let report = FluidEngine::default().measure_scheme_a(&mut net, &plan, 100, &mut rng);
+//! assert!(report.lambda >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod fluid;
+mod packet;
+pub mod sweep;
+
+pub use engine::HybridNetwork;
+pub use fluid::{Bottleneck, FluidEngine, FluidReport, TwoHopReport};
+pub use packet::{PacketEngine, PacketStats};
+pub use sweep::{fit_linear, fit_loglog, geometric_ns, parallel_map, FitResult};

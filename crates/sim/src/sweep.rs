@@ -1,0 +1,238 @@
+//! Scaling sweeps and log–log slope fitting.
+//!
+//! Every Θ(·) claim in the paper is checked the same way: measure capacity
+//! at a geometric ladder of network sizes, fit `ln λ` against `ln n`, and
+//! compare the slope against the predicted exponent. This module provides
+//! the ladder, the fit and a thread-parallel sweep driver built on
+//! `std::thread::scope` (no extra dependencies).
+
+/// Result of an ordinary least-squares fit of `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// Fitted slope (the scaling exponent when applied to log–log data).
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` of the fit.
+    pub r2: f64,
+}
+
+/// Ordinary least-squares linear fit.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or lengths differ.
+///
+/// # Example
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0];
+/// let ys = [2.0, 4.0, 6.0];
+/// let fit = hycap_sim::fit_linear(&xs, &ys);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!(fit.r2 > 0.999);
+/// ```
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> FitResult {
+    assert_eq!(xs.len(), ys.len(), "x/y lengths differ");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    assert!(sxx > 0.0, "x values are all identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    FitResult {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Fits `ln y = intercept + slope·ln x`: the scaling exponent of `y ~ x^e`.
+///
+/// Points with non-positive `y` are dropped (a starved measurement carries
+/// no slope information); at least two positive points must remain.
+///
+/// # Panics
+///
+/// Panics if fewer than two usable points remain.
+pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> FitResult {
+    assert_eq!(xs.len(), ys.len(), "x/y lengths differ");
+    let (lx, ly): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|&(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .unzip();
+    assert!(
+        lx.len() >= 2,
+        "need at least two positive measurements for a log-log fit"
+    );
+    fit_linear(&lx, &ly)
+}
+
+/// A geometric ladder of `count` network sizes from `min_n` to `max_n`
+/// (inclusive, deduplicated after rounding).
+///
+/// # Panics
+///
+/// Panics if `count < 2` or `min_n >= max_n` or `min_n == 0`.
+pub fn geometric_ns(min_n: usize, max_n: usize, count: usize) -> Vec<usize> {
+    assert!(count >= 2, "need at least two ladder points");
+    assert!(min_n > 0 && min_n < max_n, "need 0 < min_n < max_n");
+    let ratio = (max_n as f64 / min_n as f64).powf(1.0 / (count - 1) as f64);
+    let mut out = Vec::with_capacity(count);
+    let mut v = min_n as f64;
+    for _ in 0..count {
+        let r = v.round() as usize;
+        if out.last() != Some(&r) {
+            out.push(r);
+        }
+        v *= ratio;
+    }
+    if out.last() != Some(&max_n) {
+        out.push(max_n);
+    }
+    out
+}
+
+/// Runs `f` over the inputs on scoped threads (at most `threads` at a time)
+/// and returns outputs in input order.
+///
+/// # Panics
+///
+/// Propagates panics from `f`; panics if `threads == 0`.
+pub fn parallel_map<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let mut out: Vec<Option<O>> = Vec::with_capacity(inputs.len());
+    out.resize_with(inputs.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out_cells: Vec<std::sync::Mutex<&mut Option<O>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(inputs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let value = f(&inputs[i]);
+                **out_cells[i].lock().expect("poisoned sweep cell") = Some(value);
+            });
+        }
+    });
+    drop(out_cells);
+    out.into_iter()
+        .map(|o| o.expect("sweep worker skipped an input"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_linear_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_linear_noisy_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+        assert!(fit.r2 > 0.95 && fit.r2 < 1.0);
+    }
+
+    #[test]
+    fn fit_loglog_recovers_power_law() {
+        let xs: Vec<f64> = (1..=6).map(|i| 100.0 * 2f64.powi(i)).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(-0.5)).collect();
+        let fit = fit_loglog(&xs, &ys);
+        assert!((fit.slope + 0.5).abs() < 1e-9, "slope {}", fit.slope);
+        assert!(fit.r2 > 0.9999);
+    }
+
+    #[test]
+    fn fit_loglog_drops_starved_points() {
+        let xs = [100.0, 200.0, 400.0, 800.0];
+        let ys = [1.0, 0.5, 0.0, 0.25]; // zero measurement dropped
+        let fit = fit_loglog(&xs, &ys);
+        assert!(fit.slope < 0.0);
+    }
+
+    #[test]
+    fn geometric_ladder_spans_range() {
+        let ns = geometric_ns(100, 1600, 5);
+        assert_eq!(ns.first(), Some(&100));
+        assert_eq!(ns.last(), Some(&1600));
+        assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        // Roughly geometric: ratio each step ≈ 2.
+        for w in ns.windows(2) {
+            let r = w[1] as f64 / w[0] as f64;
+            assert!((1.5..3.0).contains(&r), "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&inputs, 8, |&x| x * x);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread() {
+        let inputs = vec![1, 2, 3];
+        let out = parallel_map(&inputs, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let inputs: Vec<i32> = Vec::new();
+        let out = parallel_map(&inputs, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_needs_two_points() {
+        let _ = fit_linear(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all identical")]
+    fn fit_rejects_degenerate_x() {
+        let _ = fit_linear(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the sweep/fit utilities and engine invariants.
+
+use hycap_sim::{fit_linear, fit_loglog, geometric_ns, parallel_map};
+use proptest::prelude::*;
+
+proptest! {
+    /// fit_linear recovers exact lines.
+    #[test]
+    fn fit_recovers_exact_lines(
+        slope in -5.0f64..5.0,
+        intercept in -5.0f64..5.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let fit = fit_linear(&xs, &ys);
+        prop_assert!((fit.slope - slope).abs() < 1e-9);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-8);
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+    }
+
+    /// fit_loglog recovers power laws exactly, including the prefactor.
+    #[test]
+    fn fit_loglog_recovers_power_laws(
+        exponent in -2.0f64..2.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let xs: Vec<f64> = (1..=8).map(|i| 50.0 * 2f64.powi(i)).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| scale * x.powf(exponent)).collect();
+        let fit = fit_loglog(&xs, &ys);
+        prop_assert!((fit.slope - exponent).abs() < 1e-9);
+        prop_assert!((fit.intercept - scale.ln()).abs() < 1e-8);
+    }
+
+    /// fit_loglog ignores non-positive measurements without changing the
+    /// slope of the surviving power law.
+    #[test]
+    fn fit_loglog_robust_to_starved_points(exponent in -2.0f64..-0.1) {
+        let xs: Vec<f64> = (1..=8).map(|i| 10.0 * 3f64.powi(i)).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| x.powf(exponent)).collect();
+        ys[2] = 0.0; // starved sample
+        ys[5] = 0.0;
+        let fit = fit_loglog(&xs, &ys);
+        prop_assert!((fit.slope - exponent).abs() < 1e-9);
+    }
+
+    /// Geometric ladders are strictly increasing, span the range, and have
+    /// bounded step ratios.
+    #[test]
+    fn ladder_invariants(
+        min_n in 10usize..500,
+        factor in 2usize..50,
+        count in 2usize..10,
+    ) {
+        let max_n = min_n * factor;
+        let ns = geometric_ns(min_n, max_n, count);
+        prop_assert_eq!(*ns.first().unwrap(), min_n);
+        prop_assert_eq!(*ns.last().unwrap(), max_n);
+        prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// parallel_map equals sequential map for pure functions, at any
+    /// thread count.
+    #[test]
+    fn parallel_map_matches_sequential(
+        inputs in prop::collection::vec(-1000i64..1000, 0..60),
+        threads in 1usize..9,
+    ) {
+        let f = |&x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let expect: Vec<i64> = inputs.iter().map(f).collect();
+        let got = parallel_map(&inputs, threads, f);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,364 @@
+//! Link capacity `µ(i, j)` under policy `S*` (Definition 9, Lemma 2,
+//! Corollary 1).
+//!
+//! The link capacity between nodes `i` and `j` is the long-term fraction of
+//! time the pair is scheduled: `µ(i,j) = E[1_{(i,j) ∈ π_{S*}(t)} | F]`.
+//! Lemma 2 shows that in uniformly dense networks
+//! `µ(i,j) = Θ(Pr{d_ij ≤ c_T/√n})`, and Corollary 1 evaluates it:
+//!
+//! * MS–MS: `µ = Θ(f²(n)·η(f(n)‖X_i^h − X_j^h‖)/n)` where `η` is the kernel
+//!   self-convolution,
+//! * MS–BS: `µ = Θ(f²(n)·s(f(n)‖Y_l^h − X_i^h‖)/n)`.
+//!
+//! This module estimates all three quantities by Monte-Carlo slot sampling
+//! so the closed forms can be verified, and provides the Lemma 3 activity
+//! statistic (every node is scheduled a constant fraction of time).
+
+use crate::{critical_range, SStarScheduler, ScheduledPair, Scheduler};
+use hycap_geom::Point;
+use hycap_mobility::Population;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Monte-Carlo estimates for one node pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactEstimate {
+    /// Fraction of slots the pair was scheduled under `S*` — the empirical
+    /// link capacity `µ(i, j)` in units of the wireless bandwidth `W = 1`.
+    pub link_capacity: f64,
+    /// Fraction of slots the pair was within the critical range
+    /// (`Pr{d_ij ≤ R_T}`, the Lemma 2 contact probability).
+    pub contact_prob: f64,
+    /// Number of slots sampled.
+    pub slots: usize,
+}
+
+/// Monte-Carlo link-capacity estimator under policy `S*`.
+///
+/// # Example
+///
+/// ```
+/// use hycap_mobility::{Kernel, Population, PopulationConfig};
+/// use hycap_wireless::LinkCapacityEstimator;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let config = PopulationConfig::builder(100).kernel(Kernel::uniform_disk(0.2)).build();
+/// let mut pop = Population::generate(&config, &mut rng);
+/// let est = LinkCapacityEstimator::new(1.0, 1.0);
+/// let out = est.estimate_pairs(&mut pop, &[], &[(0, 1)], 200, &mut rng);
+/// assert!(out[0].link_capacity <= out[0].contact_prob);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCapacityEstimator {
+    scheduler: SStarScheduler,
+    c_t: f64,
+}
+
+impl LinkCapacityEstimator {
+    /// Creates an estimator with guard factor `delta` and range constant
+    /// `c_t` (the transmission range is `c_t/√n`).
+    pub fn new(delta: f64, c_t: f64) -> Self {
+        assert!(
+            c_t > 0.0 && c_t.is_finite(),
+            "c_T must be positive, got {c_t}"
+        );
+        LinkCapacityEstimator {
+            scheduler: SStarScheduler::new(delta),
+            c_t,
+        }
+    }
+
+    /// The transmission range used for a population of `n` mobile stations.
+    pub fn range_for(&self, n: usize) -> f64 {
+        critical_range(n, self.c_t)
+    }
+
+    /// Estimates link capacity and contact probability for the given node
+    /// pairs over `slots` mobility slots.
+    ///
+    /// Node indices address the concatenation of the population's mobile
+    /// stations (`0..n`) followed by `static_points` (`n..n+k`), matching
+    /// the paper's `Z` numbering of MSs then BSs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or any pair index is out of range.
+    pub fn estimate_pairs<R: Rng + ?Sized>(
+        &self,
+        population: &mut Population,
+        static_points: &[Point],
+        pairs: &[(usize, usize)],
+        slots: usize,
+        rng: &mut R,
+    ) -> Vec<ContactEstimate> {
+        assert!(slots > 0, "need at least one slot");
+        let n = population.len();
+        let total = n + static_points.len();
+        for &(a, b) in pairs {
+            assert!(
+                a < total && b < total,
+                "pair ({a}, {b}) out of range {total}"
+            );
+        }
+        let range = self.range_for(n);
+        let wanted: HashMap<ScheduledPair, usize> = pairs
+            .iter()
+            .enumerate()
+            .map(|(idx, &(a, b))| (ScheduledPair::new(a, b), idx))
+            .collect();
+        let mut scheduled = vec![0usize; pairs.len()];
+        let mut contact = vec![0usize; pairs.len()];
+        let mut positions = Vec::with_capacity(total);
+        for _ in 0..slots {
+            population.advance(rng);
+            positions.clear();
+            positions.extend_from_slice(population.positions());
+            positions.extend_from_slice(static_points);
+            for (idx, &(a, b)) in pairs.iter().enumerate() {
+                if positions[a].torus_dist(positions[b]) <= range {
+                    contact[idx] += 1;
+                }
+            }
+            for pair in self.scheduler.schedule(&positions, range) {
+                if let Some(&idx) = wanted.get(&pair) {
+                    scheduled[idx] += 1;
+                }
+            }
+        }
+        scheduled
+            .into_iter()
+            .zip(contact)
+            .map(|(s, c)| ContactEstimate {
+                link_capacity: s as f64 / slots as f64,
+                contact_prob: c as f64 / slots as f64,
+                slots,
+            })
+            .collect()
+    }
+
+    /// Estimates, for every node, the fraction of slots it is scheduled
+    /// (as either endpoint) under `S*` — the Lemma 3 activity statistic,
+    /// which must be bounded below by a positive constant in uniformly
+    /// dense networks.
+    pub fn node_activity<R: Rng + ?Sized>(
+        &self,
+        population: &mut Population,
+        static_points: &[Point],
+        slots: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(slots > 0, "need at least one slot");
+        let n = population.len();
+        let total = n + static_points.len();
+        let range = self.range_for(n);
+        let mut active = vec![0usize; total];
+        let mut positions = Vec::with_capacity(total);
+        for _ in 0..slots {
+            population.advance(rng);
+            positions.clear();
+            positions.extend_from_slice(population.positions());
+            positions.extend_from_slice(static_points);
+            for pair in self.scheduler.schedule(&positions, range) {
+                active[pair.a] += 1;
+                active[pair.b] += 1;
+            }
+        }
+        active
+            .into_iter()
+            .map(|a| a as f64 / slots as f64)
+            .collect()
+    }
+
+    /// Corollary 1's closed form for the MS–MS link capacity (up to the
+    /// theta constant): `f²(n)·η(f(n)·d)/n`, with `η` evaluated by
+    /// Monte-Carlo integration of the kernel self-convolution.
+    pub fn corollary1_ms_ms<R: Rng + ?Sized>(
+        &self,
+        kernel: &hycap_mobility::Kernel,
+        f: f64,
+        n: usize,
+        home_dist: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let eta = kernel.eta(rng, f * home_dist, 20_000);
+        let norm = kernel.mass().powi(2).max(f64::MIN_POSITIVE);
+        // φ densities are normalized by the kernel mass; η inherits both.
+        f * f * eta / (n as f64 * norm) * (std::f64::consts::PI * self.c_t * self.c_t)
+    }
+
+    /// Corollary 1's closed form for the MS–BS link capacity (up to the
+    /// theta constant): `π·c_T²·f²(n)·s(f(n)·d) / (2n)`, cf. equation (8).
+    pub fn corollary1_ms_bs(
+        &self,
+        kernel: &hycap_mobility::Kernel,
+        f: f64,
+        n: usize,
+        home_dist: f64,
+    ) -> f64 {
+        let mass = kernel.mass().max(f64::MIN_POSITIVE);
+        std::f64::consts::PI * self.c_t * self.c_t * f * f * kernel.density(f * home_dist)
+            / (2.0 * n as f64 * mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, PopulationConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_pop(n: usize, seed: u64) -> (Population, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PopulationConfig::builder(n)
+            .alpha(0.0)
+            .clusters(ClusteredModel::uniform())
+            .kernel(Kernel::uniform_disk(1.0)) // support 1 covers whole torus
+            .mobility(MobilityKind::IidStationary)
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        (pop, rng)
+    }
+
+    #[test]
+    fn link_capacity_bounded_by_contact_probability() {
+        let (mut pop, mut rng) = uniform_pop(80, 1);
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let out = est.estimate_pairs(&mut pop, &[], &[(0, 1), (2, 3)], 400, &mut rng);
+        for e in out {
+            assert!(e.link_capacity <= e.contact_prob + 1e-12);
+            assert_eq!(e.slots, 400);
+        }
+    }
+
+    #[test]
+    fn nearby_home_points_have_higher_capacity() {
+        // Build a clustered population: same-cluster pairs meet far more
+        // often than cross-cluster pairs.
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = PopulationConfig::builder(60)
+            .alpha(0.0)
+            .clusters(ClusteredModel::explicit(2, 0.08))
+            .kernel(Kernel::uniform_disk(0.05))
+            .mobility(MobilityKind::IidStationary)
+            .build();
+        let mut pop = Population::generate(&config, &mut rng);
+        let clusters = pop.home_points().members_by_cluster();
+        let (same_a, same_b) = (clusters[0][0], clusters[0][1]);
+        let cross_b = clusters[1][0];
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let out = est.estimate_pairs(
+            &mut pop,
+            &[],
+            &[(same_a, same_b), (same_a, cross_b)],
+            600,
+            &mut rng,
+        );
+        assert!(
+            out[0].contact_prob >= out[1].contact_prob,
+            "same-cluster contact {} < cross-cluster {}",
+            out[0].contact_prob,
+            out[1].contact_prob
+        );
+    }
+
+    #[test]
+    fn static_points_participate_in_scheduling() {
+        let (mut pop, mut rng) = uniform_pop(40, 3);
+        let est = LinkCapacityEstimator::new(1.0, 2.0);
+        let bs = vec![Point::new(0.5, 0.5)];
+        // Pair (ms 0, bs 40): must be addressable and occasionally in contact.
+        let out = est.estimate_pairs(&mut pop, &bs, &[(0, 40)], 500, &mut rng);
+        assert!(out[0].contact_prob > 0.0, "MS never met the BS");
+    }
+
+    #[test]
+    fn node_activity_positive_in_uniform_network() {
+        // Lemma 3: under S* every node is scheduled a constant fraction of
+        // slots. The constant is e^{-π(1+Δ)²c_T²}·Θ(c_T²), maximized near
+        // c_T = 1/(√π(1+Δ)); with Δ = 0.5 and c_T = 0.4 the per-node
+        // activity is a comfortably measurable constant.
+        let (mut pop, mut rng) = uniform_pop(200, 4);
+        let est = LinkCapacityEstimator::new(0.5, 0.4);
+        let activity = est.node_activity(&mut pop, &[], 300, &mut rng);
+        let positive = activity.iter().filter(|&&a| a > 0.0).count();
+        assert!(
+            positive > 150,
+            "only {positive} of 200 nodes were ever scheduled"
+        );
+        let mean = activity.iter().sum::<f64>() / activity.len() as f64;
+        assert!(mean > 0.01, "mean activity {mean} too small");
+    }
+
+    #[test]
+    fn corollary1_ms_ms_decreases_with_distance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let k = Kernel::uniform_disk(1.0);
+        let near = est.corollary1_ms_ms(&k, 10.0, 1000, 0.0, &mut rng);
+        let far = est.corollary1_ms_ms(&k, 10.0, 1000, 0.3, &mut rng); // f·d = 3 > 2D
+        assert!(near > 0.0);
+        assert!(far.abs() < near * 1e-6);
+    }
+
+    #[test]
+    fn corollary1_ms_bs_tracks_kernel_density() {
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let k = Kernel::truncated_gaussian(0.5, 2.0);
+        let at0 = est.corollary1_ms_bs(&k, 10.0, 1000, 0.0);
+        let at1 = est.corollary1_ms_bs(&k, 10.0, 1000, 0.05); // f·d = 0.5
+        let beyond = est.corollary1_ms_bs(&k, 10.0, 1000, 0.5); // f·d = 5 > support
+        assert!(at0 > at1 && at1 > 0.0);
+        assert_eq!(beyond, 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_corollary1_shape() {
+        // Empirical contact probability at two separations must order the
+        // same way as the Corollary 1 closed form.
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = PopulationConfig::builder(2)
+            .alpha(0.0)
+            .clusters(ClusteredModel::explicit(1, 0.49))
+            .kernel(Kernel::uniform_disk(0.2))
+            .mobility(MobilityKind::IidStationary)
+            .build();
+        // Custom home points at controlled separation.
+        let mut pop = Population::generate(&config, &mut rng);
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let d01 = pop.home_points().points()[0].torus_dist(pop.home_points().points()[1]);
+        let out = est.estimate_pairs(&mut pop, &[], &[(0, 1)], 3000, &mut rng);
+        let k = Kernel::uniform_disk(0.2);
+        let analytic = est.corollary1_ms_ms(&k, 1.0, 2, d01, &mut rng);
+        // Both zero or both positive (support overlap decides).
+        if d01 > 0.4 {
+            assert_eq!(out[0].contact_prob, 0.0);
+            assert!(analytic < 1e-9);
+        } else {
+            assert!(analytic > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pair_panics() {
+        let (mut pop, mut rng) = uniform_pop(10, 7);
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let _ = est.estimate_pairs(&mut pop, &[], &[(0, 10)], 10, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let (mut pop, mut rng) = uniform_pop(10, 8);
+        let est = LinkCapacityEstimator::new(1.0, 1.0);
+        let _ = est.estimate_pairs(&mut pop, &[], &[(0, 1)], 0, &mut rng);
+    }
+
+    #[test]
+    fn range_for_matches_critical_range() {
+        let est = LinkCapacityEstimator::new(1.0, 2.0);
+        assert!((est.range_for(400) - 0.1).abs() < 1e-12);
+    }
+}

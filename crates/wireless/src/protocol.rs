@@ -1,0 +1,178 @@
+//! The protocol interference model (Definition 4).
+
+use crate::NodeId;
+use hycap_geom::Point;
+
+/// The protocol model: a common transmission range `R_T` and a guard factor
+/// `Δ` defining the exclusion zone `(1+Δ)R_T` around receivers.
+///
+/// # Example
+///
+/// ```
+/// use hycap_geom::Point;
+/// use hycap_wireless::ProtocolModel;
+/// let pm = ProtocolModel::new(1.0);
+/// let tx = Point::new(0.5, 0.5);
+/// let rx = Point::new(0.53, 0.5);
+/// // In range, no interferers: success.
+/// assert!(pm.transmission_ok(tx, rx, 0.05, &[]));
+/// // An active transmitter close to the receiver kills it.
+/// assert!(!pm.transmission_ok(tx, rx, 0.05, &[Point::new(0.56, 0.5)]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolModel {
+    delta: f64,
+}
+
+impl ProtocolModel {
+    /// Creates a protocol model with guard factor `Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or not finite.
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "guard factor Δ must be non-negative, got {delta}"
+        );
+        ProtocolModel { delta }
+    }
+
+    /// The guard factor `Δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The exclusion radius `(1+Δ)·range` around a receiver.
+    #[inline]
+    pub fn guard_radius(&self, range: f64) -> f64 {
+        (1.0 + self.delta) * range
+    }
+
+    /// Definition 4 verbatim: the transmission `tx → rx` with range `range`
+    /// succeeds iff `‖tx − rx‖ ≤ range` and every point in
+    /// `other_transmitters` is at least `(1+Δ)·range` away from `rx`.
+    pub fn transmission_ok(
+        &self,
+        tx: Point,
+        rx: Point,
+        range: f64,
+        other_transmitters: &[Point],
+    ) -> bool {
+        if tx.torus_dist(rx) > range {
+            return false;
+        }
+        let guard = self.guard_radius(range);
+        other_transmitters
+            .iter()
+            .all(|&l| l.torus_dist(rx) >= guard)
+    }
+
+    /// Checks that a set of simultaneous directed transmissions is jointly
+    /// feasible under the protocol model.
+    ///
+    /// `links` are `(tx, rx)` node-id pairs into `positions`. Returns the
+    /// indices of links that violate either the range constraint or the
+    /// guard-zone constraint against some *other* transmitter.
+    pub fn violations(
+        &self,
+        positions: &[Point],
+        links: &[(NodeId, NodeId)],
+        range: f64,
+    ) -> Vec<usize> {
+        let guard = self.guard_radius(range);
+        let mut bad = Vec::new();
+        for (idx, &(tx, rx)) in links.iter().enumerate() {
+            if positions[tx].torus_dist(positions[rx]) > range {
+                bad.push(idx);
+                continue;
+            }
+            let clash = links.iter().enumerate().any(|(jdx, &(otx, _))| {
+                jdx != idx && otx != tx && positions[otx].torus_dist(positions[rx]) < guard
+            });
+            if clash {
+                bad.push(idx);
+            }
+        }
+        bad
+    }
+}
+
+impl Default for ProtocolModel {
+    /// The customary `Δ = 1` guard factor.
+    fn default() -> Self {
+        ProtocolModel::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_radius_scales_range() {
+        let pm = ProtocolModel::new(0.5);
+        assert!((pm.guard_radius(0.1) - 0.15).abs() < 1e-12);
+        assert_eq!(pm.delta(), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_fails() {
+        let pm = ProtocolModel::default();
+        assert!(!pm.transmission_ok(Point::new(0.0, 0.0), Point::new(0.2, 0.0), 0.1, &[]));
+    }
+
+    #[test]
+    fn interferer_outside_guard_is_fine() {
+        let pm = ProtocolModel::new(1.0);
+        let rx = Point::new(0.5, 0.5);
+        // Guard radius = 0.1; interferer at 0.11 from rx.
+        assert!(pm.transmission_ok(Point::new(0.46, 0.5), rx, 0.05, &[Point::new(0.61, 0.5)]));
+    }
+
+    #[test]
+    fn interferer_inside_guard_blocks() {
+        let pm = ProtocolModel::new(1.0);
+        let rx = Point::new(0.5, 0.5);
+        assert!(!pm.transmission_ok(Point::new(0.46, 0.5), rx, 0.05, &[Point::new(0.58, 0.5)]));
+    }
+
+    #[test]
+    fn violations_flags_range_and_interference() {
+        let pm = ProtocolModel::new(1.0);
+        let positions = vec![
+            Point::new(0.10, 0.10), // 0: tx of link 0
+            Point::new(0.13, 0.10), // 1: rx of link 0
+            Point::new(0.16, 0.10), // 2: tx of link 1 (within guard of rx 1)
+            Point::new(0.19, 0.10), // 3: rx of link 1
+            Point::new(0.80, 0.80), // 4: tx of link 2 (isolated)
+            Point::new(0.83, 0.80), // 5: rx of link 2
+            Point::new(0.40, 0.40), // 6: tx of link 3 (out of range)
+            Point::new(0.50, 0.40), // 7: rx of link 3
+        ];
+        let links = vec![(0, 1), (2, 3), (4, 5), (6, 7)];
+        let bad = pm.violations(&positions, &links, 0.05);
+        // Links 0 and 1 interfere with each other; link 3 is out of range.
+        assert_eq!(bad, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn violations_empty_for_isolated_links() {
+        let pm = ProtocolModel::new(1.0);
+        let positions = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.13, 0.1),
+            Point::new(0.8, 0.8),
+            Point::new(0.83, 0.8),
+        ];
+        let links = vec![(0, 1), (2, 3)];
+        assert!(pm.violations(&positions, &links, 0.05).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delta_rejected() {
+        let _ = ProtocolModel::new(-0.1);
+    }
+}

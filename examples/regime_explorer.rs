@@ -1,0 +1,95 @@
+//! Regime explorer: map the strong/weak/trivial trichotomy over the
+//! exponent space and print the Table I row for any point.
+//!
+//! ```text
+//! cargo run --release --example regime_explorer [alpha M R K phi]
+//! ```
+//!
+//! Without arguments, prints a regime map over `(α, R)` for a few `M`
+//! values; with five arguments, reports the full classification and
+//! Table I entry for that exact family.
+
+use hycap::{theory, ModelExponents};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if args.len() == 5 {
+        describe(args[0], args[1], args[2], args[3], args[4]);
+        return;
+    }
+
+    println!("regime map over (α, R) — rows: R from 0 (top) growing down; cols: α in [0, 1/2]");
+    println!("legend: S strong, W weak, T trivial(unreachable with constant kernels), ? boundary, · invalid\n");
+    for &m_exp in &[1.0, 0.6, 0.2] {
+        println!("M = {m_exp} (m = n^{m_exp}):");
+        for r_step in 0..=10 {
+            let r_exp = 0.05 * r_step as f64;
+            let mut line = format!("  R={r_exp:.2}  ");
+            for a_step in 0..=20 {
+                let alpha = 0.025 * a_step as f64;
+                let ch = match ModelExponents::new(alpha, m_exp, r_exp, 0.95, 0.0) {
+                    Err(_) => '·',
+                    Ok(e) => match e.classify() {
+                        Ok(hycap::MobilityRegime::Strong) => 'S',
+                        Ok(hycap::MobilityRegime::Weak) => 'W',
+                        Ok(hycap::MobilityRegime::Trivial) => 'T',
+                        Err(_) => '?',
+                    },
+                };
+                line.push(ch);
+            }
+            println!("{line}");
+        }
+        println!();
+    }
+    println!("note how the paper's own constraints (R ≤ α, M − 2R < 0, k = ω(m))");
+    println!("confine strong mobility to the uniform case M = 1, and make the");
+    println!("trivial regime reachable only through (near-)static kernels —");
+    println!("run with explicit arguments to inspect one family, e.g.:");
+    println!("  cargo run --release --example regime_explorer 0.4 0.2 0.4 0.6 0");
+}
+
+fn describe(alpha: f64, m_exp: f64, r_exp: f64, k_exp: f64, phi: f64) {
+    let exps = match ModelExponents::new(alpha, m_exp, r_exp, k_exp, phi) {
+        Ok(e) => e,
+        Err(err) => {
+            println!("invalid exponent family: {err}");
+            return;
+        }
+    };
+    println!("family: α={alpha}, M={m_exp}, R={r_exp}, K={k_exp}, ϕ={phi}");
+    println!("  γ order:        {}", exps.gamma());
+    println!("  γ̃ order:        {}", exps.gamma_tilde());
+    println!("  f√γ:            {}", exps.strong_margin());
+    println!("  f√γ̃:            {}", exps.weak_margin());
+    match exps.classify() {
+        Ok(regime) => {
+            println!("  regime:         {regime} mobility");
+            println!(
+                "  capacity w/ BS: {}",
+                theory::capacity_with_bs(regime, &exps)
+            );
+            println!(
+                "  capacity no BS: {}",
+                theory::capacity_no_bs(regime, &exps)
+            );
+            println!(
+                "  optimal R_T:    {}",
+                theory::optimal_range(regime, true, &exps)
+            );
+        }
+        Err(err) => println!("  regime:         {err}"),
+    }
+    let static_regime = exps
+        .classify_with_excursion(f64::INFINITY)
+        .expect("static always classifies");
+    println!("  if nodes were static: {static_regime} mobility");
+    let p = exps.realize(10_000);
+    println!(
+        "  realized at n = 10000: k = {}, m = {}, r = {:.4}, c = {:.5}, f = {:.2}",
+        p.k, p.m, p.r, p.c, p.f
+    );
+}

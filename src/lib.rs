@@ -1,0 +1,16 @@
+//! Umbrella crate for the `hycap` workspace: reproduction of
+//! *"Capacity Scaling in Mobile Wireless Ad Hoc Network with Infrastructure
+//! Support"* (Huang, Wang, Zhang — IEEE ICDCS 2010).
+//!
+//! This crate re-exports every workspace member so that the examples under
+//! `examples/` and the integration tests under `tests/` can exercise the
+//! full public API from a single dependency. Library users should normally
+//! depend on the individual crates (`hycap`, `hycap-sim`, …) instead.
+
+pub use hycap as core;
+pub use hycap_geom as geom;
+pub use hycap_infra as infra;
+pub use hycap_mobility as mobility;
+pub use hycap_routing as routing;
+pub use hycap_sim as sim;
+pub use hycap_wireless as wireless;
