@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hycap_geom::Point;
-use hycap_wireless::{GreedyMatchingScheduler, SStarScheduler, Scheduler};
+use hycap_wireless::{
+    GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -32,5 +34,37 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// Slot throughput of the measurement hot path at n = 10⁴: each iteration
+/// schedules one slot against a rotating set of snapshots, comparing the
+/// per-call allocating `schedule` with the workspace-reusing
+/// `schedule_into` that the engines use.
+fn bench_slot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slots_per_second");
+    let n = 10_000usize;
+    let range = 0.4 / (n as f64).sqrt();
+    let snapshots: Vec<Vec<Point>> = (0..8).map(|s| positions(n, 200 + s)).collect();
+    let sstar = SStarScheduler::new(0.5);
+    let mut ws = SlotWorkspace::new();
+    let mut pairs: Vec<ScheduledPair> = Vec::new();
+    let mut slot = 0usize;
+    group.bench_with_input(BenchmarkId::new("sstar_reused", n), &n, |b, _| {
+        b.iter(|| {
+            let snap = &snapshots[slot % snapshots.len()];
+            slot += 1;
+            sstar.schedule_into(black_box(snap), range, &mut ws, &mut pairs);
+            pairs.len()
+        })
+    });
+    let mut slot = 0usize;
+    group.bench_with_input(BenchmarkId::new("sstar_fresh", n), &n, |b, _| {
+        b.iter(|| {
+            let snap = &snapshots[slot % snapshots.len()];
+            slot += 1;
+            sstar.schedule(black_box(snap), range).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_slot_loop);
 criterion_main!(benches);

@@ -61,5 +61,35 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_build);
+/// Rebuild-vs-fresh over a simulated slot loop: every iteration re-indexes
+/// a different snapshot, the way the measurement engines do. `rebuild`
+/// reuses the CSR buffers; `fresh` pays the allocations every slot.
+fn bench_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_rebuild");
+    for &n in &[1_000usize, 10_000] {
+        let radius = 1.0 / (n as f64).sqrt();
+        let snapshots: Vec<Vec<Point>> = (0..8).map(|s| points(n, 100 + s)).collect();
+        let mut reused = SpatialHash::new();
+        let mut slot = 0usize;
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let snap = &snapshots[slot % snapshots.len()];
+                slot += 1;
+                reused.rebuild(black_box(snap), radius);
+                reused.len()
+            })
+        });
+        let mut slot = 0usize;
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
+            b.iter(|| {
+                let snap = &snapshots[slot % snapshots.len()];
+                slot += 1;
+                SpatialHash::build(black_box(snap), radius).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_build, bench_rebuild);
 criterion_main!(benches);

@@ -24,7 +24,9 @@ use hycap_infra::BsPlacement;
 use hycap_mobility::{Kernel, Population, PopulationConfig};
 use hycap_routing::{SchemeAPlan, TrafficMatrix};
 use hycap_sim::{FluidEngine, HybridNetwork};
-use hycap_wireless::{GreedyMatchingScheduler, SStarScheduler, Scheduler};
+use hycap_wireless::{
+    GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -265,10 +267,14 @@ fn scheduler_ablation(seed: u64) {
         let greedy = GreedyMatchingScheduler::new(0.5);
         let slots = 100;
         let (mut ps, mut pg) = (0usize, 0usize);
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         for _ in 0..slots {
             pop.advance(&mut rng);
-            ps += sstar.schedule(pop.positions(), range).len();
-            pg += greedy.schedule(pop.positions(), range).len();
+            sstar.schedule_into(pop.positions(), range, &mut ws, &mut pairs);
+            ps += pairs.len();
+            greedy.schedule_into(pop.positions(), range, &mut ws, &mut pairs);
+            pg += pairs.len();
         }
         let (ps, pg) = (ps as f64 / slots as f64, pg as f64 / slots as f64);
         rows.push(vec![

@@ -23,7 +23,9 @@ use hycap_mobility::{
     density, ClusteredModel, HomePoints, Kernel, MobilityKind, Population, PopulationConfig,
 };
 use hycap_sim::HybridNetwork;
-use hycap_wireless::{LinkCapacityEstimator, SStarScheduler, Scheduler};
+use hycap_wireless::{
+    LinkCapacityEstimator, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -225,9 +227,12 @@ fn lemma12(seed: u64) -> Check {
     let mut cross = 0usize;
     let mut total = 0usize;
     let mut buf = Vec::new();
+    let mut ws = SlotWorkspace::new();
+    let mut pairs: Vec<ScheduledPair> = Vec::new();
     for _ in 0..300 {
         net.advance_into(&mut rng, &mut buf);
-        for pair in scheduler.schedule(&buf, range) {
+        scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+        for pair in &pairs {
             total += 1;
             if cluster_of[pair.a] != cluster_of[pair.b] {
                 cross += 1;

@@ -20,7 +20,7 @@
 use hycap_geom::Cut;
 use hycap_routing::TrafficMatrix;
 use hycap_sim::HybridNetwork;
-use hycap_wireless::{critical_range, SStarScheduler, Scheduler};
+use hycap_wireless::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
 use rand::Rng;
 
 /// The result of a Monte-Carlo cut-bound evaluation.
@@ -91,9 +91,12 @@ pub fn cut_upper_bound<C: Cut, R: Rng + ?Sized>(
     };
     let mut crossing_service = 0.0f64;
     let mut buf = Vec::new();
+    let mut ws = SlotWorkspace::new();
+    let mut pairs: Vec<ScheduledPair> = Vec::new();
     for _ in 0..slots {
         net.advance_into(rng, &mut buf);
-        for pair in scheduler.schedule(&buf, range) {
+        scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+        for pair in &pairs {
             if side_of(pair.a, &buf) != side_of(pair.b, &buf) {
                 crossing_service += 1.0;
             }
@@ -138,9 +141,12 @@ pub fn access_upper_bound<R: Rng + ?Sized>(
     let scheduler = SStarScheduler::new(delta);
     let mut contacts = 0.0f64;
     let mut buf = Vec::new();
+    let mut ws = SlotWorkspace::new();
+    let mut pairs: Vec<ScheduledPair> = Vec::new();
     for _ in 0..slots {
         net.advance_into(rng, &mut buf);
-        for pair in scheduler.schedule(&buf, range) {
+        scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+        for pair in &pairs {
             let ms_bs = (pair.a < n) != (pair.b < n);
             if ms_bs {
                 contacts += 1.0;

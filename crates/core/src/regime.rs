@@ -199,12 +199,17 @@ impl ModelExponents {
     ///
     /// # Errors
     ///
-    /// Same boundary conditions as [`ModelExponents::classify`].
+    /// Returns [`RegimeError::InvalidParameter`] when `e < α` (an excursion
+    /// cannot exceed the kernel scale), plus the same boundary conditions as
+    /// [`ModelExponents::classify`].
     pub fn classify_with_excursion(&self, e: f64) -> Result<MobilityRegime, RegimeError> {
-        assert!(
-            e >= self.alpha,
-            "excursion exponent must be at least alpha (mobility cannot exceed the kernel scale)"
-        );
+        if e < self.alpha {
+            return Err(RegimeError::InvalidParameter(format!(
+                "excursion exponent {e} must be at least alpha {} \
+                 (mobility cannot exceed the kernel scale)",
+                self.alpha
+            )));
+        }
         if e.is_infinite() {
             // Static nodes: never strong; within clusters also static →
             // trivial (Theorem 8 applies verbatim).
@@ -325,6 +330,21 @@ mod tests {
         );
         // The same exponents with the standard kernel are merely weak.
         assert_eq!(e.classify().unwrap(), MobilityRegime::Weak);
+    }
+
+    #[test]
+    fn excursion_below_alpha_is_invalid_parameter() {
+        // e < α is a caller error reported as a value, not a panic, so the
+        // CLI and experiment drivers can surface it gracefully.
+        let e = exps(0.5, 0.8, 0.45, 0.9, 0.0);
+        match e.classify_with_excursion(0.4) {
+            Err(RegimeError::InvalidParameter(msg)) => {
+                assert!(msg.contains("excursion exponent"), "message: {msg}");
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+        // The boundary itself (e == α) stays valid.
+        assert!(e.classify_with_excursion(0.5).is_ok());
     }
 
     #[test]

@@ -297,7 +297,7 @@ mod tests {
         for &(a, k, e, _) in &surface {
             assert!((0.0..=0.5).contains(&a));
             assert!((0.0..=1.0).contains(&k));
-            assert!((-1.0..=0.0).contains(&e), "exponent {e}");
+            assert!((-0.5..=0.0).contains(&e), "exponent {e}");
         }
         // The corner (α=0, K=1, ϕ=0) reaches Θ(1).
         let corner = surface

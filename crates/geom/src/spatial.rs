@@ -5,10 +5,23 @@
 //! implementation is `O(n²)` per slot; bucketing positions into a grid whose
 //! cell side is at least the query radius makes each query `O(1)` expected
 //! for the densities that occur in the paper's regimes.
+//!
+//! The index stores its buckets in a flat CSR (compressed sparse row)
+//! layout — one contiguous id array plus per-cell offsets — so that
+//! [`SpatialHash::rebuild`] can re-index a fresh snapshot of positions
+//! without allocating: the Monte-Carlo engines call it once per slot, and
+//! after the first slot every rebuild reuses the buffers grown by the
+//! previous one.
 
 use crate::{Point, SquareGrid};
 
 /// A spatial hash of indexed points on the unit torus.
+///
+/// Buckets live in a flat CSR layout: `ids` holds the point ids of every
+/// cell back to back, cell `c` owning `ids[starts[c]..starts[c + 1]]`.
+/// Within a cell, ids are in increasing order (the rebuild pass scans the
+/// input slice in order), which keeps query iteration order identical to
+/// the historical `Vec<Vec<u32>>` bucket implementation.
 ///
 /// # Example
 ///
@@ -20,16 +33,42 @@ use crate::{Point, SquareGrid};
 /// near.sort_unstable();
 /// assert_eq!(near, vec![0, 1]);
 /// ```
-#[derive(Debug, Clone)]
+///
+/// Reusing one index across simulation slots:
+///
+/// ```
+/// use hycap_geom::{Point, SpatialHash};
+/// let mut hash = SpatialHash::new();
+/// for slot in 0..3 {
+///     let t = slot as f64 * 0.01;
+///     let snapshot = vec![Point::new(0.2 + t, 0.3), Point::new(0.8, 0.5 + t)];
+///     hash.rebuild(&snapshot, 0.1);
+///     assert_eq!(hash.len(), 2);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
 pub struct SpatialHash {
-    grid: SquareGrid,
-    /// Bucketed point ids, indexed by flat cell index.
-    buckets: Vec<Vec<u32>>,
+    grid: Option<SquareGrid>,
+    /// Point ids of every cell, back to back in cell order (CSR values).
+    ids: Vec<u32>,
+    /// Per-cell offsets into `ids`; length `cell_count + 1` (CSR offsets).
+    starts: Vec<u32>,
     points: Vec<Point>,
+    /// Rebuild scratch: the flat cell index of each point, cached between
+    /// the counting and placement passes.
+    cell_scratch: Vec<u32>,
     cell_len: f64,
 }
 
 impl SpatialHash {
+    /// Creates an empty index holding no points.
+    ///
+    /// Call [`SpatialHash::rebuild`] to (re)fill it; until then every query
+    /// returns nothing.
+    pub fn new() -> Self {
+        SpatialHash::default()
+    }
+
     /// Builds an index over `points`, tuned for radius queries up to
     /// `max_radius`.
     ///
@@ -41,6 +80,25 @@ impl SpatialHash {
     /// Panics if `max_radius` is not finite and positive, or if more than
     /// `u32::MAX` points are indexed.
     pub fn build(points: &[Point], max_radius: f64) -> Self {
+        let mut hash = SpatialHash::new();
+        hash.rebuild(points, max_radius);
+        hash
+    }
+
+    /// Re-indexes the given snapshot of positions in place.
+    ///
+    /// Semantically equivalent to `*self = SpatialHash::build(points,
+    /// max_radius)`, but reuses the buffers of the previous build: after the
+    /// first call, rebuilding with snapshots of the same (or smaller) size
+    /// and a radius mapping to the same grid resolution performs **no**
+    /// allocations. This is the per-slot hot path of the measurement
+    /// engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_radius` is not finite and positive, or if more than
+    /// `u32::MAX` points are indexed.
+    pub fn rebuild(&mut self, points: &[Point], max_radius: f64) {
         assert!(
             max_radius.is_finite() && max_radius > 0.0,
             "max_radius must be positive, got {max_radius}"
@@ -53,17 +111,47 @@ impl SpatialHash {
         // 3x3 (or slightly larger) block of cells around the query point.
         // Cap the cell count for tiny radii to bound memory.
         let cells = (1.0 / max_radius).floor().clamp(1.0, 2048.0) as usize;
-        let grid = SquareGrid::with_cells_per_side(cells);
-        let mut buckets = vec![Vec::new(); grid.cell_count()];
-        for (i, &p) in points.iter().enumerate() {
-            buckets[grid.cell_of(p).index()].push(i as u32);
+        let grid = match self.grid {
+            Some(g) if g.cells_per_side() == cells => g,
+            _ => SquareGrid::with_cells_per_side(cells),
+        };
+        self.cell_len = grid.cell_len();
+        self.points.clear();
+        self.points.extend_from_slice(points);
+
+        // Counting pass: starts[c + 1] accumulates the population of cell c.
+        // The flat cell index of each point is cached so the placement pass
+        // need not recompute cell_of.
+        let cell_count = grid.cell_count();
+        self.starts.clear();
+        self.starts.resize(cell_count + 1, 0);
+        self.cell_scratch.clear();
+        for &p in points {
+            let c = grid.cell_of(p).index() as u32;
+            self.cell_scratch.push(c);
+            self.starts[c as usize + 1] += 1;
         }
-        SpatialHash {
-            cell_len: grid.cell_len(),
-            grid,
-            buckets,
-            points: points.to_vec(),
+        // Prefix sum: starts[c] = first slot of cell c.
+        for c in 0..cell_count {
+            self.starts[c + 1] += self.starts[c];
         }
+        // Placement pass: scan points in id order so each cell's ids come
+        // out increasing (the order the historical per-cell Vecs received
+        // them), bumping starts[c] as a cursor.
+        self.ids.clear();
+        self.ids.resize(points.len(), 0);
+        for (id, &cell) in self.cell_scratch.iter().enumerate() {
+            let slot = self.starts[cell as usize];
+            self.ids[slot as usize] = id as u32;
+            self.starts[cell as usize] = slot + 1;
+        }
+        // After placement starts[c] holds the *end* of cell c; shift right
+        // to restore "starts[c] = begin of cell c".
+        for c in (1..=cell_count).rev() {
+            self.starts[c] = self.starts[c - 1];
+        }
+        self.starts[0] = 0;
+        self.grid = Some(grid);
     }
 
     /// Number of indexed points.
@@ -88,6 +176,12 @@ impl SpatialHash {
         self.points[id]
     }
 
+    /// The ids bucketed in flat cell `idx`, in increasing order.
+    #[inline]
+    fn cell_ids(&self, idx: usize) -> &[u32] {
+        &self.ids[self.starts[idx] as usize..self.starts[idx + 1] as usize]
+    }
+
     /// Ids of all points strictly within distance `radius` of `center`
     /// (torus metric). The center point itself is included when indexed.
     pub fn query(&self, center: Point, radius: f64) -> Vec<usize> {
@@ -100,10 +194,11 @@ impl SpatialHash {
     ///
     /// This is the allocation-free variant of [`SpatialHash::query`].
     pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+        let Some(grid) = self.grid else { return };
         let r2 = radius * radius;
-        let s = self.grid.cells_per_side() as isize;
+        let s = grid.cells_per_side() as isize;
         let reach = (radius / self.cell_len).ceil() as isize + 1;
-        let home = self.grid.cell_of(center);
+        let home = grid.cell_of(center);
         // When the reach covers the whole grid, visit each cell exactly once.
         let (lo, hi) = if 2 * reach + 1 >= s {
             (0, s - 1)
@@ -121,8 +216,8 @@ impl SpatialHash {
                         (home.col() as isize + dc).rem_euclid(s) as usize,
                     )
                 };
-                let idx = self.grid.cell(row, col).index();
-                for &id in &self.buckets[idx] {
+                let idx = grid.cell(row, col).index();
+                for &id in self.cell_ids(idx) {
                     if self.points[id as usize].torus_dist_sq(center) < r2 {
                         f(id as usize);
                     }
@@ -137,10 +232,11 @@ impl SpatialHash {
     /// This is the primitive used for the guard-zone test of scheduler `S*`:
     /// "for every other node `l`, `min(d_lj, d_li) > (1+Δ)R_T`".
     pub fn any_within_excluding(&self, center: Point, radius: f64, exclude: &[usize]) -> bool {
+        let Some(grid) = self.grid else { return false };
         let r2 = radius * radius;
-        let s = self.grid.cells_per_side() as isize;
+        let s = grid.cells_per_side() as isize;
         let reach = (radius / self.cell_len).ceil() as isize + 1;
-        let home = self.grid.cell_of(center);
+        let home = grid.cell_of(center);
         let (lo, hi) = if 2 * reach + 1 >= s {
             (0, s - 1)
         } else {
@@ -157,8 +253,8 @@ impl SpatialHash {
                         (home.col() as isize + dc).rem_euclid(s) as usize,
                     )
                 };
-                let idx = self.grid.cell(row, col).index();
-                for &id in &self.buckets[idx] {
+                let idx = grid.cell(row, col).index();
+                for &id in self.cell_ids(idx) {
                     let id = id as usize;
                     if !exclude.contains(&id) && self.points[id].torus_dist_sq(center) < r2 {
                         return true;
@@ -260,7 +356,7 @@ mod tests {
         // Must not allocate a gigantic grid for microscopic radii.
         let pts = random_points(10, 13);
         let hash = SpatialHash::build(&pts, 1e-9);
-        assert!(hash.grid.cells_per_side() <= 2048);
+        assert!(hash.grid.unwrap().cells_per_side() <= 2048);
         assert_eq!(hash.query(pts[0], 1e-9).len(), 1);
     }
 
@@ -273,11 +369,75 @@ mod tests {
     }
 
     #[test]
+    fn fresh_index_without_rebuild_is_empty() {
+        let hash = SpatialHash::new();
+        assert!(hash.is_empty());
+        assert!(hash.query(Point::new(0.5, 0.5), 0.2).is_empty());
+        assert!(!hash.any_within_excluding(Point::new(0.5, 0.5), 0.2, &[]));
+    }
+
+    #[test]
     fn position_roundtrip() {
         let pts = random_points(50, 17);
         let hash = SpatialHash::build(&pts, 0.1);
         for (i, &p) in pts.iter().enumerate() {
             assert_eq!(hash.position(i), p);
         }
+    }
+
+    #[test]
+    fn cells_hold_ids_in_increasing_order() {
+        // Query iteration order must match the historical Vec<Vec<u32>>
+        // buckets, which received ids in increasing order per cell.
+        let pts = random_points(400, 19);
+        let hash = SpatialHash::build(&pts, 0.07);
+        for c in 0..hash.starts.len() - 1 {
+            let cell = hash.cell_ids(c);
+            assert!(cell.windows(2).all(|w| w[0] < w[1]), "cell {c}: {cell:?}");
+        }
+        let total: usize = hash.ids.len();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let mut reused = SpatialHash::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        for (slot, &(n, radius)) in [(300usize, 0.05), (120, 0.2), (500, 0.01), (0, 0.1)]
+            .iter()
+            .enumerate()
+        {
+            let pts = random_points(n, 100 + slot as u64);
+            reused.rebuild(&pts, radius);
+            let fresh = SpatialHash::build(&pts, radius);
+            assert_eq!(reused.len(), fresh.len());
+            for _ in 0..20 {
+                let c = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+                assert_eq!(reused.query(c, radius), fresh.query(c, radius));
+                assert_eq!(
+                    reused.count_within(c, radius),
+                    fresh.count_within(c, radius)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity_for_same_shape() {
+        let pts_a = random_points(1000, 29);
+        let pts_b = random_points(1000, 31);
+        let mut hash = SpatialHash::build(&pts_a, 0.03);
+        let ids_cap = hash.ids.capacity();
+        let starts_cap = hash.starts.capacity();
+        let points_cap = hash.points.capacity();
+        hash.rebuild(&pts_b, 0.03);
+        assert_eq!(hash.ids.capacity(), ids_cap);
+        assert_eq!(hash.starts.capacity(), starts_cap);
+        assert_eq!(hash.points.capacity(), points_cap);
+        let mut got = hash.query(pts_b[0], 0.03);
+        got.sort_unstable();
+        let mut want = brute_force(&pts_b, pts_b[0], 0.03);
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 }

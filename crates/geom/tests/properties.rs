@@ -118,6 +118,48 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// A workspace-reused `rebuild` across a randomized slot sequence is
+    /// indistinguishable from a fresh `build` per slot (and from brute
+    /// force) for every query primitive — the invariant that makes the
+    /// engines' per-slot index reuse a pure optimization.
+    #[test]
+    fn rebuilt_hash_equals_fresh_build(
+        slots in prop::collection::vec(
+            (prop::collection::vec(arb_unit_point(), 0..120), 0.005f64..0.4),
+            1..6,
+        ),
+        centers in prop::collection::vec(arb_unit_point(), 1..8),
+        excl in prop::collection::vec(0usize..120, 0..4),
+    ) {
+        let mut reused = SpatialHash::new();
+        for (pts, radius) in &slots {
+            reused.rebuild(pts, radius.max(0.01));
+            let fresh = SpatialHash::build(pts, radius.max(0.01));
+            prop_assert_eq!(reused.len(), fresh.len());
+            for &c in &centers {
+                let got = reused.query(c, *radius);
+                prop_assert_eq!(&got, &fresh.query(c, *radius));
+                let want: Vec<usize> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.torus_dist_sq(c) < radius * radius)
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(sorted, want);
+                prop_assert_eq!(
+                    reused.count_within(c, *radius),
+                    fresh.count_within(c, *radius)
+                );
+                prop_assert_eq!(
+                    reused.any_within_excluding(c, *radius, &excl),
+                    fresh.any_within_excluding(c, *radius, &excl)
+                );
+            }
+        }
+    }
+
     /// Cut membership agrees with the defining geometry of each cut.
     #[test]
     fn cuts_membership_matches_geometry(p in arb_unit_point()) {

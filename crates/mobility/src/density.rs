@@ -96,9 +96,10 @@ pub fn estimate_density<R: Rng + ?Sized>(
     let mut acc = vec![0.0f64; probes.len()];
     let n = population.len() as f64;
     let disk_area = std::f64::consts::PI * radius * radius;
+    let mut hash = SpatialHash::new();
     for _ in 0..snapshots {
         population.advance(rng);
-        let hash = SpatialHash::build(population.positions(), radius.max(1e-3));
+        hash.rebuild(population.positions(), radius.max(1e-3));
         for (i, &probe) in probes.iter().enumerate() {
             acc[i] += hash.count_within(probe, radius) as f64;
         }

@@ -290,8 +290,9 @@ impl Trace {
     pub fn contact_stats(&self, range: f64) -> ContactStats {
         assert!(range > 0.0, "range must be positive");
         let mut contacts = 0u64;
+        let mut hash = hycap_geom::SpatialHash::new();
         for slot in 0..self.slots {
-            let hash = hycap_geom::SpatialHash::build(self.positions(slot), range.min(0.25));
+            hash.rebuild(self.positions(slot), range.min(0.25));
             for (i, &p) in self.positions(slot).iter().enumerate() {
                 hash.for_each_within(p, range, |j| {
                     if j > i {

@@ -20,7 +20,7 @@ use crate::HybridNetwork;
 use hycap_geom::Point;
 use hycap_infra::Backbone;
 use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
-use hycap_wireless::{critical_range, SStarScheduler, Scheduler};
+use hycap_wireless::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -167,12 +167,14 @@ impl FluidEngine {
         let homes: Vec<Point> = net.population().home_points().points().to_vec();
         let mut service: HashMap<EdgeKey, f64> = HashMap::new();
         let mut buf = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         let mut total_pairs = 0usize;
         for _ in 0..slots {
             net.advance_into(rng, &mut buf);
-            let pairs = scheduler.schedule(&buf, range);
+            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
             total_pairs += pairs.len();
-            for pair in pairs {
+            for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
                     continue; // MS–BS contacts do not serve scheme A
                 }
@@ -251,12 +253,14 @@ impl FluidEngine {
         }
         let mut service = vec![0.0f64; plan.group_count()];
         let mut buf = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         let mut total_pairs = 0usize;
         for _ in 0..slots {
             net.advance_into(rng, &mut buf);
-            let pairs = scheduler.schedule(&buf, range);
+            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
             total_pairs += pairs.len();
-            for pair in pairs {
+            for &pair in &pairs {
                 // Classify MS–BS contacts.
                 let (ms, bs) = if pair.a < n && pair.b >= n {
                     (pair.a, pair.b - n)
@@ -346,9 +350,12 @@ impl FluidEngine {
         }
         let mut hop_counts: HashMap<usize, [f64; 2]> = HashMap::new();
         let mut buf = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         for _ in 0..slots {
             net.advance_into(rng, &mut buf);
-            for pair in scheduler.schedule(&buf, range) {
+            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
                     continue;
                 }

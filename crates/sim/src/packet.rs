@@ -12,7 +12,7 @@
 
 use crate::HybridNetwork;
 use hycap_routing::SchemeBPlan;
-use hycap_wireless::{critical_range, SStarScheduler, Scheduler};
+use hycap_wireless::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 
@@ -111,6 +111,8 @@ impl PacketEngine {
         let mut delivered = 0u64;
         let mut delay_sum = 0u64;
         let mut buf = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         for slot in 0..slots {
             // Injection.
             for (f, a) in acc.iter_mut().enumerate() {
@@ -122,7 +124,8 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            for pair in scheduler.schedule(&buf, range) {
+            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            for &pair in &pairs {
                 // One packet per direction.
                 for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
                     if let Some(list) = watchers.get(&(u, v)) {
@@ -211,6 +214,8 @@ impl PacketEngine {
         let mut delay_sum = 0u64;
         let mut backlog = 0i64;
         let mut buf = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         for slot in 0..slots {
             for f in 0..n {
                 acc[f] += lambda;
@@ -225,7 +230,8 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            for pair in scheduler.schedule(&buf, range) {
+            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
                     continue;
                 }
@@ -336,6 +342,8 @@ impl PacketEngine {
         let mut delivered = 0u64;
         let mut delay_sum = 0u64;
         let mut buf = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
         for slot in 0..slots {
             for (f, a) in acc.iter_mut().enumerate() {
                 *a += lambda;
@@ -346,7 +354,8 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            for pair in scheduler.schedule(&buf, range) {
+            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            for &pair in &pairs {
                 let (ms, bs) = if pair.a < n && pair.b >= n {
                     (pair.a, pair.b - n)
                 } else if pair.b < n && pair.a >= n {

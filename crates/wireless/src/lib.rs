@@ -40,7 +40,9 @@ pub mod schedule;
 
 pub use linkcap::{ContactEstimate, LinkCapacityEstimator};
 pub use protocol::ProtocolModel;
-pub use schedule::{GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler};
+pub use schedule::{
+    GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+};
 
 /// Index of a node in a position array (mobile stations first, then base
 /// stations, by workspace convention).

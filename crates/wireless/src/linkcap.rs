@@ -14,7 +14,7 @@
 //! so the closed forms can be verified, and provides the Lemma 3 activity
 //! statistic (every node is scheduled a constant fraction of time).
 
-use crate::{critical_range, SStarScheduler, ScheduledPair, Scheduler};
+use crate::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
 use hycap_geom::Point;
 use hycap_mobility::Population;
 use rand::Rng;
@@ -110,6 +110,8 @@ impl LinkCapacityEstimator {
         let mut scheduled = vec![0usize; pairs.len()];
         let mut contact = vec![0usize; pairs.len()];
         let mut positions = Vec::with_capacity(total);
+        let mut ws = SlotWorkspace::new();
+        let mut active: Vec<ScheduledPair> = Vec::new();
         for _ in 0..slots {
             population.advance(rng);
             positions.clear();
@@ -120,8 +122,10 @@ impl LinkCapacityEstimator {
                     contact[idx] += 1;
                 }
             }
-            for pair in self.scheduler.schedule(&positions, range) {
-                if let Some(&idx) = wanted.get(&pair) {
+            self.scheduler
+                .schedule_into(&positions, range, &mut ws, &mut active);
+            for pair in &active {
+                if let Some(&idx) = wanted.get(pair) {
                     scheduled[idx] += 1;
                 }
             }
@@ -154,12 +158,16 @@ impl LinkCapacityEstimator {
         let range = self.range_for(n);
         let mut active = vec![0usize; total];
         let mut positions = Vec::with_capacity(total);
+        let mut ws = SlotWorkspace::new();
+        let mut scheduled: Vec<ScheduledPair> = Vec::new();
         for _ in 0..slots {
             population.advance(rng);
             positions.clear();
             positions.extend_from_slice(population.positions());
             positions.extend_from_slice(static_points);
-            for pair in self.scheduler.schedule(&positions, range) {
+            self.scheduler
+                .schedule_into(&positions, range, &mut ws, &mut scheduled);
+            for pair in &scheduled {
                 active[pair.a] += 1;
                 active[pair.b] += 1;
             }

@@ -51,12 +51,80 @@ impl ScheduledPair {
     }
 }
 
+/// Reusable per-slot scratch state for the schedulers.
+///
+/// The Monte-Carlo engines call a scheduler once per slot over thousands of
+/// slots; rebuilding the spatial index and the working vectors from scratch
+/// every slot dominated the measurement loop. A workspace owns all of that
+/// state so a slot loop allocates only while the buffers are still growing
+/// (i.e. the first slot):
+///
+/// ```
+/// use hycap_geom::Point;
+/// use hycap_wireless::{Scheduler, SlotWorkspace, SStarScheduler};
+/// let sched = SStarScheduler::new(1.0);
+/// let mut ws = SlotWorkspace::new();
+/// let mut pairs = Vec::new();
+/// for slot in 0..3 {
+///     let snapshot = vec![Point::new(0.1, 0.1), Point::new(0.13, 0.1 + slot as f64 * 0.001)];
+///     sched.schedule_into(&snapshot, 0.05, &mut ws, &mut pairs);
+///     assert_eq!(pairs.len(), 1);
+/// }
+/// ```
+///
+/// The same workspace may be shared between different schedulers and
+/// snapshot sizes; outputs are identical to the allocating
+/// [`Scheduler::schedule`] path.
+#[derive(Debug, Clone, Default)]
+pub struct SlotWorkspace {
+    /// Spatial index, rebuilt in place each slot.
+    hash: SpatialHash,
+    /// `S*`: unique guard-zone neighbor per node (`usize::MAX` = none/many).
+    neighbor: Vec<usize>,
+    /// Greedy: candidate `(i, j)` pairs within range.
+    candidates: Vec<(usize, usize)>,
+    /// Greedy: per-node "already matched" flags.
+    used: Vec<bool>,
+    /// Greedy: endpoints of the pairs activated so far this slot.
+    active_endpoints: Vec<Point>,
+}
+
+impl SlotWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SlotWorkspace::default()
+    }
+}
+
 /// A stationary position-based scheduling policy: given a snapshot of node
 /// positions and the transmission range, select a set of non-interfering
 /// pairs to activate this slot.
 pub trait Scheduler {
+    /// Selects the active pairs for one slot, writing them into `out`
+    /// (cleared first) and reusing `ws` for all intermediate state.
+    ///
+    /// This is the allocation-free form of [`Scheduler::schedule`]: calling
+    /// it in a loop with the same workspace and output vector performs no
+    /// steady-state allocations, and the pairs written are identical to
+    /// what `schedule` returns for the same snapshot.
+    fn schedule_into(
+        &self,
+        positions: &[Point],
+        range: f64,
+        ws: &mut SlotWorkspace,
+        out: &mut Vec<ScheduledPair>,
+    );
+
     /// Selects the active pairs for one slot.
-    fn schedule(&self, positions: &[Point], range: f64) -> Vec<ScheduledPair>;
+    ///
+    /// Convenience wrapper over [`Scheduler::schedule_into`] that allocates
+    /// a fresh workspace and output vector per call.
+    fn schedule(&self, positions: &[Point], range: f64) -> Vec<ScheduledPair> {
+        let mut ws = SlotWorkspace::new();
+        let mut out = Vec::new();
+        self.schedule_into(positions, range, &mut ws, &mut out);
+        out
+    }
 
     /// The guard factor `Δ` of the underlying protocol model.
     fn delta(&self) -> f64;
@@ -100,45 +168,49 @@ impl Default for SStarScheduler {
 }
 
 impl Scheduler for SStarScheduler {
-    fn schedule(&self, positions: &[Point], range: f64) -> Vec<ScheduledPair> {
+    fn schedule_into(
+        &self,
+        positions: &[Point],
+        range: f64,
+        ws: &mut SlotWorkspace,
+        out: &mut Vec<ScheduledPair>,
+    ) {
         assert!(
             range.is_finite() && range > 0.0,
             "transmission range must be positive, got {range}"
         );
+        out.clear();
         let guard = self.protocol.guard_radius(range);
         if positions.len() < 2 {
-            return Vec::new();
+            return;
         }
-        let hash = SpatialHash::build(positions, guard.clamp(1e-4, 0.25));
-        let mut pairs = Vec::new();
-        let mut neighbor = vec![usize::MAX; positions.len()];
-        let mut degree = vec![0u32; positions.len()];
+        ws.hash.rebuild(positions, guard.clamp(1e-4, 0.25));
+        ws.neighbor.clear();
+        ws.neighbor.resize(positions.len(), usize::MAX);
         // One pass: record, for every node, its unique guard-zone neighbor
         // (if the neighborhood is a singleton).
         for (i, &p) in positions.iter().enumerate() {
-            let mut count = 0;
+            let mut count = 0u32;
             let mut only = usize::MAX;
-            hash.for_each_within(p, guard, |id| {
+            ws.hash.for_each_within(p, guard, |id| {
                 if id != i {
                     count += 1;
                     only = id;
                 }
             });
-            degree[i] = count;
             if count == 1 {
-                neighbor[i] = only;
+                ws.neighbor[i] = only;
             }
         }
-        for (i, &j) in neighbor.iter().enumerate() {
-            if j != usize::MAX && j > i && neighbor[j] == i {
+        for (i, &j) in ws.neighbor.iter().enumerate() {
+            if j != usize::MAX && j > i && ws.neighbor[j] == i {
                 // Both guard zones are singletons pointing at each other;
                 // check the (strict) range condition d_ij < R_T.
                 if positions[i].torus_dist_sq(positions[j]) < range * range {
-                    pairs.push(ScheduledPair::new(i, j));
+                    out.push(ScheduledPair::new(i, j));
                 }
             }
         }
-        pairs
     }
 
     fn delta(&self) -> f64 {
@@ -173,20 +245,28 @@ impl GreedyMatchingScheduler {
 }
 
 impl Scheduler for GreedyMatchingScheduler {
-    fn schedule(&self, positions: &[Point], range: f64) -> Vec<ScheduledPair> {
+    fn schedule_into(
+        &self,
+        positions: &[Point],
+        range: f64,
+        ws: &mut SlotWorkspace,
+        out: &mut Vec<ScheduledPair>,
+    ) {
         assert!(
             range.is_finite() && range > 0.0,
             "transmission range must be positive, got {range}"
         );
+        out.clear();
         if positions.len() < 2 {
-            return Vec::new();
+            return;
         }
         let guard = self.protocol.guard_radius(range);
-        let hash = SpatialHash::build(positions, guard.clamp(1e-4, 0.25));
+        ws.hash.rebuild(positions, guard.clamp(1e-4, 0.25));
         // Enumerate candidate pairs within range.
-        let mut candidates = Vec::new();
+        ws.candidates.clear();
         for (i, &p) in positions.iter().enumerate() {
-            hash.for_each_within(p, range, |j| {
+            let candidates = &mut ws.candidates;
+            ws.hash.for_each_within(p, range, |j| {
                 if j > i {
                     candidates.push((i, j));
                 }
@@ -200,27 +280,26 @@ impl Scheduler for GreedyMatchingScheduler {
             })
             .wrapping_add(positions.len() as u64);
         let mut rng = StdRng::seed_from_u64(seed);
-        candidates.shuffle(&mut rng);
+        ws.candidates.shuffle(&mut rng);
 
-        let mut used = vec![false; positions.len()];
-        let mut active_endpoints: Vec<Point> = Vec::new();
-        let mut pairs = Vec::new();
-        'next: for (i, j) in candidates {
-            if used[i] || used[j] {
+        ws.used.clear();
+        ws.used.resize(positions.len(), false);
+        ws.active_endpoints.clear();
+        'next: for &(i, j) in &ws.candidates {
+            if ws.used[i] || ws.used[j] {
                 continue;
             }
-            for &e in &active_endpoints {
+            for &e in &ws.active_endpoints {
                 if e.torus_dist(positions[i]) < guard || e.torus_dist(positions[j]) < guard {
                     continue 'next;
                 }
             }
-            used[i] = true;
-            used[j] = true;
-            active_endpoints.push(positions[i]);
-            active_endpoints.push(positions[j]);
-            pairs.push(ScheduledPair::new(i, j));
+            ws.used[i] = true;
+            ws.used[j] = true;
+            ws.active_endpoints.push(positions[i]);
+            ws.active_endpoints.push(positions[j]);
+            out.push(ScheduledPair::new(i, j));
         }
-        pairs
     }
 
     fn delta(&self) -> f64 {

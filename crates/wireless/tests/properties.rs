@@ -3,6 +3,7 @@
 use hycap_geom::Point;
 use hycap_wireless::{
     schedule::sstar_violations, GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler,
+    SlotWorkspace,
 };
 use proptest::prelude::*;
 
@@ -76,6 +77,29 @@ proptest! {
         prop_assert_eq!(s.schedule(&positions, range), s.schedule(&positions, range));
         let g = GreedyMatchingScheduler::new(0.5);
         prop_assert_eq!(g.schedule(&positions, range), g.schedule(&positions, range));
+    }
+
+    /// One workspace reused across a sequence of slots yields bit-identical
+    /// schedules to the fresh-allocation path, for both policies — carrying
+    /// state over from earlier (differently sized) snapshots must not leak
+    /// into later slots.
+    #[test]
+    fn workspace_reuse_is_bit_identical(
+        slots in prop::collection::vec(
+            (arb_positions(100), 0.01f64..0.15),
+            1..5,
+        ),
+    ) {
+        let s = SStarScheduler::new(0.5);
+        let g = GreedyMatchingScheduler::new(0.5);
+        let mut ws = SlotWorkspace::new();
+        let mut out = Vec::new();
+        for (positions, range) in &slots {
+            s.schedule_into(positions, *range, &mut ws, &mut out);
+            prop_assert_eq!(&out, &s.schedule(positions, *range));
+            g.schedule_into(positions, *range, &mut ws, &mut out);
+            prop_assert_eq!(&out, &g.schedule(positions, *range));
+        }
     }
 
     /// Pair normalization is canonical and involution-free.

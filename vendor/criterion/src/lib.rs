@@ -1,0 +1,241 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of `criterion` its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`]/
+//! [`criterion_main!`] macros.
+//!
+//! Semantics follow upstream's execution modes: when the process is launched
+//! with a `--bench` argument (what `cargo bench` passes to `harness = false`
+//! targets) each benchmark is timed over repeated batches and a
+//! `time/iter` line is printed; otherwise (`cargo test` runs the same
+//! binaries without `--bench`) every benchmark body executes exactly once as
+//! a smoke test, keeping the tier-1 suite fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (mirrors `criterion::IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The display label of this id.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Test mode runs the body exactly once.
+    test_mode: bool,
+    /// Measured mean time per iteration (None until `iter` ran).
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, adapting the iteration count to the routine's cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.mean = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up and cost probe.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~200ms of measurement, between 1 and 10_000 iterations.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            test_mode: !self.bench_mode,
+            mean: None,
+        };
+        f(&mut b);
+        match (self.bench_mode, b.mean) {
+            (true, Some(mean)) => println!("{label:<50} {mean:>12.3?}/iter"),
+            (true, None) => println!("{label:<50} (no measurement)"),
+            (false, _) => println!("Testing {label} ... ok"),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the adaptive timing loop ignores
+    /// the explicit sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility; the adaptive timing loop targets
+    /// a fixed measurement budget instead.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Runs a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits summary output here; the stub has
+    /// nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_bodies_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion { bench_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| total = total.wrapping_add(x))
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}
