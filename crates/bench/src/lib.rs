@@ -17,6 +17,7 @@
 //! | `fig3` | Figure 3: capacity-exponent phase diagrams for ϕ ∈ {0, −½} |
 //! | `lemmas` | Monte-Carlo checks of Thm 1, Lemma 1, Lemma 3, Lemma 12, Cor 1 |
 //! | `ablations` | R_T sweep, BS-placement invariance (Thm 6), ϕ sweep, S* vs greedy |
+//! | `degradation` | capacity vs BS-failure fraction: Θ(min(k²c/n, k/n)) under k → k_alive |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,9 +2,11 @@
 //! is unit-testable without capturing stdout.
 
 use crate::args::{ArgError, Args};
-use hycap::{theory as laws, MobilityRegime, ModelExponents, Scenario};
+use hycap::{theory as laws, MobilityRegime, ModelExponents, Realization, Scenario};
+use hycap_errors::HycapError;
 use hycap_mobility::MobilityKind;
-use hycap_sim::fit_loglog;
+use hycap_routing::SchemeBPlan;
+use hycap_sim::{fit_loglog, FaultInjector, FaultSchedule, FluidEngine, OutagePolicy};
 use std::fmt::Write as _;
 
 /// Usage text shared by `help` and error paths.
@@ -19,6 +21,9 @@ USAGE:
   hycap sweep    --alpha A --m M --r R --k K --phi P
                  [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
   hycap surface  --phi P [--res 21]
+  hycap degrade  --alpha A --m M --r R --k K --phi P --n N
+                 [--fail-frac F] [--outage-p P] [--outage-seed Y]
+                 [--cells C] [--slots S] [--seed X] [--occupy]
 
 EXPONENTS (the paper's model family):
   --alpha  network side f(n) = n^alpha, alpha in [0, 1/2]
@@ -28,6 +33,13 @@ EXPONENTS (the paper's model family):
   --phi    backbone mu_c = k*c(n) = n^phi
   --static treat nodes as static (forces the trivial regime)
   --no-bs  remove the infrastructure
+
+FAULTS (degrade subcommand):
+  --fail-frac F   crash this fraction of the BSs at slot 0 (default 0.25)
+  --outage-p P    per-slot Bernoulli BS outage probability (default 0)
+  --outage-seed Y seed of the outage process (default 1)
+  --cells C       BS groups per side (default: auto, ~4 BSs per group)
+  --occupy        dead BSs keep occupying spectrum instead of radio-off
 ";
 
 type CmdResult = Result<String, Box<dyn std::error::Error>>;
@@ -190,6 +202,125 @@ pub fn sweep(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// `hycap degrade` — scheme-B capacity under base-station failures: the
+/// fault-free baseline next to the degraded measurement, with the graceful-
+/// degradation accounting (fallback flows, outage slots, fault tally).
+pub fn degrade(args: &Args) -> CmdResult {
+    let exps = exponents(args)?;
+    let n: usize = args.require("n")?;
+    let slots: usize = args.get_or("slots", 300)?;
+    let fail_frac: f64 = args.get_or("fail-frac", 0.25)?;
+    if !(0.0..=1.0).contains(&fail_frac) {
+        return Err(HycapError::invalid(
+            "fail-frac",
+            format!("failure fraction must lie in [0, 1], got {fail_frac}"),
+        )
+        .into());
+    }
+    let outage_p: f64 = args.get_or("outage-p", 0.0)?;
+    let outage_seed: u64 = args.get_or("outage-seed", 1)?;
+    // 0 = auto: average four BSs per group, so random placement leaves
+    // every group non-empty with decent probability even at small k.
+    let cells_arg: usize = args.get_or("cells", 0)?;
+    let policy = if args.flag("occupy") {
+        OutagePolicy::OccupySpectrum
+    } else {
+        OutagePolicy::RadioOff
+    };
+    let sc = scenario(args, exps, n)?;
+    let Realization {
+        mut net,
+        traffic,
+        params,
+        mut rng,
+    } = sc.realize();
+    let Some(bs) = net.base_stations().cloned() else {
+        return Err(HycapError::MissingInfrastructure("the degrade command").into());
+    };
+    let k = bs.len();
+    let cells = if cells_arg == 0 {
+        (((k as f64) / 4.0).sqrt().floor() as usize).max(1)
+    } else {
+        cells_arg
+    };
+    let homes = net.population().home_points().points().to_vec();
+    let plan = SchemeBPlan::try_build(&homes, &traffic, &bs, cells)?;
+    let dead = ((fail_frac * k as f64).round() as usize).min(k);
+    let mut schedule = FaultSchedule::empty();
+    for b in 0..dead {
+        schedule = schedule.crash_bs(0, b);
+    }
+    if outage_p > 0.0 {
+        schedule = schedule.with_bernoulli_bs_outage(outage_p, outage_seed);
+    }
+    let engine = FluidEngine::default();
+    // Fault-free baseline on an identical realization (same scenario seed).
+    let Realization {
+        net: mut base_net,
+        rng: mut base_rng,
+        ..
+    } = sc.realize();
+    let baseline = engine.measure_scheme_b(&mut base_net, &plan, slots, &mut base_rng);
+    let mut injector = FaultInjector::new(k, &schedule)?;
+    let report = engine.measure_scheme_b_with_faults(
+        &mut net,
+        &plan,
+        slots,
+        &mut injector,
+        policy,
+        &mut rng,
+    )?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "realized: n = {}, k = {}, c = {:.5}, cells = {cells}x{cells}",
+        params.n, params.k, params.c
+    )?;
+    writeln!(
+        out,
+        "faults:   {dead}/{k} BSs crashed at slot 0 ({:.0}%), outage p = {outage_p}, policy = {}",
+        100.0 * fail_frac,
+        if args.flag("occupy") {
+            "occupy-spectrum"
+        } else {
+            "radio-off"
+        }
+    )?;
+    writeln!(out, "baseline: lambda = {:.6}", baseline.lambda)?;
+    let retained = if baseline.lambda > 0.0 {
+        100.0 * report.base.lambda / baseline.lambda
+    } else {
+        0.0
+    };
+    writeln!(
+        out,
+        "degraded: lambda = {:.6} ({retained:.1}% of baseline)",
+        report.base.lambda
+    )?;
+    writeln!(
+        out,
+        "alive:    mean k_alive = {:.2}, outage slots = {}/{}",
+        report.k_alive_mean, report.outage_slots, slots
+    )?;
+    writeln!(
+        out,
+        "flows:    infra = {}, ad-hoc fallback = {} ({:.1}%), dead groups = {}",
+        report.infra_flows,
+        report.fallback_flows,
+        100.0 * report.fallback_fraction(),
+        report.dead_groups
+    )?;
+    writeln!(
+        out,
+        "tally:    crashes = {}, repairs = {}, wire cuts = {}, transient outages = {}",
+        report.tally.bs_crashes,
+        report.tally.bs_repairs,
+        report.tally.wire_cuts,
+        report.tally.bernoulli_bs_outages
+    )?;
+    Ok(out)
+}
+
 /// `hycap surface` — the Figure 3 exponent surface as text rows.
 pub fn surface(args: &Args) -> CmdResult {
     let phi: f64 = args.get_or("phi", 0.0)?;
@@ -275,6 +406,41 @@ mod tests {
         let out = surface(&args("surface --phi 0 --res 5")).unwrap();
         assert_eq!(out.lines().count(), 2 + 5);
         assert!(out.contains("-0.5") || out.contains("-0.500"));
+    }
+
+    #[test]
+    fn degrade_reports_baseline_and_degraded() {
+        let out = degrade(&args(
+            "degrade --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 80 --seed 3 \
+             --fail-frac 0.5 --cells 2",
+        ))
+        .unwrap();
+        assert!(out.contains("baseline: lambda ="), "{out}");
+        assert!(out.contains("degraded: lambda ="), "{out}");
+        assert!(out.contains("BSs crashed"), "{out}");
+        assert!(out.contains("fallback"), "{out}");
+    }
+
+    #[test]
+    fn degrade_without_bs_is_typed_infrastructure_error() {
+        let err = degrade(&args(
+            "degrade --alpha 0.25 --m 1.0 --k 0.5 --n 100 --slots 40 --no-bs",
+        ))
+        .unwrap_err();
+        let hycap_err = err
+            .downcast_ref::<HycapError>()
+            .expect("must surface a typed HycapError");
+        assert_eq!(hycap_err.exit_code(), 3);
+    }
+
+    #[test]
+    fn degrade_rejects_bad_fraction() {
+        let err = degrade(&args(
+            "degrade --alpha 0.25 --m 1.0 --k 0.5 --n 100 --fail-frac 1.5",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
     }
 
     #[test]

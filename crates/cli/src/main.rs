@@ -8,7 +8,12 @@
 //! hycap sweep    --alpha A --m M --r R --k K --phi P
 //!                [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
 //! hycap surface  --phi P [--res 21]
+//! hycap degrade  --alpha A --m M --r R --k K --phi P --n N
+//!                [--fail-frac F] [--outage-p P] [--slots S] [--seed X] [--occupy]
 //! ```
+//!
+//! Exit codes: 0 success; 1 unexpected failure; 2 invalid input (bad
+//! arguments or parameters); 3 missing/exhausted infrastructure.
 
 mod args;
 mod commands;
@@ -39,6 +44,7 @@ fn main() {
         "measure" => commands::measure(&parsed),
         "sweep" => commands::sweep(&parsed),
         "surface" => commands::surface(&parsed),
+        "degrade" => commands::degrade(&parsed),
         other => {
             eprintln!("error: unknown subcommand '{other}'");
             eprint!("{}", commands::USAGE);
@@ -49,7 +55,20 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_code_for(e.as_ref()));
         }
+    }
+}
+
+/// Maps an error to the documented exit codes: typed [`hycap_errors::HycapError`]s carry
+/// their own code (2 invalid input, 3 missing infrastructure), argument
+/// errors are invalid input (2), anything else is an unexpected failure (1).
+fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> i32 {
+    if let Some(he) = e.downcast_ref::<hycap_errors::HycapError>() {
+        he.exit_code()
+    } else if e.downcast_ref::<args::ArgError>().is_some() {
+        2
+    } else {
+        1
     }
 }

@@ -1,0 +1,175 @@
+//! The shared typed error surface of the hycap workspace.
+//!
+//! Public constructors and engine entry points across `hycap-infra`,
+//! `hycap-routing` and `hycap-sim` validate their parameters; the fallible
+//! (`try_*` / fault-aware) variants report violations as a [`HycapError`]
+//! instead of panicking, so long-running sweeps and the CLI can degrade
+//! gracefully — map the error to an exit code, skip the sample, keep
+//! serving — rather than unwind.
+//!
+//! The enum is hand-rolled in the `thiserror` idiom (an `Error` impl plus
+//! one `Display` arm per variant) because the build environment vendors its
+//! few external dependencies and adds no new ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Everything that can go wrong constructing a model object or running an
+/// engine with caller-supplied parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HycapError {
+    /// A scalar or structural parameter violated its documented domain.
+    InvalidParameter {
+        /// Parameter name as it appears in the API (`"k"`, `"slots"`, …).
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An id indexed past the end of the collection it addresses.
+    OutOfRange {
+        /// What the id addresses (`"base station"`, `"flow"`, …).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The collection length it was checked against.
+        len: usize,
+    },
+    /// Two inputs that must agree on a size or count do not.
+    Mismatch {
+        /// What disagreed (`"traffic matrix and home-point count"`, …).
+        what: &'static str,
+        /// Left-hand size.
+        left: usize,
+        /// Right-hand size.
+        right: usize,
+    },
+    /// An operation that needs infrastructure ran on a network without it.
+    MissingInfrastructure(
+        /// The operation that needed base stations.
+        &'static str,
+    ),
+    /// Every resource a request depends on is faulted out; there is no
+    /// degraded mode left to serve it.
+    AllResourcesDown(
+        /// The resource class that is fully dead (`"backbone wires"`, …).
+        &'static str,
+    ),
+}
+
+impl fmt::Display for HycapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HycapError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            HycapError::OutOfRange { what, index, len } => {
+                write!(f, "{what} id {index} out of range (have {len})")
+            }
+            HycapError::Mismatch { what, left, right } => {
+                write!(f, "{what} disagree: {left} vs {right}")
+            }
+            HycapError::MissingInfrastructure(op) => {
+                write!(f, "{op} requires base stations, but the network has none")
+            }
+            HycapError::AllResourcesDown(what) => {
+                write!(
+                    f,
+                    "all {what} are down; no degraded mode can serve this request"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HycapError {}
+
+impl HycapError {
+    /// Shorthand for the most common variant.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        HycapError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// The conventional process exit code for this error class: `2` for
+    /// malformed input (parameters, ranges, mismatches), `3` for a network
+    /// with nothing left to serve. The CLI maps `Err` returns through this
+    /// instead of unwinding.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            HycapError::InvalidParameter { .. }
+            | HycapError::OutOfRange { .. }
+            | HycapError::Mismatch { .. } => 2,
+            HycapError::MissingInfrastructure(_) | HycapError::AllResourcesDown(_) => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(HycapError, &str)> = vec![
+            (
+                HycapError::invalid("k", "must be positive, got 0"),
+                "invalid parameter `k`",
+            ),
+            (
+                HycapError::OutOfRange {
+                    what: "base station",
+                    index: 9,
+                    len: 4,
+                },
+                "base station id 9 out of range",
+            ),
+            (
+                HycapError::Mismatch {
+                    what: "traffic matrix and home-point count",
+                    left: 10,
+                    right: 12,
+                },
+                "10 vs 12",
+            ),
+            (
+                HycapError::MissingInfrastructure("scheme B"),
+                "requires base stations",
+            ),
+            (
+                HycapError::AllResourcesDown("backbone wires"),
+                "all backbone wires are down",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} missing {needle}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn exit_codes_partition_input_vs_outage() {
+        assert_eq!(HycapError::invalid("x", "bad").exit_code(), 2);
+        assert_eq!(
+            HycapError::OutOfRange {
+                what: "flow",
+                index: 1,
+                len: 0
+            }
+            .exit_code(),
+            2
+        );
+        assert_eq!(HycapError::MissingInfrastructure("x").exit_code(), 3);
+        assert_eq!(HycapError::AllResourcesDown("wires").exit_code(), 3);
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let boxed: Box<dyn std::error::Error> = Box::new(HycapError::invalid("n", "zero"));
+        assert!(boxed.to_string().contains("invalid parameter"));
+    }
+}

@@ -7,6 +7,8 @@
 //! *global* infrastructure because its kernel mass integrates to `Θ(1/f²)`
 //! (Proposition 1) against `k` station positions.
 
+use hycap_errors::HycapError;
+
 /// Closed-form access-phase bounds for a network of `n` MSs and `k` BSs.
 ///
 /// # Example
@@ -30,9 +32,49 @@ impl AccessBounds {
     ///
     /// Panics if `n == 0` or `k == 0`.
     pub fn new(n: usize, k: usize) -> Self {
-        assert!(n > 0, "need at least one mobile station");
-        assert!(k > 0, "need at least one base station");
-        AccessBounds { n, k }
+        Self::try_new(n, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`AccessBounds::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `n == 0` or `k == 0`.
+    pub fn try_new(n: usize, k: usize) -> Result<Self, HycapError> {
+        if n == 0 {
+            return Err(HycapError::invalid("n", "need at least one mobile station"));
+        }
+        if k == 0 {
+            return Err(HycapError::invalid("k", "need at least one base station"));
+        }
+        Ok(AccessBounds { n, k })
+    }
+
+    /// The degraded-network view after faults: the same bounds with
+    /// `k → k_alive`. This is the theory side of graceful degradation —
+    /// Theorem 4/5's `min(k²c/n, k/n)` holds for the surviving
+    /// infrastructure with `k_alive` in place of `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::AllResourcesDown`] when `k_alive == 0` (no degraded
+    /// infrastructure mode remains; fall back to pure ad hoc);
+    /// [`HycapError::OutOfRange`] when `k_alive > k`.
+    pub fn degraded(&self, k_alive: usize) -> Result<Self, HycapError> {
+        if k_alive == 0 {
+            return Err(HycapError::AllResourcesDown("base stations"));
+        }
+        if k_alive > self.k {
+            return Err(HycapError::OutOfRange {
+                what: "alive base-station count",
+                index: k_alive,
+                len: self.k,
+            });
+        }
+        Ok(AccessBounds {
+            n: self.n,
+            k: k_alive,
+        })
     }
 
     /// Lemma 9's per-MS access rate to the global infrastructure, `k/n`
@@ -109,6 +151,35 @@ mod tests {
         let at_c1 = b.infrastructure_rate(1.0);
         let at_c10 = b.infrastructure_rate(10.0);
         assert_eq!(at_c1, at_c10);
+    }
+
+    #[test]
+    fn try_new_and_degraded_views() {
+        assert!(matches!(
+            AccessBounds::try_new(0, 1),
+            Err(HycapError::InvalidParameter { name: "n", .. })
+        ));
+        assert!(matches!(
+            AccessBounds::try_new(1, 0),
+            Err(HycapError::InvalidParameter { name: "k", .. })
+        ));
+        let b = AccessBounds::new(1000, 50);
+        let d = b.degraded(10).unwrap();
+        assert!((d.per_ms_rate() - 0.01).abs() < 1e-12);
+        // Degradation is the same formula with k → k_alive.
+        assert_eq!(d, AccessBounds::new(1000, 10));
+        assert!(matches!(
+            b.degraded(0),
+            Err(HycapError::AllResourcesDown("base stations"))
+        ));
+        assert!(matches!(
+            b.degraded(51),
+            Err(HycapError::OutOfRange {
+                index: 51,
+                len: 50,
+                ..
+            })
+        ));
     }
 
     #[test]

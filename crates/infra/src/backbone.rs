@@ -8,6 +8,7 @@
 //! Phase II sustains rate `λ` iff no wire is overloaded:
 //! `λ·(flows between the squarelet pair)/(N_b(S)·N_b(D)) ≤ c(n)`.
 
+use hycap_errors::HycapError;
 use std::collections::HashMap;
 
 /// The wired core connecting `k` base stations pairwise with bandwidth `c`.
@@ -33,12 +34,29 @@ impl Backbone {
     ///
     /// Panics if `k == 0` or `c` is not positive.
     pub fn new(k: usize, c: f64) -> Self {
-        assert!(k > 0, "backbone needs at least one base station");
-        assert!(
-            c.is_finite() && c > 0.0,
-            "edge bandwidth must be positive, got {c}"
-        );
-        Backbone { k, c }
+        Self::try_new(k, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Backbone::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `k == 0` or `c` is not a
+    /// positive finite number.
+    pub fn try_new(k: usize, c: f64) -> Result<Self, HycapError> {
+        if k == 0 {
+            return Err(HycapError::invalid(
+                "k",
+                "backbone needs at least one base station",
+            ));
+        }
+        if !(c.is_finite() && c > 0.0) {
+            return Err(HycapError::invalid(
+                "c",
+                format!("edge bandwidth must be positive, got {c}"),
+            ));
+        }
+        Ok(Backbone { k, c })
     }
 
     /// Number of base stations.
@@ -101,6 +119,186 @@ impl Backbone {
         let wires = (self.k * (self.k - 1)) as f64 / 2.0;
         // Each flow consumes 2 wire-hops; per-wire load = 2·flows/wires.
         self.c * wires / (2.0 * flows)
+    }
+}
+
+/// Edge-level liveness and bandwidth mask over the wired backbone.
+///
+/// The fault-injection subsystem mutates one of these as base stations
+/// crash and wires are cut or degraded; feasibility computations then run
+/// over the *surviving* wires only. A freshly created mask is *pristine*
+/// (everything alive at full bandwidth) and masked computations take a
+/// fast path that delegates to the unmasked code, so a zero-fault run is
+/// bit-identical to the fault-free path.
+///
+/// # Example
+///
+/// ```
+/// use hycap_infra::LinkMask;
+/// let mut mask = LinkMask::new(4);
+/// assert!(mask.is_pristine());
+/// mask.set_bs_alive(2, false).unwrap();
+/// assert_eq!(mask.alive_count(), 3);
+/// assert_eq!(mask.wire_factor(2, 3), 0.0); // dead endpoint kills the wire
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkMask {
+    k: usize,
+    bs_alive: Vec<bool>,
+    /// Upper-triangular `k(k−1)/2` per-wire bandwidth factors in `[0, 1]`.
+    wire_factor: Vec<f64>,
+    /// Cached "no fault anywhere" flag; degrading mutations clear it,
+    /// repairing mutations trigger a full recheck.
+    pristine: bool,
+}
+
+impl LinkMask {
+    /// A fully-alive mask over `k` base stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "link mask needs at least one base station");
+        LinkMask {
+            k,
+            bs_alive: vec![true; k],
+            wire_factor: vec![1.0; k * (k - 1) / 2],
+            pristine: true,
+        }
+    }
+
+    /// Number of base stations the mask covers.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `true` iff every BS is alive and every wire carries full bandwidth.
+    pub fn is_pristine(&self) -> bool {
+        self.pristine
+    }
+
+    fn wire_index(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        lo * self.k - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    fn check_bs(&self, name: &'static str, b: usize) -> Result<(), HycapError> {
+        if b >= self.k {
+            return Err(HycapError::OutOfRange {
+                what: name,
+                index: b,
+                len: self.k,
+            });
+        }
+        Ok(())
+    }
+
+    fn recheck_pristine(&mut self) {
+        self.pristine =
+            self.bs_alive.iter().all(|&a| a) && self.wire_factor.iter().all(|&f| f == 1.0);
+    }
+
+    /// Marks BS `b` alive or dead.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::OutOfRange`] when `b >= k`.
+    pub fn set_bs_alive(&mut self, b: usize, alive: bool) -> Result<(), HycapError> {
+        self.check_bs("base station", b)?;
+        self.bs_alive[b] = alive;
+        if alive {
+            self.recheck_pristine();
+        } else {
+            self.pristine = false;
+        }
+        Ok(())
+    }
+
+    /// Sets the bandwidth factor of the wire `{a, b}` to `factor ∈ [0, 1]`
+    /// (`1.0` = full bandwidth, `0.0` = severed).
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::OutOfRange`] for a bad BS id;
+    /// [`HycapError::InvalidParameter`] when `a == b` (no self-wires) or
+    /// `factor` is outside `[0, 1]`.
+    pub fn set_wire_factor(&mut self, a: usize, b: usize, factor: f64) -> Result<(), HycapError> {
+        self.check_bs("base station", a)?;
+        self.check_bs("base station", b)?;
+        if a == b {
+            return Err(HycapError::invalid(
+                "wire",
+                format!("no self-wire exists at base station {a}"),
+            ));
+        }
+        if !(factor.is_finite() && (0.0..=1.0).contains(&factor)) {
+            return Err(HycapError::invalid(
+                "factor",
+                format!("wire bandwidth factor must lie in [0, 1], got {factor}"),
+            ));
+        }
+        let idx = self.wire_index(a, b);
+        self.wire_factor[idx] = factor;
+        if factor == 1.0 {
+            self.recheck_pristine();
+        } else {
+            self.pristine = false;
+        }
+        Ok(())
+    }
+
+    /// Severs the wire `{a, b}` entirely — shorthand for a zero factor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinkMask::set_wire_factor`].
+    pub fn sever_wire(&mut self, a: usize, b: usize) -> Result<(), HycapError> {
+        self.set_wire_factor(a, b, 0.0)
+    }
+
+    /// Whether BS `b` is alive. Out-of-range ids are reported dead rather
+    /// than panicking, so alive-set views can be probed safely.
+    pub fn bs_alive(&self, b: usize) -> bool {
+        b < self.k && self.bs_alive[b]
+    }
+
+    /// Effective bandwidth factor of the wire `{a, b}`: the configured
+    /// factor if both endpoints are alive, `0.0` otherwise (including
+    /// `a == b` and out-of-range ids).
+    pub fn wire_factor(&self, a: usize, b: usize) -> f64 {
+        if a == b || !self.bs_alive(a) || !self.bs_alive(b) {
+            return 0.0;
+        }
+        self.wire_factor[self.wire_index(a, b)]
+    }
+
+    /// Number of alive base stations.
+    pub fn alive_count(&self) -> usize {
+        self.bs_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Ids of the alive base stations, ascending.
+    pub fn alive_ids(&self) -> Vec<usize> {
+        (0..self.k).filter(|&b| self.bs_alive[b]).collect()
+    }
+
+    /// Sum of effective wire factors over all `k(k−1)/2` wires — the
+    /// surviving fraction of the backbone's aggregate capacity, in wires.
+    pub fn effective_edge_count(&self) -> f64 {
+        let mut total = 0.0;
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                total += self.wire_factor(a, b);
+            }
+        }
+        total
+    }
+
+    /// Per-BS surviving egress in wire units: `Σ_{b≠a} factor(a, b)`.
+    /// Zero for a dead or out-of-range BS.
+    pub fn effective_degree(&self, a: usize) -> f64 {
+        (0..self.k).map(|b| self.wire_factor(a, b)).sum()
     }
 }
 
@@ -212,6 +410,103 @@ impl BackboneLoad {
             }
         }
         best
+    }
+
+    /// Masked variant of [`BackboneLoad::max_uniform_rate`]: feasibility
+    /// over the *surviving* wires only. `members[g]` lists the BS ids of
+    /// group `g`; dead stations and cut/degraded wires shrink both the
+    /// pair-local wire pool and each group's egress bandwidth.
+    ///
+    /// With a pristine mask this delegates to the unmasked computation, so
+    /// the result is bit-identical to the fault-free path.
+    ///
+    /// Returns `Ok(0.0)` when some used group pair has no surviving wire —
+    /// the degraded answer, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::Mismatch`] when the mask covers a different BS count
+    /// than the backbone, or `members` disagrees with the group count or
+    /// the per-group BS sizes; [`HycapError::OutOfRange`] when a member id
+    /// is not a valid BS id.
+    pub fn max_uniform_rate_masked(
+        &self,
+        backbone: &Backbone,
+        mask: &LinkMask,
+        members: &[Vec<usize>],
+    ) -> Result<f64, HycapError> {
+        if mask.k() != backbone.k() {
+            return Err(HycapError::Mismatch {
+                what: "link mask and backbone BS counts",
+                left: mask.k(),
+                right: backbone.k(),
+            });
+        }
+        if members.len() != self.group_sizes.len() {
+            return Err(HycapError::Mismatch {
+                what: "member lists and group count",
+                left: members.len(),
+                right: self.group_sizes.len(),
+            });
+        }
+        for (g, list) in members.iter().enumerate() {
+            if list.len() != self.group_sizes[g] {
+                return Err(HycapError::Mismatch {
+                    what: "group member list and declared group size",
+                    left: list.len(),
+                    right: self.group_sizes[g],
+                });
+            }
+            for &b in list {
+                if b >= backbone.k() {
+                    return Err(HycapError::OutOfRange {
+                        what: "base station",
+                        index: b,
+                        len: backbone.k(),
+                    });
+                }
+            }
+        }
+        if mask.is_pristine() {
+            return Ok(self.max_uniform_rate(backbone));
+        }
+
+        if self.flows.is_empty() {
+            return Ok(f64::INFINITY);
+        }
+        let c = backbone.edge_bandwidth();
+        let mut best = f64::INFINITY;
+        // Pair-local constraint over surviving wires:
+        // λ·flows ≤ c·Σ_{a∈S, b∈D} factor(a, b).
+        for (&(s, d), &count) in &self.flows {
+            let mut eff_wires = 0.0;
+            for &a in &members[s] {
+                for &b in &members[d] {
+                    eff_wires += mask.wire_factor(a, b);
+                }
+            }
+            if eff_wires == 0.0 {
+                return Ok(0.0);
+            }
+            best = best.min(c * eff_wires / count);
+        }
+        // Per-group egress constraint: traffic touching group g is limited
+        // by the total surviving wire bandwidth of its alive stations.
+        let mut group_flow = vec![0.0f64; self.group_sizes.len()];
+        for (&(s, d), &count) in &self.flows {
+            group_flow[s] += count;
+            group_flow[d] += count;
+        }
+        for (g, &flow) in group_flow.iter().enumerate() {
+            if flow > 0.0 {
+                let egress: f64 = members[g].iter().map(|&a| mask.effective_degree(a)).sum();
+                if egress == 0.0 {
+                    return Ok(0.0);
+                }
+                best = best.min(c * egress / flow);
+            }
+        }
+        Ok(best)
     }
 
     /// Per-pair wire utilization at rate `lambda`, for reporting: returns
@@ -356,6 +651,135 @@ mod tests {
         assert_eq!(Backbone::new(1, 1.0).valiant_uniform_rate(5.0), 0.0);
         // 45 wires, c = 0.5, 9 flows: 0.5·45/18 = 1.25.
         assert!((bb.valiant_uniform_rate(9.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert!(matches!(
+            Backbone::try_new(0, 1.0),
+            Err(HycapError::InvalidParameter { name: "k", .. })
+        ));
+        assert!(matches!(
+            Backbone::try_new(3, 0.0),
+            Err(HycapError::InvalidParameter { name: "c", .. })
+        ));
+        assert!(Backbone::try_new(3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn pristine_mask_is_bit_identical() {
+        let bb = Backbone::new(6, 0.3);
+        let mut load = BackboneLoad::new(vec![2, 2, 2]);
+        load.add_flows(0, 1, 7.0);
+        load.add_flows(1, 2, 3.0);
+        let members = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let mask = LinkMask::new(6);
+        let masked = load.max_uniform_rate_masked(&bb, &mask, &members).unwrap();
+        let plain = load.max_uniform_rate(&bb);
+        assert_eq!(masked.to_bits(), plain.to_bits());
+    }
+
+    #[test]
+    fn dead_bs_shrinks_rate() {
+        let bb = Backbone::new(4, 1.0);
+        let mut load = BackboneLoad::new(vec![2, 2]);
+        load.add_flows(0, 1, 8.0);
+        let members = vec![vec![0, 1], vec![2, 3]];
+        let mut mask = LinkMask::new(4);
+        mask.set_bs_alive(1, false).unwrap();
+        // Surviving wires between the groups: {0,2}, {0,3} → 2 of 4.
+        let rate = load.max_uniform_rate_masked(&bb, &mask, &members).unwrap();
+        assert!((rate - 0.25).abs() < 1e-12, "rate {rate}");
+    }
+
+    #[test]
+    fn severed_pair_yields_zero_not_error() {
+        let bb = Backbone::new(2, 1.0);
+        let mut load = BackboneLoad::new(vec![1, 1]);
+        load.add_flows(0, 1, 1.0);
+        let members = vec![vec![0], vec![1]];
+        let mut mask = LinkMask::new(2);
+        mask.sever_wire(0, 1).unwrap();
+        assert_eq!(
+            load.max_uniform_rate_masked(&bb, &mask, &members).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn degraded_wire_scales_rate() {
+        let bb = Backbone::new(2, 1.0);
+        let mut load = BackboneLoad::new(vec![1, 1]);
+        load.add_flows(0, 1, 2.0);
+        let members = vec![vec![0], vec![1]];
+        let mut mask = LinkMask::new(2);
+        mask.set_wire_factor(0, 1, 0.5).unwrap();
+        let rate = load.max_uniform_rate_masked(&bb, &mask, &members).unwrap();
+        assert!((rate - 0.25).abs() < 1e-12, "rate {rate}");
+    }
+
+    #[test]
+    fn mask_repair_restores_pristine() {
+        let mut mask = LinkMask::new(3);
+        mask.set_bs_alive(0, false).unwrap();
+        mask.set_wire_factor(1, 2, 0.3).unwrap();
+        assert!(!mask.is_pristine());
+        mask.set_bs_alive(0, true).unwrap();
+        assert!(!mask.is_pristine());
+        mask.set_wire_factor(1, 2, 1.0).unwrap();
+        assert!(mask.is_pristine());
+        assert_eq!(mask.alive_ids(), vec![0, 1, 2]);
+        assert_eq!(mask.effective_edge_count(), 3.0);
+    }
+
+    #[test]
+    fn mask_rejects_bad_ids_and_factors() {
+        let mut mask = LinkMask::new(3);
+        assert!(matches!(
+            mask.set_bs_alive(3, false),
+            Err(HycapError::OutOfRange {
+                index: 3,
+                len: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            mask.set_wire_factor(0, 0, 0.5),
+            Err(HycapError::InvalidParameter { name: "wire", .. })
+        ));
+        assert!(matches!(
+            mask.set_wire_factor(0, 1, 1.5),
+            Err(HycapError::InvalidParameter { name: "factor", .. })
+        ));
+        assert!(!mask.bs_alive(99));
+        assert_eq!(mask.wire_factor(0, 99), 0.0);
+    }
+
+    #[test]
+    fn masked_validates_shapes() {
+        let bb = Backbone::new(4, 1.0);
+        let mut load = BackboneLoad::new(vec![2, 2]);
+        load.add_flows(0, 1, 1.0);
+        let mask = LinkMask::new(3);
+        assert!(matches!(
+            load.max_uniform_rate_masked(&bb, &mask, &[vec![0, 1], vec![2, 3]]),
+            Err(HycapError::Mismatch {
+                left: 3,
+                right: 4,
+                ..
+            })
+        ));
+        let mask = LinkMask::new(4);
+        assert!(load
+            .max_uniform_rate_masked(&bb, &mask, &[vec![0, 1]])
+            .is_err());
+        assert!(load
+            .max_uniform_rate_masked(&bb, &mask, &[vec![0], vec![2, 3]])
+            .is_err());
+        assert!(matches!(
+            load.max_uniform_rate_masked(&bb, &mask, &[vec![0, 9], vec![2, 3]]),
+            Err(HycapError::OutOfRange { index: 9, .. })
+        ));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cells;
 pub mod placement;
 
 pub use access::AccessBounds;
-pub use backbone::{Backbone, BackboneLoad};
+pub use backbone::{Backbone, BackboneLoad, LinkMask};
 pub use cells::{CellularLayout, ClusterCells};
+pub use hycap_errors::HycapError;
 pub use placement::{BaseStations, BsPlacement};

@@ -1,5 +1,7 @@
 //! Base-station deployment models (Section II-A and Theorem 6).
 
+use crate::backbone::LinkMask;
+use hycap_errors::HycapError;
 use hycap_geom::{Point, SquareGrid, Torus};
 use hycap_mobility::{HomePoints, Kernel};
 use rand::Rng;
@@ -180,14 +182,83 @@ impl BaseStations {
             .map(|(i, _)| i)
             .collect()
     }
+
+    /// Fallible form of [`BaseStations::generate_uniform`].
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `k == 0` or `bandwidth` is not
+    /// a positive finite number.
+    pub fn try_generate_uniform<R: Rng + ?Sized>(
+        k: usize,
+        bandwidth: f64,
+        rng: &mut R,
+    ) -> Result<Self, HycapError> {
+        try_validate(k, bandwidth)?;
+        Ok(Self::generate_uniform(k, bandwidth, rng))
+    }
+
+    /// Fallible form of [`BaseStations::generate_regular`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaseStations::try_generate_uniform`].
+    pub fn try_generate_regular(k: usize, bandwidth: f64) -> Result<Self, HycapError> {
+        try_validate(k, bandwidth)?;
+        Ok(Self::generate_regular(k, bandwidth))
+    }
+
+    /// Ids of BSs that are alive under `mask` — the degraded infrastructure
+    /// view the routing and simulation layers work against during faults.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::Mismatch`] when the mask covers a different BS count.
+    pub fn alive_ids(&self, mask: &LinkMask) -> Result<Vec<usize>, HycapError> {
+        self.check_mask(mask)?;
+        Ok(mask.alive_ids())
+    }
+
+    /// `(id, position)` pairs of the alive BSs under `mask`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaseStations::alive_ids`].
+    pub fn alive_positions(&self, mask: &LinkMask) -> Result<Vec<(usize, Point)>, HycapError> {
+        self.check_mask(mask)?;
+        Ok((0..self.len())
+            .filter(|&b| mask.bs_alive(b))
+            .map(|b| (b, self.positions[b]))
+            .collect())
+    }
+
+    fn check_mask(&self, mask: &LinkMask) -> Result<(), HycapError> {
+        if mask.k() != self.len() {
+            return Err(HycapError::Mismatch {
+                what: "link mask and base-station counts",
+                left: mask.k(),
+                right: self.len(),
+            });
+        }
+        Ok(())
+    }
 }
 
 fn validate(k: usize, bandwidth: f64) {
-    assert!(k > 0, "need at least one base station");
-    assert!(
-        bandwidth.is_finite() && bandwidth > 0.0,
-        "backbone bandwidth c(n) must be positive, got {bandwidth}"
-    );
+    try_validate(k, bandwidth).unwrap_or_else(|e| panic!("{e}"));
+}
+
+fn try_validate(k: usize, bandwidth: f64) -> Result<(), HycapError> {
+    if k == 0 {
+        return Err(HycapError::invalid("k", "need at least one base station"));
+    }
+    if !(bandwidth.is_finite() && bandwidth > 0.0) {
+        return Err(HycapError::invalid(
+            "bandwidth",
+            format!("backbone bandwidth c(n) must be positive, got {bandwidth}"),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -280,6 +351,52 @@ mod tests {
             }
         }
         assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn try_generate_reports_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            BaseStations::try_generate_uniform(0, 1.0, &mut rng),
+            Err(HycapError::InvalidParameter { name: "k", .. })
+        ));
+        assert!(matches!(
+            BaseStations::try_generate_regular(4, f64::NAN),
+            Err(HycapError::InvalidParameter {
+                name: "bandwidth",
+                ..
+            })
+        ));
+        assert_eq!(
+            BaseStations::try_generate_uniform(4, 1.0, &mut rng)
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn alive_views_follow_the_mask() {
+        let bs = BaseStations::generate_regular(4, 1.0);
+        let mut mask = LinkMask::new(4);
+        mask.set_bs_alive(1, false).unwrap();
+        mask.set_bs_alive(3, false).unwrap();
+        assert_eq!(bs.alive_ids(&mask).unwrap(), vec![0, 2]);
+        let alive = bs.alive_positions(&mask).unwrap();
+        assert_eq!(alive.len(), 2);
+        assert_eq!(alive[0].0, 0);
+        assert_eq!(alive[0].1, bs.positions()[0]);
+        assert_eq!(alive[1].0, 2);
+        // Mismatched mask is a typed error, not a panic.
+        let wrong = LinkMask::new(5);
+        assert!(matches!(
+            bs.alive_ids(&wrong),
+            Err(HycapError::Mismatch {
+                left: 5,
+                right: 4,
+                ..
+            })
+        ));
     }
 
     #[test]

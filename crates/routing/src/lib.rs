@@ -36,7 +36,7 @@ pub use baselines::{
     clustered_connectivity_range, clustered_static_rate, StaticMultihopPlan, TwoHopPlan,
 };
 pub use scheme_a::{edge_key, EdgeKey, SchemeAPlan};
-pub use scheme_b::{FlowB, SchemeBPlan};
+pub use scheme_b::{DegradedSchemeB, FlowB, SchemeBPlan};
 pub use scheme_c::SchemeCPlan;
 pub use scheme_l::SchemeLPlan;
 pub use traffic::TrafficMatrix;

@@ -12,8 +12,9 @@
 //! module's plan type via [`SchemeBPlan::by_clusters`].
 
 use crate::TrafficMatrix;
+use hycap_errors::HycapError;
 use hycap_geom::{Point, SquareGrid};
-use hycap_infra::{Backbone, BackboneLoad, BaseStations};
+use hycap_infra::{Backbone, BackboneLoad, BaseStations, LinkMask};
 
 /// One scheme-B flow: endpoints plus their (source, destination) groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,35 @@ impl SchemeBPlan {
     ) -> Self {
         let all: Vec<usize> = (0..traffic.len()).collect();
         Self::build_for_flows(ms_homes, traffic, bs, cells_per_side, &all)
+    }
+
+    /// Fallible form of [`SchemeBPlan::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::Mismatch`] when the traffic matrix and home-point
+    /// counts disagree; [`HycapError::InvalidParameter`] when
+    /// `cells_per_side == 0`.
+    pub fn try_build(
+        ms_homes: &[Point],
+        traffic: &TrafficMatrix,
+        bs: &BaseStations,
+        cells_per_side: usize,
+    ) -> Result<Self, HycapError> {
+        if ms_homes.len() != traffic.len() {
+            return Err(HycapError::Mismatch {
+                what: "traffic matrix and home-point count",
+                left: traffic.len(),
+                right: ms_homes.len(),
+            });
+        }
+        if cells_per_side == 0 {
+            return Err(HycapError::invalid(
+                "cells_per_side",
+                "squarelet grid needs at least one cell per side",
+            ));
+        }
+        Ok(Self::build(ms_homes, traffic, bs, cells_per_side))
     }
 
     /// Like [`SchemeBPlan::build`], but only the listed flows contribute to
@@ -264,6 +294,172 @@ impl SchemeBPlan {
         }
         rate
     }
+
+    /// Re-routes the plan around dead base stations: flows whose source
+    /// *and* destination groups both keep at least one alive BS stay on the
+    /// infrastructure (with access and backbone loads recomputed over the
+    /// survivors); flows touching a fully-dead BS group fall back to pure
+    /// ad-hoc scheme-A relaying. This is scheme B's graceful-degradation
+    /// policy — partial BS loss shrinks capacity, it never strands traffic.
+    ///
+    /// `alive_bs[b]` is the liveness of global BS id `b` (the ids stored in
+    /// [`SchemeBPlan::bs_members`]). The classification covers every flow in
+    /// [`SchemeBPlan::flows`], i.e. plans compiled by [`SchemeBPlan::build`]
+    /// or [`SchemeBPlan::by_clusters`] where all flows are routed.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::Mismatch`] when `alive_bs` does not cover exactly the
+    /// plan's BS population.
+    pub fn degrade(&self, alive_bs: &[bool]) -> Result<DegradedSchemeB, HycapError> {
+        let total_bs: usize = self.bs_count.iter().sum();
+        if alive_bs.len() != total_bs {
+            return Err(HycapError::Mismatch {
+                what: "alive flags and base-station count",
+                left: alive_bs.len(),
+                right: total_bs,
+            });
+        }
+        let mut alive_bs_count = vec![0usize; self.group_count];
+        let mut alive_bs_members = vec![Vec::new(); self.group_count];
+        for g in 0..self.group_count {
+            for &b in &self.bs_members[g] {
+                if alive_bs[b] {
+                    alive_bs_count[g] += 1;
+                    alive_bs_members[g].push(b);
+                }
+            }
+        }
+        let dead_groups: Vec<usize> = (0..self.group_count)
+            .filter(|&g| self.bs_count[g] > 0 && alive_bs_count[g] == 0)
+            .collect();
+        let mut infra_flows = Vec::new();
+        let mut fallback_flows = Vec::new();
+        let mut access_load = vec![0.0f64; self.group_count];
+        let mut backbone_load = BackboneLoad::new(alive_bs_count.clone());
+        for f in &self.flows {
+            if alive_bs_count[f.src_group] > 0 && alive_bs_count[f.dst_group] > 0 {
+                access_load[f.src_group] += 1.0;
+                access_load[f.dst_group] += 1.0;
+                backbone_load.add_flows(f.src_group, f.dst_group, 1.0);
+                infra_flows.push(*f);
+            } else {
+                fallback_flows.push(*f);
+            }
+        }
+        Ok(DegradedSchemeB {
+            group_count: self.group_count,
+            alive_bs_count,
+            alive_bs_members,
+            dead_groups,
+            infra_flows,
+            fallback_flows,
+            access_load,
+            backbone_load,
+        })
+    }
+}
+
+/// A [`SchemeBPlan`] re-routed around dead base stations: the surviving
+/// infrastructure flows with their recomputed loads, plus the flows that
+/// fell back to pure ad-hoc relaying.
+#[derive(Debug, Clone)]
+pub struct DegradedSchemeB {
+    group_count: usize,
+    alive_bs_count: Vec<usize>,
+    alive_bs_members: Vec<Vec<usize>>,
+    dead_groups: Vec<usize>,
+    infra_flows: Vec<FlowB>,
+    fallback_flows: Vec<FlowB>,
+    access_load: Vec<f64>,
+    backbone_load: BackboneLoad,
+}
+
+impl DegradedSchemeB {
+    /// Number of groups (unchanged from the parent plan).
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// Alive BS count per group.
+    pub fn alive_bs_count(&self) -> &[usize] {
+        &self.alive_bs_count
+    }
+
+    /// Alive BS ids in a group.
+    pub fn alive_bs_members(&self, group: usize) -> &[usize] {
+        &self.alive_bs_members[group]
+    }
+
+    /// Groups that hosted BSs but lost all of them — their homed traffic is
+    /// on the ad-hoc fallback until a repair.
+    pub fn dead_groups(&self) -> &[usize] {
+        &self.dead_groups
+    }
+
+    /// Flows still served by the infrastructure.
+    pub fn infra_flows(&self) -> &[FlowB] {
+        &self.infra_flows
+    }
+
+    /// Flows re-routed to pure ad-hoc scheme-A relaying.
+    pub fn fallback_flows(&self) -> &[FlowB] {
+        &self.fallback_flows
+    }
+
+    /// Fraction of flows that fell back to ad hoc, in `[0, 1]`.
+    pub fn fallback_fraction(&self) -> f64 {
+        let total = self.infra_flows.len() + self.fallback_flows.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.fallback_flows.len() as f64 / total as f64
+    }
+
+    /// Per-group access load over the infrastructure flows only.
+    pub fn access_load(&self) -> &[f64] {
+        &self.access_load
+    }
+
+    /// The degraded phase-II load matrix (group sizes = alive BS counts).
+    pub fn backbone_load(&self) -> &BackboneLoad {
+        &self.backbone_load
+    }
+
+    /// Analytic sustainable rate of the *infrastructure* flows under the
+    /// wire mask: the degraded counterpart of
+    /// [`SchemeBPlan::analytic_rate`], with phases I/III granted only the
+    /// alive BSs and phase II computed over surviving wires.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `access_share` is outside
+    /// `(0, 1]`, plus anything [`BackboneLoad::max_uniform_rate_masked`]
+    /// reports for a malformed mask.
+    pub fn analytic_rate(
+        &self,
+        backbone: &Backbone,
+        mask: &LinkMask,
+        access_share: f64,
+    ) -> Result<f64, HycapError> {
+        if !(access_share > 0.0 && access_share <= 1.0) {
+            return Err(HycapError::invalid(
+                "access_share",
+                format!("access share must be in (0, 1], got {access_share}"),
+            ));
+        }
+        let mut rate =
+            self.backbone_load
+                .max_uniform_rate_masked(backbone, mask, &self.alive_bs_members)?;
+        for g in 0..self.group_count {
+            if self.access_load[g] > 0.0 {
+                // Infra flows only touch groups with alive BSs, so the
+                // division is well-defined by construction.
+                rate = rate.min(access_share * self.alive_bs_count[g] as f64 / self.access_load[g]);
+            }
+        }
+        Ok(rate)
+    }
 }
 
 #[cfg(test)]
@@ -396,5 +592,97 @@ mod tests {
         let (homes, traffic, bs, _) = setup(20, 8, 9);
         let plan = SchemeBPlan::build(&homes, &traffic, &bs, 2);
         let _ = plan.analytic_rate(&Backbone::new(8, 1.0), 0.0);
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let (homes, traffic, bs, _) = setup(30, 8, 10);
+        assert!(matches!(
+            SchemeBPlan::try_build(&homes[..29], &traffic, &bs, 4),
+            Err(HycapError::Mismatch {
+                left: 30,
+                right: 29,
+                ..
+            })
+        ));
+        assert!(matches!(
+            SchemeBPlan::try_build(&homes, &traffic, &bs, 0),
+            Err(HycapError::InvalidParameter {
+                name: "cells_per_side",
+                ..
+            })
+        ));
+        assert!(SchemeBPlan::try_build(&homes, &traffic, &bs, 4).is_ok());
+    }
+
+    #[test]
+    fn degrade_all_alive_changes_nothing() {
+        let (homes, traffic, _, _) = setup(120, 64, 11);
+        let bs = BaseStations::generate_regular(64, 1.0);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        let degraded = plan.degrade(&vec![true; 64]).unwrap();
+        assert!(degraded.fallback_flows().is_empty());
+        assert_eq!(degraded.infra_flows().len(), plan.flows().len());
+        assert_eq!(degraded.dead_groups(), &[] as &[usize]);
+        assert_eq!(degraded.access_load(), plan.access_load());
+        assert_eq!(degraded.alive_bs_count(), plan.bs_count());
+        assert_eq!(degraded.fallback_fraction(), 0.0);
+        // Pristine mask ⇒ rate bit-identical to the fault-free analytic rate.
+        let backbone = Backbone::new(64, 1.0);
+        let mask = LinkMask::new(64);
+        let got = degraded.analytic_rate(&backbone, &mask, 1.0).unwrap();
+        let want = plan.analytic_rate(&backbone, 1.0);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn degrade_routes_around_dead_group() {
+        let (homes, traffic, _, _) = setup(200, 64, 12);
+        let bs = BaseStations::generate_regular(64, 1.0);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        // Kill every BS of group 0 (a 4x4-grid squarelet holding 4 BSs).
+        let mut alive = vec![true; 64];
+        for &b in plan.bs_members(0) {
+            alive[b] = false;
+        }
+        assert!(!plan.bs_members(0).is_empty());
+        let degraded = plan.degrade(&alive).unwrap();
+        assert_eq!(degraded.dead_groups(), &[0]);
+        assert_eq!(degraded.alive_bs_count()[0], 0);
+        // Exactly the flows touching group 0 fell back.
+        for f in degraded.fallback_flows() {
+            assert!(f.src_group == 0 || f.dst_group == 0, "{f:?}");
+        }
+        for f in degraded.infra_flows() {
+            assert!(f.src_group != 0 && f.dst_group != 0, "{f:?}");
+        }
+        assert_eq!(
+            degraded.infra_flows().len() + degraded.fallback_flows().len(),
+            plan.flows().len()
+        );
+        // Dead group carries no degraded access load.
+        assert_eq!(degraded.access_load()[0], 0.0);
+        // The degraded infra rate is still positive: survivors keep serving.
+        let backbone = Backbone::new(64, 1.0);
+        let mut mask = LinkMask::new(64);
+        for &b in plan.bs_members(0) {
+            mask.set_bs_alive(b, false).unwrap();
+        }
+        let rate = degraded.analytic_rate(&backbone, &mask, 1.0).unwrap();
+        assert!(rate > 0.0, "rate {rate}");
+    }
+
+    #[test]
+    fn degrade_validates_alive_length() {
+        let (homes, traffic, bs, _) = setup(40, 16, 13);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        assert!(matches!(
+            plan.degrade(&vec![true; 15]),
+            Err(HycapError::Mismatch {
+                left: 15,
+                right: 16,
+                ..
+            })
+        ));
     }
 }

@@ -64,9 +64,10 @@ impl HybridNetwork {
         self.bs.as_ref()
     }
 
-    /// Returns `true` when `id` addresses a base station.
+    /// Returns `true` when `id` addresses a base station. Ids past the node
+    /// population (`id >= n + k`) address nothing and return `false`.
     pub fn is_bs(&self, id: usize) -> bool {
-        id >= self.n()
+        id >= self.n() && id < self.total_nodes()
     }
 
     /// Advances the mobility processes one slot and writes the combined
@@ -103,6 +104,9 @@ mod tests {
         assert_eq!(net.total_nodes(), 20);
         assert!(net.base_stations().is_none());
         assert!(!net.is_bs(19));
+        // No infrastructure: nothing past the MS range is a BS.
+        assert!(!net.is_bs(20));
+        assert!(!net.is_bs(usize::MAX));
     }
 
     #[test]
@@ -115,6 +119,9 @@ mod tests {
         assert!(net.is_bs(20));
         assert!(net.is_bs(24));
         assert!(!net.is_bs(19));
+        // Out-of-range ids are not base stations either.
+        assert!(!net.is_bs(25));
+        assert!(!net.is_bs(usize::MAX));
     }
 
     #[test]

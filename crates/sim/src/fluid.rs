@@ -16,7 +16,9 @@
 //! averages replaced by finite-sample estimates. The packet-level engine
 //! ([`crate::packet`]) validates these estimates with real queues.
 
+use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
 use crate::HybridNetwork;
+use hycap_errors::HycapError;
 use hycap_geom::Point;
 use hycap_infra::Backbone;
 use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
@@ -60,6 +62,41 @@ pub struct FluidReport {
     /// Mean number of `S*`-scheduled pairs per slot (a load-independent
     /// wellness indicator: `Θ(n)` in uniformly dense networks by Lemma 3).
     pub scheduled_pairs_per_slot: f64,
+}
+
+/// A fluid measurement taken under fault injection: the degraded capacity
+/// plus per-cause accounting of what the faults did to the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedFluidReport {
+    /// The degraded measurement itself. With an empty fault schedule this is
+    /// bit-identical to the corresponding fault-free report.
+    pub base: FluidReport,
+    /// Mean alive-BS count over the sampled slots (`k` when nothing failed).
+    pub k_alive_mean: f64,
+    /// Slots during which at least one BS was down.
+    pub outage_slots: usize,
+    /// Scheme-B flows still riding the infrastructure at end of run
+    /// (classified against the durable, scripted fault state). Equals the
+    /// plan's flow count for scheme A or an empty schedule.
+    pub infra_flows: usize,
+    /// Scheme-B flows re-routed to the ad-hoc fallback because their source
+    /// or destination BS group was fully dead. Always 0 for scheme A.
+    pub fallback_flows: usize,
+    /// BS groups that lost every base station. Always 0 for scheme A.
+    pub dead_groups: usize,
+    /// What the injector applied during the run, by cause.
+    pub tally: FaultTally,
+}
+
+impl DegradedFluidReport {
+    /// Fraction of flows on the ad-hoc fallback, in `[0, 1]`.
+    pub fn fallback_fraction(&self) -> f64 {
+        let total = self.infra_flows + self.fallback_flows;
+        if total == 0 {
+            return 0.0;
+        }
+        self.fallback_flows as f64 / total as f64
+    }
 }
 
 /// Two-hop relay (Grossglauser–Tse) measurement: per-flow rates are spread
@@ -318,6 +355,289 @@ impl FluidEngine {
             slots,
             scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
         }
+    }
+
+    /// Measures scheme A under fault injection. Scheme A carries traffic on
+    /// MS–MS contacts only, so base-station faults matter solely through the
+    /// spectrum: under [`OutagePolicy::RadioOff`] a crashed BS's guard zone
+    /// disappears and nearby mobile pairs may schedule *more* often, while
+    /// under [`OutagePolicy::OccupySpectrum`] the schedule is unchanged.
+    ///
+    /// An empty schedule delegates to [`FluidEngine::measure_scheme_a`] and
+    /// the `base` report is bit-identical to the fault-free measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `slots == 0`;
+    /// [`HycapError::Mismatch`] when the injector covers a different BS
+    /// population than the network.
+    pub fn measure_scheme_a_with_faults<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        if slots == 0 {
+            return Err(HycapError::invalid("slots", "need at least one slot"));
+        }
+        let n = net.n();
+        let k = net.k();
+        if injector.k() != k {
+            return Err(HycapError::Mismatch {
+                what: "fault injector and network base-station count",
+                left: injector.k(),
+                right: k,
+            });
+        }
+        let flows = plan.paths().len();
+        if injector.schedule_is_empty() {
+            return Ok(DegradedFluidReport {
+                base: self.measure_scheme_a(net, plan, slots, rng),
+                k_alive_mean: k as f64,
+                outage_slots: 0,
+                infra_flows: flows,
+                fallback_flows: 0,
+                dead_groups: 0,
+                tally: injector.tally(),
+            });
+        }
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        let grid = *plan.grid();
+        let homes: Vec<Point> = net.population().home_points().points().to_vec();
+        let mut service: HashMap<EdgeKey, f64> = HashMap::new();
+        let mut buf = Vec::new();
+        let mut alive = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        let mut total_pairs = 0usize;
+        let mut alive_sum = 0usize;
+        let mut outage_slots = 0usize;
+        for slot in 0..slots {
+            injector.advance_to(slot);
+            injector.fill_alive(n, policy, &mut alive);
+            let alive_now = injector.alive_count();
+            alive_sum += alive_now;
+            if alive_now < k {
+                outage_slots += 1;
+            }
+            net.advance_into(rng, &mut buf);
+            scheduler.schedule_masked_into(&buf, range, Some(&alive), &mut ws, &mut pairs);
+            total_pairs += pairs.len();
+            for &pair in &pairs {
+                if pair.a >= n || pair.b >= n {
+                    continue; // MS–BS contacts do not serve scheme A
+                }
+                let ca = grid.cell_of(homes[pair.a]);
+                let cb = grid.cell_of(homes[pair.b]);
+                if ca == cb || grid.manhattan(ca, cb) == 1 {
+                    *service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let mut lambda = f64::INFINITY;
+        let mut bottleneck = Bottleneck::Unconstrained;
+        let mut ratios = Vec::with_capacity(plan.edge_load().len());
+        for (&edge, &load) in plan.edge_load() {
+            let rate = service.get(&edge).copied().unwrap_or(0.0) / slots as f64;
+            let this = rate / load;
+            ratios.push(this);
+            if rate == 0.0 {
+                lambda = 0.0;
+                bottleneck = Bottleneck::Starved;
+                continue;
+            }
+            if this < lambda {
+                lambda = this;
+                bottleneck = Bottleneck::WirelessEdge(edge);
+            }
+        }
+        if lambda.is_infinite() {
+            lambda = 0.0;
+        }
+        Ok(DegradedFluidReport {
+            base: FluidReport {
+                lambda,
+                lambda_typical: median(&mut ratios),
+                bottleneck,
+                slots,
+                scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
+            },
+            k_alive_mean: alive_sum as f64 / slots as f64,
+            outage_slots,
+            infra_flows: flows,
+            fallback_flows: 0,
+            dead_groups: 0,
+            tally: injector.tally(),
+        })
+    }
+
+    /// Measures scheme B under fault injection with graceful degradation:
+    /// access service is credited only to contacts with BSs alive in that
+    /// slot, flows are re-classified against the durable (scripted) fault
+    /// state via [`SchemeBPlan::degrade`] — flows touching a fully-dead BS
+    /// group fall off the infrastructure — and phase II feasibility is the
+    /// masked Theorem 5 rate over surviving wires, i.e. `k → k_alive`.
+    ///
+    /// An empty schedule delegates to [`FluidEngine::measure_scheme_b`] and
+    /// the `base` report is bit-identical to the fault-free measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `slots == 0`;
+    /// [`HycapError::MissingInfrastructure`] when the network has no base
+    /// stations; [`HycapError::Mismatch`] when the injector covers a
+    /// different BS population than the network.
+    pub fn measure_scheme_b_with_faults<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        if slots == 0 {
+            return Err(HycapError::invalid("slots", "need at least one slot"));
+        }
+        let n = net.n();
+        let k = net.k();
+        let Some(bs) = net.base_stations() else {
+            return Err(HycapError::MissingInfrastructure("scheme B"));
+        };
+        let bandwidth = bs.bandwidth();
+        if injector.k() != k {
+            return Err(HycapError::Mismatch {
+                what: "fault injector and network base-station count",
+                left: injector.k(),
+                right: k,
+            });
+        }
+        if injector.schedule_is_empty() {
+            return Ok(DegradedFluidReport {
+                base: self.measure_scheme_b(net, plan, slots, rng),
+                k_alive_mean: k as f64,
+                outage_slots: 0,
+                infra_flows: plan.flows().len(),
+                fallback_flows: 0,
+                dead_groups: 0,
+                tally: injector.tally(),
+            });
+        }
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        let mut ms_group = vec![usize::MAX; n];
+        let mut bs_group = vec![usize::MAX; k];
+        for g in 0..plan.group_count() {
+            for &i in plan.ms_members(g) {
+                ms_group[i] = g;
+            }
+            for &b in plan.bs_members(g) {
+                bs_group[b] = g;
+            }
+        }
+        let mut service = vec![0.0f64; plan.group_count()];
+        let mut buf = Vec::new();
+        let mut alive = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        let mut total_pairs = 0usize;
+        let mut alive_sum = 0usize;
+        let mut outage_slots = 0usize;
+        for slot in 0..slots {
+            injector.advance_to(slot);
+            injector.fill_alive(n, policy, &mut alive);
+            let alive_now = injector.alive_count();
+            alive_sum += alive_now;
+            if alive_now < k {
+                outage_slots += 1;
+            }
+            net.advance_into(rng, &mut buf);
+            scheduler.schedule_masked_into(&buf, range, Some(&alive), &mut ws, &mut pairs);
+            total_pairs += pairs.len();
+            for &pair in &pairs {
+                let (ms, bs_id) = if pair.a < n && pair.b >= n {
+                    (pair.a, pair.b - n)
+                } else if pair.b < n && pair.a >= n {
+                    (pair.b, pair.a - n)
+                } else {
+                    continue;
+                };
+                // Under OccupySpectrum a dead BS can still be scheduled; it
+                // serves nothing. Under RadioOff it is never scheduled.
+                if !injector.mask().bs_alive(bs_id) {
+                    continue;
+                }
+                let g = bs_group[bs_id];
+                if g != usize::MAX && ms_group[ms] == g {
+                    service[g] += 1.0;
+                }
+            }
+        }
+        // Classify flows against the durable fault state: transient
+        // Bernoulli outages eat into measured service, scripted deaths
+        // re-route the plan.
+        let scripted = injector.scripted_mask();
+        let alive_bs: Vec<bool> = (0..k).map(|b| scripted.bs_alive(b)).collect();
+        let degraded = plan.degrade(&alive_bs)?;
+        let members: Vec<Vec<usize>> = (0..degraded.group_count())
+            .map(|g| degraded.alive_bs_members(g).to_vec())
+            .collect();
+        let backbone = Backbone::new(k, bandwidth);
+        let backbone_rate = degraded
+            .backbone_load()
+            .max_uniform_rate_masked(&backbone, scripted, &members)?;
+        let mut lambda = backbone_rate;
+        let mut bottleneck = if lambda.is_finite() {
+            Bottleneck::Backbone
+        } else {
+            Bottleneck::Unconstrained
+        };
+        let mut ratios = Vec::with_capacity(degraded.group_count());
+        for (g, &load) in degraded.access_load().iter().enumerate() {
+            if load == 0.0 {
+                continue;
+            }
+            let rate = service[g] / slots as f64;
+            let this = rate / load;
+            ratios.push(this);
+            if rate == 0.0 {
+                lambda = 0.0;
+                bottleneck = Bottleneck::Starved;
+                continue;
+            }
+            if this < lambda {
+                lambda = this;
+                bottleneck = Bottleneck::Access(g);
+            }
+        }
+        if lambda.is_infinite() {
+            lambda = 0.0;
+            bottleneck = Bottleneck::Unconstrained;
+        }
+        let lambda_typical = if ratios.is_empty() {
+            lambda
+        } else {
+            median(&mut ratios).min(backbone_rate)
+        };
+        Ok(DegradedFluidReport {
+            base: FluidReport {
+                lambda,
+                lambda_typical,
+                bottleneck,
+                slots,
+                scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
+            },
+            k_alive_mean: alive_sum as f64 / slots as f64,
+            outage_slots,
+            infra_flows: degraded.infra_flows().len(),
+            fallback_flows: degraded.fallback_flows().len(),
+            dead_groups: degraded.dead_groups().len(),
+            tally: injector.tally(),
+        })
     }
 
     /// Measures the two-hop relay baseline: per-flow rate is the minimum of

@@ -13,6 +13,10 @@
 //!   fluid numbers.
 //! * [`sweep`] — geometric `n` ladders, log–log exponent fits and a scoped-
 //!   thread parallel driver, used by every Table-I / Figure-3 experiment.
+//! * [`faults`] — deterministic seeded fault injection (BS crashes, wire
+//!   cuts/degradation, Bernoulli outages) with graceful degradation wired
+//!   through both engines; an empty schedule is bit-identical to the
+//!   fault-free path.
 //!
 //! # Example
 //!
@@ -37,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod faults;
 mod fluid;
 mod packet;
 pub mod sweep;
 
 pub use engine::HybridNetwork;
-pub use fluid::{Bottleneck, FluidEngine, FluidReport, TwoHopReport};
-pub use packet::{PacketEngine, PacketStats};
+pub use faults::{FaultEvent, FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
+pub use fluid::{Bottleneck, DegradedFluidReport, FluidEngine, FluidReport, TwoHopReport};
+pub use packet::{DegradedPacketStats, PacketEngine, PacketStats};
 pub use sweep::{fit_linear, fit_loglog, geometric_ns, parallel_map, FitResult};

@@ -10,7 +10,9 @@
 //! Packets have size `W/2`, so one scheduled pair moves one packet in each
 //! direction per slot (the Definition 10 equal two-way bandwidth split).
 
+use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
 use crate::HybridNetwork;
+use hycap_errors::HycapError;
 use hycap_routing::SchemeBPlan;
 use hycap_wireless::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
 use rand::Rng;
@@ -73,10 +75,10 @@ impl PacketEngine {
     /// `chains[f]` is flow `f`'s node sequence `[source, …, destination]`;
     /// chains must have length ≥ 2 and no immediate duplicates.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `slots == 0`, a chain is shorter than 2, or `lambda` is
-    /// negative.
+    /// [`HycapError::InvalidParameter`] if `slots == 0`, a chain is shorter
+    /// than 2, or `lambda` is negative.
     pub fn run_chains<R: Rng + ?Sized>(
         &self,
         net: &mut HybridNetwork,
@@ -84,11 +86,26 @@ impl PacketEngine {
         lambda: f64,
         slots: usize,
         rng: &mut R,
-    ) -> PacketStats {
-        assert!(slots > 0, "need at least one slot");
-        assert!(lambda >= 0.0, "lambda must be non-negative, got {lambda}");
-        for chain in chains {
-            assert!(chain.len() >= 2, "chain must have at least two nodes");
+    ) -> Result<PacketStats, HycapError> {
+        if slots == 0 {
+            return Err(HycapError::invalid("slots", "need at least one slot"));
+        }
+        if lambda.is_nan() || lambda < 0.0 {
+            return Err(HycapError::invalid(
+                "lambda",
+                format!("lambda must be non-negative, got {lambda}"),
+            ));
+        }
+        for (f, chain) in chains.iter().enumerate() {
+            if chain.len() < 2 {
+                return Err(HycapError::invalid(
+                    "chains",
+                    format!(
+                        "chain {f} must have at least two nodes, got {}",
+                        chain.len()
+                    ),
+                ));
+            }
         }
         let n = net.n();
         let range = critical_range(n, self.c_t);
@@ -155,7 +172,7 @@ impl PacketEngine {
             .iter()
             .flat_map(|q| q.iter().map(|d| d.len() as u64))
             .sum();
-        PacketStats {
+        Ok(PacketStats {
             injected,
             delivered,
             throughput_per_node: delivered as f64 / (slots as f64 * chains.len() as f64),
@@ -166,7 +183,7 @@ impl PacketEngine {
             },
             backlog,
             slots,
-        }
+        })
     }
 
     /// Runs scheme A faithfully at the packet level: a packet at squarelet
@@ -616,9 +633,11 @@ impl PacketEngine {
     /// flight at the end of the run (mean delay / slots); `0.6`–`0.85` works
     /// well in practice.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty bisection interval or `threshold ∉ (0, 1]`.
+    /// [`HycapError::InvalidParameter`] on an empty bisection interval,
+    /// `threshold ∉ (0, 1]`, or anything [`PacketEngine::run_chains`]
+    /// rejects.
     #[allow(clippy::too_many_arguments)]
     pub fn find_capacity_chains<R: Rng + ?Sized, F: FnMut(&mut R) -> HybridNetwork>(
         &self,
@@ -630,26 +649,335 @@ impl PacketEngine {
         iters: usize,
         threshold: f64,
         rng: &mut R,
-    ) -> f64 {
-        assert!(
-            lo >= 0.0 && hi > lo,
-            "invalid bisection interval [{lo}, {hi}]"
-        );
-        assert!(
-            threshold > 0.0 && threshold <= 1.0,
-            "threshold must be in (0, 1], got {threshold}"
-        );
+    ) -> Result<f64, HycapError> {
+        if !(lo >= 0.0 && hi > lo) {
+            return Err(HycapError::invalid(
+                "interval",
+                format!("invalid bisection interval [{lo}, {hi}]"),
+            ));
+        }
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(HycapError::invalid(
+                "threshold",
+                format!("threshold must be in (0, 1], got {threshold}"),
+            ));
+        }
         for _ in 0..iters {
             let mid = 0.5 * (lo + hi);
             let mut net = make_net(rng);
-            let stats = self.run_chains(&mut net, chains, mid, slots, rng);
+            let stats = self.run_chains(&mut net, chains, mid, slots, rng)?;
             if stats.delivery_ratio() >= threshold {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
+    }
+
+    /// Runs scheme B under fault injection with graceful degradation.
+    ///
+    /// Per slot, the `S*` schedule honours the [`OutagePolicy`] (dead BSs
+    /// either vanish from the spectrum or keep blocking it while serving
+    /// nothing), and the stage machinery degrades as follows:
+    ///
+    /// * **Phase I** — a contact with a dead BS serves nothing and is
+    ///   counted in `lost_uplink_contacts`. A flow whose source or
+    ///   destination group currently has *no* alive BS holds its packets at
+    ///   the source for the ad-hoc fallback instead of handing them to the
+    ///   infrastructure.
+    /// * **Fallback** — such a flow delivers directly on a scheduled
+    ///   source–destination MS contact (the degenerate one-hop scheme A),
+    ///   counted in `fallback_delivered`. Repairs put the flow back on the
+    ///   infrastructure automatically.
+    /// * **Phase II** — the wire budget between two groups accrues over the
+    ///   *surviving* wire bandwidth (the masked wire factors across alive
+    ///   members). A flow with backbone traffic but zero surviving wire
+    ///   bandwidth waits, counted in `backbone_stalled_slots`.
+    /// * **Phase III** — delivery needs an alive group BS, as in phase I.
+    ///
+    /// Packets held at a BS group that subsequently dies are not lost: they
+    /// wait in place for a repair (and show up in `backlog` meanwhile).
+    ///
+    /// An empty schedule delegates to [`PacketEngine::run_scheme_b`] and
+    /// `base` is bit-identical to the fault-free statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `slots == 0` or `lambda < 0`;
+    /// [`HycapError::MissingInfrastructure`] when the network has no base
+    /// stations; [`HycapError::Mismatch`] when the injector covers a
+    /// different BS population than the network.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scheme_b_with_faults<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        lambda: f64,
+        slots: usize,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+    ) -> Result<DegradedPacketStats, HycapError> {
+        if slots == 0 {
+            return Err(HycapError::invalid("slots", "need at least one slot"));
+        }
+        if lambda.is_nan() || lambda < 0.0 {
+            return Err(HycapError::invalid(
+                "lambda",
+                format!("lambda must be non-negative, got {lambda}"),
+            ));
+        }
+        let n = net.n();
+        let k = net.k();
+        let Some(bs) = net.base_stations() else {
+            return Err(HycapError::MissingInfrastructure("scheme B"));
+        };
+        let c = bs.bandwidth();
+        if injector.k() != k {
+            return Err(HycapError::Mismatch {
+                what: "fault injector and network base-station count",
+                left: injector.k(),
+                right: k,
+            });
+        }
+        if injector.schedule_is_empty() {
+            let base = self.run_scheme_b(net, plan, lambda, slots, rng);
+            return Ok(DegradedPacketStats {
+                infra_delivered: base.delivered,
+                fallback_delivered: 0,
+                lost_uplink_contacts: 0,
+                backbone_stalled_slots: 0,
+                k_alive_mean: k as f64,
+                outage_slots: 0,
+                tally: injector.tally(),
+                base,
+            });
+        }
+        let range = critical_range(n, self.c_t);
+        let scheduler = SStarScheduler::new(self.delta);
+        let gc = plan.group_count();
+        let mut ms_group = vec![usize::MAX; n];
+        let mut bs_group = vec![usize::MAX; k];
+        for g in 0..gc {
+            for &i in plan.ms_members(g) {
+                ms_group[i] = g;
+            }
+            for &b in plan.bs_members(g) {
+                bs_group[b] = g;
+            }
+        }
+        let dst_of: Vec<usize> = plan.flows().iter().map(|fl| fl.dst).collect();
+        let mut at_src: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
+        let mut at_backbone: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
+        let mut at_dst_group: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
+        let mut flows_by_dst: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (f, &d) in dst_of.iter().enumerate() {
+            flows_by_dst[d].push(f);
+        }
+        let mut wire_budget: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut acc = vec![0.0f64; n];
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        let mut infra_delivered = 0u64;
+        let mut fallback_delivered = 0u64;
+        let mut lost_uplink_contacts = 0u64;
+        let mut backbone_stalled_slots = 0u64;
+        let mut delay_sum = 0u64;
+        let mut buf = Vec::new();
+        let mut alive = Vec::new();
+        let mut alive_per_group = vec![0usize; gc];
+        let mut alive_sum = 0usize;
+        let mut outage_slots = 0usize;
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        for slot in 0..slots {
+            injector.advance_to(slot);
+            injector.fill_alive(n, policy, &mut alive);
+            let mask = injector.mask();
+            let alive_now = mask.alive_count();
+            alive_sum += alive_now;
+            if alive_now < k {
+                outage_slots += 1;
+            }
+            alive_per_group.iter_mut().for_each(|x| *x = 0);
+            for b in 0..k {
+                if mask.bs_alive(b) && bs_group[b] != usize::MAX {
+                    alive_per_group[bs_group[b]] += 1;
+                }
+            }
+            let fallback_active = |f: usize| -> bool {
+                let fl = &plan.flows()[f];
+                alive_per_group[fl.src_group] == 0 || alive_per_group[fl.dst_group] == 0
+            };
+            for (f, a) in acc.iter_mut().enumerate() {
+                *a += lambda;
+                while *a >= 1.0 {
+                    *a -= 1.0;
+                    at_src[f].push_back(slot as u32);
+                    injected += 1;
+                }
+            }
+            net.advance_into(rng, &mut buf);
+            scheduler.schedule_masked_into(&buf, range, Some(&alive), &mut ws, &mut pairs);
+            for &pair in &pairs {
+                let (ms, bsid) = if pair.a < n && pair.b >= n {
+                    (pair.a, pair.b - n)
+                } else if pair.b < n && pair.a >= n {
+                    (pair.b, pair.a - n)
+                } else {
+                    if pair.a < n && pair.b < n {
+                        // Ad-hoc fallback: a source–destination contact of a
+                        // flow whose BS group is fully dead delivers
+                        // directly, one packet per direction.
+                        for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
+                            if u < dst_of.len() && dst_of[u] == v && fallback_active(u) {
+                                if let Some(ts) = at_src[u].pop_front() {
+                                    delivered += 1;
+                                    fallback_delivered += 1;
+                                    delay_sum += (slot as u32 - ts) as u64;
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                };
+                if !mask.bs_alive(bsid) {
+                    // Only reachable under OccupySpectrum: the dead BS won a
+                    // slot but serves nothing.
+                    lost_uplink_contacts += 1;
+                    continue;
+                }
+                let g = bs_group[bsid];
+                if g == usize::MAX || ms_group[ms] != g {
+                    continue;
+                }
+                // Uplink: infrastructure flows only; fallback flows keep
+                // their packets at the source for direct delivery.
+                if ms < dst_of.len() && !fallback_active(ms) {
+                    if let Some(ts) = at_src[ms].pop_front() {
+                        at_backbone[ms].push_back(ts);
+                    }
+                }
+                // Downlink: deliver to `ms` as a destination.
+                let mut best: Option<usize> = None;
+                for &f in &flows_by_dst[ms] {
+                    if !at_dst_group[f].is_empty()
+                        && best.is_none_or(|b| at_dst_group[f].len() > at_dst_group[b].len())
+                    {
+                        best = Some(f);
+                    }
+                }
+                if let Some(f) = best {
+                    let ts = at_dst_group[f].pop_front().expect("nonempty");
+                    delivered += 1;
+                    infra_delivered += 1;
+                    delay_sum += (slot as u32 - ts) as u64;
+                }
+            }
+            // Phase II: drain backbone queues over surviving wires.
+            for f in 0..n {
+                if at_backbone[f].is_empty() {
+                    continue;
+                }
+                let gs = plan.flows()[f].src_group;
+                let gd = plan.flows()[f].dst_group;
+                if alive_per_group[gs] == 0 || alive_per_group[gd] == 0 {
+                    continue; // packets wait at the (dead) group for repair
+                }
+                if gs == gd {
+                    while let Some(ts) = at_backbone[f].pop_front() {
+                        at_dst_group[f].push_back(ts);
+                    }
+                    continue;
+                }
+                // Surviving wire bandwidth between the two groups: the sum
+                // of masked wire factors across alive member pairs.
+                let mut eff_wires = 0.0f64;
+                for &a in plan.bs_members(gs) {
+                    for &b in plan.bs_members(gd) {
+                        eff_wires += mask.wire_factor(a, b);
+                    }
+                }
+                if eff_wires == 0.0 {
+                    backbone_stalled_slots += 1;
+                    continue;
+                }
+                let budget = wire_budget.entry((gs, gd)).or_insert(0.0);
+                *budget += c * eff_wires / plan.backbone_load().group_count().max(1) as f64;
+                while *budget >= 1.0 {
+                    match at_backbone[f].pop_front() {
+                        Some(ts) => {
+                            *budget -= 1.0;
+                            at_dst_group[f].push_back(ts);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        let backlog: u64 = at_src
+            .iter()
+            .chain(&at_backbone)
+            .chain(&at_dst_group)
+            .map(|q| q.len() as u64)
+            .sum();
+        Ok(DegradedPacketStats {
+            base: PacketStats {
+                injected,
+                delivered,
+                throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
+                mean_delay: if delivered > 0 {
+                    delay_sum as f64 / delivered as f64
+                } else {
+                    f64::NAN
+                },
+                backlog,
+                slots,
+            },
+            infra_delivered,
+            fallback_delivered,
+            lost_uplink_contacts,
+            backbone_stalled_slots,
+            k_alive_mean: alive_sum as f64 / slots as f64,
+            outage_slots,
+            tally: injector.tally(),
+        })
+    }
+}
+
+/// Statistics of a packet-level scheme-B run under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedPacketStats {
+    /// The run's overall statistics. With an empty fault schedule this is
+    /// bit-identical to the corresponding fault-free [`PacketStats`].
+    pub base: PacketStats,
+    /// Packets delivered over the infrastructure (phase III contacts).
+    pub infra_delivered: u64,
+    /// Packets delivered by the ad-hoc fallback (direct source–destination
+    /// contacts of flows whose BS group was fully dead).
+    pub fallback_delivered: u64,
+    /// Scheduled MS–BS contacts wasted on a dead BS (only possible under
+    /// [`OutagePolicy::OccupySpectrum`]; a radio-off BS is never scheduled).
+    pub lost_uplink_contacts: u64,
+    /// Flow-slots in which backbone traffic was pending between two alive
+    /// groups with zero surviving wire bandwidth.
+    pub backbone_stalled_slots: u64,
+    /// Mean alive-BS count over the run (`k` when nothing failed).
+    pub k_alive_mean: f64,
+    /// Slots during which at least one BS was down.
+    pub outage_slots: usize,
+    /// What the injector applied during the run, by cause.
+    pub tally: FaultTally,
+}
+
+impl DegradedPacketStats {
+    /// Fraction of delivered packets that rode the ad-hoc fallback.
+    pub fn fallback_share(&self) -> f64 {
+        if self.base.delivered == 0 {
+            return 0.0;
+        }
+        self.fallback_delivered as f64 / self.base.delivered as f64
     }
 }
 
@@ -683,7 +1011,9 @@ mod tests {
     fn zero_rate_run_is_clean() {
         let (mut net, mut rng) = dense_net(50, 1);
         let chains = vec![vec![0, 1]; 1];
-        let stats = PacketEngine::default().run_chains(&mut net, &chains, 0.0, 50, &mut rng);
+        let stats = PacketEngine::default()
+            .run_chains(&mut net, &chains, 0.0, 50, &mut rng)
+            .unwrap();
         assert_eq!(stats.injected, 0);
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.backlog, 0);
@@ -698,7 +1028,9 @@ mod tests {
         let chains: Vec<Vec<usize>> = traffic.pairs().map(|(s, d)| vec![s, d]).collect();
         // Direct-pair link capacity is ~πc_T²·e^{-π(1+Δ)²c_T²}/n ≈ 0.0016
         // per slot; inject well below it.
-        let stats = PacketEngine::default().run_chains(&mut net, &chains, 0.0004, 6000, &mut rng);
+        let stats = PacketEngine::default()
+            .run_chains(&mut net, &chains, 0.0004, 6000, &mut rng)
+            .unwrap();
         assert!(stats.injected > 0);
         assert!(
             stats.delivery_ratio() > 0.5,
@@ -715,7 +1047,9 @@ mod tests {
         let (mut net, mut rng) = dense_net(100, 3);
         let traffic = TrafficMatrix::permutation(100, &mut rng);
         let chains: Vec<Vec<usize>> = traffic.pairs().map(|(s, d)| vec![s, d]).collect();
-        let stats = PacketEngine::default().run_chains(&mut net, &chains, 0.5, 400, &mut rng);
+        let stats = PacketEngine::default()
+            .run_chains(&mut net, &chains, 0.5, 400, &mut rng)
+            .unwrap();
         assert!(
             stats.delivery_ratio() < 0.5,
             "overload delivered too much: {}",
@@ -732,7 +1066,9 @@ mod tests {
         let homes = net.population().home_points().points().to_vec();
         let plan = SchemeAPlan::build(&homes, &traffic, f);
         let chains = plan.materialize_relays(&traffic, &mut rng);
-        let stats = PacketEngine::default().run_chains(&mut net, &chains, 0.001, 3000, &mut rng);
+        let stats = PacketEngine::default()
+            .run_chains(&mut net, &chains, 0.001, 3000, &mut rng)
+            .unwrap();
         assert!(
             stats.delivered > 0,
             "nothing delivered through relay chains"
@@ -767,32 +1103,71 @@ mod tests {
         let traffic = TrafficMatrix::permutation(80, &mut rng);
         let chains: Vec<Vec<usize>> = traffic.pairs().map(|(s, d)| vec![s, d]).collect();
         let engine = PacketEngine::default();
-        let cap = engine.find_capacity_chains(
-            |r| {
-                let config = PopulationConfig::builder(80)
-                    .alpha(0.0)
-                    .kernel(Kernel::uniform_disk(1.0))
-                    .build();
-                HybridNetwork::ad_hoc(Population::generate(&config, r))
-            },
-            &chains,
-            0.0,
-            0.02,
-            3000,
-            5,
-            0.6,
-            &mut rng,
-        );
+        let cap = engine
+            .find_capacity_chains(
+                |r| {
+                    let config = PopulationConfig::builder(80)
+                        .alpha(0.0)
+                        .kernel(Kernel::uniform_disk(1.0))
+                        .build();
+                    HybridNetwork::ad_hoc(Population::generate(&config, r))
+                },
+                &chains,
+                0.0,
+                0.02,
+                3000,
+                5,
+                0.6,
+                &mut rng,
+            )
+            .unwrap();
         assert!(cap > 0.0, "capacity collapsed to zero");
         assert!(cap < 0.02, "capacity did not separate from the bracket top");
     }
 
     #[test]
-    #[should_panic(expected = "at least two nodes")]
     fn short_chain_rejected() {
         let (mut net, mut rng) = dense_net(10, 7);
         let chains = vec![vec![0]];
-        let _ = PacketEngine::default().run_chains(&mut net, &chains, 0.1, 10, &mut rng);
+        let err = PacketEngine::default()
+            .run_chains(&mut net, &chains, 0.1, 10, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, HycapError::InvalidParameter { name: "chains", .. }),
+            "unexpected error {err:?}"
+        );
+        assert!(err.to_string().contains("at least two nodes"));
+    }
+
+    #[test]
+    fn bad_run_parameters_are_typed_errors() {
+        let (mut net, mut rng) = dense_net(10, 8);
+        let chains = vec![vec![0, 1]];
+        let engine = PacketEngine::default();
+        assert!(matches!(
+            engine.run_chains(&mut net, &chains, 0.1, 0, &mut rng),
+            Err(HycapError::InvalidParameter { name: "slots", .. })
+        ));
+        assert!(matches!(
+            engine.run_chains(&mut net, &chains, -0.5, 10, &mut rng),
+            Err(HycapError::InvalidParameter { name: "lambda", .. })
+        ));
+        let make = |_: &mut StdRng| unreachable!("bisection must not start");
+        assert!(matches!(
+            engine.find_capacity_chains(make, &chains, 0.5, 0.5, 10, 3, 0.6, &mut rng),
+            Err(HycapError::InvalidParameter {
+                name: "interval",
+                ..
+            })
+        ));
+        let make = |_: &mut StdRng| unreachable!("bisection must not start");
+        assert!(matches!(
+            engine.find_capacity_chains(make, &chains, 0.0, 0.5, 10, 3, 1.5, &mut rng),
+            Err(HycapError::InvalidParameter {
+                name: "threshold",
+                ..
+            })
+        ));
     }
 }
 
@@ -950,7 +1325,9 @@ mod scheme_a_tests {
         let lambda = 0.002;
         let cell_routes = engine.run_scheme_a(&mut net, &plan, &traffic, lambda, 2000, &mut rng);
         let chains = plan.materialize_relays(&traffic, &mut rng);
-        let pinned = engine.run_chains(&mut net, &chains, lambda, 2000, &mut rng);
+        let pinned = engine
+            .run_chains(&mut net, &chains, lambda, 2000, &mut rng)
+            .unwrap();
         assert!(
             cell_routes.delivered > pinned.delivered,
             "cell routes {} <= pinned {}",

@@ -100,8 +100,30 @@ impl SlotWorkspace {
 /// positions and the transmission range, select a set of non-interfering
 /// pairs to activate this slot.
 pub trait Scheduler {
-    /// Selects the active pairs for one slot, writing them into `out`
-    /// (cleared first) and reusing `ws` for all intermediate state.
+    /// Selects the active pairs for one slot over the *alive* nodes only,
+    /// writing them into `out` (cleared first) and reusing `ws` for all
+    /// intermediate state.
+    ///
+    /// `alive[id] == false` removes node `id` from the slot entirely: a
+    /// dead node neither transmits nor occupies spectrum (its guard zone
+    /// does not block surviving pairs) — the radio is off, as when a base
+    /// station crashes. `alive: None` means everyone is alive and MUST
+    /// behave identically to the unmasked path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive` is `Some` with a length different from
+    /// `positions.len()`, or `range` is not positive.
+    fn schedule_masked_into(
+        &self,
+        positions: &[Point],
+        range: f64,
+        alive: Option<&[bool]>,
+        ws: &mut SlotWorkspace,
+        out: &mut Vec<ScheduledPair>,
+    );
+
+    /// Selects the active pairs for one slot with every node alive.
     ///
     /// This is the allocation-free form of [`Scheduler::schedule`]: calling
     /// it in a loop with the same workspace and output vector performs no
@@ -113,7 +135,9 @@ pub trait Scheduler {
         range: f64,
         ws: &mut SlotWorkspace,
         out: &mut Vec<ScheduledPair>,
-    );
+    ) {
+        self.schedule_masked_into(positions, range, None, ws, out);
+    }
 
     /// Selects the active pairs for one slot.
     ///
@@ -128,6 +152,21 @@ pub trait Scheduler {
 
     /// The guard factor `Δ` of the underlying protocol model.
     fn delta(&self) -> f64;
+}
+
+fn check_mask(alive: Option<&[bool]>, len: usize) {
+    if let Some(a) = alive {
+        assert!(
+            a.len() == len,
+            "alive mask length {} must match node count {len}",
+            a.len()
+        );
+    }
+}
+
+#[inline]
+fn is_alive(alive: Option<&[bool]>, id: usize) -> bool {
+    alive.is_none_or(|a| a[id])
 }
 
 /// The paper's scheduling policy `S*` (Definition 10).
@@ -168,10 +207,11 @@ impl Default for SStarScheduler {
 }
 
 impl Scheduler for SStarScheduler {
-    fn schedule_into(
+    fn schedule_masked_into(
         &self,
         positions: &[Point],
         range: f64,
+        alive: Option<&[bool]>,
         ws: &mut SlotWorkspace,
         out: &mut Vec<ScheduledPair>,
     ) {
@@ -179,6 +219,7 @@ impl Scheduler for SStarScheduler {
             range.is_finite() && range > 0.0,
             "transmission range must be positive, got {range}"
         );
+        check_mask(alive, positions.len());
         out.clear();
         let guard = self.protocol.guard_radius(range);
         if positions.len() < 2 {
@@ -187,13 +228,17 @@ impl Scheduler for SStarScheduler {
         ws.hash.rebuild(positions, guard.clamp(1e-4, 0.25));
         ws.neighbor.clear();
         ws.neighbor.resize(positions.len(), usize::MAX);
-        // One pass: record, for every node, its unique guard-zone neighbor
-        // (if the neighborhood is a singleton).
+        // One pass: record, for every alive node, its unique alive
+        // guard-zone neighbor (if the alive neighborhood is a singleton).
+        // Dead nodes are invisible — they neither pair nor block.
         for (i, &p) in positions.iter().enumerate() {
+            if !is_alive(alive, i) {
+                continue;
+            }
             let mut count = 0u32;
             let mut only = usize::MAX;
             ws.hash.for_each_within(p, guard, |id| {
-                if id != i {
+                if id != i && is_alive(alive, id) {
                     count += 1;
                     only = id;
                 }
@@ -245,10 +290,11 @@ impl GreedyMatchingScheduler {
 }
 
 impl Scheduler for GreedyMatchingScheduler {
-    fn schedule_into(
+    fn schedule_masked_into(
         &self,
         positions: &[Point],
         range: f64,
+        alive: Option<&[bool]>,
         ws: &mut SlotWorkspace,
         out: &mut Vec<ScheduledPair>,
     ) {
@@ -256,18 +302,22 @@ impl Scheduler for GreedyMatchingScheduler {
             range.is_finite() && range > 0.0,
             "transmission range must be positive, got {range}"
         );
+        check_mask(alive, positions.len());
         out.clear();
         if positions.len() < 2 {
             return;
         }
         let guard = self.protocol.guard_radius(range);
         ws.hash.rebuild(positions, guard.clamp(1e-4, 0.25));
-        // Enumerate candidate pairs within range.
+        // Enumerate candidate pairs within range; dead nodes are invisible.
         ws.candidates.clear();
         for (i, &p) in positions.iter().enumerate() {
+            if !is_alive(alive, i) {
+                continue;
+            }
             let candidates = &mut ws.candidates;
             ws.hash.for_each_within(p, range, |j| {
-                if j > i {
+                if j > i && is_alive(alive, j) {
                     candidates.push((i, j));
                 }
             });
@@ -517,5 +567,85 @@ mod tests {
     fn delta_accessor() {
         assert_eq!(SStarScheduler::new(0.7).delta(), 0.7);
         assert_eq!(GreedyMatchingScheduler::new(0.3).delta(), 0.3);
+    }
+
+    #[test]
+    fn masked_none_matches_unmasked() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let positions: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let range = crate::critical_range(300, 1.0);
+        let mut ws = SlotWorkspace::new();
+        for sched in [
+            &SStarScheduler::new(1.0) as &dyn Scheduler,
+            &GreedyMatchingScheduler::new(1.0),
+        ] {
+            let plain = sched.schedule(&positions, range);
+            let mut masked = Vec::new();
+            sched.schedule_masked_into(&positions, range, None, &mut ws, &mut masked);
+            assert_eq!(masked, plain);
+            // All-alive Some(...) is the same integer logic, so also equal.
+            let all = vec![true; positions.len()];
+            sched.schedule_masked_into(&positions, range, Some(&all), &mut ws, &mut masked);
+            assert_eq!(masked, plain);
+        }
+    }
+
+    #[test]
+    fn dead_node_neither_pairs_nor_blocks() {
+        let sched = SStarScheduler::new(1.0);
+        // Node 3 sits inside node 1's guard zone and blocks the (0, 1) pair
+        // when alive (same geometry as sstar_blocks_when_third_node_in_guard).
+        let mut positions = isolated_pair_positions();
+        positions.push(Point::new(0.18, 0.10));
+        assert!(sched.schedule(&positions, 0.05).is_empty());
+        // Killing the blocker re-enables the pair: a crashed radio does not
+        // occupy spectrum.
+        let alive = vec![true, true, true, false];
+        let mut ws = SlotWorkspace::new();
+        let mut out = Vec::new();
+        sched.schedule_masked_into(&positions, 0.05, Some(&alive), &mut ws, &mut out);
+        assert_eq!(out, vec![ScheduledPair::new(0, 1)]);
+        // Killing an endpoint removes its pair.
+        let alive = vec![true, false, true, false];
+        sched.schedule_masked_into(&positions, 0.05, Some(&alive), &mut ws, &mut out);
+        assert!(out.is_empty(), "got {out:?}");
+    }
+
+    #[test]
+    fn greedy_masked_excludes_dead_endpoints() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(32);
+        let positions: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let mut alive = vec![true; 200];
+        for i in (0..200).step_by(3) {
+            alive[i] = false;
+        }
+        let mut ws = SlotWorkspace::new();
+        let mut out = Vec::new();
+        GreedyMatchingScheduler::new(1.0).schedule_masked_into(
+            &positions,
+            0.05,
+            Some(&alive),
+            &mut ws,
+            &mut out,
+        );
+        for p in &out {
+            assert!(alive[p.a] && alive[p.b], "dead endpoint scheduled: {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask length")]
+    fn masked_rejects_wrong_length() {
+        let sched = SStarScheduler::new(1.0);
+        let positions = isolated_pair_positions();
+        let mut ws = SlotWorkspace::new();
+        let mut out = Vec::new();
+        sched.schedule_masked_into(&positions, 0.05, Some(&[true]), &mut ws, &mut out);
     }
 }

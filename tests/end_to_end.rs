@@ -109,8 +109,12 @@ fn fluid_and_packet_engines_agree_on_feasibility() {
     let chains = plan.materialize_relays(&traffic, &mut rng);
     let engine = PacketEngine::default();
     // Packets have size W/2, so one fluid-unit of λ is two packets/slot.
-    let low = engine.run_chains(&mut net, &chains, 0.2 * fluid.lambda, 2500, &mut rng);
-    let high = engine.run_chains(&mut net, &chains, 20.0 * fluid.lambda, 800, &mut rng);
+    let low = engine
+        .run_chains(&mut net, &chains, 0.2 * fluid.lambda, 2500, &mut rng)
+        .unwrap();
+    let high = engine
+        .run_chains(&mut net, &chains, 20.0 * fluid.lambda, 800, &mut rng)
+        .unwrap();
     assert!(
         low.delivery_ratio() > 2.0 * high.delivery_ratio(),
         "packet engine does not separate feasible ({:.2}) from infeasible ({:.2})",

@@ -388,7 +388,7 @@ pub mod prop {
         use std::fmt::Debug;
         use std::ops::{Range, RangeInclusive};
 
-        /// Admissible length specifications for [`vec`].
+        /// Admissible length specifications for [`vec()`].
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
