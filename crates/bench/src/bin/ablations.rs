@@ -101,7 +101,7 @@ fn l_hop_sweep(seed: u64) {
     println!("small L off-loads long flows to the wires (short delay, reference");
     println!("[9]); large L leans on mobility. The capacity optimum sits where");
     println!("the two subplans' bottlenecks balance.");
-    report::write_csv("ablation_lhop", &["L", "lambda"], &csv);
+    report::write_csv("ablation_lhop", &["L", "lambda"], &csv).expect("write report csv");
 }
 
 fn range_sweep(seed: u64) {
@@ -141,7 +141,7 @@ fn range_sweep(seed: u64) {
         "peak at c_T = {} — an interior optimum, as Remark 6 predicts (theory peak ≈ 1/(√π(1+Δ)) ≈ 0.38 for Δ = 0.5)\n",
         best.0
     );
-    report::write_csv("ablation_range", &["c_t", "lambda"], &csv);
+    report::write_csv("ablation_range", &["c_t", "lambda"], &csv).expect("write report csv");
 }
 
 fn weak_range_ablation(seed: u64) {
@@ -219,7 +219,8 @@ fn placement_invariance(seed: u64) {
         report::ascii_table(&["placement", "λ_infra (typical)"], &rows)
     );
     println!("the three placements agree within a constant factor, as Theorem 6 requires\n");
-    report::write_csv("ablation_placement", &["placement", "lambda"], &csv);
+    report::write_csv("ablation_placement", &["placement", "lambda"], &csv)
+        .expect("write report csv");
 }
 
 fn bandwidth_sweep(seed: u64) {
@@ -248,7 +249,7 @@ fn bandwidth_sweep(seed: u64) {
         report::ascii_table(&["ϕ", "c(n)", "λ_infra (typical)", "theory order"], &rows)
     );
     println!("capacity saturates once ϕ ≥ 0 (k·c ≥ 1): extra wire bandwidth is wasted — c = Θ(1) (ϕ = 1) is never worse\n");
-    report::write_csv("ablation_phi", &["phi", "lambda"], &csv);
+    report::write_csv("ablation_phi", &["phi", "lambda"], &csv).expect("write report csv");
 }
 
 fn scheduler_ablation(seed: u64) {
@@ -290,5 +291,6 @@ fn scheduler_ablation(seed: u64) {
         report::ascii_table(&["n", "S* pairs/slot", "greedy pairs/slot", "ratio"], &rows)
     );
     println!("greedy packs a constant factor more pairs; the ratio stays O(1) as n grows — S* is order-optimal (Theorem 2)");
-    report::write_csv("ablation_scheduler", &["n", "sstar", "greedy"], &csv);
+    report::write_csv("ablation_scheduler", &["n", "sstar", "greedy"], &csv)
+        .expect("write report csv");
 }

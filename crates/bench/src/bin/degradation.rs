@@ -154,6 +154,7 @@ fn main() {
             "predicted",
         ],
         &csv,
-    );
+    )
+    .expect("write report csv");
     println!("csv: {}", path.display());
 }

@@ -110,6 +110,7 @@ fn main() {
         "{}",
         report::ascii_table(&["n", "clustered max/min", "uniform max/min"], &rows)
     );
-    let path = report::write_csv("fig1", &["n", "clustered_ratio", "uniform_ratio"], &csv);
+    let path = report::write_csv("fig1", &["n", "clustered_ratio", "uniform_ratio"], &csv)
+        .expect("write report csv");
     println!("csv: {}", path.display());
 }

@@ -132,6 +132,7 @@ fn main() {
         "fig2",
         &["src", "dst", "src_squarelet", "dst_squarelet"],
         &csv,
-    );
+    )
+    .expect("write report csv");
     println!("csv: {}", path.display());
 }

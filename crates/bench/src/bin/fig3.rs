@@ -70,7 +70,8 @@ fn main() {
             ]);
         }
     }
-    let path = report::write_csv("fig3_surface", &["phi", "alpha", "K", "exponent"], &csv);
+    let path = report::write_csv("fig3_surface", &["phi", "alpha", "K", "exponent"], &csv)
+        .expect("write report csv");
     println!("surface csv: {}", path.display());
 
     // Simulated anchors. The backbone constraint of ϕ = −1/2 is real but
@@ -127,6 +128,7 @@ fn main() {
         "fig3_anchors",
         &["phi", "alpha", "K", "theory_exponent", "measured_exponent"],
         &csv,
-    );
+    )
+    .expect("write report csv");
     println!("anchors csv: {}", path.display());
 }

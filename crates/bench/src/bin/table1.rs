@@ -121,7 +121,8 @@ fn main() {
             "fitted_exponent",
         ],
         &csv_rows,
-    );
+    )
+    .expect("write report csv");
     println!("\ncsv: {}", path.display());
 }
 

@@ -203,7 +203,9 @@ pub fn run_table1_row(
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
     let component = |name: &'static str, lambdas: Vec<f64>, order: Option<hycap::Order>| {
         let positive = lambdas.iter().filter(|&&l| l > 0.0).count();
-        let fit = (positive >= 2).then(|| fit_loglog(&xs, &lambdas));
+        let fit = (positive >= 2)
+            .then(|| fit_loglog(&xs, &lambdas).ok())
+            .flatten();
         ComponentResult {
             name,
             ns: ns.clone(),

@@ -6,6 +6,8 @@
 //! and a terminal rendering (table or color-block heatmap) for immediate
 //! inspection.
 
+use hycap_errors::HycapError;
+use hycap_obs::Snapshot;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
@@ -13,30 +15,72 @@ use std::path::PathBuf;
 
 /// The artifact directory `target/reports/`, created on first use.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the directory cannot be created.
-pub fn reports_dir() -> PathBuf {
+/// [`HycapError::Io`] when the directory cannot be created.
+pub fn reports_dir() -> Result<PathBuf, HycapError> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/reports");
-    fs::create_dir_all(&dir).expect("create target/reports");
-    dir
+    fs::create_dir_all(&dir).map_err(|e| HycapError::io("create target/reports", &e))?;
+    Ok(dir)
 }
 
 /// Writes a CSV file into [`reports_dir`], returning its path.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors (reports are best-effort developer artifacts) or
-/// when a row's width differs from the header's.
-pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
-    let path = reports_dir().join(format!("{name}.csv"));
-    let mut file = fs::File::create(&path).expect("create csv");
-    writeln!(file, "{}", headers.join(",")).expect("write header");
+/// [`HycapError::Io`] on filesystem errors;
+/// [`HycapError::InvalidParameter`] when a row's width differs from the
+/// header's.
+pub fn write_csv(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Result<PathBuf, HycapError> {
     for row in rows {
-        assert_eq!(row.len(), headers.len(), "csv row width mismatch");
-        writeln!(file, "{}", row.join(",")).expect("write row");
+        if row.len() != headers.len() {
+            return Err(HycapError::invalid(
+                "csv rows",
+                format!(
+                    "csv row width mismatch: row has {} cells, header {}",
+                    row.len(),
+                    headers.len()
+                ),
+            ));
+        }
     }
-    path
+    let path = reports_dir()?.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).map_err(|e| HycapError::io("create csv report", &e))?;
+    writeln!(file, "{}", headers.join(",")).map_err(|e| HycapError::io("write csv header", &e))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).map_err(|e| HycapError::io("write csv row", &e))?;
+    }
+    Ok(path)
+}
+
+/// Writes a metrics [`Snapshot`] as pretty-printed JSON (schema
+/// `hycap-metrics/1`) into [`reports_dir`], returning its path.
+///
+/// # Errors
+///
+/// [`HycapError::Io`] on filesystem errors.
+pub fn write_snapshot_json(name: &str, snapshot: &Snapshot) -> Result<PathBuf, HycapError> {
+    let path = reports_dir()?.join(format!("{name}.json"));
+    fs::write(&path, snapshot.to_json())
+        .map_err(|e| HycapError::io("write metrics snapshot json", &e))?;
+    Ok(path)
+}
+
+/// Writes a metrics [`Snapshot`] as flat `kind,name,field,value` CSV into
+/// [`reports_dir`], returning its path.
+///
+/// # Errors
+///
+/// [`HycapError::Io`] on filesystem errors.
+pub fn write_snapshot_csv(name: &str, snapshot: &Snapshot) -> Result<PathBuf, HycapError> {
+    let path = reports_dir()?.join(format!("{name}.csv"));
+    fs::write(&path, snapshot.to_csv())
+        .map_err(|e| HycapError::io("write metrics snapshot csv", &e))?;
+    Ok(path)
 }
 
 /// Renders an ASCII table with padded columns.
@@ -140,10 +184,36 @@ mod tests {
             "test_csv_roundtrip",
             &["a", "b"],
             &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
-        );
+        )
+        .unwrap();
         let content = fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
         fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let err = write_csv("test_csv_ragged", &["a", "b"], &[vec!["1".into()]]).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("width mismatch"));
+    }
+
+    #[test]
+    fn snapshot_writers_roundtrip() {
+        use hycap_obs::{MetricsSink, Observer};
+        let mut obs = Observer::recording();
+        obs.sink.counter("test.counter", 3);
+        obs.sink.observe("test.value", 1.5);
+        let snap = obs.snapshot();
+        let jp = write_snapshot_json("test_snapshot_writer", &snap).unwrap();
+        let cp = write_snapshot_csv("test_snapshot_writer", &snap).unwrap();
+        let json = fs::read_to_string(&jp).unwrap();
+        assert!(json.contains("hycap-metrics/1"));
+        assert!(json.contains("test.counter"));
+        let csv = fs::read_to_string(&cp).unwrap();
+        assert!(csv.contains("counter,test.counter"));
+        fs::remove_file(jp).ok();
+        fs::remove_file(cp).ok();
     }
 
     #[test]

@@ -129,6 +129,21 @@ impl Args {
         }
     }
 
+    /// An optional typed option: `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but malformed.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.clone(),
+            }),
+        }
+    }
+
     /// A comma-separated list option.
     ///
     /// # Errors

@@ -2,12 +2,14 @@
 //! is unit-testable without capturing stdout.
 
 use crate::args::{ArgError, Args};
+use hycap::obs::{MemorySink, Observer, Snapshot};
 use hycap::{theory as laws, MobilityRegime, ModelExponents, Realization, Scenario};
 use hycap_errors::HycapError;
 use hycap_mobility::MobilityKind;
 use hycap_routing::SchemeBPlan;
 use hycap_sim::{fit_loglog, FaultInjector, FaultSchedule, FluidEngine, OutagePolicy};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Usage text shared by `help` and error paths.
 pub const USAGE: &str = "\
@@ -17,13 +19,14 @@ USAGE:
   hycap classify --alpha A --m M --r R --k K --phi P [--static]
   hycap theory   --alpha A --m M --r R --k K --phi P [--static] [--no-bs]
   hycap measure  --alpha A --m M --r R --k K --phi P --n N
-                 [--slots S] [--seed X] [--static] [--no-bs]
+                 [--slots S] [--seed X] [--static] [--no-bs] [--metrics PATH]
   hycap sweep    --alpha A --m M --r R --k K --phi P
                  [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
+                 [--metrics PATH]
   hycap surface  --phi P [--res 21]
   hycap degrade  --alpha A --m M --r R --k K --phi P --n N
                  [--fail-frac F] [--outage-p P] [--outage-seed Y]
-                 [--cells C] [--slots S] [--seed X] [--occupy]
+                 [--cells C] [--slots S] [--seed X] [--occupy] [--metrics PATH]
 
 EXPONENTS (the paper's model family):
   --alpha  network side f(n) = n^alpha, alpha in [0, 1/2]
@@ -34,6 +37,13 @@ EXPONENTS (the paper's model family):
   --static treat nodes as static (forces the trivial regime)
   --no-bs  remove the infrastructure
 
+OBSERVABILITY:
+  --metrics PATH  record deterministic metrics + invariant-probe results
+                  and write a snapshot to PATH (hycap-metrics/1 JSON, or
+                  flat CSV when PATH ends in .csv); recording never
+                  perturbs the measurement — the numbers are bit-identical
+                  with and without it
+
 FAULTS (degrade subcommand):
   --fail-frac F   crash this fraction of the BSs at slot 0 (default 0.25)
   --outage-p P    per-slot Bernoulli BS outage probability (default 0)
@@ -43,6 +53,41 @@ FAULTS (degrade subcommand):
 ";
 
 type CmdResult = Result<String, Box<dyn std::error::Error>>;
+
+/// The `--metrics <path>` option shared by measure/sweep/degrade.
+fn metrics_path(args: &Args) -> Result<Option<PathBuf>, ArgError> {
+    Ok(args.get::<String>("metrics")?.map(PathBuf::from))
+}
+
+/// Writes a snapshot to `path`: flat CSV when the extension is `.csv`,
+/// `hycap-metrics/1` JSON otherwise.
+fn write_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), HycapError> {
+    let body = if path.extension().is_some_and(|e| e == "csv") {
+        snapshot.to_csv()
+    } else {
+        snapshot.to_json()
+    };
+    std::fs::write(path, body).map_err(|e| HycapError::io("write metrics snapshot", &e))
+}
+
+/// Appends the one-line metrics summary printed by observed commands and
+/// persists the snapshot.
+fn report_snapshot(
+    out: &mut String,
+    path: &Path,
+    obs: &Observer<MemorySink>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let snapshot = obs.snapshot();
+    write_snapshot(path, &snapshot)?;
+    writeln!(
+        out,
+        "metrics:  {} ({} probe checks, {} violations)",
+        path.display(),
+        snapshot.total_probe_checks(),
+        snapshot.violation_count()
+    )?;
+    Ok(())
+}
 
 fn exponents(args: &Args) -> Result<ModelExponents, Box<dyn std::error::Error>> {
     let alpha: f64 = args.require("alpha")?;
@@ -118,7 +163,14 @@ pub fn measure(args: &Args) -> CmdResult {
     let exps = exponents(args)?;
     let n: usize = args.require("n")?;
     let slots: usize = args.get_or("slots", 300)?;
-    let report = scenario(args, exps, n)?.measure(slots);
+    let metrics = metrics_path(args)?;
+    let sc = scenario(args, exps, n)?;
+    let mut obs = Observer::recording().with_probes();
+    let report = if metrics.is_some() {
+        sc.measure_observed(slots, &mut obs)
+    } else {
+        sc.measure(slots)
+    };
     let mut out = String::new();
     writeln!(
         out,
@@ -152,6 +204,9 @@ pub fn measure(args: &Args) -> CmdResult {
     if let Some(t) = report.theory {
         writeln!(out, "theory:              {t}")?;
     }
+    if let Some(path) = metrics {
+        report_snapshot(&mut out, &path, &obs)?;
+    }
     Ok(out)
 }
 
@@ -165,10 +220,17 @@ pub fn sweep(args: &Args) -> CmdResult {
         return Err("sweep needs at least two ladder points".into());
     }
     let slots: usize = args.get_or("slots", 400)?;
+    let metrics = metrics_path(args)?;
+    let mut obs = Observer::recording().with_probes();
     let mut out = String::new();
     let mut lambdas = Vec::new();
     for &n in &ns {
-        let report = scenario(args, exps, n)?.measure(slots);
+        let sc = scenario(args, exps, n)?;
+        let report = if metrics.is_some() {
+            sc.measure_observed(slots, &mut obs)
+        } else {
+            sc.measure(slots)
+        };
         let typical = report
             .lambda_mobility_typical
             .unwrap_or(0.0)
@@ -182,7 +244,7 @@ pub fn sweep(args: &Args) -> CmdResult {
     }
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
     if lambdas.iter().filter(|&&l| l > 0.0).count() >= 2 {
-        let fit = fit_loglog(&xs, &lambdas);
+        let fit = fit_loglog(&xs, &lambdas)?;
         writeln!(
             out,
             "fit: lambda ~ n^{:.3} (R^2 = {:.3})",
@@ -198,6 +260,9 @@ pub fn sweep(args: &Args) -> CmdResult {
         }
     } else {
         writeln!(out, "fit: not enough positive measurements")?;
+    }
+    if let Some(path) = metrics {
+        report_snapshot(&mut out, &path, &obs)?;
     }
     Ok(out)
 }
@@ -254,22 +319,40 @@ pub fn degrade(args: &Args) -> CmdResult {
         schedule = schedule.with_bernoulli_bs_outage(outage_p, outage_seed);
     }
     let engine = FluidEngine::default();
+    let metrics = metrics_path(args)?;
+    let mut obs = Observer::recording().with_probes();
     // Fault-free baseline on an identical realization (same scenario seed).
     let Realization {
         net: mut base_net,
         rng: mut base_rng,
         ..
     } = sc.realize();
-    let baseline = engine.measure_scheme_b(&mut base_net, &plan, slots, &mut base_rng);
+    let baseline = if metrics.is_some() {
+        engine.measure_scheme_b_observed(&mut base_net, &plan, slots, &mut base_rng, &mut obs)
+    } else {
+        engine.measure_scheme_b(&mut base_net, &plan, slots, &mut base_rng)
+    };
     let mut injector = FaultInjector::new(k, &schedule)?;
-    let report = engine.measure_scheme_b_with_faults(
-        &mut net,
-        &plan,
-        slots,
-        &mut injector,
-        policy,
-        &mut rng,
-    )?;
+    let report = if metrics.is_some() {
+        engine.measure_scheme_b_with_faults_observed(
+            &mut net,
+            &plan,
+            slots,
+            &mut injector,
+            policy,
+            &mut rng,
+            &mut obs,
+        )?
+    } else {
+        engine.measure_scheme_b_with_faults(
+            &mut net,
+            &plan,
+            slots,
+            &mut injector,
+            policy,
+            &mut rng,
+        )?
+    };
     let mut out = String::new();
     writeln!(
         out,
@@ -318,6 +401,9 @@ pub fn degrade(args: &Args) -> CmdResult {
         report.tally.wire_cuts,
         report.tally.bernoulli_bs_outages
     )?;
+    if let Some(path) = metrics {
+        report_snapshot(&mut out, &path, &obs)?;
+    }
     Ok(out)
 }
 
@@ -441,6 +527,52 @@ mod tests {
         .unwrap_err();
         let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
         assert_eq!(hycap_err.exit_code(), 2);
+    }
+
+    #[test]
+    fn measure_metrics_writes_snapshot_without_perturbing_output() {
+        let base = measure(&args(
+            "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3",
+        ))
+        .unwrap();
+        let path = std::env::temp_dir().join("hycap_cli_measure_metrics_test.json");
+        let cmd = format!(
+            "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3 --metrics {}",
+            path.display()
+        );
+        let observed = measure(&args(&cmd)).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"schema\": \"hycap-metrics/1\""), "{json}");
+        assert!(json.contains("fluid.scheme_a.runs"), "{json}");
+        let metrics_line = observed
+            .lines()
+            .find(|l| l.starts_with("metrics:"))
+            .expect("metrics line");
+        assert!(metrics_line.contains("0 violations"), "{metrics_line}");
+        // Every non-metrics line is bit-identical to the unobserved run.
+        let stripped: String = observed
+            .lines()
+            .filter(|l| !l.starts_with("metrics:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(base, stripped);
+    }
+
+    #[test]
+    fn degrade_metrics_emits_csv_when_requested() {
+        let path = std::env::temp_dir().join("hycap_cli_degrade_metrics_test.csv");
+        let cmd = format!(
+            "degrade --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3 \
+             --fail-frac 0.5 --cells 2 --metrics {}",
+            path.display()
+        );
+        let out = degrade(&args(&cmd)).unwrap();
+        assert!(out.contains("metrics:"), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(csv.starts_with("kind,name,field,value"), "{csv}");
+        assert!(csv.contains("fluid.scheme_b.faulted_runs"), "{csv}");
     }
 
     #[test]

@@ -4,16 +4,24 @@
 //! hycap classify --alpha A --m M --r R --k K --phi P [--static]
 //! hycap theory   --alpha A --m M --r R --k K --phi P [--static] [--no-bs]
 //! hycap measure  --alpha A --m M --r R --k K --phi P --n N
-//!                [--slots S] [--seed X] [--static] [--no-bs]
+//!                [--slots S] [--seed X] [--static] [--no-bs] [--metrics PATH]
 //! hycap sweep    --alpha A --m M --r R --k K --phi P
 //!                [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
+//!                [--metrics PATH]
 //! hycap surface  --phi P [--res 21]
 //! hycap degrade  --alpha A --m M --r R --k K --phi P --n N
 //!                [--fail-frac F] [--outage-p P] [--slots S] [--seed X] [--occupy]
+//!                [--metrics PATH]
 //! ```
 //!
-//! Exit codes: 0 success; 1 unexpected failure; 2 invalid input (bad
-//! arguments or parameters); 3 missing/exhausted infrastructure.
+//! `--metrics PATH` records deterministic metrics and invariant-probe
+//! results during the run and writes a `hycap-metrics/1` JSON snapshot
+//! (flat CSV when PATH ends in `.csv`) without perturbing the measured
+//! numbers.
+//!
+//! Exit codes: 0 success; 1 unexpected failure (including I/O); 2 invalid
+//! input (bad arguments or parameters); 3 missing/exhausted
+//! infrastructure.
 
 mod args;
 mod commands;

@@ -53,3 +53,7 @@ pub use theory::{
     capacity_exponent, capacity_no_bs, capacity_with_bs, dominance, infrastructure_order,
     mobility_order, optimal_range, phase_surface, Dominance, Table1Row,
 };
+
+/// Re-export of the observability crate: metric sinks, invariant probes
+/// and snapshots for the `*_observed` measurement entry points.
+pub use hycap_obs as obs;

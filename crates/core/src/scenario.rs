@@ -12,6 +12,7 @@ use crate::theory;
 use crate::{MobilityRegime, ModelExponents, Order, RealizedParams, RegimeError};
 use hycap_infra::{Backbone, BaseStations, BsPlacement, CellularLayout};
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
+use hycap_obs::{MetricsSink, Observer};
 use hycap_routing::{SchemeAPlan, SchemeBPlan, SchemeCPlan, TrafficMatrix};
 use hycap_sim::{FluidEngine, HybridNetwork};
 use rand::rngs::StdRng;
@@ -159,6 +160,22 @@ impl Scenario {
     /// * boundary parameters — measured with scheme A only, reported with
     ///   `regime = None`.
     pub fn measure(&self, slots: usize) -> ScenarioReport {
+        self.measure_observed(slots, &mut Observer::noop())
+    }
+
+    /// [`Scenario::measure`] with an observer threaded through plan
+    /// compilation and the fluid engine.
+    ///
+    /// Metrics land under `routing.*` and `fluid.*`; armed probes check
+    /// schedule feasibility, backbone rate budgets and (for faulted runs
+    /// elsewhere) tally consistency. A no-op observer makes this
+    /// bit-identical to [`Scenario::measure`] — observation never touches
+    /// the scenario RNG.
+    pub fn measure_observed<S: MetricsSink>(
+        &self,
+        slots: usize,
+        obs: &mut Observer<S>,
+    ) -> ScenarioReport {
         let Realization {
             mut net,
             traffic,
@@ -174,14 +191,22 @@ impl Scenario {
         let mut lambda_infra_typical = None;
         match regime {
             Some(MobilityRegime::Strong) | None => {
-                let plan = SchemeAPlan::build(&homes, &traffic, params.f.max(1.0));
-                let report = engine.measure_scheme_a(&mut net, &plan, slots, &mut rng);
+                let plan = SchemeAPlan::build_observed(&homes, &traffic, params.f.max(1.0), obs);
+                let report =
+                    engine.measure_scheme_a_observed(&mut net, &plan, slots, &mut rng, obs);
                 lambda_mobility = Some(report.lambda);
                 lambda_mobility_typical = Some(report.lambda_typical);
                 if self.with_bs && regime.is_some() {
                     let bs = net.base_stations().expect("with_bs").clone();
-                    let plan_b = SchemeBPlan::build(&homes, &traffic, &bs, self.scheme_b_cells);
-                    let rb = engine.measure_scheme_b(&mut net, &plan_b, slots, &mut rng);
+                    let plan_b = SchemeBPlan::build_observed(
+                        &homes,
+                        &traffic,
+                        &bs,
+                        self.scheme_b_cells,
+                        obs,
+                    );
+                    let rb =
+                        engine.measure_scheme_b_observed(&mut net, &plan_b, slots, &mut rng, obs);
                     lambda_infra = Some(rb.lambda);
                     lambda_infra_typical = Some(rb.lambda_typical);
                 }
@@ -196,7 +221,8 @@ impl Scenario {
                     // leave the guard zones permanently crowded.
                     let range = params.r * ((params.m as f64 / self.n as f64).sqrt());
                     let engine = engine.with_range(range.max(1e-6));
-                    let rb = engine.measure_scheme_b(&mut net, &plan, slots, &mut rng);
+                    let rb =
+                        engine.measure_scheme_b_observed(&mut net, &plan, slots, &mut rng, obs);
                     lambda_infra = Some(rb.lambda);
                     lambda_infra_typical = Some(rb.lambda_typical);
                 }

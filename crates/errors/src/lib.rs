@@ -56,6 +56,16 @@ pub enum HycapError {
         /// The resource class that is fully dead (`"backbone wires"`, …).
         &'static str,
     ),
+    /// An operating-system I/O operation failed (report/metrics export).
+    ///
+    /// The OS error is stored as its rendered message rather than the
+    /// source `std::io::Error` so the enum stays `Clone + PartialEq`.
+    Io {
+        /// What the workspace was doing (`"create reports directory"`, …).
+        context: &'static str,
+        /// The rendered `std::io::Error` message.
+        message: String,
+    },
 }
 
 impl fmt::Display for HycapError {
@@ -79,6 +89,9 @@ impl fmt::Display for HycapError {
                     "all {what} are down; no degraded mode can serve this request"
                 )
             }
+            HycapError::Io { context, message } => {
+                write!(f, "i/o failure while trying to {context}: {message}")
+            }
         }
     }
 }
@@ -94,16 +107,25 @@ impl HycapError {
         }
     }
 
+    /// Wraps a [`std::io::Error`] with the operation it interrupted.
+    pub fn io(context: &'static str, source: &std::io::Error) -> Self {
+        HycapError::Io {
+            context,
+            message: source.to_string(),
+        }
+    }
+
     /// The conventional process exit code for this error class: `2` for
     /// malformed input (parameters, ranges, mismatches), `3` for a network
-    /// with nothing left to serve. The CLI maps `Err` returns through this
-    /// instead of unwinding.
+    /// with nothing left to serve, `1` for environmental failures (I/O).
+    /// The CLI maps `Err` returns through this instead of unwinding.
     pub fn exit_code(&self) -> i32 {
         match self {
             HycapError::InvalidParameter { .. }
             | HycapError::OutOfRange { .. }
             | HycapError::Mismatch { .. } => 2,
             HycapError::MissingInfrastructure(_) | HycapError::AllResourcesDown(_) => 3,
+            HycapError::Io { .. } => 1,
         }
     }
 }
@@ -143,6 +165,13 @@ mod tests {
                 HycapError::AllResourcesDown("backbone wires"),
                 "all backbone wires are down",
             ),
+            (
+                HycapError::Io {
+                    context: "create reports directory",
+                    message: "permission denied".into(),
+                },
+                "i/o failure while trying to create reports directory",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -165,6 +194,9 @@ mod tests {
         );
         assert_eq!(HycapError::MissingInfrastructure("x").exit_code(), 3);
         assert_eq!(HycapError::AllResourcesDown("wires").exit_code(), 3);
+        let io = HycapError::io("write csv", &std::io::Error::other("disk full"));
+        assert_eq!(io.exit_code(), 1);
+        assert!(io.to_string().contains("disk full"));
     }
 
     #[test]

@@ -371,6 +371,18 @@ impl BackboneLoad {
         self.flows.values().sum()
     }
 
+    /// All `((src, dst), flow count)` entries in sorted group-pair order.
+    ///
+    /// Sorting makes consumers deterministic (the internal map is hashed);
+    /// the invariant probes iterate this to verify each pair's granted rate
+    /// against its wire budget.
+    pub fn flows(&self) -> Vec<((usize, usize), f64)> {
+        let mut out: Vec<((usize, usize), f64)> =
+            self.flows.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
     /// The maximum uniform per-flow rate `λ` the backbone sustains: for
     /// every group pair, the pair's traffic `λ·flows` is spread evenly over
     /// its `N_b(src)·N_b(dst)` wires, each of bandwidth `c`. Wires are

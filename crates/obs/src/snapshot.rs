@@ -1,0 +1,344 @@
+//! Point-in-time export of a [`MemorySink`] + [`Probes`] pair.
+//!
+//! Serialisation is hand-rolled (the workspace adds no external
+//! dependencies): JSON under the `hycap-metrics/1` schema and a flat
+//! `kind,name,field,value` CSV. Both formats iterate `BTreeMap`s, so the
+//! byte output for a given run is deterministic — the property the golden
+//! snapshot test locks in.
+
+use std::collections::BTreeMap;
+
+use crate::probe::{Probes, Violation, MAX_VIOLATION_DETAILS};
+use crate::sink::{Histogram, MemorySink, SpanStats};
+
+/// Schema identifier embedded in every JSON snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "hycap-metrics/1";
+
+/// A self-contained, mergeable export of one observer's state.
+#[derive(Debug, Default, Clone)]
+pub struct Snapshot {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+    probe_checks: BTreeMap<&'static str, u64>,
+    violation_count: u64,
+    violations: Vec<Violation>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a recording sink and (optionally) probes.
+    pub fn from_parts(sink: &MemorySink, probes: Option<&Probes>) -> Self {
+        let mut snap = Snapshot {
+            counters: sink.counters().collect(),
+            histograms: sink
+                .histograms()
+                .map(|(name, h)| (name, h.clone()))
+                .collect(),
+            spans: sink.spans().collect(),
+            ..Snapshot::default()
+        };
+        if let Some(p) = probes {
+            snap.probe_checks = p.checks().collect();
+            snap.violation_count = p.violation_count();
+            snap.violations = p.violations().to_vec();
+        }
+        snap
+    }
+
+    /// Counter value by name (`0` when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Times the named probe was evaluated.
+    pub fn probe_checks(&self, probe: &str) -> u64 {
+        self.probe_checks.get(probe).copied().unwrap_or(0)
+    }
+
+    /// Total probe checks across all probes.
+    pub fn total_probe_checks(&self) -> u64 {
+        self.probe_checks.values().sum()
+    }
+
+    /// Exact total violations across all probes.
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// Retained violation details.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` when the snapshot records zero invariant violations.
+    pub fn is_clean(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// Folds `other` into `self`. Counters, checks and histogram buckets
+    /// add; span stats add; violation details append up to the shared cap.
+    /// Merging in input order makes the result independent of how work was
+    /// partitioned across sweep workers.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+        for (&k, s) in &other.spans {
+            let e = self.spans.entry(k).or_default();
+            e.count += s.count;
+            e.total_micros = e.total_micros.saturating_add(s.total_micros);
+        }
+        for (&k, &v) in &other.probe_checks {
+            *self.probe_checks.entry(k).or_insert(0) += v;
+        }
+        self.violation_count += other.violation_count;
+        for d in &other.violations {
+            if self.violations.len() >= MAX_VIOLATION_DETAILS {
+                break;
+            }
+            self.violations.push(d.clone());
+        }
+    }
+
+    /// Serialises under the `hycap-metrics/1` schema (see EXPERIMENTS.md
+    /// for the field-by-field description). Pretty-printed with two-space
+    /// indents and a trailing newline; map keys are emitted in sorted
+    /// order, so equal snapshots produce equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SNAPSHOT_SCHEMA}\",\n"));
+
+        out.push_str("  \"counters\": {");
+        push_map(&mut out, self.counters.iter(), |o, v| {
+            o.push_str(&v.to_string())
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"histograms\": {");
+        push_map(&mut out, self.histograms.iter(), |o, h| {
+            o.push('{');
+            o.push_str(&format!("\"count\": {}, \"sum\": ", h.count()));
+            push_json_num(o, h.sum());
+            for (field, v) in [
+                ("min", h.min()),
+                ("max", h.max()),
+                ("mean", h.mean()),
+                ("p50", h.quantile(0.5)),
+                ("p90", h.quantile(0.9)),
+            ] {
+                o.push_str(&format!(", \"{field}\": "));
+                match v {
+                    Some(x) => push_json_num(o, x),
+                    None => o.push_str("null"),
+                }
+            }
+            o.push('}');
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"spans\": {");
+        push_map(&mut out, self.spans.iter(), |o, s| {
+            o.push_str(&format!(
+                "{{\"count\": {}, \"total_micros\": {}}}",
+                s.count, s.total_micros
+            ));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"probe_checks\": {");
+        push_map(&mut out, self.probe_checks.iter(), |o, v| {
+            o.push_str(&v.to_string())
+        });
+        out.push_str("},\n");
+
+        out.push_str(&format!(
+            "  \"violation_count\": {},\n",
+            self.violation_count
+        ));
+
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"probe\": ");
+            push_json_str(&mut out, v.probe);
+            out.push_str(", \"slot\": ");
+            match v.slot {
+                Some(s) => out.push_str(&s.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"detail\": ");
+            push_json_str(&mut out, &v.detail);
+            out.push('}');
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Serialises as flat CSV with a `kind,name,field,value` header.
+    /// Violation *details* are JSON-only; the CSV carries their count.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},value,{v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("histogram,{name},count,{}\n", h.count()));
+            for (field, v) in [
+                ("sum", Some(h.sum())),
+                ("min", h.min()),
+                ("max", h.max()),
+                ("mean", h.mean()),
+                ("p50", h.quantile(0.5)),
+                ("p90", h.quantile(0.9)),
+            ] {
+                if let Some(x) = v {
+                    out.push_str(&format!("histogram,{name},{field},"));
+                    push_json_num(&mut out, x);
+                    out.push('\n');
+                }
+            }
+        }
+        for (name, s) in &self.spans {
+            out.push_str(&format!("span,{name},count,{}\n", s.count));
+            out.push_str(&format!("span,{name},total_micros,{}\n", s.total_micros));
+        }
+        for (name, v) in &self.probe_checks {
+            out.push_str(&format!("probe,{name},checks,{v}\n"));
+        }
+        out.push_str(&format!("probe,all,violations,{}\n", self.violation_count));
+        out
+    }
+}
+
+fn push_map<'a, K: std::fmt::Display + 'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    let mut any = false;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        any = true;
+        out.push_str(&format!("\n    \"{k}\": "));
+        write_value(out, v);
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+/// JSON has no NaN/∞ literals; non-finite values serialise as `null`.
+/// Finite values use Rust's shortest-roundtrip `Display`, which is
+/// deterministic and parses back to the same bits.
+fn push_json_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MetricsSink;
+
+    fn sample() -> Snapshot {
+        let mut sink = MemorySink::new();
+        sink.counter("fluid.slots", 200);
+        sink.observe("schedule.pairs_per_slot", 4.0);
+        sink.observe("schedule.pairs_per_slot", 6.0);
+        sink.span("fluid.measure", 12345);
+        let mut probes = Probes::new();
+        probes.queue_stability("t", Some(3), 0);
+        Snapshot::from_parts(&sink, Some(&probes))
+    }
+
+    #[test]
+    fn json_is_deterministic_and_schema_tagged() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"hycap-metrics/1\""));
+        assert!(a.contains("\"fluid.slots\": 200"));
+        assert!(a.contains("\"violation_count\": 0"));
+        assert!(a.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("kind,name,field,value"));
+        assert!(csv.contains("counter,fluid.slots,value,200"));
+        assert!(csv.contains("histogram,schedule.pairs_per_slot,count,2"));
+        assert!(csv.contains("probe,all,violations,0"));
+    }
+
+    #[test]
+    fn merge_is_order_of_partition_independent() {
+        let a = sample();
+        let b = sample();
+        let mut left = Snapshot::default();
+        left.merge(&a);
+        left.merge(&b);
+        let mut one = Snapshot::default();
+        one.merge(&a);
+        one.merge(&b);
+        assert_eq!(left.to_json(), one.to_json());
+        assert_eq!(left.counter("fluid.slots"), 400);
+        assert_eq!(
+            left.histogram("schedule.pairs_per_slot").unwrap().count(),
+            4
+        );
+    }
+
+    #[test]
+    fn violations_serialise_with_escaping() {
+        let sink = MemorySink::new();
+        let mut probes = Probes::new();
+        probes.fail(
+            crate::probe::PROBE_SCHEDULE_FEASIBILITY,
+            Some(7),
+            "pair \"3\" overlaps\nnode 9".into(),
+        );
+        let json = Snapshot::from_parts(&sink, Some(&probes)).to_json();
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("\\\"3\\\" overlaps\\nnode 9"));
+        assert!(json.contains("\"slot\": 7"));
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::TrafficMatrix;
 use hycap_geom::{Cell, GridPath, Point, SquareGrid};
+use hycap_obs::{MetricsSink, Observer};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -68,6 +69,38 @@ impl SchemeAPlan {
     pub fn build(homes: &[Point], traffic: &TrafficMatrix, f: f64) -> Self {
         let all: Vec<usize> = (0..traffic.len()).collect();
         Self::build_for_flows(homes, traffic, f, &all)
+    }
+
+    /// [`SchemeAPlan::build`] plus plan-shape metrics on the observer:
+    /// flow count, mean hop count, the max squarelet-edge load and an
+    /// `routing.scheme_a.edge_load` histogram over every used edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic.len() != homes.len()` or `f < 1`.
+    pub fn build_observed<S: MetricsSink>(
+        homes: &[Point],
+        traffic: &TrafficMatrix,
+        f: f64,
+        obs: &mut Observer<S>,
+    ) -> Self {
+        let plan = Self::build(homes, traffic, f);
+        if obs.sink.enabled() {
+            obs.sink.counter("routing.scheme_a.plans", 1);
+            obs.sink
+                .counter("routing.scheme_a.flows", plan.paths.len() as u64);
+            obs.sink
+                .observe("routing.scheme_a.mean_hops", plan.mean_hops());
+            obs.sink
+                .observe("routing.scheme_a.max_edge_load", plan.max_edge_load());
+            // Histograms are insertion-order independent (count/sum/min/
+            // max/bucket tallies all commute), so iterating the HashMap
+            // directly keeps snapshots deterministic.
+            for &load in plan.edge_load.values() {
+                obs.sink.observe("routing.scheme_a.edge_load", load);
+            }
+        }
+        plan
     }
 
     /// Like [`SchemeAPlan::build`], but only the listed flows contribute

@@ -15,6 +15,7 @@ use crate::TrafficMatrix;
 use hycap_errors::HycapError;
 use hycap_geom::{Point, SquareGrid};
 use hycap_infra::{Backbone, BackboneLoad, BaseStations, LinkMask};
+use hycap_obs::{MetricsSink, Observer};
 
 /// One scheme-B flow: endpoints plus their (source, destination) groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,41 @@ impl SchemeBPlan {
     ) -> Self {
         let all: Vec<usize> = (0..traffic.len()).collect();
         Self::build_for_flows(ms_homes, traffic, bs, cells_per_side, &all)
+    }
+
+    /// [`SchemeBPlan::build`] plus plan-shape metrics on the observer:
+    /// group/flow counts, per-group access-load and BS-count histograms,
+    /// and the number of distinct backbone group pairs carrying load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic.len() != ms_homes.len()` or `cells_per_side == 0`.
+    pub fn build_observed<S: MetricsSink>(
+        ms_homes: &[Point],
+        traffic: &TrafficMatrix,
+        bs: &BaseStations,
+        cells_per_side: usize,
+        obs: &mut Observer<S>,
+    ) -> Self {
+        let plan = Self::build(ms_homes, traffic, bs, cells_per_side);
+        if obs.sink.enabled() {
+            obs.sink.counter("routing.scheme_b.plans", 1);
+            obs.sink
+                .counter("routing.scheme_b.flows", plan.flows.len() as u64);
+            obs.sink
+                .counter("routing.scheme_b.groups", plan.group_count as u64);
+            obs.sink.counter(
+                "routing.scheme_b.backbone_pairs",
+                plan.backbone_load.flows().len() as u64,
+            );
+            for g in 0..plan.group_count {
+                obs.sink
+                    .observe("routing.scheme_b.access_load", plan.access_load[g]);
+                obs.sink
+                    .observe("routing.scheme_b.bs_per_group", plan.bs_count[g] as f64);
+            }
+        }
+        plan
     }
 
     /// Fallible form of [`SchemeBPlan::build`].
@@ -620,7 +656,7 @@ mod tests {
         let (homes, traffic, _, _) = setup(120, 64, 11);
         let bs = BaseStations::generate_regular(64, 1.0);
         let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
-        let degraded = plan.degrade(&vec![true; 64]).unwrap();
+        let degraded = plan.degrade(&[true; 64]).unwrap();
         assert!(degraded.fallback_flows().is_empty());
         assert_eq!(degraded.infra_flows().len(), plan.flows().len());
         assert_eq!(degraded.dead_groups(), &[] as &[usize]);
@@ -677,7 +713,7 @@ mod tests {
         let (homes, traffic, bs, _) = setup(40, 16, 13);
         let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
         assert!(matches!(
-            plan.degrade(&vec![true; 15]),
+            plan.degrade(&[true; 15]),
             Err(HycapError::Mismatch {
                 left: 15,
                 right: 16,

@@ -21,8 +21,11 @@ use crate::HybridNetwork;
 use hycap_errors::HycapError;
 use hycap_geom::Point;
 use hycap_infra::Backbone;
+use hycap_obs::{MetricsSink, Observer, SpanTimer};
 use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
-use hycap_wireless::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
+use hycap_wireless::{
+    critical_range, schedule_observed, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -196,7 +199,24 @@ impl FluidEngine {
         slots: usize,
         rng: &mut R,
     ) -> FluidReport {
+        self.measure_scheme_a_observed(net, plan, slots, rng, &mut Observer::noop())
+    }
+
+    /// [`FluidEngine::measure_scheme_a`] with an observer threaded through:
+    /// per-slot schedule metrics and the feasibility probe via
+    /// [`schedule_observed`], run-level metrics at the end. Observation
+    /// never draws from `rng`, so the returned report is bit-identical for
+    /// any observer (the conformance suite asserts this).
+    pub fn measure_scheme_a_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> FluidReport {
         assert!(slots > 0, "need at least one slot");
+        let timer = SpanTimer::start();
         let n = net.n();
         let range = self.range_for(n);
         let scheduler = SStarScheduler::new(self.delta);
@@ -207,9 +227,19 @@ impl FluidEngine {
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
         let mut total_pairs = 0usize;
-        for _ in 0..slots {
+        let mut credited = 0u64;
+        for slot in 0..slots {
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                None,
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             total_pairs += pairs.len();
             for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
@@ -219,6 +249,7 @@ impl FluidEngine {
                 let cb = grid.cell_of(homes[pair.b]);
                 if ca == cb || grid.manhattan(ca, cb) == 1 {
                     *service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
+                    credited += 1;
                 }
             }
         }
@@ -237,18 +268,39 @@ impl FluidEngine {
             if this < lambda {
                 lambda = this;
                 bottleneck = Bottleneck::WirelessEdge(edge);
+            } else if this == lambda {
+                // `edge_load` is a HashMap, so tied minima arrive in an
+                // order that varies per map instance; break ties on the
+                // edge key to keep the reported bottleneck deterministic.
+                if let Bottleneck::WirelessEdge(cur) = bottleneck {
+                    if edge < cur {
+                        bottleneck = Bottleneck::WirelessEdge(edge);
+                    }
+                }
             }
         }
         if lambda.is_infinite() {
             lambda = 0.0;
         }
-        FluidReport {
+        let report = FluidReport {
             lambda,
             lambda_typical: median(&mut ratios),
             bottleneck,
             slots,
             scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
+        };
+        if obs.sink.enabled() {
+            obs.sink.counter("fluid.scheme_a.runs", 1);
+            obs.sink.counter("fluid.scheme_a.slots", slots as u64);
+            obs.sink
+                .counter("fluid.scheme_a.credited_contacts", credited);
+            obs.sink.observe("fluid.scheme_a.lambda", report.lambda);
+            obs.sink
+                .observe("fluid.scheme_a.lambda_typical", report.lambda_typical);
+            obs.sink
+                .span("fluid.measure_scheme_a", timer.elapsed_micros());
         }
+        report
     }
 
     /// Measures scheme B: credits each scheduled MS–BS pair to the BS's
@@ -267,7 +319,25 @@ impl FluidEngine {
         slots: usize,
         rng: &mut R,
     ) -> FluidReport {
+        self.measure_scheme_b_observed(net, plan, slots, rng, &mut Observer::noop())
+    }
+
+    /// [`FluidEngine::measure_scheme_b`] with an observer threaded through:
+    /// schedule metrics and the feasibility probe per slot, plus the
+    /// backbone-budget probe (each group pair's granted rate must fit its
+    /// `N_b(S)·N_b(D)` wires of bandwidth `c` — the Theorem 5 constraint).
+    /// Observation never draws from `rng`, so reports are bit-identical for
+    /// any observer.
+    pub fn measure_scheme_b_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> FluidReport {
         assert!(slots > 0, "need at least one slot");
+        let timer = SpanTimer::start();
         let n = net.n();
         let k = net.k();
         assert!(k > 0, "scheme B requires base stations");
@@ -293,9 +363,19 @@ impl FluidEngine {
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
         let mut total_pairs = 0usize;
-        for _ in 0..slots {
+        let mut access_contacts = 0u64;
+        for slot in 0..slots {
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                None,
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             total_pairs += pairs.len();
             for &pair in &pairs {
                 // Classify MS–BS contacts.
@@ -309,6 +389,7 @@ impl FluidEngine {
                 let g = bs_group[bs];
                 if g != usize::MAX && ms_group[ms] == g {
                     service[g] += 1.0;
+                    access_contacts += 1;
                 }
             }
         }
@@ -348,13 +429,46 @@ impl FluidEngine {
         } else {
             median(&mut ratios).min(backbone_rate)
         };
-        FluidReport {
+        if let Some(probes) = obs.probes_mut() {
+            // Theorem 5 wire feasibility: at the granted rate, each group
+            // pair's backbone traffic fits its wires; λ never exceeds the
+            // backbone-feasible rate.
+            for ((s, d), count) in plan.backbone_load().flows() {
+                let wires = (plan.backbone_load().group_size(s)
+                    * plan.backbone_load().group_size(d)) as f64;
+                probes.rate_budget(
+                    "scheme B backbone pair",
+                    lambda * count,
+                    backbone.edge_bandwidth() * wires,
+                );
+            }
+            if backbone_rate.is_finite() {
+                probes.rate_budget("scheme B lambda vs backbone", lambda, backbone_rate);
+            }
+        }
+        let report = FluidReport {
             lambda,
             lambda_typical,
             bottleneck,
             slots,
             scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
+        };
+        if obs.sink.enabled() {
+            obs.sink.counter("fluid.scheme_b.runs", 1);
+            obs.sink.counter("fluid.scheme_b.slots", slots as u64);
+            obs.sink
+                .counter("fluid.scheme_b.access_contacts", access_contacts);
+            obs.sink.observe("fluid.scheme_b.lambda", report.lambda);
+            obs.sink
+                .observe("fluid.scheme_b.lambda_typical", report.lambda_typical);
+            if backbone_rate.is_finite() {
+                obs.sink
+                    .observe("fluid.scheme_b.backbone_rate", backbone_rate);
+            }
+            obs.sink
+                .span("fluid.measure_scheme_b", timer.elapsed_micros());
         }
+        report
     }
 
     /// Measures scheme A under fault injection. Scheme A carries traffic on
@@ -380,6 +494,31 @@ impl FluidEngine {
         policy: OutagePolicy,
         rng: &mut R,
     ) -> Result<DegradedFluidReport, HycapError> {
+        self.measure_scheme_a_with_faults_observed(
+            net,
+            plan,
+            slots,
+            injector,
+            policy,
+            rng,
+            &mut Observer::noop(),
+        )
+    }
+
+    /// [`FluidEngine::measure_scheme_a_with_faults`] with an observer
+    /// threaded through; additionally runs the fault-tally consistency
+    /// probe against the injector's end-of-run state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_a_with_faults_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<DegradedFluidReport, HycapError> {
         if slots == 0 {
             return Err(HycapError::invalid("slots", "need at least one slot"));
         }
@@ -395,7 +534,7 @@ impl FluidEngine {
         let flows = plan.paths().len();
         if injector.schedule_is_empty() {
             return Ok(DegradedFluidReport {
-                base: self.measure_scheme_a(net, plan, slots, rng),
+                base: self.measure_scheme_a_observed(net, plan, slots, rng, obs),
                 k_alive_mean: k as f64,
                 outage_slots: 0,
                 infra_flows: flows,
@@ -425,7 +564,16 @@ impl FluidEngine {
                 outage_slots += 1;
             }
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_masked_into(&buf, range, Some(&alive), &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                Some(&alive),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             total_pairs += pairs.len();
             for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
@@ -453,10 +601,33 @@ impl FluidEngine {
             if this < lambda {
                 lambda = this;
                 bottleneck = Bottleneck::WirelessEdge(edge);
+            } else if this == lambda {
+                // Same deterministic tie-break as the fault-free path.
+                if let Bottleneck::WirelessEdge(cur) = bottleneck {
+                    if edge < cur {
+                        bottleneck = Bottleneck::WirelessEdge(edge);
+                    }
+                }
             }
         }
         if lambda.is_infinite() {
             lambda = 0.0;
+        }
+        let tally = injector.tally();
+        if let Some(probes) = obs.probes_mut() {
+            probes.fault_tally(
+                "fluid scheme A injector",
+                k,
+                injector.scripted_mask().alive_count(),
+                injector.alive_count(),
+                tally.bs_crashes + tally.bs_repairs,
+                tally.bernoulli_bs_outages,
+            );
+        }
+        if obs.sink.enabled() {
+            obs.sink.counter("fluid.scheme_a.faulted_runs", 1);
+            obs.sink
+                .counter("fluid.scheme_a.outage_slots", outage_slots as u64);
         }
         Ok(DegradedFluidReport {
             base: FluidReport {
@@ -471,7 +642,7 @@ impl FluidEngine {
             infra_flows: flows,
             fallback_flows: 0,
             dead_groups: 0,
-            tally: injector.tally(),
+            tally,
         })
     }
 
@@ -500,6 +671,33 @@ impl FluidEngine {
         policy: OutagePolicy,
         rng: &mut R,
     ) -> Result<DegradedFluidReport, HycapError> {
+        self.measure_scheme_b_with_faults_observed(
+            net,
+            plan,
+            slots,
+            injector,
+            policy,
+            rng,
+            &mut Observer::noop(),
+        )
+    }
+
+    /// [`FluidEngine::measure_scheme_b_with_faults`] with an observer
+    /// threaded through: schedule metrics and the feasibility probe per
+    /// slot (against the same alive mask the scheduler saw), the masked
+    /// backbone-budget probe over surviving wires, and the fault-tally
+    /// consistency probe.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_b_with_faults_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<DegradedFluidReport, HycapError> {
         if slots == 0 {
             return Err(HycapError::invalid("slots", "need at least one slot"));
         }
@@ -518,7 +716,7 @@ impl FluidEngine {
         }
         if injector.schedule_is_empty() {
             return Ok(DegradedFluidReport {
-                base: self.measure_scheme_b(net, plan, slots, rng),
+                base: self.measure_scheme_b_observed(net, plan, slots, rng, obs),
                 k_alive_mean: k as f64,
                 outage_slots: 0,
                 infra_flows: plan.flows().len(),
@@ -556,7 +754,16 @@ impl FluidEngine {
                 outage_slots += 1;
             }
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_masked_into(&buf, range, Some(&alive), &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                Some(&alive),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             total_pairs += pairs.len();
             for &pair in &pairs {
                 let (ms, bs_id) = if pair.a < n && pair.b >= n {
@@ -623,6 +830,49 @@ impl FluidEngine {
         } else {
             median(&mut ratios).min(backbone_rate)
         };
+        let tally = injector.tally();
+        if let Some(probes) = obs.probes_mut() {
+            // Masked Theorem 5 feasibility: each surviving group pair's
+            // traffic at rate λ fits the *effective* wire bandwidth left by
+            // the durable fault state.
+            for ((s, d), count) in degraded.backbone_load().flows() {
+                let mut eff_wires = 0.0;
+                for &a in &members[s] {
+                    for &b in &members[d] {
+                        eff_wires += scripted.wire_factor(a, b);
+                    }
+                }
+                probes.rate_budget(
+                    "degraded scheme B backbone pair",
+                    lambda * count,
+                    bandwidth * eff_wires,
+                );
+            }
+            if backbone_rate.is_finite() {
+                probes.rate_budget(
+                    "degraded scheme B lambda vs backbone",
+                    lambda,
+                    backbone_rate,
+                );
+            }
+            probes.fault_tally(
+                "fluid scheme B injector",
+                k,
+                injector.scripted_mask().alive_count(),
+                injector.alive_count(),
+                tally.bs_crashes + tally.bs_repairs,
+                tally.bernoulli_bs_outages,
+            );
+        }
+        if obs.sink.enabled() {
+            obs.sink.counter("fluid.scheme_b.faulted_runs", 1);
+            obs.sink
+                .counter("fluid.scheme_b.outage_slots", outage_slots as u64);
+            obs.sink.counter(
+                "fluid.scheme_b.fallback_flows",
+                degraded.fallback_flows().len() as u64,
+            );
+        }
         Ok(DegradedFluidReport {
             base: FluidReport {
                 lambda,
@@ -636,7 +886,7 @@ impl FluidEngine {
             infra_flows: degraded.infra_flows().len(),
             fallback_flows: degraded.fallback_flows().len(),
             dead_groups: degraded.dead_groups().len(),
-            tally: injector.tally(),
+            tally,
         })
     }
 

@@ -50,4 +50,11 @@ pub use engine::HybridNetwork;
 pub use faults::{FaultEvent, FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
 pub use fluid::{Bottleneck, DegradedFluidReport, FluidEngine, FluidReport, TwoHopReport};
 pub use packet::{DegradedPacketStats, PacketEngine, PacketStats};
-pub use sweep::{fit_linear, fit_loglog, geometric_ns, parallel_map, FitResult};
+pub use sweep::{
+    fit_linear, fit_loglog, geometric_ns, parallel_map, parallel_map_observed, FitResult,
+};
+
+/// Re-export of the observability crate so downstream code can construct
+/// [`hycap_obs::Observer`]s for the `*_observed` engine entry points
+/// without naming `hycap-obs` directly.
+pub use hycap_obs as obs;

@@ -13,8 +13,11 @@
 use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
 use crate::HybridNetwork;
 use hycap_errors::HycapError;
+use hycap_obs::{MetricsSink, Observer, SpanTimer};
 use hycap_routing::SchemeBPlan;
-use hycap_wireless::{critical_range, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace};
+use hycap_wireless::{
+    critical_range, schedule_observed, SStarScheduler, ScheduledPair, SlotWorkspace,
+};
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 
@@ -87,6 +90,23 @@ impl PacketEngine {
         slots: usize,
         rng: &mut R,
     ) -> Result<PacketStats, HycapError> {
+        self.run_chains_observed(net, chains, lambda, slots, rng, &mut Observer::noop())
+    }
+
+    /// [`PacketEngine::run_chains`] with an observer threaded through:
+    /// per-slot schedule metrics and the feasibility probe, plus end-of-run
+    /// flow conservation (`injected == delivered + backlog` — relays leak
+    /// nothing). Observation never draws from `rng`, so statistics are
+    /// bit-identical for any observer.
+    pub fn run_chains_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        chains: &[Vec<usize>],
+        lambda: f64,
+        slots: usize,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<PacketStats, HycapError> {
         if slots == 0 {
             return Err(HycapError::invalid("slots", "need at least one slot"));
         }
@@ -107,6 +127,7 @@ impl PacketEngine {
                 ));
             }
         }
+        let timer = SpanTimer::start();
         let n = net.n();
         let range = critical_range(n, self.c_t);
         let scheduler = SStarScheduler::new(self.delta);
@@ -141,7 +162,16 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                None,
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             for &pair in &pairs {
                 // One packet per direction.
                 for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
@@ -172,7 +202,7 @@ impl PacketEngine {
             .iter()
             .flat_map(|q| q.iter().map(|d| d.len() as u64))
             .sum();
-        Ok(PacketStats {
+        let stats = PacketStats {
             injected,
             delivered,
             throughput_per_node: delivered as f64 / (slots as f64 * chains.len() as f64),
@@ -183,7 +213,19 @@ impl PacketEngine {
             },
             backlog,
             slots,
-        })
+        };
+        if let Some(probes) = obs.probes_mut() {
+            probes.flow_conservation("packet chains", None, injected, delivered, backlog);
+        }
+        if obs.sink.enabled() {
+            obs.sink.counter("packet.chains.runs", 1);
+            obs.sink.counter("packet.chains.injected", injected);
+            obs.sink.counter("packet.chains.delivered", delivered);
+            obs.sink
+                .observe("packet.chains.throughput", stats.throughput_per_node);
+            obs.sink.span("packet.run_chains", timer.elapsed_micros());
+        }
+        Ok(stats)
     }
 
     /// Runs scheme A faithfully at the packet level: a packet at squarelet
@@ -207,8 +249,37 @@ impl PacketEngine {
         slots: usize,
         rng: &mut R,
     ) -> PacketStats {
+        self.run_scheme_a_observed(
+            net,
+            plan,
+            traffic,
+            lambda,
+            slots,
+            rng,
+            &mut Observer::noop(),
+        )
+    }
+
+    /// [`PacketEngine::run_scheme_a`] with an observer threaded through:
+    /// schedule metrics and the feasibility probe per slot, end-of-run flow
+    /// conservation against the actual holdings, and the queue-stability
+    /// probe on the signed backlog counter (a negative value means a packet
+    /// was served that never existed). Statistics are bit-identical for any
+    /// observer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scheme_a_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &hycap_routing::SchemeAPlan,
+        traffic: &hycap_routing::TrafficMatrix,
+        lambda: f64,
+        slots: usize,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> PacketStats {
         assert!(slots > 0, "need at least one slot");
         assert!(lambda >= 0.0, "lambda must be non-negative, got {lambda}");
+        let timer = SpanTimer::start();
         let n = net.n();
         let range = critical_range(n, self.c_t);
         let scheduler = SStarScheduler::new(self.delta);
@@ -247,7 +318,16 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                None,
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
                     continue;
@@ -293,7 +373,15 @@ impl PacketEngine {
                 }
             }
         }
-        PacketStats {
+        if let Some(probes) = obs.probes_mut() {
+            probes.queue_stability("packet scheme A", None, backlog);
+            let stored: u64 = holdings
+                .iter()
+                .flat_map(|h| h.values().map(|q| q.len() as u64))
+                .sum();
+            probes.flow_conservation("packet scheme A", None, injected, delivered, stored);
+        }
+        let stats = PacketStats {
             injected,
             delivered,
             throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
@@ -304,7 +392,16 @@ impl PacketEngine {
             },
             backlog: backlog.max(0) as u64,
             slots,
+        };
+        if obs.sink.enabled() {
+            obs.sink.counter("packet.scheme_a.runs", 1);
+            obs.sink.counter("packet.scheme_a.injected", injected);
+            obs.sink.counter("packet.scheme_a.delivered", delivered);
+            obs.sink
+                .observe("packet.scheme_a.throughput", stats.throughput_per_node);
+            obs.sink.span("packet.run_scheme_a", timer.elapsed_micros());
         }
+        stats
     }
 
     /// Runs scheme B end-to-end: phase I hands packets from a source to any
@@ -323,8 +420,25 @@ impl PacketEngine {
         slots: usize,
         rng: &mut R,
     ) -> PacketStats {
+        self.run_scheme_b_observed(net, plan, lambda, slots, rng, &mut Observer::noop())
+    }
+
+    /// [`PacketEngine::run_scheme_b`] with an observer threaded through:
+    /// schedule metrics and the feasibility probe per slot, plus end-of-run
+    /// flow conservation across the three stage queues. Statistics are
+    /// bit-identical for any observer.
+    pub fn run_scheme_b_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        lambda: f64,
+        slots: usize,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> PacketStats {
         assert!(slots > 0, "need at least one slot");
         assert!(lambda >= 0.0, "lambda must be non-negative, got {lambda}");
+        let timer = SpanTimer::start();
         let n = net.n();
         let k = net.k();
         assert!(k > 0, "scheme B requires base stations");
@@ -371,7 +485,16 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_into(&buf, range, &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                None,
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             for &pair in &pairs {
                 let (ms, bs) = if pair.a < n && pair.b >= n {
                     (pair.a, pair.b - n)
@@ -440,7 +563,10 @@ impl PacketEngine {
             .chain(&at_dst_group)
             .map(|q| q.len() as u64)
             .sum();
-        PacketStats {
+        if let Some(probes) = obs.probes_mut() {
+            probes.flow_conservation("packet scheme B", None, injected, delivered, backlog);
+        }
+        let stats = PacketStats {
             injected,
             delivered,
             throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
@@ -451,7 +577,16 @@ impl PacketEngine {
             },
             backlog,
             slots,
+        };
+        if obs.sink.enabled() {
+            obs.sink.counter("packet.scheme_b.runs", 1);
+            obs.sink.counter("packet.scheme_b.injected", injected);
+            obs.sink.counter("packet.scheme_b.delivered", delivered);
+            obs.sink
+                .observe("packet.scheme_b.throughput", stats.throughput_per_node);
+            obs.sink.span("packet.run_scheme_b", timer.elapsed_micros());
         }
+        stats
     }
 
     /// Runs scheme C end-to-end under its deterministic TDMA schedule
@@ -641,6 +776,35 @@ impl PacketEngine {
     #[allow(clippy::too_many_arguments)]
     pub fn find_capacity_chains<R: Rng + ?Sized, F: FnMut(&mut R) -> HybridNetwork>(
         &self,
+        make_net: F,
+        chains: &[Vec<usize>],
+        lo: f64,
+        hi: f64,
+        slots: usize,
+        iters: usize,
+        threshold: f64,
+        rng: &mut R,
+    ) -> Result<f64, HycapError> {
+        self.find_capacity_chains_observed(
+            make_net,
+            chains,
+            lo,
+            hi,
+            slots,
+            iters,
+            threshold,
+            rng,
+            &mut Observer::noop(),
+        )
+    }
+
+    /// [`PacketEngine::find_capacity_chains`] with an observer threaded
+    /// through every bisection probe run. The bisection itself adds a
+    /// convergence metric (`packet.bisect.iterations`) and records the
+    /// final boundary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_capacity_chains_observed<R, F, S>(
+        &self,
         mut make_net: F,
         chains: &[Vec<usize>],
         mut lo: f64,
@@ -649,7 +813,13 @@ impl PacketEngine {
         iters: usize,
         threshold: f64,
         rng: &mut R,
-    ) -> Result<f64, HycapError> {
+        obs: &mut Observer<S>,
+    ) -> Result<f64, HycapError>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> HybridNetwork,
+        S: MetricsSink,
+    {
         if !(lo >= 0.0 && hi > lo) {
             return Err(HycapError::invalid(
                 "interval",
@@ -665,12 +835,16 @@ impl PacketEngine {
         for _ in 0..iters {
             let mid = 0.5 * (lo + hi);
             let mut net = make_net(rng);
-            let stats = self.run_chains(&mut net, chains, mid, slots, rng)?;
+            let stats = self.run_chains_observed(&mut net, chains, mid, slots, rng, obs)?;
             if stats.delivery_ratio() >= threshold {
                 lo = mid;
             } else {
                 hi = mid;
             }
+        }
+        if obs.sink.enabled() {
+            obs.sink.counter("packet.bisect.iterations", iters as u64);
+            obs.sink.observe("packet.bisect.capacity", lo);
         }
         Ok(lo)
     }
@@ -719,6 +893,40 @@ impl PacketEngine {
         policy: OutagePolicy,
         rng: &mut R,
     ) -> Result<DegradedPacketStats, HycapError> {
+        self.run_scheme_b_with_faults_observed(
+            net,
+            plan,
+            lambda,
+            slots,
+            injector,
+            policy,
+            rng,
+            &mut Observer::noop(),
+        )
+    }
+
+    /// [`PacketEngine::run_scheme_b_with_faults`] with an observer.
+    ///
+    /// Probes checked at the end of the run: packet conservation
+    /// (`injected == delivered + backlog`) and fault-tally consistency
+    /// between the scripted mask, the effective mask, and the injector's
+    /// event counts. Metrics land under `packet.scheme_b.*`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scheme_b_with_faults_observed<R, S>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        lambda: f64,
+        slots: usize,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<DegradedPacketStats, HycapError>
+    where
+        R: Rng + ?Sized,
+        S: MetricsSink,
+    {
         if slots == 0 {
             return Err(HycapError::invalid("slots", "need at least one slot"));
         }
@@ -742,7 +950,7 @@ impl PacketEngine {
             });
         }
         if injector.schedule_is_empty() {
-            let base = self.run_scheme_b(net, plan, lambda, slots, rng);
+            let base = self.run_scheme_b_observed(net, plan, lambda, slots, rng, obs);
             return Ok(DegradedPacketStats {
                 infra_delivered: base.delivered,
                 fallback_delivered: 0,
@@ -819,7 +1027,16 @@ impl PacketEngine {
                 }
             }
             net.advance_into(rng, &mut buf);
-            scheduler.schedule_masked_into(&buf, range, Some(&alive), &mut ws, &mut pairs);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                Some(&alive),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
             for &pair in &pairs {
                 let (ms, bsid) = if pair.a < n && pair.b >= n {
                     (pair.a, pair.b - n)
@@ -922,6 +1139,39 @@ impl PacketEngine {
             .chain(&at_dst_group)
             .map(|q| q.len() as u64)
             .sum();
+        let tally = injector.tally();
+        if let Some(probes) = obs.probes_mut() {
+            probes.flow_conservation(
+                "packet scheme B faulted",
+                None,
+                injected,
+                delivered,
+                backlog,
+            );
+            probes.fault_tally(
+                "packet scheme B injector",
+                k,
+                injector.scripted_mask().alive_count(),
+                injector.alive_count(),
+                tally.bs_crashes + tally.bs_repairs,
+                tally.bernoulli_bs_outages,
+            );
+        }
+        if obs.sink.enabled() {
+            obs.sink.counter("packet.scheme_b.faulted_runs", 1);
+            obs.sink
+                .counter("packet.scheme_b.lost_uplink_contacts", lost_uplink_contacts);
+            obs.sink.counter(
+                "packet.scheme_b.backbone_stalled_slots",
+                backbone_stalled_slots,
+            );
+            obs.sink
+                .counter("packet.scheme_b.fallback_delivered", fallback_delivered);
+            obs.sink.observe(
+                "packet.scheme_b.k_alive_mean",
+                alive_sum as f64 / slots as f64,
+            );
+        }
         Ok(DegradedPacketStats {
             base: PacketStats {
                 injected,
@@ -941,7 +1191,7 @@ impl PacketEngine {
             backbone_stalled_slots,
             k_alive_mean: alive_sum as f64 / slots as f64,
             outage_slots,
-            tally: injector.tally(),
+            tally,
         })
     }
 }

@@ -6,6 +6,9 @@
 //! the ladder, the fit and a thread-parallel sweep driver built on
 //! `std::thread::scope` (no extra dependencies).
 
+use hycap_errors::HycapError;
+use hycap_obs::{MemorySink, Observer, Snapshot};
+
 /// Result of an ordinary least-squares fit of `y = intercept + slope·x`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitResult {
@@ -19,28 +22,44 @@ pub struct FitResult {
 
 /// Ordinary least-squares linear fit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than two points are supplied or lengths differ.
+/// [`HycapError::InvalidParameter`] when fewer than two points are
+/// supplied, the lengths differ, or all `x` values are identical.
 ///
 /// # Example
 ///
 /// ```
 /// let xs = [1.0, 2.0, 3.0];
 /// let ys = [2.0, 4.0, 6.0];
-/// let fit = hycap_sim::fit_linear(&xs, &ys);
+/// let fit = hycap_sim::fit_linear(&xs, &ys).unwrap();
 /// assert!((fit.slope - 2.0).abs() < 1e-12);
 /// assert!(fit.r2 > 0.999);
 /// ```
-pub fn fit_linear(xs: &[f64], ys: &[f64]) -> FitResult {
-    assert_eq!(xs.len(), ys.len(), "x/y lengths differ");
-    assert!(xs.len() >= 2, "need at least two points to fit a line");
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Result<FitResult, HycapError> {
+    if xs.len() != ys.len() {
+        return Err(HycapError::invalid(
+            "fit points",
+            format!("x/y lengths differ: {} vs {}", xs.len(), ys.len()),
+        ));
+    }
+    if xs.len() < 2 {
+        return Err(HycapError::invalid(
+            "fit points",
+            format!("need at least two points to fit a line, got {}", xs.len()),
+        ));
+    }
     let n = xs.len() as f64;
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
-    assert!(sxx > 0.0, "x values are all identical");
+    if sxx <= 0.0 || sxx.is_nan() {
+        return Err(HycapError::invalid(
+            "fit points",
+            "x values are all identical",
+        ));
+    }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
@@ -57,11 +76,11 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> FitResult {
     } else {
         1.0 - ss_res / ss_tot
     };
-    FitResult {
+    Ok(FitResult {
         slope,
         intercept,
         r2,
-    }
+    })
 }
 
 /// Fits `ln y = intercept + slope·ln x`: the scaling exponent of `y ~ x^e`.
@@ -69,21 +88,32 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> FitResult {
 /// Points with non-positive `y` are dropped (a starved measurement carries
 /// no slope information); at least two positive points must remain.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than two usable points remain.
-pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> FitResult {
-    assert_eq!(xs.len(), ys.len(), "x/y lengths differ");
+/// [`HycapError::InvalidParameter`] when the lengths differ or fewer than
+/// two usable points remain after dropping starved measurements.
+pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> Result<FitResult, HycapError> {
+    if xs.len() != ys.len() {
+        return Err(HycapError::invalid(
+            "fit points",
+            format!("x/y lengths differ: {} vs {}", xs.len(), ys.len()),
+        ));
+    }
     let (lx, ly): (Vec<f64>, Vec<f64>) = xs
         .iter()
         .zip(ys)
         .filter(|&(&x, &y)| x > 0.0 && y > 0.0)
         .map(|(&x, &y)| (x.ln(), y.ln()))
         .unzip();
-    assert!(
-        lx.len() >= 2,
-        "need at least two positive measurements for a log-log fit"
-    );
+    if lx.len() < 2 {
+        return Err(HycapError::invalid(
+            "fit points",
+            format!(
+                "need at least two positive measurements for a log-log fit, got {}",
+                lx.len()
+            ),
+        ));
+    }
     fit_linear(&lx, &ly)
 }
 
@@ -148,15 +178,49 @@ where
         .collect()
 }
 
+/// [`parallel_map`] with per-input observation: each invocation of `f`
+/// receives a fresh recording [`Observer`] with probes armed, and the
+/// per-input snapshots are merged **in input order** after all workers
+/// finish.
+///
+/// Because every input gets its own sink and the merge order is the input
+/// order (not completion order), the merged [`Snapshot`] is bit-identical
+/// regardless of `threads` — the property the conformance suite pins down.
+///
+/// # Panics
+///
+/// Propagates panics from `f`; panics if `threads == 0`.
+pub fn parallel_map_observed<I, O, F>(inputs: &[I], threads: usize, f: F) -> (Vec<O>, Snapshot)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I, &mut Observer<MemorySink>) -> O + Sync,
+{
+    let pairs = parallel_map(inputs, threads, |input| {
+        let mut obs = Observer::recording().with_probes();
+        let out = f(input, &mut obs);
+        let snap = obs.snapshot();
+        (out, snap)
+    });
+    let mut merged = Snapshot::default();
+    let mut outs = Vec::with_capacity(pairs.len());
+    for (out, snap) in pairs {
+        merged.merge(&snap);
+        outs.push(out);
+    }
+    (outs, merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hycap_obs::MetricsSink;
 
     #[test]
     fn fit_linear_exact_line() {
         let xs = [0.0, 1.0, 2.0, 3.0];
         let ys = [1.0, 3.0, 5.0, 7.0];
-        let fit = fit_linear(&xs, &ys);
+        let fit = fit_linear(&xs, &ys).unwrap();
         assert!((fit.slope - 2.0).abs() < 1e-12);
         assert!((fit.intercept - 1.0).abs() < 1e-12);
         assert!((fit.r2 - 1.0).abs() < 1e-12);
@@ -166,7 +230,7 @@ mod tests {
     fn fit_linear_noisy_r2_below_one() {
         let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
         let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
-        let fit = fit_linear(&xs, &ys);
+        let fit = fit_linear(&xs, &ys).unwrap();
         assert!((fit.slope - 1.0).abs() < 0.1);
         assert!(fit.r2 > 0.95 && fit.r2 < 1.0);
     }
@@ -175,7 +239,7 @@ mod tests {
     fn fit_loglog_recovers_power_law() {
         let xs: Vec<f64> = (1..=6).map(|i| 100.0 * 2f64.powi(i)).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(-0.5)).collect();
-        let fit = fit_loglog(&xs, &ys);
+        let fit = fit_loglog(&xs, &ys).unwrap();
         assert!((fit.slope + 0.5).abs() < 1e-9, "slope {}", fit.slope);
         assert!(fit.r2 > 0.9999);
     }
@@ -184,7 +248,7 @@ mod tests {
     fn fit_loglog_drops_starved_points() {
         let xs = [100.0, 200.0, 400.0, 800.0];
         let ys = [1.0, 0.5, 0.0, 0.25]; // zero measurement dropped
-        let fit = fit_loglog(&xs, &ys);
+        let fit = fit_loglog(&xs, &ys).unwrap();
         assert!(fit.slope < 0.0);
     }
 
@@ -225,14 +289,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two points")]
     fn fit_needs_two_points() {
-        let _ = fit_linear(&[1.0], &[1.0]);
+        let err = fit_linear(&[1.0], &[1.0]).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("at least two points"));
     }
 
     #[test]
-    #[should_panic(expected = "all identical")]
     fn fit_rejects_degenerate_x() {
-        let _ = fit_linear(&[2.0, 2.0], &[1.0, 3.0]);
+        let err = fit_linear(&[2.0, 2.0], &[1.0, 3.0]).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("all identical"));
+    }
+
+    #[test]
+    fn fit_rejects_mismatched_lengths() {
+        let err = fit_linear(&[1.0, 2.0], &[1.0]).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }));
+        let err = fit_loglog(&[1.0, 2.0], &[1.0]).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn fit_loglog_starved_to_death_errors() {
+        let err = fit_loglog(&[1.0, 2.0, 3.0], &[0.0, 0.0, 1.0]).unwrap_err();
+        assert!(err.to_string().contains("two positive measurements"));
+    }
+
+    #[test]
+    fn parallel_map_observed_thread_invariant() {
+        let inputs: Vec<u64> = (0..13).collect();
+        let run = |threads| {
+            parallel_map_observed(&inputs, threads, |&x, obs| {
+                obs.sink.counter("work.items", 1);
+                obs.sink.observe("work.value", x as f64);
+                x * 2
+            })
+        };
+        let (out1, snap1) = run(1);
+        let (out4, snap4) = run(4);
+        assert_eq!(out1, out4);
+        assert_eq!(snap1.counter("work.items"), snap4.counter("work.items"));
+        assert_eq!(snap1.to_json(), snap4.to_json());
     }
 }

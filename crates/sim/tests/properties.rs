@@ -1,6 +1,7 @@
 //! Property-based tests for the sweep/fit utilities and engine invariants.
 
-use hycap_sim::{fit_linear, fit_loglog, geometric_ns, parallel_map};
+use hycap_sim::obs::MetricsSink;
+use hycap_sim::{fit_linear, fit_loglog, geometric_ns, parallel_map, parallel_map_observed};
 use proptest::prelude::*;
 
 proptest! {
@@ -13,7 +14,7 @@ proptest! {
     ) {
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
-        let fit = fit_linear(&xs, &ys);
+        let fit = fit_linear(&xs, &ys).unwrap();
         prop_assert!((fit.slope - slope).abs() < 1e-9);
         prop_assert!((fit.intercept - intercept).abs() < 1e-8);
         prop_assert!(fit.r2 > 1.0 - 1e-9);
@@ -27,7 +28,7 @@ proptest! {
     ) {
         let xs: Vec<f64> = (1..=8).map(|i| 50.0 * 2f64.powi(i)).collect();
         let ys: Vec<f64> = xs.iter().map(|x| scale * x.powf(exponent)).collect();
-        let fit = fit_loglog(&xs, &ys);
+        let fit = fit_loglog(&xs, &ys).unwrap();
         prop_assert!((fit.slope - exponent).abs() < 1e-9);
         prop_assert!((fit.intercept - scale.ln()).abs() < 1e-8);
     }
@@ -40,7 +41,7 @@ proptest! {
         let mut ys: Vec<f64> = xs.iter().map(|x| x.powf(exponent)).collect();
         ys[2] = 0.0; // starved sample
         ys[5] = 0.0;
-        let fit = fit_loglog(&xs, &ys);
+        let fit = fit_loglog(&xs, &ys).unwrap();
         prop_assert!((fit.slope - exponent).abs() < 1e-9);
     }
 
@@ -70,5 +71,32 @@ proptest! {
         let expect: Vec<i64> = inputs.iter().map(f).collect();
         let got = parallel_map(&inputs, threads, f);
         prop_assert_eq!(got, expect);
+    }
+
+    /// The observed sweep driver produces bit-identical outputs AND a
+    /// bit-identical merged metrics snapshot for 1, 2 and 4 worker
+    /// threads: per-input sinks merged in input order erase scheduling
+    /// nondeterminism.
+    #[test]
+    fn observed_sweep_is_thread_invariant(
+        inputs in prop::collection::vec(1u64..1_000_000, 1..40),
+    ) {
+        let work = |&x: &u64, obs: &mut hycap_sim::obs::Observer<hycap_sim::obs::MemorySink>| {
+            obs.sink.counter("sweep.inputs", 1);
+            obs.sink.observe("sweep.value", x as f64);
+            if let Some(probes) = obs.probes_mut() {
+                probes.queue_stability("property sweep", None, x as i64);
+            }
+            x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+        };
+        let (out1, snap1) = parallel_map_observed(&inputs, 1, work);
+        let (out2, snap2) = parallel_map_observed(&inputs, 2, work);
+        let (out4, snap4) = parallel_map_observed(&inputs, 4, work);
+        prop_assert_eq!(&out1, &out2);
+        prop_assert_eq!(&out1, &out4);
+        let j1 = snap1.to_json();
+        prop_assert_eq!(&j1, &snap2.to_json());
+        prop_assert_eq!(&j1, &snap4.to_json());
+        prop_assert!(snap1.is_clean());
     }
 }

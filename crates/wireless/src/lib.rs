@@ -41,7 +41,8 @@ pub mod schedule;
 pub use linkcap::{ContactEstimate, LinkCapacityEstimator};
 pub use protocol::ProtocolModel;
 pub use schedule::{
-    GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+    check_schedule_feasibility, schedule_observed, GreedyMatchingScheduler, SStarScheduler,
+    ScheduledPair, Scheduler, SlotWorkspace,
 };
 
 /// Index of a node in a position array (mobile stations first, then base

@@ -2,6 +2,7 @@
 
 use crate::{NodeId, ProtocolModel};
 use hycap_geom::{Point, SpatialHash};
+use hycap_obs::{MetricsSink, Observer, Probes, PROBE_SCHEDULE_FEASIBILITY};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -357,6 +358,127 @@ impl Scheduler for GreedyMatchingScheduler {
     }
 }
 
+/// Runs a scheduler for one slot and feeds the result through an observer:
+/// pair-count metrics into the sink, and the protocol-model feasibility
+/// probe over the emitted schedule when probes are enabled.
+///
+/// With `Observer::noop()` this monomorphises to a plain
+/// [`Scheduler::schedule_masked_into`] call — the engines route every slot
+/// through here, observed or not, and pay nothing in the unobserved case.
+/// Observation never touches any RNG, so recorded runs stay bit-identical
+/// to unrecorded ones.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_observed<Sch, S>(
+    scheduler: &Sch,
+    positions: &[Point],
+    range: f64,
+    alive: Option<&[bool]>,
+    slot: u64,
+    ws: &mut SlotWorkspace,
+    out: &mut Vec<ScheduledPair>,
+    obs: &mut Observer<S>,
+) where
+    Sch: Scheduler + ?Sized,
+    S: MetricsSink,
+{
+    scheduler.schedule_masked_into(positions, range, alive, ws, out);
+    if obs.sink.enabled() {
+        obs.sink.counter("schedule.slots", 1);
+        obs.sink.counter("schedule.pairs_total", out.len() as u64);
+        obs.sink
+            .observe("schedule.pairs_per_slot", out.len() as f64);
+    }
+    if let Some(probes) = obs.probes_mut() {
+        check_schedule_feasibility(
+            probes,
+            slot,
+            positions,
+            out,
+            range,
+            scheduler.delta(),
+            alive,
+        );
+    }
+}
+
+/// The schedule-feasibility probe: every emitted pair must have two
+/// distinct *alive* endpoints strictly within transmission range, pairs
+/// must be node-disjoint, and every cross-pair endpoint distance must
+/// clear the `(1+Δ)R_T` guard radius — i.e. the slot is simultaneously
+/// transmittable under the protocol model (Definition 4).
+///
+/// This is the invariant *common* to `S*` and the greedy matcher: `S*`
+/// additionally keeps third (idle) nodes out of guard zones, but that
+/// stricter condition is policy, not physics, so the probe does not demand
+/// it (use [`sstar_violations`] for the policy-level check).
+pub fn check_schedule_feasibility(
+    probes: &mut Probes,
+    slot: u64,
+    positions: &[Point],
+    pairs: &[ScheduledPair],
+    range: f64,
+    delta: f64,
+    alive: Option<&[bool]>,
+) {
+    probes.check(PROBE_SCHEDULE_FEASIBILITY);
+    let guard = (1.0 + delta) * range;
+    let mut seen = vec![false; positions.len()];
+    for (idx, pair) in pairs.iter().enumerate() {
+        let (i, j) = (pair.a, pair.b);
+        if i >= positions.len() || j >= positions.len() {
+            probes.fail(
+                PROBE_SCHEDULE_FEASIBILITY,
+                Some(slot),
+                format!(
+                    "pair {idx} ({i}, {j}) indexes past {} nodes",
+                    positions.len()
+                ),
+            );
+            continue;
+        }
+        if !is_alive(alive, i) || !is_alive(alive, j) {
+            probes.fail(
+                PROBE_SCHEDULE_FEASIBILITY,
+                Some(slot),
+                format!("pair {idx} ({i}, {j}) has a dead endpoint"),
+            );
+        }
+        let d = positions[i].torus_dist(positions[j]);
+        if d >= range || d.is_nan() {
+            probes.fail(
+                PROBE_SCHEDULE_FEASIBILITY,
+                Some(slot),
+                format!("pair {idx} ({i}, {j}) at distance {d} >= range {range}"),
+            );
+        }
+        if seen[i] || seen[j] {
+            probes.fail(
+                PROBE_SCHEDULE_FEASIBILITY,
+                Some(slot),
+                format!("pair {idx} ({i}, {j}) reuses an already-scheduled node"),
+            );
+        }
+        seen[i] = true;
+        seen[j] = true;
+        for other in &pairs[..idx] {
+            for &x in &[i, j] {
+                for &y in &[other.a, other.b] {
+                    let d = positions[x].torus_dist(positions[y]);
+                    if d < guard {
+                        probes.fail(
+                            PROBE_SCHEDULE_FEASIBILITY,
+                            Some(slot),
+                            format!(
+                                "endpoints {x} and {y} of concurrent pairs at distance {d} < guard {guard}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Checks the `S*` invariant on a schedule: pairs are within range, node
 ///-disjoint, and no third node sits inside either endpoint's guard zone.
 ///
@@ -637,6 +759,100 @@ mod tests {
         for p in &out {
             assert!(alive[p.a] && alive[p.b], "dead endpoint scheduled: {p:?}");
         }
+    }
+
+    #[test]
+    fn feasibility_probe_accepts_both_schedulers() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(41);
+        let positions: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let range = crate::critical_range(400, 1.5);
+        let mut probes = Probes::new();
+        for sched in [
+            &SStarScheduler::new(1.0) as &dyn Scheduler,
+            &GreedyMatchingScheduler::new(1.0),
+        ] {
+            let pairs = sched.schedule(&positions, range);
+            check_schedule_feasibility(
+                &mut probes,
+                0,
+                &positions,
+                &pairs,
+                range,
+                sched.delta(),
+                None,
+            );
+        }
+        assert!(probes.is_clean(), "{:?}", probes.violations());
+        assert_eq!(probes.checks_run(PROBE_SCHEDULE_FEASIBILITY), 2);
+    }
+
+    #[test]
+    fn feasibility_probe_flags_violations() {
+        let positions = vec![
+            Point::new(0.10, 0.10),
+            Point::new(0.14, 0.10),
+            Point::new(0.16, 0.10), // inside the guard zone of pair (0, 1)
+            Point::new(0.60, 0.60),
+        ];
+        let range = 0.05;
+        // Concurrent pairs with endpoints 1 and 2 only 0.02 apart: infeasible.
+        let pairs = vec![ScheduledPair::new(0, 1), ScheduledPair::new(2, 3)];
+        let mut probes = Probes::new();
+        check_schedule_feasibility(&mut probes, 5, &positions, &pairs, range, 1.0, None);
+        // Pair (2, 3) is also out of range (0.44 apart), so expect both a
+        // range and a guard violation.
+        assert!(probes.violation_count() >= 2, "{:?}", probes.violations());
+        assert!(probes.violations().iter().all(|v| v.slot == Some(5)));
+        // Dead endpoint detection.
+        let alive = vec![false, true, true, true];
+        let mut probes = Probes::new();
+        let pairs = vec![ScheduledPair::new(0, 1)];
+        check_schedule_feasibility(&mut probes, 0, &positions, &pairs, range, 1.0, Some(&alive));
+        assert_eq!(probes.violation_count(), 1);
+        // Node reuse detection.
+        let mut probes = Probes::new();
+        let far = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.14, 0.1),
+            Point::new(0.14, 0.14),
+        ];
+        let pairs = vec![ScheduledPair::new(0, 1), ScheduledPair::new(1, 2)];
+        check_schedule_feasibility(&mut probes, 0, &far, &pairs, range, 1.0, None);
+        assert!(probes
+            .violations()
+            .iter()
+            .any(|v| v.detail.contains("reuses")));
+    }
+
+    #[test]
+    fn schedule_observed_noop_matches_plain() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let positions: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let range = crate::critical_range(300, 1.0);
+        let sched = SStarScheduler::new(1.0);
+        let plain = sched.schedule(&positions, range);
+        let mut ws = SlotWorkspace::new();
+        let mut out = Vec::new();
+        let mut noop = Observer::noop();
+        schedule_observed(
+            &sched, &positions, range, None, 0, &mut ws, &mut out, &mut noop,
+        );
+        assert_eq!(out, plain);
+        let mut rec = Observer::recording().with_probes();
+        schedule_observed(
+            &sched, &positions, range, None, 0, &mut ws, &mut out, &mut rec,
+        );
+        assert_eq!(out, plain);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("schedule.slots"), 1);
+        assert_eq!(snap.counter("schedule.pairs_total"), plain.len() as u64);
+        assert!(snap.is_clean());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hycap::obs::Observer;
 use hycap::{theory, ModelExponents, Scenario};
 
 fn main() {
@@ -46,4 +47,45 @@ fn main() {
     if let Some(theory) = report.theory {
         println!("  paper's prediction:              {theory}");
     }
+
+    // 4. Re-run under the observability layer: deterministic metrics plus
+    //    runtime invariant probes (schedule feasibility, backbone rate
+    //    budgets). Observation never perturbs the measurement — the
+    //    capacities below are bit-identical to step 3.
+    let mut obs = Observer::recording().with_probes();
+    let observed = Scenario::builder(exps, n)
+        .seed(42)
+        .build()
+        .measure_observed(300, &mut obs);
+    assert_eq!(observed.lambda, report.lambda, "observation must be free");
+    let snapshot = obs.snapshot();
+    println!(
+        "\nobservability ({} probe checks):",
+        snapshot.total_probe_checks()
+    );
+    println!(
+        "  slots scheduled:   {}",
+        snapshot.counter("schedule.slots")
+    );
+    println!(
+        "  pairs scheduled:   {}",
+        snapshot.counter("schedule.pairs_total")
+    );
+    if let Some(h) = snapshot.histogram("schedule.pairs_per_slot") {
+        println!(
+            "  pairs per slot:    mean {:.1}, p90 {:.1}",
+            h.mean().unwrap_or(0.0),
+            h.quantile(0.9).unwrap_or(0.0)
+        );
+    }
+    println!(
+        "  invariants:        {}",
+        if snapshot.is_clean() {
+            "all probes clean".to_string()
+        } else {
+            format!("{} VIOLATIONS", snapshot.violation_count())
+        }
+    );
+    // `snapshot.to_json()` / `to_csv()` export the same data as artifacts
+    // (also via `hycap measure ... --metrics out.json` on the CLI).
 }

@@ -1,0 +1,368 @@
+//! Conformance matrix for the observability layer: every engine × scheme ×
+//! fault combination runs once plainly and once under a recording observer
+//! with all invariant probes armed, asserting
+//!
+//! 1. **zero probe violations** — the schedules are protocol-feasible, the
+//!    backbone budgets hold, packets are conserved and fault tallies are
+//!    consistent on every run; and
+//! 2. **bit-identity** — the observed run returns *exactly* the same
+//!    report as the plain (no-op sink) run, i.e. observation never touches
+//!    the engine RNG or numerics.
+//!
+//! A golden-snapshot regression test pins the full `hycap-metrics/1` JSON
+//! for one fixed scenario. Regenerate the fixture after an intentional
+//! metrics-schema change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test conformance golden_snapshot
+//! ```
+
+use hycap::obs::{Observer, PROBE_RATE_BUDGET, PROBE_SCHEDULE_FEASIBILITY};
+use hycap::{ModelExponents, Realization, Scenario};
+use hycap_routing::{SchemeAPlan, SchemeBPlan};
+use hycap_sim::{
+    DegradedPacketStats, FaultInjector, FaultSchedule, FluidEngine, OutagePolicy, PacketEngine,
+    PacketStats,
+};
+
+/// Bit-level equality for packet statistics: stricter than `PartialEq`
+/// (it also equates a NaN `mean_delay` on both sides, which `==` on f64
+/// would reject even for identical runs).
+fn stats_identical(a: &PacketStats, b: &PacketStats) -> bool {
+    a.injected == b.injected
+        && a.delivered == b.delivered
+        && a.backlog == b.backlog
+        && a.slots == b.slots
+        && a.throughput_per_node.to_bits() == b.throughput_per_node.to_bits()
+        && a.mean_delay.to_bits() == b.mean_delay.to_bits()
+}
+
+fn degraded_identical(a: &DegradedPacketStats, b: &DegradedPacketStats) -> bool {
+    stats_identical(&a.base, &b.base)
+        && a.infra_delivered == b.infra_delivered
+        && a.fallback_delivered == b.fallback_delivered
+        && a.lost_uplink_contacts == b.lost_uplink_contacts
+        && a.backbone_stalled_slots == b.backbone_stalled_slots
+        && a.k_alive_mean.to_bits() == b.k_alive_mean.to_bits()
+        && a.outage_slots == b.outage_slots
+        && a.tally == b.tally
+}
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+const N: usize = 150;
+const SLOTS: usize = 60;
+
+fn strong_exps() -> ModelExponents {
+    ModelExponents::new(0.25, 1.0, 0.0, 0.75, 0.0).unwrap()
+}
+
+/// One fresh realization plus compiled scheme plans: called twice per case
+/// so the plain and observed runs start from identical state.
+fn realize(seed: u64) -> (Realization, SchemeAPlan, SchemeBPlan) {
+    let sc = Scenario::builder(strong_exps(), N).seed(seed).build();
+    let r = sc.realize();
+    let homes = r.net.population().home_points().points().to_vec();
+    let plan_a = SchemeAPlan::build(&homes, &r.traffic, r.params.f.max(1.0));
+    let bs = r.net.base_stations().expect("with_bs").clone();
+    let plan_b = SchemeBPlan::build(&homes, &r.traffic, &bs, 2);
+    (r, plan_a, plan_b)
+}
+
+/// A deterministic fault schedule: one crash at slot 0, one repair
+/// mid-run, plus a Bernoulli outage overlay.
+fn faults(k: usize) -> FaultSchedule {
+    let mut schedule = FaultSchedule::empty().crash_bs(0, 0);
+    if k > 1 {
+        schedule = schedule.crash_bs(5, 1).repair_bs(SLOTS / 2, 1);
+    }
+    schedule.with_bernoulli_bs_outage(0.05, 99)
+}
+
+#[test]
+fn fluid_scheme_a_matrix_clean_and_bit_identical() {
+    for seed in SEEDS {
+        let engine = FluidEngine::default();
+        let (mut plain, plan_a, _) = realize(seed);
+        let base = engine.measure_scheme_a(&mut plain.net, &plan_a, SLOTS, &mut plain.rng);
+
+        let (mut obsd, plan_a2, _) = realize(seed);
+        let mut obs = Observer::recording().with_probes();
+        let got = engine.measure_scheme_a_observed(
+            &mut obsd.net,
+            &plan_a2,
+            SLOTS,
+            &mut obsd.rng,
+            &mut obs,
+        );
+        assert_eq!(
+            base, got,
+            "seed {seed}: observation perturbed fluid scheme A"
+        );
+        assert!(
+            obs.is_clean(),
+            "seed {seed}: violations: {:?}",
+            obs.violations()
+        );
+        let snap = obs.snapshot();
+        assert!(snap.probe_checks(PROBE_SCHEDULE_FEASIBILITY) > 0);
+        assert_eq!(snap.counter("schedule.slots"), SLOTS as u64);
+    }
+}
+
+#[test]
+fn fluid_scheme_b_matrix_clean_and_bit_identical() {
+    for seed in SEEDS {
+        let engine = FluidEngine::default();
+        let (mut plain, _, plan_b) = realize(seed);
+        let base = engine.measure_scheme_b(&mut plain.net, &plan_b, SLOTS, &mut plain.rng);
+
+        let (mut obsd, _, plan_b2) = realize(seed);
+        let mut obs = Observer::recording().with_probes();
+        let got = engine.measure_scheme_b_observed(
+            &mut obsd.net,
+            &plan_b2,
+            SLOTS,
+            &mut obsd.rng,
+            &mut obs,
+        );
+        assert_eq!(
+            base, got,
+            "seed {seed}: observation perturbed fluid scheme B"
+        );
+        assert!(
+            obs.is_clean(),
+            "seed {seed}: violations: {:?}",
+            obs.violations()
+        );
+        let snap = obs.snapshot();
+        assert!(
+            snap.probe_checks(PROBE_RATE_BUDGET) > 0,
+            "seed {seed}: backbone budget probe never ran"
+        );
+    }
+}
+
+#[test]
+fn fluid_faulted_matrix_clean_and_bit_identical() {
+    for seed in SEEDS {
+        for policy in [OutagePolicy::RadioOff, OutagePolicy::OccupySpectrum] {
+            let engine = FluidEngine::default();
+            let (mut plain, plan_a, plan_b) = realize(seed);
+            let k = plain.params.k;
+            let schedule = faults(k);
+            let mut inj = FaultInjector::new(k, &schedule).unwrap();
+            let base_a = engine
+                .measure_scheme_a_with_faults(
+                    &mut plain.net,
+                    &plan_a,
+                    SLOTS,
+                    &mut inj,
+                    policy,
+                    &mut plain.rng,
+                )
+                .unwrap();
+            let mut inj = FaultInjector::new(k, &schedule).unwrap();
+            let base_b = engine
+                .measure_scheme_b_with_faults(
+                    &mut plain.net,
+                    &plan_b,
+                    SLOTS,
+                    &mut inj,
+                    policy,
+                    &mut plain.rng,
+                )
+                .unwrap();
+
+            let (mut obsd, plan_a2, plan_b2) = realize(seed);
+            let mut obs = Observer::recording().with_probes();
+            let mut inj = FaultInjector::new(k, &schedule).unwrap();
+            let got_a = engine
+                .measure_scheme_a_with_faults_observed(
+                    &mut obsd.net,
+                    &plan_a2,
+                    SLOTS,
+                    &mut inj,
+                    policy,
+                    &mut obsd.rng,
+                    &mut obs,
+                )
+                .unwrap();
+            let mut inj = FaultInjector::new(k, &schedule).unwrap();
+            let got_b = engine
+                .measure_scheme_b_with_faults_observed(
+                    &mut obsd.net,
+                    &plan_b2,
+                    SLOTS,
+                    &mut inj,
+                    policy,
+                    &mut obsd.rng,
+                    &mut obs,
+                )
+                .unwrap();
+            assert_eq!(
+                base_a, got_a,
+                "seed {seed} {policy:?}: faulted fluid A diverged"
+            );
+            assert_eq!(
+                base_b, got_b,
+                "seed {seed} {policy:?}: faulted fluid B diverged"
+            );
+            assert!(
+                obs.is_clean(),
+                "seed {seed} {policy:?}: violations: {:?}",
+                obs.violations()
+            );
+            let snap = obs.snapshot();
+            assert!(snap.counter("fluid.scheme_a.faulted_runs") == 1);
+            assert!(snap.counter("fluid.scheme_b.faulted_runs") == 1);
+        }
+    }
+}
+
+#[test]
+fn packet_matrix_clean_and_bit_identical() {
+    let lambda = 0.05;
+    for seed in SEEDS {
+        let engine = PacketEngine::default();
+        let (mut plain, plan_a, plan_b) = realize(seed);
+        let base_a = engine.run_scheme_a(
+            &mut plain.net,
+            &plan_a,
+            &plain.traffic,
+            lambda,
+            SLOTS,
+            &mut plain.rng,
+        );
+        let base_b = engine.run_scheme_b(&mut plain.net, &plan_b, lambda, SLOTS, &mut plain.rng);
+
+        let (mut obsd, plan_a2, plan_b2) = realize(seed);
+        let mut obs = Observer::recording().with_probes();
+        let got_a = engine.run_scheme_a_observed(
+            &mut obsd.net,
+            &plan_a2,
+            &obsd.traffic,
+            lambda,
+            SLOTS,
+            &mut obsd.rng,
+            &mut obs,
+        );
+        let got_b = engine.run_scheme_b_observed(
+            &mut obsd.net,
+            &plan_b2,
+            lambda,
+            SLOTS,
+            &mut obsd.rng,
+            &mut obs,
+        );
+        assert!(
+            stats_identical(&base_a, &got_a),
+            "seed {seed}: packet scheme A diverged: {base_a:?} vs {got_a:?}"
+        );
+        assert!(
+            stats_identical(&base_b, &got_b),
+            "seed {seed}: packet scheme B diverged: {base_b:?} vs {got_b:?}"
+        );
+        assert!(
+            obs.is_clean(),
+            "seed {seed}: violations: {:?}",
+            obs.violations()
+        );
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("packet.scheme_a.runs"), 1);
+        assert_eq!(snap.counter("packet.scheme_b.runs"), 1);
+    }
+}
+
+#[test]
+fn packet_faulted_matrix_clean_and_bit_identical() {
+    let lambda = 0.05;
+    for seed in SEEDS {
+        for policy in [OutagePolicy::RadioOff, OutagePolicy::OccupySpectrum] {
+            let engine = PacketEngine::default();
+            let (mut plain, _, plan_b) = realize(seed);
+            let k = plain.params.k;
+            let schedule = faults(k);
+            let mut inj = FaultInjector::new(k, &schedule).unwrap();
+            let base = engine
+                .run_scheme_b_with_faults(
+                    &mut plain.net,
+                    &plan_b,
+                    lambda,
+                    SLOTS,
+                    &mut inj,
+                    policy,
+                    &mut plain.rng,
+                )
+                .unwrap();
+
+            let (mut obsd, _, plan_b2) = realize(seed);
+            let mut obs = Observer::recording().with_probes();
+            let mut inj = FaultInjector::new(k, &schedule).unwrap();
+            let got = engine
+                .run_scheme_b_with_faults_observed(
+                    &mut obsd.net,
+                    &plan_b2,
+                    lambda,
+                    SLOTS,
+                    &mut inj,
+                    policy,
+                    &mut obsd.rng,
+                    &mut obs,
+                )
+                .unwrap();
+            assert!(
+                degraded_identical(&base, &got),
+                "seed {seed} {policy:?}: faulted packet B diverged: {base:?} vs {got:?}"
+            );
+            assert!(
+                obs.is_clean(),
+                "seed {seed} {policy:?}: violations: {:?}",
+                obs.violations()
+            );
+            assert_eq!(obs.snapshot().counter("packet.scheme_b.faulted_runs"), 1);
+        }
+    }
+}
+
+#[test]
+fn scenario_measure_is_bit_identical_under_observation() {
+    for seed in SEEDS {
+        let sc = Scenario::builder(strong_exps(), N).seed(seed).build();
+        let base = sc.measure(SLOTS);
+        let mut obs = Observer::recording().with_probes();
+        let got = sc.measure_observed(SLOTS, &mut obs);
+        assert_eq!(base, got, "seed {seed}: scenario measurement diverged");
+        assert!(
+            obs.is_clean(),
+            "seed {seed}: violations: {:?}",
+            obs.violations()
+        );
+    }
+}
+
+#[test]
+fn golden_snapshot() {
+    const FIXTURE: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/metrics_snapshot.json"
+    );
+    let sc = Scenario::builder(strong_exps(), 100).seed(7).build();
+    let mut obs = Observer::recording().with_probes();
+    let _ = sc.measure_observed(40, &mut obs);
+    let got = obs.snapshot().to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE).expect(
+        "missing golden fixture — regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test conformance golden_snapshot`",
+    );
+    assert_eq!(
+        got, want,
+        "metrics snapshot drifted from the golden fixture; if the change \
+         is intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test conformance golden_snapshot` \
+         and commit the diff"
+    );
+}
