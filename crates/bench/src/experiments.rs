@@ -5,7 +5,7 @@
 use hycap::{capacity_exponent, MobilityRegime, ModelExponents, Scenario};
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
 use hycap_routing::{baselines, StaticMultihopPlan, TrafficMatrix};
-use hycap_sim::{fit_loglog, FitResult};
+use hycap_sim::{fit_loglog, FitResult, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -135,7 +135,7 @@ pub fn table1_exponents() -> [(&'static str, ModelExponents, bool, MobilityKind)
 }
 
 /// Runs one Table I row: sweeps the ladder, measures the regime-optimal
-/// scheme per `n`, fits the exponent.
+/// scheme per `n`, fits the exponent. Ladder points fan out across `pool`.
 pub fn run_table1_row(
     label: &'static str,
     exps: ModelExponents,
@@ -143,6 +143,7 @@ pub fn run_table1_row(
     mobility: MobilityKind,
     scale: Scale,
     seed: u64,
+    pool: &WorkerPool,
 ) -> RowResult {
     let ns = ladder_for(scale, &exps);
     let slots = scale.slots();
@@ -155,7 +156,7 @@ pub fn run_table1_row(
     let reps = scale.reps();
     // Per ladder point: (mobility term, infrastructure term), averaged
     // over positive reps.
-    let measured: Vec<(f64, f64)> = hycap_sim::parallel_map(&ns, ns.len().max(1), |&n| {
+    let measured: Vec<(f64, f64)> = pool.map(ns.clone(), move |n| {
         let (mut acc_m, mut used_m, mut acc_i, mut used_i) = (0.0, 0usize, 0.0, 0usize);
         for rep in 0..reps {
             let seed = seed
@@ -254,12 +255,13 @@ pub fn run_table1_row(
     RowResult { label, components }
 }
 
-/// Runs all five Table I rows.
+/// Runs all five Table I rows on one shared worker pool.
 pub fn run_table1(scale: Scale, seed: u64) -> Vec<RowResult> {
+    let pool = WorkerPool::new(WorkerPool::default_threads());
     table1_exponents()
         .into_iter()
         .map(|(label, exps, with_bs, mobility)| {
-            run_table1_row(label, exps, with_bs, mobility, scale, seed)
+            run_table1_row(label, exps, with_bs, mobility, scale, seed, &pool)
         })
         .collect()
 }
@@ -438,7 +440,8 @@ mod tests {
     #[test]
     fn strong_row_produces_fit() {
         let (label, exps, with_bs, mobility) = table1_exponents()[0];
-        let row = run_table1_row(label, exps, with_bs, mobility, Scale::Smoke, 11);
+        let pool = WorkerPool::new(2);
+        let row = run_table1_row(label, exps, with_bs, mobility, Scale::Smoke, 11, &pool);
         assert_eq!(row.components.len(), 1);
         let comp = &row.components[0];
         assert_eq!(comp.ns.len(), comp.lambdas.len());

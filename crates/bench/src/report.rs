@@ -70,6 +70,19 @@ pub fn write_snapshot_json(name: &str, snapshot: &Snapshot) -> Result<PathBuf, H
     Ok(path)
 }
 
+/// Writes an already-serialized JSON document into [`reports_dir`],
+/// returning its path. Used by bench bins whose artifact is not a metrics
+/// [`Snapshot`] (e.g. throughput reports).
+///
+/// # Errors
+///
+/// [`HycapError::Io`] on filesystem errors.
+pub fn write_json(name: &str, json: &str) -> Result<PathBuf, HycapError> {
+    let path = reports_dir()?.join(format!("{name}.json"));
+    fs::write(&path, json).map_err(|e| HycapError::io("write json report", &e))?;
+    Ok(path)
+}
+
 /// Writes a metrics [`Snapshot`] as flat `kind,name,field,value` CSV into
 /// [`reports_dir`], returning its path.
 ///

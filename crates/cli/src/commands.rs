@@ -2,12 +2,12 @@
 //! is unit-testable without capturing stdout.
 
 use crate::args::{ArgError, Args};
-use hycap::obs::{MemorySink, Observer, Snapshot};
+use hycap::obs::Snapshot;
 use hycap::{theory as laws, MobilityRegime, ModelExponents, Realization, Scenario};
 use hycap_errors::HycapError;
 use hycap_mobility::MobilityKind;
 use hycap_routing::SchemeBPlan;
-use hycap_sim::{fit_loglog, FaultInjector, FaultSchedule, FluidEngine, OutagePolicy};
+use hycap_sim::{fit_loglog, geometric_ns, FaultSchedule, FluidEngine, OutagePolicy, WorkerPool};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -19,14 +19,17 @@ USAGE:
   hycap classify --alpha A --m M --r R --k K --phi P [--static]
   hycap theory   --alpha A --m M --r R --k K --phi P [--static] [--no-bs]
   hycap measure  --alpha A --m M --r R --k K --phi P --n N
-                 [--slots S] [--seed X] [--static] [--no-bs] [--metrics PATH]
+                 [--slots S] [--seed X] [--threads T] [--static] [--no-bs]
+                 [--metrics PATH]
   hycap sweep    --alpha A --m M --r R --k K --phi P
-                 [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
+                 [--ns 200,400,800 | --min-n N --max-n N --count C]
+                 [--slots S] [--seed X] [--threads T] [--static] [--no-bs]
                  [--metrics PATH]
   hycap surface  --phi P [--res 21]
   hycap degrade  --alpha A --m M --r R --k K --phi P --n N
                  [--fail-frac F] [--outage-p P] [--outage-seed Y]
-                 [--cells C] [--slots S] [--seed X] [--occupy] [--metrics PATH]
+                 [--cells C] [--slots S] [--seed X] [--threads T] [--occupy]
+                 [--metrics PATH]
 
 EXPONENTS (the paper's model family):
   --alpha  network side f(n) = n^alpha, alpha in [0, 1/2]
@@ -36,6 +39,11 @@ EXPONENTS (the paper's model family):
   --phi    backbone mu_c = k*c(n) = n^phi
   --static treat nodes as static (forces the trivial regime)
   --no-bs  remove the infrastructure
+
+PARALLELISM:
+  --threads T  worker threads for the slot-sharded engines (default: the
+               machine's available parallelism); results and metrics are
+               bit-identical for every thread count
 
 OBSERVABILITY:
   --metrics PATH  record deterministic metrics + invariant-probe results
@@ -59,6 +67,14 @@ fn metrics_path(args: &Args) -> Result<Option<PathBuf>, ArgError> {
     Ok(args.get::<String>("metrics")?.map(PathBuf::from))
 }
 
+/// The `--threads <count>` option shared by measure/sweep/degrade: a
+/// worker pool for the slot-sharded engines, sized to the machine's
+/// available parallelism by default.
+fn worker_pool(args: &Args) -> Result<WorkerPool, ArgError> {
+    let threads: usize = args.get_or("threads", WorkerPool::default_threads())?;
+    Ok(WorkerPool::new(threads))
+}
+
 /// Writes a snapshot to `path`: flat CSV when the extension is `.csv`,
 /// `hycap-metrics/1` JSON otherwise.
 fn write_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), HycapError> {
@@ -75,10 +91,9 @@ fn write_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), HycapError> {
 fn report_snapshot(
     out: &mut String,
     path: &Path,
-    obs: &Observer<MemorySink>,
+    snapshot: &Snapshot,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let snapshot = obs.snapshot();
-    write_snapshot(path, &snapshot)?;
+    write_snapshot(path, snapshot)?;
     writeln!(
         out,
         "metrics:  {} ({} probe checks, {} violations)",
@@ -164,12 +179,13 @@ pub fn measure(args: &Args) -> CmdResult {
     let n: usize = args.require("n")?;
     let slots: usize = args.get_or("slots", 300)?;
     let metrics = metrics_path(args)?;
+    let pool = worker_pool(args)?;
     let sc = scenario(args, exps, n)?;
-    let mut obs = Observer::recording().with_probes();
-    let report = if metrics.is_some() {
-        sc.measure_observed(slots, &mut obs)
+    let (report, snapshot) = if metrics.is_some() {
+        let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
+        (report, Some(snapshot))
     } else {
-        sc.measure(slots)
+        (sc.measure_par(slots, &pool)?, None)
     };
     let mut out = String::new();
     writeln!(
@@ -204,8 +220,8 @@ pub fn measure(args: &Args) -> CmdResult {
     if let Some(t) = report.theory {
         writeln!(out, "theory:              {t}")?;
     }
-    if let Some(path) = metrics {
-        report_snapshot(&mut out, &path, &obs)?;
+    if let (Some(path), Some(snapshot)) = (metrics, snapshot.as_ref()) {
+        report_snapshot(&mut out, &path, snapshot)?;
     }
     Ok(out)
 }
@@ -213,23 +229,34 @@ pub fn measure(args: &Args) -> CmdResult {
 /// `hycap sweep` — capacity over an `n`-ladder with a log–log exponent fit.
 pub fn sweep(args: &Args) -> CmdResult {
     let exps = exponents(args)?;
-    let ns: Vec<usize> = args
-        .get_list("ns")?
-        .unwrap_or_else(|| vec![200, 400, 800, 1600]);
+    let ns: Vec<usize> = match args.get_list("ns")? {
+        Some(ns) => ns,
+        // No explicit ladder: build a geometric one (the defaults reproduce
+        // the old 200,400,800,1600 ladder exactly).
+        None => {
+            let min_n: usize = args.get_or("min-n", 200)?;
+            let max_n: usize = args.get_or("max-n", 1600)?;
+            let count: usize = args.get_or("count", 4)?;
+            geometric_ns(min_n, max_n, count)?
+        }
+    };
     if ns.len() < 2 {
         return Err("sweep needs at least two ladder points".into());
     }
     let slots: usize = args.get_or("slots", 400)?;
     let metrics = metrics_path(args)?;
-    let mut obs = Observer::recording().with_probes();
+    let pool = worker_pool(args)?;
+    let mut merged = Snapshot::default();
     let mut out = String::new();
     let mut lambdas = Vec::new();
     for &n in &ns {
         let sc = scenario(args, exps, n)?;
         let report = if metrics.is_some() {
-            sc.measure_observed(slots, &mut obs)
+            let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
+            merged.merge(&snapshot);
+            report
         } else {
-            sc.measure(slots)
+            sc.measure_par(slots, &pool)?
         };
         let typical = report
             .lambda_mobility_typical
@@ -262,7 +289,7 @@ pub fn sweep(args: &Args) -> CmdResult {
         writeln!(out, "fit: not enough positive measurements")?;
     }
     if let Some(path) = metrics {
-        report_snapshot(&mut out, &path, &obs)?;
+        report_snapshot(&mut out, &path, &merged)?;
     }
     Ok(out)
 }
@@ -294,10 +321,10 @@ pub fn degrade(args: &Args) -> CmdResult {
     };
     let sc = scenario(args, exps, n)?;
     let Realization {
-        mut net,
+        net,
         traffic,
         params,
-        mut rng,
+        ..
     } = sc.realize();
     let Some(bs) = net.base_stations().cloned() else {
         return Err(HycapError::MissingInfrastructure("the degrade command").into());
@@ -320,38 +347,28 @@ pub fn degrade(args: &Args) -> CmdResult {
     }
     let engine = FluidEngine::default();
     let metrics = metrics_path(args)?;
-    let mut obs = Observer::recording().with_probes();
-    // Fault-free baseline on an identical realization (same scenario seed).
-    let Realization {
-        net: mut base_net,
-        rng: mut base_rng,
-        ..
-    } = sc.realize();
+    let pool = worker_pool(args)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut merged = Snapshot::default();
+    // Fault-free baseline from the same counter streams: the par engines
+    // never mutate the network, so one realization serves both runs.
     let baseline = if metrics.is_some() {
-        engine.measure_scheme_b_observed(&mut base_net, &plan, slots, &mut base_rng, &mut obs)
+        let (baseline, snapshot) =
+            engine.measure_scheme_b_par_observed(&net, &plan, slots, seed, &pool)?;
+        merged.merge(&snapshot);
+        baseline
     } else {
-        engine.measure_scheme_b(&mut base_net, &plan, slots, &mut base_rng)
+        engine.measure_scheme_b_par(&net, &plan, slots, seed, &pool)?
     };
-    let mut injector = FaultInjector::new(k, &schedule)?;
     let report = if metrics.is_some() {
-        engine.measure_scheme_b_with_faults_observed(
-            &mut net,
-            &plan,
-            slots,
-            &mut injector,
-            policy,
-            &mut rng,
-            &mut obs,
-        )?
+        let (report, snapshot) = engine.measure_scheme_b_with_faults_par_observed(
+            &net, &plan, slots, &schedule, policy, seed, &pool,
+        )?;
+        merged.merge(&snapshot);
+        report
     } else {
-        engine.measure_scheme_b_with_faults(
-            &mut net,
-            &plan,
-            slots,
-            &mut injector,
-            policy,
-            &mut rng,
-        )?
+        engine
+            .measure_scheme_b_with_faults_par(&net, &plan, slots, &schedule, policy, seed, &pool)?
     };
     let mut out = String::new();
     writeln!(
@@ -402,7 +419,7 @@ pub fn degrade(args: &Args) -> CmdResult {
         report.tally.bernoulli_bs_outages
     )?;
     if let Some(path) = metrics {
-        report_snapshot(&mut out, &path, &obs)?;
+        report_snapshot(&mut out, &path, &merged)?;
     }
     Ok(out)
 }
@@ -573,6 +590,30 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(csv.starts_with("kind,name,field,value"), "{csv}");
         assert!(csv.contains("fluid.scheme_b.faulted_runs"), "{csv}");
+    }
+
+    #[test]
+    fn measure_is_thread_count_invariant() {
+        let base = "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3";
+        let one = measure(&args(&format!("{base} --threads 1"))).unwrap();
+        let four = measure(&args(&format!("{base} --threads 4"))).unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn sweep_ladder_errors_map_to_invalid_parameter() {
+        let err = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --min-n 0 --max-n 100 --count 3",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+        let err = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --min-n 100 --max-n 800 --count 1",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
     }
 
     #[test]

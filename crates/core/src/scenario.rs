@@ -10,11 +10,12 @@
 
 use crate::theory;
 use crate::{MobilityRegime, ModelExponents, Order, RealizedParams, RegimeError};
+use hycap_errors::HycapError;
 use hycap_infra::{Backbone, BaseStations, BsPlacement, CellularLayout};
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
-use hycap_obs::{MetricsSink, Observer};
+use hycap_obs::{MetricsSink, Observer, Snapshot};
 use hycap_routing::{SchemeAPlan, SchemeBPlan, SchemeCPlan, TrafficMatrix};
-use hycap_sim::{FluidEngine, HybridNetwork};
+use hycap_sim::{FluidEngine, HybridNetwork, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -256,6 +257,184 @@ impl Scenario {
             slots,
         }
     }
+
+    /// [`Scenario::measure`] on a [`WorkerPool`], using the counter-based
+    /// slot-sharded engines: each measurement phase replays its slots from
+    /// per-slot RNG streams seeded off the scenario seed, so the report is a
+    /// pure function of the scenario and `slots` — bit-identical for every
+    /// pool size.
+    ///
+    /// This is a *different* (equally valid) sampling mode than the
+    /// sequential [`Scenario::measure`], whose slots are drawn in order from
+    /// one RNG; the two agree in distribution, not bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `slots == 0` or the mobility
+    /// model is not counter-samplable (slot positions must not depend on
+    /// history).
+    pub fn measure_par(
+        &self,
+        slots: usize,
+        pool: &WorkerPool,
+    ) -> Result<ScenarioReport, HycapError> {
+        Ok(self.measure_par_impl(slots, pool, false)?.0)
+    }
+
+    /// [`Scenario::measure_par`] with recording observation: returns the
+    /// report plus the merged `hycap-metrics/1` snapshot (plan compilation
+    /// metrics, per-chunk engine metrics merged in slot order, run-level
+    /// metrics last). The snapshot, like the report, is bit-identical for
+    /// every pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::measure_par`].
+    pub fn measure_par_observed(
+        &self,
+        slots: usize,
+        pool: &WorkerPool,
+    ) -> Result<(ScenarioReport, Snapshot), HycapError> {
+        let (report, snap) = self.measure_par_impl(slots, pool, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    fn measure_par_impl(
+        &self,
+        slots: usize,
+        pool: &WorkerPool,
+        observe: bool,
+    ) -> Result<(ScenarioReport, Option<Snapshot>), HycapError> {
+        let Realization {
+            net,
+            traffic,
+            params,
+            ..
+        } = self.realize();
+        let engine = FluidEngine::new(self.delta, self.c_t);
+        let regime = self.regime().ok();
+        let homes = net.population().home_points().points().to_vec();
+        // Distinct per-phase slot streams, derived from the scenario seed
+        // with the same multiplicative mix the bench reps use.
+        let phase_seed = |phase: u64| {
+            self.seed
+                .wrapping_add(phase)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        let mut merged = observe.then(Snapshot::default);
+        let mut lambda_mobility = None;
+        let mut lambda_infra = None;
+        let mut lambda_mobility_typical = None;
+        let mut lambda_infra_typical = None;
+        // Plans are compiled under a recording observer either way (the
+        // cost is negligible); the snapshot is kept only when observing.
+        let mut plan_obs = Observer::recording().with_probes();
+        match regime {
+            Some(MobilityRegime::Strong) | None => {
+                let plan =
+                    SchemeAPlan::build_observed(&homes, &traffic, params.f.max(1.0), &mut plan_obs);
+                let report = if observe {
+                    let (report, snap) = engine.measure_scheme_a_par_observed(
+                        &net,
+                        &plan,
+                        slots,
+                        phase_seed(1),
+                        pool,
+                    )?;
+                    merged.as_mut().expect("observing").merge(&snap);
+                    report
+                } else {
+                    engine.measure_scheme_a_par(&net, &plan, slots, phase_seed(1), pool)?
+                };
+                lambda_mobility = Some(report.lambda);
+                lambda_mobility_typical = Some(report.lambda_typical);
+                if self.with_bs && regime.is_some() {
+                    let bs = net.base_stations().expect("with_bs").clone();
+                    let plan_b = SchemeBPlan::build_observed(
+                        &homes,
+                        &traffic,
+                        &bs,
+                        self.scheme_b_cells,
+                        &mut plan_obs,
+                    );
+                    let rb = if observe {
+                        let (rb, snap) = engine.measure_scheme_b_par_observed(
+                            &net,
+                            &plan_b,
+                            slots,
+                            phase_seed(2),
+                            pool,
+                        )?;
+                        merged.as_mut().expect("observing").merge(&snap);
+                        rb
+                    } else {
+                        engine.measure_scheme_b_par(&net, &plan_b, slots, phase_seed(2), pool)?
+                    };
+                    lambda_infra = Some(rb.lambda);
+                    lambda_infra_typical = Some(rb.lambda_typical);
+                }
+            }
+            Some(MobilityRegime::Weak) => {
+                if self.with_bs {
+                    let bs = net.base_stations().expect("with_bs").clone();
+                    let centers = net.population().home_points().centers().to_vec();
+                    let plan = SchemeBPlan::by_clusters(&homes, &traffic, &bs, &centers);
+                    // Same weak-regime range override as the sequential path.
+                    let range = params.r * ((params.m as f64 / self.n as f64).sqrt());
+                    let engine = engine.with_range(range.max(1e-6));
+                    let rb = if observe {
+                        let (rb, snap) = engine.measure_scheme_b_par_observed(
+                            &net,
+                            &plan,
+                            slots,
+                            phase_seed(2),
+                            pool,
+                        )?;
+                        merged.as_mut().expect("observing").merge(&snap);
+                        rb
+                    } else {
+                        engine.measure_scheme_b_par(&net, &plan, slots, phase_seed(2), pool)?
+                    };
+                    lambda_infra = Some(rb.lambda);
+                    lambda_infra_typical = Some(rb.lambda_typical);
+                }
+            }
+            Some(MobilityRegime::Trivial) => {
+                if self.with_bs {
+                    // Scheme C is analytic — no slot sampling to shard.
+                    let hp = net.population().home_points();
+                    let centers = hp.centers().to_vec();
+                    let cluster_of = hp.cluster_of().to_vec();
+                    let radius = hp.radius().max(1e-3);
+                    let layout =
+                        CellularLayout::build(&centers, radius, params.k.max(centers.len()));
+                    let plan = SchemeCPlan::build(&homes, &cluster_of, &layout, &traffic);
+                    let backbone = Backbone::new(layout.total_cells().max(1), params.c);
+                    lambda_infra = Some(plan.analytic_rate_with_traffic(&backbone, &traffic));
+                    lambda_infra_typical =
+                        Some(plan.typical_rate_with_traffic(&backbone, &traffic));
+                }
+            }
+        }
+        if let Some(m) = merged.as_mut() {
+            m.merge(&plan_obs.snapshot());
+        }
+        let lambda = lambda_mobility.unwrap_or(0.0) + lambda_infra.unwrap_or(0.0);
+        Ok((
+            ScenarioReport {
+                regime,
+                lambda_mobility,
+                lambda_infra,
+                lambda_mobility_typical,
+                lambda_infra_typical,
+                lambda,
+                theory: self.theory_capacity().ok(),
+                params,
+                slots,
+            },
+            merged,
+        ))
+    }
 }
 
 impl ScenarioBuilder {
@@ -461,5 +640,29 @@ mod tests {
     #[should_panic(expected = "at least 4 nodes")]
     fn tiny_scenario_rejected() {
         let _ = Scenario::builder(strong_exps(), 2);
+    }
+
+    #[test]
+    fn measure_par_is_pool_size_invariant() {
+        let scenario = Scenario::builder(strong_exps(), 300).seed(9).build();
+        let pool1 = WorkerPool::new(1);
+        let pool4 = WorkerPool::new(4);
+        let (r1, s1) = scenario.measure_par_observed(120, &pool1).unwrap();
+        let (r4, s4) = scenario.measure_par_observed(120, &pool4).unwrap();
+        assert_eq!(r1, r4);
+        assert_eq!(s1.to_json(), s4.to_json());
+        let bare = scenario.measure_par(120, &pool4).unwrap();
+        assert_eq!(bare, r1);
+    }
+
+    #[test]
+    fn measure_par_rejects_history_dependent_mobility() {
+        let scenario = Scenario::builder(strong_exps(), 100)
+            .mobility(MobilityKind::TetheredWalk { step_frac: 0.05 })
+            .seed(10)
+            .build();
+        let pool = WorkerPool::new(2);
+        let err = scenario.measure_par(40, &pool).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }), "{err}");
     }
 }

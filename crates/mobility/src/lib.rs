@@ -15,6 +15,9 @@
 //!   static (degenerate) process.
 //! * [`population`] — a complete mobile population: home-points + kernel +
 //!   per-node process, advanced slot by slot.
+//! * [`slot_rng`] — counter-based per-slot random streams: [`SlotRng`]
+//!   derives slot `s`'s generator from `(seed, s)` so stateless processes
+//!   can rederive any slot's snapshot without replaying earlier slots.
 //! * [`density`] — the local density `ρ(X)` of Definition 7 and the
 //!   uniformly-dense criterion of Definition 8 / Theorem 1.
 //! * [`trace`] — mobility-trace recording, CSV exchange, and estimation of
@@ -46,6 +49,7 @@ pub mod kernel;
 pub mod placement;
 pub mod population;
 pub mod process;
+pub mod slot_rng;
 pub mod trace;
 
 pub use density::{DensityStats, UniformityReport};
@@ -53,4 +57,5 @@ pub use kernel::Kernel;
 pub use placement::{ClusteredModel, HomePoints};
 pub use population::{Population, PopulationConfig, PopulationConfigBuilder};
 pub use process::{MobilityKind, NodeProcess};
+pub use slot_rng::SlotRng;
 pub use trace::{ContactStats, Trace, TraceError};

@@ -270,6 +270,27 @@ impl Population {
         }
     }
 
+    /// Advances every node into slot `slot` using the counter-based stream
+    /// for `(seed, slot)` and refreshes the position cache.
+    ///
+    /// Equivalent to a plain [`Population::advance`] fed a fresh
+    /// [`crate::SlotRng::new`]`(seed, slot)`; calling it with increasing
+    /// `slot` replays a whole run, while calling it for an arbitrary `slot`
+    /// rederives that slot's snapshot directly — the position depends only
+    /// on `(seed, slot)` when [`Population::counter_samplable`] holds.
+    pub fn advance_slot(&mut self, seed: u64, slot: u64) {
+        let mut rng = crate::SlotRng::new(seed, slot);
+        self.advance(&mut rng);
+    }
+
+    /// `true` when slot snapshots depend only on `(seed, slot)`, i.e. the
+    /// trajectory model carries no state between slots (see
+    /// [`MobilityKind::counter_samplable`]). Only then may
+    /// [`Population::advance_slot`] be invoked out of slot order.
+    pub fn counter_samplable(&self) -> bool {
+        self.config.mobility.counter_samplable()
+    }
+
     /// Redraws every node from its stationary distribution. Equivalent to
     /// an `advance` for [`MobilityKind::IidStationary`]; useful to decorrelate
     /// snapshots for the slower processes.

@@ -76,6 +76,19 @@ impl MobilityKind {
             MobilityKind::IidStationary | MobilityKind::Static => {}
         }
     }
+
+    /// `true` when one advanced slot depends only on the random stream fed
+    /// to it — not on the offset left by earlier slots.
+    ///
+    /// [`MobilityKind::IidStationary`] redraws the offset from the kernel
+    /// every slot and [`MobilityKind::Static`] never moves, so feeding slot
+    /// `s` a fresh [`crate::SlotRng`] for `(seed, s)` reproduces exactly the
+    /// position a sequential replay would reach. The walk, OU and Brownian
+    /// processes evolve the previous offset and therefore must be advanced
+    /// in slot order.
+    pub fn counter_samplable(&self) -> bool {
+        matches!(self, MobilityKind::IidStationary | MobilityKind::Static)
+    }
 }
 
 /// The per-node mobility state machine.

@@ -212,6 +212,19 @@ impl FaultTally {
     pub fn scripted_total(&self) -> u64 {
         self.bs_crashes + self.bs_repairs + self.wire_cuts + self.wire_repairs + self.wire_degrades
     }
+
+    /// Adds `other` into `self`, per cause. Each slot's faults are tallied
+    /// by exactly one chunk worker (catch-up via [`FaultInjector::seek`] is
+    /// untallied), so summing per-chunk tallies in any order reproduces the
+    /// sequential run's tally exactly.
+    pub fn absorb(&mut self, other: &FaultTally) {
+        self.bs_crashes += other.bs_crashes;
+        self.bs_repairs += other.bs_repairs;
+        self.wire_cuts += other.wire_cuts;
+        self.wire_repairs += other.wire_repairs;
+        self.wire_degrades += other.wire_degrades;
+        self.bernoulli_bs_outages += other.bernoulli_bs_outages;
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -377,6 +390,40 @@ impl FaultInjector {
                 }
             }
         }
+    }
+
+    /// Catches the durable state up to the start of `slot` *without*
+    /// tallying: applies every scripted event with `event.slot < slot` and
+    /// leaves the tally and the Bernoulli process untouched.
+    ///
+    /// This is how a chunk worker in the slot-sharded engines fast-forwards
+    /// to its first slot: events strictly before the chunk belong to — and
+    /// are tallied by — earlier chunks, so after `seek(start)` the first
+    /// `advance_to(start)` tallies exactly the events and transient outages
+    /// this chunk owns. Summing per-chunk tallies then reproduces the
+    /// sequential tally bit for bit.
+    pub fn seek(&mut self, slot: usize) {
+        while self.next_event < self.events.len() && self.events[self.next_event].slot() < slot {
+            match self.events[self.next_event] {
+                FaultEvent::BsCrash { bs, .. } => {
+                    let _ = self.scripted.set_bs_alive(bs, false);
+                }
+                FaultEvent::BsRepair { bs, .. } => {
+                    let _ = self.scripted.set_bs_alive(bs, true);
+                }
+                FaultEvent::WireCut { a, b, .. } => {
+                    let _ = self.scripted.sever_wire(a, b);
+                }
+                FaultEvent::WireRepair { a, b, .. } => {
+                    let _ = self.scripted.set_wire_factor(a, b, 1.0);
+                }
+                FaultEvent::WireDegrade { a, b, factor, .. } => {
+                    let _ = self.scripted.set_wire_factor(a, b, factor);
+                }
+            }
+            self.next_event += 1;
+        }
+        self.effective = self.scripted.clone();
     }
 
     /// The mask in force for the current slot: scripted state plus this
@@ -552,6 +599,41 @@ mod tests {
             FaultInjector::new(3, &FaultSchedule::empty().with_bernoulli_bs_outage(-0.1, 1)),
             Err(HycapError::InvalidParameter { name: "p", .. })
         ));
+    }
+
+    #[test]
+    fn seek_catches_up_untallied_and_chunk_tallies_sum_to_sequential() {
+        let s = FaultSchedule::empty()
+            .crash_bs(2, 0)
+            .cut_wire(5, 1, 2)
+            .repair_bs(8, 0)
+            .with_bernoulli_bs_outage(0.3, 99);
+        // Sequential reference over slots 0..12.
+        let mut seq = FaultInjector::new(4, &s).unwrap();
+        for slot in 0..12 {
+            seq.advance_to(slot);
+        }
+        // Two chunks: [0, 7) and [7, 12).
+        let mut sum = FaultTally::default();
+        let mut masks = Vec::new();
+        for range in [(0usize, 7usize), (7, 12)] {
+            let mut inj = FaultInjector::new(4, &s).unwrap();
+            inj.seek(range.0);
+            assert_eq!(inj.tally(), FaultTally::default());
+            for slot in range.0..range.1 {
+                inj.advance_to(slot);
+                masks.push((0..4).map(|b| inj.mask().bs_alive(b)).collect::<Vec<_>>());
+            }
+            sum.absorb(&inj.tally());
+        }
+        assert_eq!(sum, seq.tally());
+        // Per-slot masks equal the sequential replay too.
+        let mut replay = FaultInjector::new(4, &s).unwrap();
+        for (slot, mask) in masks.iter().enumerate() {
+            replay.advance_to(slot);
+            let expect: Vec<bool> = (0..4).map(|b| replay.mask().bs_alive(b)).collect();
+            assert_eq!(mask, &expect, "slot {slot}");
+        }
     }
 
     #[test]

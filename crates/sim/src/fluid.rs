@@ -15,19 +15,35 @@
 //! and Theorem 5 (`Θ(min(k²c/n, k/n))` for scheme B), with the ergodic
 //! averages replaced by finite-sample estimates. The packet-level engine
 //! ([`crate::packet`]) validates these estimates with real queues.
+//!
+//! Slot sampling runs in one of two modes. The classic `measure_*` entry
+//! points draw mobility in slot order from a caller RNG and work for every
+//! trajectory model. When the mobility is *counter-samplable* (i.i.d. or
+//! static — see [`HybridNetwork::counter_samplable`]), any slot's snapshot
+//! is a pure function of `(seed, slot)`, so the `measure_*_ctr` references
+//! replay slots from per-slot counter streams and the `measure_*_par`
+//! variants shard the slot loop across a persistent [`WorkerPool`] in
+//! contiguous chunks. Every per-chunk accumulator holds integer-valued
+//! counts (exactly representable in `f64`), chunks reduce in slot order,
+//! and snapshots merge partition-independently — so reports and merged
+//! metrics are bit-identical at 1, 2 and N threads and to the sequential
+//! counter-based reference.
 
-use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
+use crate::faults::{FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
+use crate::pool::{chunk_ranges, WorkerPool};
 use crate::HybridNetwork;
 use hycap_errors::HycapError;
 use hycap_geom::Point;
 use hycap_infra::Backbone;
-use hycap_obs::{MetricsSink, Observer, SpanTimer};
+use hycap_obs::{MetricsSink, Observer, Snapshot, SpanTimer};
 use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
 use hycap_wireless::{
     critical_range, schedule_observed, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
 };
 use rand::Rng;
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// What limited the measured capacity.
 #[derive(Debug, Clone, PartialEq)]
@@ -217,90 +233,14 @@ impl FluidEngine {
     ) -> FluidReport {
         assert!(slots > 0, "need at least one slot");
         let timer = SpanTimer::start();
-        let n = net.n();
-        let range = self.range_for(n);
-        let scheduler = SStarScheduler::new(self.delta);
-        let grid = *plan.grid();
-        let homes: Vec<Point> = net.population().home_points().points().to_vec();
-        let mut service: HashMap<EdgeKey, f64> = HashMap::new();
-        let mut buf = Vec::new();
-        let mut ws = SlotWorkspace::new();
-        let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut total_pairs = 0usize;
-        let mut credited = 0u64;
-        for slot in 0..slots {
-            net.advance_into(rng, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                None,
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
-            total_pairs += pairs.len();
-            for &pair in &pairs {
-                if pair.a >= n || pair.b >= n {
-                    continue; // MS–BS contacts do not serve scheme A
-                }
-                let ca = grid.cell_of(homes[pair.a]);
-                let cb = grid.cell_of(homes[pair.b]);
-                if ca == cb || grid.manhattan(ca, cb) == 1 {
-                    *service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
-                    credited += 1;
-                }
-            }
-        }
-        let mut lambda = f64::INFINITY;
-        let mut bottleneck = Bottleneck::Unconstrained;
-        let mut ratios = Vec::with_capacity(plan.edge_load().len());
-        for (&edge, &load) in plan.edge_load() {
-            let rate = service.get(&edge).copied().unwrap_or(0.0) / slots as f64;
-            let this = rate / load;
-            ratios.push(this);
-            if rate == 0.0 {
-                lambda = 0.0;
-                bottleneck = Bottleneck::Starved;
-                continue;
-            }
-            if this < lambda {
-                lambda = this;
-                bottleneck = Bottleneck::WirelessEdge(edge);
-            } else if this == lambda {
-                // `edge_load` is a HashMap, so tied minima arrive in an
-                // order that varies per map instance; break ties on the
-                // edge key to keep the reported bottleneck deterministic.
-                if let Bottleneck::WirelessEdge(cur) = bottleneck {
-                    if edge < cur {
-                        bottleneck = Bottleneck::WirelessEdge(edge);
-                    }
-                }
-            }
-        }
-        if lambda.is_infinite() {
-            lambda = 0.0;
-        }
-        let report = FluidReport {
-            lambda,
-            lambda_typical: median(&mut ratios),
-            bottleneck,
-            slots,
-            scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
-        };
-        if obs.sink.enabled() {
-            obs.sink.counter("fluid.scheme_a.runs", 1);
-            obs.sink.counter("fluid.scheme_a.slots", slots as u64);
-            obs.sink
-                .counter("fluid.scheme_a.credited_contacts", credited);
-            obs.sink.observe("fluid.scheme_a.lambda", report.lambda);
-            obs.sink
-                .observe("fluid.scheme_a.lambda_typical", report.lambda_typical);
-            obs.sink
-                .span("fluid.measure_scheme_a", timer.elapsed_micros());
-        }
-        report
+        let acc = self.scheme_a_chunk(
+            net,
+            plan,
+            0..slots,
+            |net, _slot, buf| net.advance_into(rng, buf),
+            obs,
+        );
+        finalize_scheme_a(plan, slots, &acc, timer, obs)
     }
 
     /// Measures scheme B: credits each scheduled MS–BS pair to the BS's
@@ -338,137 +278,368 @@ impl FluidEngine {
     ) -> FluidReport {
         assert!(slots > 0, "need at least one slot");
         let timer = SpanTimer::start();
-        let n = net.n();
         let k = net.k();
         assert!(k > 0, "scheme B requires base stations");
         let bandwidth = net
             .base_stations()
             .expect("scheme B requires base stations")
             .bandwidth();
-        let range = self.range_for(n);
-        let scheduler = SStarScheduler::new(self.delta);
-        // Reverse group maps from the plan.
-        let mut ms_group = vec![usize::MAX; n];
-        let mut bs_group = vec![usize::MAX; k];
-        for g in 0..plan.group_count() {
-            for &i in plan.ms_members(g) {
-                ms_group[i] = g;
-            }
-            for &b in plan.bs_members(g) {
-                bs_group[b] = g;
-            }
-        }
-        let mut service = vec![0.0f64; plan.group_count()];
-        let mut buf = Vec::new();
-        let mut ws = SlotWorkspace::new();
-        let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut total_pairs = 0usize;
-        let mut access_contacts = 0u64;
-        for slot in 0..slots {
-            net.advance_into(rng, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                None,
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
-            total_pairs += pairs.len();
-            for &pair in &pairs {
-                // Classify MS–BS contacts.
-                let (ms, bs) = if pair.a < n && pair.b >= n {
-                    (pair.a, pair.b - n)
-                } else if pair.b < n && pair.a >= n {
-                    (pair.b, pair.a - n)
-                } else {
-                    continue;
-                };
-                let g = bs_group[bs];
-                if g != usize::MAX && ms_group[ms] == g {
-                    service[g] += 1.0;
-                    access_contacts += 1;
-                }
-            }
-        }
-        let backbone = Backbone::new(k, bandwidth);
-        let backbone_rate = plan.backbone_load().max_uniform_rate(&backbone);
-        let mut lambda = backbone_rate;
-        let mut bottleneck = if lambda.is_finite() {
-            Bottleneck::Backbone
-        } else {
-            Bottleneck::Unconstrained
-        };
-        let mut ratios = Vec::with_capacity(plan.group_count());
-        for (g, &served) in service.iter().enumerate() {
-            let load = plan.access_load()[g];
-            if load == 0.0 {
-                continue;
-            }
-            let rate = served / slots as f64;
-            let this = rate / load;
-            ratios.push(this);
-            if rate == 0.0 {
-                lambda = 0.0;
-                bottleneck = Bottleneck::Starved;
-                continue;
-            }
-            if this < lambda {
-                lambda = this;
-                bottleneck = Bottleneck::Access(g);
-            }
-        }
-        if lambda.is_infinite() {
-            lambda = 0.0;
-            bottleneck = Bottleneck::Unconstrained;
-        }
-        let lambda_typical = if ratios.is_empty() {
-            lambda
-        } else {
-            median(&mut ratios).min(backbone_rate)
-        };
-        if let Some(probes) = obs.probes_mut() {
-            // Theorem 5 wire feasibility: at the granted rate, each group
-            // pair's backbone traffic fits its wires; λ never exceeds the
-            // backbone-feasible rate.
-            for ((s, d), count) in plan.backbone_load().flows() {
-                let wires = (plan.backbone_load().group_size(s)
-                    * plan.backbone_load().group_size(d)) as f64;
-                probes.rate_budget(
-                    "scheme B backbone pair",
-                    lambda * count,
-                    backbone.edge_bandwidth() * wires,
-                );
-            }
-            if backbone_rate.is_finite() {
-                probes.rate_budget("scheme B lambda vs backbone", lambda, backbone_rate);
-            }
-        }
-        let report = FluidReport {
-            lambda,
-            lambda_typical,
-            bottleneck,
+        let acc = self.scheme_b_chunk(
+            net,
+            plan,
+            0..slots,
+            |net, _slot, buf| net.advance_into(rng, buf),
+            obs,
+        );
+        finalize_scheme_b(plan, slots, &acc, k, bandwidth, timer, obs)
+    }
+
+    /// Single-threaded counter-based reference for scheme A: every slot's
+    /// positions come from the per-slot stream `SlotRng::new(seed, slot)`
+    /// instead of an in-order RNG, so the result depends only on
+    /// `(net, plan, slots, seed)`. [`FluidEngine::measure_scheme_a_par`]
+    /// produces bit-identical reports at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `slots == 0` or the network's
+    /// mobility model is not counter-samplable (random-walk-style models
+    /// must advance in slot order; use [`FluidEngine::measure_scheme_a`]).
+    pub fn measure_scheme_a_ctr(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+    ) -> Result<FluidReport, HycapError> {
+        Ok(self
+            .scheme_a_par_impl(net, plan, slots, seed, None, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_a_ctr`] with a recording observer:
+    /// returns the report plus the `hycap-metrics/1` snapshot, the baseline
+    /// the parallel variant's merged snapshot is compared against.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`].
+    pub fn measure_scheme_a_ctr_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+    ) -> Result<(FluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_a_par_impl(net, plan, slots, seed, None, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Slot-sharded scheme A measurement on a [`WorkerPool`]: the slot range
+    /// splits into contiguous chunks (one per pool thread), each worker
+    /// rederives its slots from the counter-based stream, and the per-chunk
+    /// accumulators reduce in slot order. The report is bit-identical to
+    /// [`FluidEngine::measure_scheme_a_ctr`] for every pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`].
+    pub fn measure_scheme_a_par(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<FluidReport, HycapError> {
+        Ok(self
+            .scheme_a_par_impl(net, plan, slots, seed, Some(pool), false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_a_par`] with per-chunk recording
+    /// observers whose snapshots merge in chunk (slot) order — byte-equal to
+    /// the sequential reference snapshot for every pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`].
+    pub fn measure_scheme_a_par_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<(FluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_a_par_impl(net, plan, slots, seed, Some(pool), true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Single-threaded counter-based reference for scheme B; the
+    /// counterpart of [`FluidEngine::measure_scheme_a_ctr`].
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when `slots == 0` or the mobility is
+    /// not counter-samplable; [`HycapError::MissingInfrastructure`] when the
+    /// network has no base stations.
+    pub fn measure_scheme_b_ctr(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+    ) -> Result<FluidReport, HycapError> {
+        Ok(self
+            .scheme_b_par_impl(net, plan, slots, seed, None, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_b_ctr`] with a recording observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`].
+    pub fn measure_scheme_b_ctr_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+    ) -> Result<(FluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_b_par_impl(net, plan, slots, seed, None, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Slot-sharded scheme B measurement on a [`WorkerPool`]; bit-identical
+    /// to [`FluidEngine::measure_scheme_b_ctr`] for every pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`].
+    pub fn measure_scheme_b_par(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<FluidReport, HycapError> {
+        Ok(self
+            .scheme_b_par_impl(net, plan, slots, seed, Some(pool), false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_b_par`] with per-chunk recording
+    /// observers merged in chunk order.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`].
+    pub fn measure_scheme_b_par_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<(FluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_b_par_impl(net, plan, slots, seed, Some(pool), true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Counter-based sequential reference for scheme A under fault
+    /// injection. Each chunkless run builds its own [`FaultInjector`] from
+    /// `schedule`, so repeated calls are independent and reproducible.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`], plus schedule validation
+    /// errors from [`FaultInjector::new`].
+    pub fn measure_scheme_a_with_faults_ctr(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        Ok(self
+            .scheme_a_faulted_par_impl(net, plan, slots, schedule, policy, seed, None, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_a_with_faults_ctr`] with a recording
+    /// observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_with_faults_ctr`].
+    pub fn measure_scheme_a_with_faults_ctr_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+    ) -> Result<(DegradedFluidReport, Snapshot), HycapError> {
+        let (report, snap) =
+            self.scheme_a_faulted_par_impl(net, plan, slots, schedule, policy, seed, None, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Slot-sharded faulted scheme A measurement. Each chunk worker replays
+    /// the schedule with its own injector — [`FaultInjector::seek`] fast-
+    /// forwards the durable state untallied, so summed per-chunk tallies
+    /// reproduce the sequential tally exactly — and the merged report is
+    /// bit-identical to [`FluidEngine::measure_scheme_a_with_faults_ctr`]
+    /// for every pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_with_faults_ctr`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_a_with_faults_par(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        Ok(self
+            .scheme_a_faulted_par_impl(net, plan, slots, schedule, policy, seed, Some(pool), false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_a_with_faults_par`] with per-chunk
+    /// recording observers merged in chunk order.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_with_faults_ctr`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_a_with_faults_par_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<(DegradedFluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_a_faulted_par_impl(
+            net,
+            plan,
             slots,
-            scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
-        };
-        if obs.sink.enabled() {
-            obs.sink.counter("fluid.scheme_b.runs", 1);
-            obs.sink.counter("fluid.scheme_b.slots", slots as u64);
-            obs.sink
-                .counter("fluid.scheme_b.access_contacts", access_contacts);
-            obs.sink.observe("fluid.scheme_b.lambda", report.lambda);
-            obs.sink
-                .observe("fluid.scheme_b.lambda_typical", report.lambda_typical);
-            if backbone_rate.is_finite() {
-                obs.sink
-                    .observe("fluid.scheme_b.backbone_rate", backbone_rate);
-            }
-            obs.sink
-                .span("fluid.measure_scheme_b", timer.elapsed_micros());
-        }
-        report
+            schedule,
+            policy,
+            seed,
+            Some(pool),
+            true,
+        )?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Counter-based sequential reference for scheme B under fault
+    /// injection; the counterpart of
+    /// [`FluidEngine::measure_scheme_a_with_faults_ctr`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`], plus schedule validation
+    /// errors from [`FaultInjector::new`].
+    pub fn measure_scheme_b_with_faults_ctr(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        Ok(self
+            .scheme_b_faulted_par_impl(net, plan, slots, schedule, policy, seed, None, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_b_with_faults_ctr`] with a recording
+    /// observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_with_faults_ctr`].
+    pub fn measure_scheme_b_with_faults_ctr_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+    ) -> Result<(DegradedFluidReport, Snapshot), HycapError> {
+        let (report, snap) =
+            self.scheme_b_faulted_par_impl(net, plan, slots, schedule, policy, seed, None, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Slot-sharded faulted scheme B measurement; bit-identical to
+    /// [`FluidEngine::measure_scheme_b_with_faults_ctr`] for every pool
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_with_faults_ctr`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_b_with_faults_par(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        Ok(self
+            .scheme_b_faulted_par_impl(net, plan, slots, schedule, policy, seed, Some(pool), false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_b_with_faults_par`] with per-chunk
+    /// recording observers merged in chunk order.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_with_faults_ctr`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_b_with_faults_par_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Result<(DegradedFluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_b_faulted_par_impl(
+            net,
+            plan,
+            slots,
+            schedule,
+            policy,
+            seed,
+            Some(pool),
+            true,
+        )?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
     }
 
     /// Measures scheme A under fault injection. Scheme A carries traffic on
@@ -522,7 +693,6 @@ impl FluidEngine {
         if slots == 0 {
             return Err(HycapError::invalid("slots", "need at least one slot"));
         }
-        let n = net.n();
         let k = net.k();
         if injector.k() != k {
             return Err(HycapError::Mismatch {
@@ -543,107 +713,18 @@ impl FluidEngine {
                 tally: injector.tally(),
             });
         }
-        let range = self.range_for(n);
-        let scheduler = SStarScheduler::new(self.delta);
-        let grid = *plan.grid();
-        let homes: Vec<Point> = net.population().home_points().points().to_vec();
-        let mut service: HashMap<EdgeKey, f64> = HashMap::new();
-        let mut buf = Vec::new();
-        let mut alive = Vec::new();
-        let mut ws = SlotWorkspace::new();
-        let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut total_pairs = 0usize;
-        let mut alive_sum = 0usize;
-        let mut outage_slots = 0usize;
-        for slot in 0..slots {
-            injector.advance_to(slot);
-            injector.fill_alive(n, policy, &mut alive);
-            let alive_now = injector.alive_count();
-            alive_sum += alive_now;
-            if alive_now < k {
-                outage_slots += 1;
-            }
-            net.advance_into(rng, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                Some(&alive),
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
-            total_pairs += pairs.len();
-            for &pair in &pairs {
-                if pair.a >= n || pair.b >= n {
-                    continue; // MS–BS contacts do not serve scheme A
-                }
-                let ca = grid.cell_of(homes[pair.a]);
-                let cb = grid.cell_of(homes[pair.b]);
-                if ca == cb || grid.manhattan(ca, cb) == 1 {
-                    *service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
-                }
-            }
-        }
-        let mut lambda = f64::INFINITY;
-        let mut bottleneck = Bottleneck::Unconstrained;
-        let mut ratios = Vec::with_capacity(plan.edge_load().len());
-        for (&edge, &load) in plan.edge_load() {
-            let rate = service.get(&edge).copied().unwrap_or(0.0) / slots as f64;
-            let this = rate / load;
-            ratios.push(this);
-            if rate == 0.0 {
-                lambda = 0.0;
-                bottleneck = Bottleneck::Starved;
-                continue;
-            }
-            if this < lambda {
-                lambda = this;
-                bottleneck = Bottleneck::WirelessEdge(edge);
-            } else if this == lambda {
-                // Same deterministic tie-break as the fault-free path.
-                if let Bottleneck::WirelessEdge(cur) = bottleneck {
-                    if edge < cur {
-                        bottleneck = Bottleneck::WirelessEdge(edge);
-                    }
-                }
-            }
-        }
-        if lambda.is_infinite() {
-            lambda = 0.0;
-        }
+        let acc = self.scheme_a_chunk_impl(
+            net,
+            plan,
+            0..slots,
+            |net, _slot, buf| net.advance_into(rng, buf),
+            Some((&mut *injector, policy)),
+            obs,
+        );
         let tally = injector.tally();
-        if let Some(probes) = obs.probes_mut() {
-            probes.fault_tally(
-                "fluid scheme A injector",
-                k,
-                injector.scripted_mask().alive_count(),
-                injector.alive_count(),
-                tally.bs_crashes + tally.bs_repairs,
-                tally.bernoulli_bs_outages,
-            );
-        }
-        if obs.sink.enabled() {
-            obs.sink.counter("fluid.scheme_a.faulted_runs", 1);
-            obs.sink
-                .counter("fluid.scheme_a.outage_slots", outage_slots as u64);
-        }
-        Ok(DegradedFluidReport {
-            base: FluidReport {
-                lambda,
-                lambda_typical: median(&mut ratios),
-                bottleneck,
-                slots,
-                scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
-            },
-            k_alive_mean: alive_sum as f64 / slots as f64,
-            outage_slots,
-            infra_flows: flows,
-            fallback_flows: 0,
-            dead_groups: 0,
-            tally,
-        })
+        Ok(finalize_scheme_a_faulted(
+            plan, slots, &acc, flows, k, injector, tally, obs,
+        ))
     }
 
     /// Measures scheme B under fault injection with graceful degradation:
@@ -701,7 +782,6 @@ impl FluidEngine {
         if slots == 0 {
             return Err(HycapError::invalid("slots", "need at least one slot"));
         }
-        let n = net.n();
         let k = net.k();
         let Some(bs) = net.base_stations() else {
             return Err(HycapError::MissingInfrastructure("scheme B"));
@@ -725,169 +805,16 @@ impl FluidEngine {
                 tally: injector.tally(),
             });
         }
-        let range = self.range_for(n);
-        let scheduler = SStarScheduler::new(self.delta);
-        let mut ms_group = vec![usize::MAX; n];
-        let mut bs_group = vec![usize::MAX; k];
-        for g in 0..plan.group_count() {
-            for &i in plan.ms_members(g) {
-                ms_group[i] = g;
-            }
-            for &b in plan.bs_members(g) {
-                bs_group[b] = g;
-            }
-        }
-        let mut service = vec![0.0f64; plan.group_count()];
-        let mut buf = Vec::new();
-        let mut alive = Vec::new();
-        let mut ws = SlotWorkspace::new();
-        let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut total_pairs = 0usize;
-        let mut alive_sum = 0usize;
-        let mut outage_slots = 0usize;
-        for slot in 0..slots {
-            injector.advance_to(slot);
-            injector.fill_alive(n, policy, &mut alive);
-            let alive_now = injector.alive_count();
-            alive_sum += alive_now;
-            if alive_now < k {
-                outage_slots += 1;
-            }
-            net.advance_into(rng, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                Some(&alive),
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
-            total_pairs += pairs.len();
-            for &pair in &pairs {
-                let (ms, bs_id) = if pair.a < n && pair.b >= n {
-                    (pair.a, pair.b - n)
-                } else if pair.b < n && pair.a >= n {
-                    (pair.b, pair.a - n)
-                } else {
-                    continue;
-                };
-                // Under OccupySpectrum a dead BS can still be scheduled; it
-                // serves nothing. Under RadioOff it is never scheduled.
-                if !injector.mask().bs_alive(bs_id) {
-                    continue;
-                }
-                let g = bs_group[bs_id];
-                if g != usize::MAX && ms_group[ms] == g {
-                    service[g] += 1.0;
-                }
-            }
-        }
-        // Classify flows against the durable fault state: transient
-        // Bernoulli outages eat into measured service, scripted deaths
-        // re-route the plan.
-        let scripted = injector.scripted_mask();
-        let alive_bs: Vec<bool> = (0..k).map(|b| scripted.bs_alive(b)).collect();
-        let degraded = plan.degrade(&alive_bs)?;
-        let members: Vec<Vec<usize>> = (0..degraded.group_count())
-            .map(|g| degraded.alive_bs_members(g).to_vec())
-            .collect();
-        let backbone = Backbone::new(k, bandwidth);
-        let backbone_rate = degraded
-            .backbone_load()
-            .max_uniform_rate_masked(&backbone, scripted, &members)?;
-        let mut lambda = backbone_rate;
-        let mut bottleneck = if lambda.is_finite() {
-            Bottleneck::Backbone
-        } else {
-            Bottleneck::Unconstrained
-        };
-        let mut ratios = Vec::with_capacity(degraded.group_count());
-        for (g, &load) in degraded.access_load().iter().enumerate() {
-            if load == 0.0 {
-                continue;
-            }
-            let rate = service[g] / slots as f64;
-            let this = rate / load;
-            ratios.push(this);
-            if rate == 0.0 {
-                lambda = 0.0;
-                bottleneck = Bottleneck::Starved;
-                continue;
-            }
-            if this < lambda {
-                lambda = this;
-                bottleneck = Bottleneck::Access(g);
-            }
-        }
-        if lambda.is_infinite() {
-            lambda = 0.0;
-            bottleneck = Bottleneck::Unconstrained;
-        }
-        let lambda_typical = if ratios.is_empty() {
-            lambda
-        } else {
-            median(&mut ratios).min(backbone_rate)
-        };
+        let acc = self.scheme_b_chunk_impl(
+            net,
+            plan,
+            0..slots,
+            |net, _slot, buf| net.advance_into(rng, buf),
+            Some((&mut *injector, policy)),
+            obs,
+        );
         let tally = injector.tally();
-        if let Some(probes) = obs.probes_mut() {
-            // Masked Theorem 5 feasibility: each surviving group pair's
-            // traffic at rate λ fits the *effective* wire bandwidth left by
-            // the durable fault state.
-            for ((s, d), count) in degraded.backbone_load().flows() {
-                let mut eff_wires = 0.0;
-                for &a in &members[s] {
-                    for &b in &members[d] {
-                        eff_wires += scripted.wire_factor(a, b);
-                    }
-                }
-                probes.rate_budget(
-                    "degraded scheme B backbone pair",
-                    lambda * count,
-                    bandwidth * eff_wires,
-                );
-            }
-            if backbone_rate.is_finite() {
-                probes.rate_budget(
-                    "degraded scheme B lambda vs backbone",
-                    lambda,
-                    backbone_rate,
-                );
-            }
-            probes.fault_tally(
-                "fluid scheme B injector",
-                k,
-                injector.scripted_mask().alive_count(),
-                injector.alive_count(),
-                tally.bs_crashes + tally.bs_repairs,
-                tally.bernoulli_bs_outages,
-            );
-        }
-        if obs.sink.enabled() {
-            obs.sink.counter("fluid.scheme_b.faulted_runs", 1);
-            obs.sink
-                .counter("fluid.scheme_b.outage_slots", outage_slots as u64);
-            obs.sink.counter(
-                "fluid.scheme_b.fallback_flows",
-                degraded.fallback_flows().len() as u64,
-            );
-        }
-        Ok(DegradedFluidReport {
-            base: FluidReport {
-                lambda,
-                lambda_typical,
-                bottleneck,
-                slots,
-                scheduled_pairs_per_slot: total_pairs as f64 / slots as f64,
-            },
-            k_alive_mean: alive_sum as f64 / slots as f64,
-            outage_slots,
-            infra_flows: degraded.infra_flows().len(),
-            fallback_flows: degraded.fallback_flows().len(),
-            dead_groups: degraded.dead_groups().len(),
-            tally,
-        })
+        finalize_scheme_b_faulted(plan, slots, &acc, k, bandwidth, injector, tally, obs)
     }
 
     /// Measures the two-hop relay baseline: per-flow rate is the minimum of
@@ -953,6 +880,588 @@ impl FluidEngine {
             slots,
         }
     }
+
+    /// Fault-free scheme A slot loop over one contiguous chunk. The
+    /// sequential entry points run it once over `0..slots`; the sharded
+    /// ones run it per chunk and reduce the accumulators in slot order.
+    fn scheme_a_chunk<S, F>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: Range<usize>,
+        advance: F,
+        obs: &mut Observer<S>,
+    ) -> SchemeAAcc
+    where
+        S: MetricsSink,
+        F: FnMut(&mut HybridNetwork, usize, &mut Vec<Point>),
+    {
+        self.scheme_a_chunk_impl(net, plan, slots, advance, None, obs)
+    }
+
+    fn scheme_a_chunk_impl<S, F>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: Range<usize>,
+        mut advance: F,
+        mut faults: Option<(&mut FaultInjector, OutagePolicy)>,
+        obs: &mut Observer<S>,
+    ) -> SchemeAAcc
+    where
+        S: MetricsSink,
+        F: FnMut(&mut HybridNetwork, usize, &mut Vec<Point>),
+    {
+        let n = net.n();
+        let k = net.k();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        let grid = *plan.grid();
+        let homes: Vec<Point> = net.population().home_points().points().to_vec();
+        let mut acc = SchemeAAcc::default();
+        let mut buf = Vec::new();
+        let mut alive = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        for slot in slots {
+            let masked = if let Some((injector, policy)) = faults.as_mut() {
+                injector.advance_to(slot);
+                injector.fill_alive(n, *policy, &mut alive);
+                let alive_now = injector.alive_count();
+                acc.alive_sum += alive_now;
+                if alive_now < k {
+                    acc.outage_slots += 1;
+                }
+                true
+            } else {
+                false
+            };
+            advance(net, slot, &mut buf);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                masked.then_some(alive.as_slice()),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
+            acc.total_pairs += pairs.len();
+            for &pair in &pairs {
+                if pair.a >= n || pair.b >= n {
+                    continue; // MS–BS contacts do not serve scheme A
+                }
+                let ca = grid.cell_of(homes[pair.a]);
+                let cb = grid.cell_of(homes[pair.b]);
+                if ca == cb || grid.manhattan(ca, cb) == 1 {
+                    *acc.service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
+                    acc.credited += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fault-free scheme B slot loop over one contiguous chunk.
+    fn scheme_b_chunk<S, F>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: Range<usize>,
+        advance: F,
+        obs: &mut Observer<S>,
+    ) -> SchemeBAcc
+    where
+        S: MetricsSink,
+        F: FnMut(&mut HybridNetwork, usize, &mut Vec<Point>),
+    {
+        self.scheme_b_chunk_impl(net, plan, slots, advance, None, obs)
+    }
+
+    fn scheme_b_chunk_impl<S, F>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: Range<usize>,
+        mut advance: F,
+        mut faults: Option<(&mut FaultInjector, OutagePolicy)>,
+        obs: &mut Observer<S>,
+    ) -> SchemeBAcc
+    where
+        S: MetricsSink,
+        F: FnMut(&mut HybridNetwork, usize, &mut Vec<Point>),
+    {
+        let n = net.n();
+        let k = net.k();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        // Reverse group maps from the plan.
+        let mut ms_group = vec![usize::MAX; n];
+        let mut bs_group = vec![usize::MAX; k];
+        for g in 0..plan.group_count() {
+            for &i in plan.ms_members(g) {
+                ms_group[i] = g;
+            }
+            for &b in plan.bs_members(g) {
+                bs_group[b] = g;
+            }
+        }
+        let mut acc = SchemeBAcc::new(plan.group_count());
+        let mut buf = Vec::new();
+        let mut alive = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        for slot in slots {
+            let masked = if let Some((injector, policy)) = faults.as_mut() {
+                injector.advance_to(slot);
+                injector.fill_alive(n, *policy, &mut alive);
+                let alive_now = injector.alive_count();
+                acc.alive_sum += alive_now;
+                if alive_now < k {
+                    acc.outage_slots += 1;
+                }
+                true
+            } else {
+                false
+            };
+            advance(net, slot, &mut buf);
+            schedule_observed(
+                &scheduler,
+                &buf,
+                range,
+                masked.then_some(alive.as_slice()),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
+            acc.total_pairs += pairs.len();
+            for &pair in &pairs {
+                // Classify MS–BS contacts.
+                let (ms, bs_id) = if pair.a < n && pair.b >= n {
+                    (pair.a, pair.b - n)
+                } else if pair.b < n && pair.a >= n {
+                    (pair.b, pair.a - n)
+                } else {
+                    continue;
+                };
+                // Under OccupySpectrum a dead BS can still be scheduled; it
+                // serves nothing. Under RadioOff it is never scheduled.
+                if let Some((injector, _)) = faults.as_ref() {
+                    if !injector.mask().bs_alive(bs_id) {
+                        continue;
+                    }
+                }
+                let g = bs_group[bs_id];
+                if g != usize::MAX && ms_group[ms] == g {
+                    acc.service[g] += 1.0;
+                    acc.access_contacts += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fan-out core shared by the `_ctr` (no pool: one inline chunk) and
+    /// `_par` (chunk per pool thread) scheme A entry points.
+    fn scheme_a_par_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        observe: bool,
+    ) -> Result<(FluidReport, Option<Snapshot>), HycapError> {
+        check_counter_run(net, slots)?;
+        let timer = SpanTimer::start();
+        let engine = *self;
+        let plan_arc = Arc::new(plan.clone());
+        let jobs: Vec<_> = chunk_ranges(slots, pool.map_or(1, WorkerPool::threads))
+            .into_iter()
+            .map(|range| {
+                let mut net = net.clone();
+                let plan = Arc::clone(&plan_arc);
+                move || {
+                    let advance = |net: &mut HybridNetwork, slot: usize, buf: &mut Vec<Point>| {
+                        net.advance_slot_into(seed, slot as u64, buf)
+                    };
+                    if observe {
+                        let mut obs = Observer::recording().with_probes();
+                        let acc = engine.scheme_a_chunk(&mut net, &plan, range, advance, &mut obs);
+                        (acc, Some(obs.snapshot()))
+                    } else {
+                        let acc = engine.scheme_a_chunk(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            &mut Observer::noop(),
+                        );
+                        (acc, None)
+                    }
+                }
+            })
+            .collect();
+        let results = match pool {
+            Some(pool) => pool.run(jobs),
+            None => jobs.into_iter().map(|job| job()).collect(),
+        };
+        let mut acc = SchemeAAcc::default();
+        let mut merged = observe.then(Snapshot::default);
+        for (chunk_acc, snap) in results {
+            acc.absorb(chunk_acc);
+            if let (Some(m), Some(s)) = (merged.as_mut(), snap.as_ref()) {
+                m.merge(s);
+            }
+        }
+        if observe {
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_a(plan, slots, &acc, timer, &mut obs);
+            let mut snap = merged.expect("observed run collects snapshots");
+            snap.merge(&obs.snapshot());
+            Ok((report, Some(snap)))
+        } else {
+            Ok((
+                finalize_scheme_a(plan, slots, &acc, timer, &mut Observer::noop()),
+                None,
+            ))
+        }
+    }
+
+    /// Fan-out core shared by the `_ctr` and `_par` scheme B entry points.
+    fn scheme_b_par_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        observe: bool,
+    ) -> Result<(FluidReport, Option<Snapshot>), HycapError> {
+        check_counter_run(net, slots)?;
+        let Some(bs) = net.base_stations() else {
+            return Err(HycapError::MissingInfrastructure("scheme B"));
+        };
+        let k = net.k();
+        let bandwidth = bs.bandwidth();
+        let timer = SpanTimer::start();
+        let engine = *self;
+        let plan_arc = Arc::new(plan.clone());
+        let jobs: Vec<_> = chunk_ranges(slots, pool.map_or(1, WorkerPool::threads))
+            .into_iter()
+            .map(|range| {
+                let mut net = net.clone();
+                let plan = Arc::clone(&plan_arc);
+                move || {
+                    let advance = |net: &mut HybridNetwork, slot: usize, buf: &mut Vec<Point>| {
+                        net.advance_slot_into(seed, slot as u64, buf)
+                    };
+                    if observe {
+                        let mut obs = Observer::recording().with_probes();
+                        let acc = engine.scheme_b_chunk(&mut net, &plan, range, advance, &mut obs);
+                        (acc, Some(obs.snapshot()))
+                    } else {
+                        let acc = engine.scheme_b_chunk(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            &mut Observer::noop(),
+                        );
+                        (acc, None)
+                    }
+                }
+            })
+            .collect();
+        let results = match pool {
+            Some(pool) => pool.run(jobs),
+            None => jobs.into_iter().map(|job| job()).collect(),
+        };
+        let mut acc = SchemeBAcc::new(plan.group_count());
+        let mut merged = observe.then(Snapshot::default);
+        for (chunk_acc, snap) in results {
+            acc.absorb(chunk_acc);
+            if let (Some(m), Some(s)) = (merged.as_mut(), snap.as_ref()) {
+                m.merge(s);
+            }
+        }
+        if observe {
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_b(plan, slots, &acc, k, bandwidth, timer, &mut obs);
+            let mut snap = merged.expect("observed run collects snapshots");
+            snap.merge(&obs.snapshot());
+            Ok((report, Some(snap)))
+        } else {
+            Ok((
+                finalize_scheme_b(
+                    plan,
+                    slots,
+                    &acc,
+                    k,
+                    bandwidth,
+                    timer,
+                    &mut Observer::noop(),
+                ),
+                None,
+            ))
+        }
+    }
+
+    /// Fan-out core for faulted scheme A: each chunk replays the schedule
+    /// with its own injector ([`FaultInjector::seek`] to the chunk start,
+    /// then tallied `advance_to` per slot), tallies absorb in chunk order,
+    /// and the last chunk's injector carries the end-of-run fault state for
+    /// classification.
+    #[allow(clippy::too_many_arguments)]
+    fn scheme_a_faulted_par_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        observe: bool,
+    ) -> Result<(DegradedFluidReport, Option<Snapshot>), HycapError> {
+        check_counter_run(net, slots)?;
+        let k = net.k();
+        FaultInjector::new(k, schedule)?;
+        if schedule.is_empty() {
+            // Mirror the sequential empty-schedule delegation: the base
+            // report is bit-identical to the fault-free measurement.
+            let (base, snap) = self.scheme_a_par_impl(net, plan, slots, seed, pool, observe)?;
+            return Ok((
+                DegradedFluidReport {
+                    base,
+                    k_alive_mean: k as f64,
+                    outage_slots: 0,
+                    infra_flows: plan.paths().len(),
+                    fallback_flows: 0,
+                    dead_groups: 0,
+                    tally: FaultTally::default(),
+                },
+                snap,
+            ));
+        }
+        let engine = *self;
+        let plan_arc = Arc::new(plan.clone());
+        let schedule_arc = Arc::new(schedule.clone());
+        let jobs: Vec<_> = chunk_ranges(slots, pool.map_or(1, WorkerPool::threads))
+            .into_iter()
+            .map(|range| {
+                let mut net = net.clone();
+                let plan = Arc::clone(&plan_arc);
+                let schedule = Arc::clone(&schedule_arc);
+                move || {
+                    let mut injector = FaultInjector::new(k, &schedule)
+                        .expect("schedule validated before dispatch");
+                    injector.seek(range.start);
+                    let advance = |net: &mut HybridNetwork, slot: usize, buf: &mut Vec<Point>| {
+                        net.advance_slot_into(seed, slot as u64, buf)
+                    };
+                    if observe {
+                        let mut obs = Observer::recording().with_probes();
+                        let acc = engine.scheme_a_chunk_impl(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            Some((&mut injector, policy)),
+                            &mut obs,
+                        );
+                        (acc, injector, Some(obs.snapshot()))
+                    } else {
+                        let acc = engine.scheme_a_chunk_impl(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            Some((&mut injector, policy)),
+                            &mut Observer::noop(),
+                        );
+                        (acc, injector, None)
+                    }
+                }
+            })
+            .collect();
+        let results = match pool {
+            Some(pool) => pool.run(jobs),
+            None => jobs.into_iter().map(|job| job()).collect(),
+        };
+        let mut acc = SchemeAAcc::default();
+        let mut tally = FaultTally::default();
+        let mut merged = observe.then(Snapshot::default);
+        let mut end_injector = None;
+        for (chunk_acc, injector, snap) in results {
+            acc.absorb(chunk_acc);
+            tally.absorb(&injector.tally());
+            if let (Some(m), Some(s)) = (merged.as_mut(), snap.as_ref()) {
+                m.merge(s);
+            }
+            end_injector = Some(injector);
+        }
+        let end_injector = end_injector.expect("slots >= 1 yields at least one chunk");
+        let flows = plan.paths().len();
+        if observe {
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_a_faulted(
+                plan,
+                slots,
+                &acc,
+                flows,
+                k,
+                &end_injector,
+                tally,
+                &mut obs,
+            );
+            let mut snap = merged.expect("observed run collects snapshots");
+            snap.merge(&obs.snapshot());
+            Ok((report, Some(snap)))
+        } else {
+            Ok((
+                finalize_scheme_a_faulted(
+                    plan,
+                    slots,
+                    &acc,
+                    flows,
+                    k,
+                    &end_injector,
+                    tally,
+                    &mut Observer::noop(),
+                ),
+                None,
+            ))
+        }
+    }
+
+    /// Fan-out core for faulted scheme B; the scheme B counterpart of
+    /// [`FluidEngine::scheme_a_faulted_par_impl`].
+    #[allow(clippy::too_many_arguments)]
+    fn scheme_b_faulted_par_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        observe: bool,
+    ) -> Result<(DegradedFluidReport, Option<Snapshot>), HycapError> {
+        check_counter_run(net, slots)?;
+        let Some(bs) = net.base_stations() else {
+            return Err(HycapError::MissingInfrastructure("scheme B"));
+        };
+        let k = net.k();
+        let bandwidth = bs.bandwidth();
+        FaultInjector::new(k, schedule)?;
+        if schedule.is_empty() {
+            let (base, snap) = self.scheme_b_par_impl(net, plan, slots, seed, pool, observe)?;
+            return Ok((
+                DegradedFluidReport {
+                    base,
+                    k_alive_mean: k as f64,
+                    outage_slots: 0,
+                    infra_flows: plan.flows().len(),
+                    fallback_flows: 0,
+                    dead_groups: 0,
+                    tally: FaultTally::default(),
+                },
+                snap,
+            ));
+        }
+        let engine = *self;
+        let plan_arc = Arc::new(plan.clone());
+        let schedule_arc = Arc::new(schedule.clone());
+        let jobs: Vec<_> = chunk_ranges(slots, pool.map_or(1, WorkerPool::threads))
+            .into_iter()
+            .map(|range| {
+                let mut net = net.clone();
+                let plan = Arc::clone(&plan_arc);
+                let schedule = Arc::clone(&schedule_arc);
+                move || {
+                    let mut injector = FaultInjector::new(k, &schedule)
+                        .expect("schedule validated before dispatch");
+                    injector.seek(range.start);
+                    let advance = |net: &mut HybridNetwork, slot: usize, buf: &mut Vec<Point>| {
+                        net.advance_slot_into(seed, slot as u64, buf)
+                    };
+                    if observe {
+                        let mut obs = Observer::recording().with_probes();
+                        let acc = engine.scheme_b_chunk_impl(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            Some((&mut injector, policy)),
+                            &mut obs,
+                        );
+                        (acc, injector, Some(obs.snapshot()))
+                    } else {
+                        let acc = engine.scheme_b_chunk_impl(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            Some((&mut injector, policy)),
+                            &mut Observer::noop(),
+                        );
+                        (acc, injector, None)
+                    }
+                }
+            })
+            .collect();
+        let results = match pool {
+            Some(pool) => pool.run(jobs),
+            None => jobs.into_iter().map(|job| job()).collect(),
+        };
+        let mut acc = SchemeBAcc::new(plan.group_count());
+        let mut tally = FaultTally::default();
+        let mut merged = observe.then(Snapshot::default);
+        let mut end_injector = None;
+        for (chunk_acc, injector, snap) in results {
+            acc.absorb(chunk_acc);
+            tally.absorb(&injector.tally());
+            if let (Some(m), Some(s)) = (merged.as_mut(), snap.as_ref()) {
+                m.merge(s);
+            }
+            end_injector = Some(injector);
+        }
+        let end_injector = end_injector.expect("slots >= 1 yields at least one chunk");
+        if observe {
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_b_faulted(
+                plan,
+                slots,
+                &acc,
+                k,
+                bandwidth,
+                &end_injector,
+                tally,
+                &mut obs,
+            )?;
+            let mut snap = merged.expect("observed run collects snapshots");
+            snap.merge(&obs.snapshot());
+            Ok((report, Some(snap)))
+        } else {
+            Ok((
+                finalize_scheme_b_faulted(
+                    plan,
+                    slots,
+                    &acc,
+                    k,
+                    bandwidth,
+                    &end_injector,
+                    tally,
+                    &mut Observer::noop(),
+                )?,
+                None,
+            ))
+        }
+    }
 }
 
 impl Default for FluidEngine {
@@ -968,6 +1477,387 @@ fn median(values: &mut [f64]) -> f64 {
     }
     values.sort_by(f64::total_cmp);
     values[values.len() / 2]
+}
+
+/// Per-chunk scheme A tallies. Every field is a sum of per-slot
+/// contributions (service counts are integer-valued f64s well below 2^53),
+/// so [`SchemeAAcc::absorb`] over any contiguous partition reproduces the
+/// sequential totals exactly — this is what makes the sharded runs
+/// bit-identical to the single-chunk reference.
+#[derive(Debug, Default)]
+struct SchemeAAcc {
+    service: HashMap<EdgeKey, f64>,
+    total_pairs: usize,
+    credited: u64,
+    alive_sum: usize,
+    outage_slots: usize,
+}
+
+impl SchemeAAcc {
+    fn absorb(&mut self, other: SchemeAAcc) {
+        for (edge, count) in other.service {
+            *self.service.entry(edge).or_insert(0.0) += count;
+        }
+        self.total_pairs += other.total_pairs;
+        self.credited += other.credited;
+        self.alive_sum += other.alive_sum;
+        self.outage_slots += other.outage_slots;
+    }
+}
+
+/// Per-chunk scheme B tallies; merges exactly for the same reason as
+/// [`SchemeAAcc`].
+#[derive(Debug)]
+struct SchemeBAcc {
+    service: Vec<f64>,
+    total_pairs: usize,
+    access_contacts: u64,
+    alive_sum: usize,
+    outage_slots: usize,
+}
+
+impl SchemeBAcc {
+    fn new(groups: usize) -> Self {
+        SchemeBAcc {
+            service: vec![0.0; groups],
+            total_pairs: 0,
+            access_contacts: 0,
+            alive_sum: 0,
+            outage_slots: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: SchemeBAcc) {
+        debug_assert_eq!(self.service.len(), other.service.len());
+        for (mine, theirs) in self.service.iter_mut().zip(&other.service) {
+            *mine += theirs;
+        }
+        self.total_pairs += other.total_pairs;
+        self.access_contacts += other.access_contacts;
+        self.alive_sum += other.alive_sum;
+        self.outage_slots += other.outage_slots;
+    }
+}
+
+/// Validates a counter-based run: at least one slot and a mobility model
+/// whose slot positions are a pure function of `(seed, slot)`.
+fn check_counter_run(net: &HybridNetwork, slots: usize) -> Result<(), HycapError> {
+    if slots == 0 {
+        return Err(HycapError::invalid("slots", "need at least one slot"));
+    }
+    if !net.counter_samplable() {
+        return Err(HycapError::invalid(
+            "mobility",
+            "counter-based sampling requires an i.i.d.-per-slot or static \
+             mobility model (slot positions must not depend on history)",
+        ));
+    }
+    Ok(())
+}
+
+/// Scheme A bottleneck scan over the plan's edge loads. Returns
+/// `(lambda, lambda_typical, bottleneck)`.
+fn scheme_a_bottleneck(
+    plan: &SchemeAPlan,
+    slots: usize,
+    service: &HashMap<EdgeKey, f64>,
+) -> (f64, f64, Bottleneck) {
+    let mut lambda = f64::INFINITY;
+    let mut bottleneck = Bottleneck::Unconstrained;
+    let mut ratios = Vec::with_capacity(plan.edge_load().len());
+    for (&edge, &load) in plan.edge_load() {
+        let rate = service.get(&edge).copied().unwrap_or(0.0) / slots as f64;
+        let this = rate / load;
+        ratios.push(this);
+        if rate == 0.0 {
+            lambda = 0.0;
+            bottleneck = Bottleneck::Starved;
+            continue;
+        }
+        if this < lambda {
+            lambda = this;
+            bottleneck = Bottleneck::WirelessEdge(edge);
+        } else if this == lambda {
+            // `edge_load` is a HashMap, so tied minima arrive in an
+            // order that varies per map instance; break ties on the
+            // edge key to keep the reported bottleneck deterministic.
+            if let Bottleneck::WirelessEdge(cur) = bottleneck {
+                if edge < cur {
+                    bottleneck = Bottleneck::WirelessEdge(edge);
+                }
+            }
+        }
+    }
+    if lambda.is_infinite() {
+        lambda = 0.0;
+    }
+    (lambda, median(&mut ratios), bottleneck)
+}
+
+/// Scheme B bottleneck scan: the backbone rate seeds λ, then each loaded
+/// access group may lower it. Returns `(lambda, lambda_typical, bottleneck)`.
+fn scheme_b_bottleneck(
+    access_load: &[f64],
+    service: &[f64],
+    slots: usize,
+    backbone_rate: f64,
+) -> (f64, f64, Bottleneck) {
+    let mut lambda = backbone_rate;
+    let mut bottleneck = if lambda.is_finite() {
+        Bottleneck::Backbone
+    } else {
+        Bottleneck::Unconstrained
+    };
+    let mut ratios = Vec::with_capacity(access_load.len());
+    for (g, &load) in access_load.iter().enumerate() {
+        if load == 0.0 {
+            continue;
+        }
+        let rate = service[g] / slots as f64;
+        let this = rate / load;
+        ratios.push(this);
+        if rate == 0.0 {
+            lambda = 0.0;
+            bottleneck = Bottleneck::Starved;
+            continue;
+        }
+        if this < lambda {
+            lambda = this;
+            bottleneck = Bottleneck::Access(g);
+        }
+    }
+    if lambda.is_infinite() {
+        lambda = 0.0;
+        bottleneck = Bottleneck::Unconstrained;
+    }
+    let lambda_typical = if ratios.is_empty() {
+        lambda
+    } else {
+        median(&mut ratios).min(backbone_rate)
+    };
+    (lambda, lambda_typical, bottleneck)
+}
+
+/// Turns fault-free scheme A accumulators into a report plus run-level
+/// metrics. Shared by the sequential, counter-based and sharded paths.
+fn finalize_scheme_a<S: MetricsSink>(
+    plan: &SchemeAPlan,
+    slots: usize,
+    acc: &SchemeAAcc,
+    timer: SpanTimer,
+    obs: &mut Observer<S>,
+) -> FluidReport {
+    let (lambda, lambda_typical, bottleneck) = scheme_a_bottleneck(plan, slots, &acc.service);
+    let report = FluidReport {
+        lambda,
+        lambda_typical,
+        bottleneck,
+        slots,
+        scheduled_pairs_per_slot: acc.total_pairs as f64 / slots as f64,
+    };
+    if obs.sink.enabled() {
+        obs.sink.counter("fluid.scheme_a.runs", 1);
+        obs.sink.counter("fluid.scheme_a.slots", slots as u64);
+        obs.sink
+            .counter("fluid.scheme_a.credited_contacts", acc.credited);
+        obs.sink.observe("fluid.scheme_a.lambda", report.lambda);
+        obs.sink
+            .observe("fluid.scheme_a.lambda_typical", report.lambda_typical);
+        obs.sink
+            .span("fluid.measure_scheme_a", timer.elapsed_micros());
+    }
+    report
+}
+
+/// Turns fault-free scheme B accumulators into a report, the Theorem 5
+/// backbone probes and run-level metrics.
+fn finalize_scheme_b<S: MetricsSink>(
+    plan: &SchemeBPlan,
+    slots: usize,
+    acc: &SchemeBAcc,
+    k: usize,
+    bandwidth: f64,
+    timer: SpanTimer,
+    obs: &mut Observer<S>,
+) -> FluidReport {
+    let backbone = Backbone::new(k, bandwidth);
+    let backbone_rate = plan.backbone_load().max_uniform_rate(&backbone);
+    let (lambda, lambda_typical, bottleneck) =
+        scheme_b_bottleneck(plan.access_load(), &acc.service, slots, backbone_rate);
+    if let Some(probes) = obs.probes_mut() {
+        // Theorem 5 wire feasibility: at the granted rate, each group
+        // pair's backbone traffic fits its wires; λ never exceeds the
+        // backbone-feasible rate.
+        for ((s, d), count) in plan.backbone_load().flows() {
+            let wires =
+                (plan.backbone_load().group_size(s) * plan.backbone_load().group_size(d)) as f64;
+            probes.rate_budget(
+                "scheme B backbone pair",
+                lambda * count,
+                backbone.edge_bandwidth() * wires,
+            );
+        }
+        if backbone_rate.is_finite() {
+            probes.rate_budget("scheme B lambda vs backbone", lambda, backbone_rate);
+        }
+    }
+    let report = FluidReport {
+        lambda,
+        lambda_typical,
+        bottleneck,
+        slots,
+        scheduled_pairs_per_slot: acc.total_pairs as f64 / slots as f64,
+    };
+    if obs.sink.enabled() {
+        obs.sink.counter("fluid.scheme_b.runs", 1);
+        obs.sink.counter("fluid.scheme_b.slots", slots as u64);
+        obs.sink
+            .counter("fluid.scheme_b.access_contacts", acc.access_contacts);
+        obs.sink.observe("fluid.scheme_b.lambda", report.lambda);
+        obs.sink
+            .observe("fluid.scheme_b.lambda_typical", report.lambda_typical);
+        if backbone_rate.is_finite() {
+            obs.sink
+                .observe("fluid.scheme_b.backbone_rate", backbone_rate);
+        }
+        obs.sink
+            .span("fluid.measure_scheme_b", timer.elapsed_micros());
+    }
+    report
+}
+
+/// Turns faulted scheme A accumulators plus the end-of-run injector state
+/// into a degraded report, the fault-tally probe and run-level metrics.
+#[allow(clippy::too_many_arguments)]
+fn finalize_scheme_a_faulted<S: MetricsSink>(
+    plan: &SchemeAPlan,
+    slots: usize,
+    acc: &SchemeAAcc,
+    flows: usize,
+    k: usize,
+    injector: &FaultInjector,
+    tally: FaultTally,
+    obs: &mut Observer<S>,
+) -> DegradedFluidReport {
+    let (lambda, lambda_typical, bottleneck) = scheme_a_bottleneck(plan, slots, &acc.service);
+    if let Some(probes) = obs.probes_mut() {
+        probes.fault_tally(
+            "fluid scheme A injector",
+            k,
+            injector.scripted_mask().alive_count(),
+            injector.alive_count(),
+            tally.bs_crashes + tally.bs_repairs,
+            tally.bernoulli_bs_outages,
+        );
+    }
+    if obs.sink.enabled() {
+        obs.sink.counter("fluid.scheme_a.faulted_runs", 1);
+        obs.sink
+            .counter("fluid.scheme_a.outage_slots", acc.outage_slots as u64);
+    }
+    DegradedFluidReport {
+        base: FluidReport {
+            lambda,
+            lambda_typical,
+            bottleneck,
+            slots,
+            scheduled_pairs_per_slot: acc.total_pairs as f64 / slots as f64,
+        },
+        k_alive_mean: acc.alive_sum as f64 / slots as f64,
+        outage_slots: acc.outage_slots,
+        infra_flows: flows,
+        fallback_flows: 0,
+        dead_groups: 0,
+        tally,
+    }
+}
+
+/// Turns faulted scheme B accumulators plus the end-of-run injector state
+/// into a degraded report: flow re-classification against the durable
+/// (scripted) fault state, masked Theorem 5 probes, and run-level metrics.
+#[allow(clippy::too_many_arguments)]
+fn finalize_scheme_b_faulted<S: MetricsSink>(
+    plan: &SchemeBPlan,
+    slots: usize,
+    acc: &SchemeBAcc,
+    k: usize,
+    bandwidth: f64,
+    injector: &FaultInjector,
+    tally: FaultTally,
+    obs: &mut Observer<S>,
+) -> Result<DegradedFluidReport, HycapError> {
+    // Classify flows against the durable fault state: transient
+    // Bernoulli outages eat into measured service, scripted deaths
+    // re-route the plan.
+    let scripted = injector.scripted_mask();
+    let alive_bs: Vec<bool> = (0..k).map(|b| scripted.bs_alive(b)).collect();
+    let degraded = plan.degrade(&alive_bs)?;
+    let members: Vec<Vec<usize>> = (0..degraded.group_count())
+        .map(|g| degraded.alive_bs_members(g).to_vec())
+        .collect();
+    let backbone = Backbone::new(k, bandwidth);
+    let backbone_rate = degraded
+        .backbone_load()
+        .max_uniform_rate_masked(&backbone, scripted, &members)?;
+    let (lambda, lambda_typical, bottleneck) =
+        scheme_b_bottleneck(degraded.access_load(), &acc.service, slots, backbone_rate);
+    if let Some(probes) = obs.probes_mut() {
+        // Masked Theorem 5 feasibility: each surviving group pair's
+        // traffic at rate λ fits the *effective* wire bandwidth left by
+        // the durable fault state.
+        for ((s, d), count) in degraded.backbone_load().flows() {
+            let mut eff_wires = 0.0;
+            for &a in &members[s] {
+                for &b in &members[d] {
+                    eff_wires += scripted.wire_factor(a, b);
+                }
+            }
+            probes.rate_budget(
+                "degraded scheme B backbone pair",
+                lambda * count,
+                bandwidth * eff_wires,
+            );
+        }
+        if backbone_rate.is_finite() {
+            probes.rate_budget(
+                "degraded scheme B lambda vs backbone",
+                lambda,
+                backbone_rate,
+            );
+        }
+        probes.fault_tally(
+            "fluid scheme B injector",
+            k,
+            injector.scripted_mask().alive_count(),
+            injector.alive_count(),
+            tally.bs_crashes + tally.bs_repairs,
+            tally.bernoulli_bs_outages,
+        );
+    }
+    if obs.sink.enabled() {
+        obs.sink.counter("fluid.scheme_b.faulted_runs", 1);
+        obs.sink
+            .counter("fluid.scheme_b.outage_slots", acc.outage_slots as u64);
+        obs.sink.counter(
+            "fluid.scheme_b.fallback_flows",
+            degraded.fallback_flows().len() as u64,
+        );
+    }
+    Ok(DegradedFluidReport {
+        base: FluidReport {
+            lambda,
+            lambda_typical,
+            bottleneck,
+            slots,
+            scheduled_pairs_per_slot: acc.total_pairs as f64 / slots as f64,
+        },
+        k_alive_mean: acc.alive_sum as f64 / slots as f64,
+        outage_slots: acc.outage_slots,
+        infra_flows: degraded.infra_flows().len(),
+        fallback_flows: degraded.fallback_flows().len(),
+        dead_groups: degraded.dead_groups().len(),
+        tally,
+    })
 }
 
 #[cfg(test)]

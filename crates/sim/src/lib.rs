@@ -11,8 +11,14 @@
 //! * [`PacketEngine`] — a slotted queueing simulator with real buffers and
 //!   a bisection search for the stability boundary. Slower; validates the
 //!   fluid numbers.
-//! * [`sweep`] — geometric `n` ladders, log–log exponent fits and a scoped-
-//!   thread parallel driver, used by every Table-I / Figure-3 experiment.
+//! * [`sweep`] — geometric `n` ladders, log–log exponent fits and an
+//!   order-preserving parallel driver, used by every Table-I / Figure-3
+//!   experiment.
+//! * [`WorkerPool`] — a persistent worker pool backing the slot-sharded
+//!   fluid entry points, [`PacketEngine::run_replications`] and the bench
+//!   drivers; combined with counter-based mobility streams
+//!   (`hycap_mobility::SlotRng`), measurements are bit-identical at any
+//!   thread count.
 //! * [`faults`] — deterministic seeded fault injection (BS crashes, wire
 //!   cuts/degradation, Bernoulli outages) with graceful degradation wired
 //!   through both engines; an empty schedule is bit-identical to the
@@ -44,12 +50,14 @@ mod engine;
 pub mod faults;
 mod fluid;
 mod packet;
+mod pool;
 pub mod sweep;
 
 pub use engine::HybridNetwork;
 pub use faults::{FaultEvent, FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
 pub use fluid::{Bottleneck, DegradedFluidReport, FluidEngine, FluidReport, TwoHopReport};
 pub use packet::{DegradedPacketStats, PacketEngine, PacketStats};
+pub use pool::WorkerPool;
 pub use sweep::{
     fit_linear, fit_loglog, geometric_ns, parallel_map, parallel_map_observed, FitResult,
 };

@@ -11,6 +11,7 @@
 //! direction per slot (the Definition 10 equal two-way bandwidth split).
 
 use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
+use crate::pool::WorkerPool;
 use crate::HybridNetwork;
 use hycap_errors::HycapError;
 use hycap_obs::{MetricsSink, Observer, SpanTimer};
@@ -69,6 +70,33 @@ impl PacketEngine {
             "Δ must be non-negative, got {delta}"
         );
         PacketEngine { delta, c_t }
+    }
+
+    /// Runs one packet-level replication per seed on `pool`, returning the
+    /// results in seed order.
+    ///
+    /// Queue dynamics are inherently sequential in the slot index, so unlike
+    /// the fluid engine the packet engine does not shard a single run;
+    /// instead whole replications (independent seeds) are the unit of
+    /// parallelism. `f` receives a copy of this engine plus the seed and
+    /// typically builds its network and RNG from the seed, so the result
+    /// vector is a pure function of `seeds` regardless of thread count.
+    pub fn run_replications<T, F>(&self, seeds: &[u64], pool: &WorkerPool, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(PacketEngine, u64) -> T + Send + Sync + 'static,
+    {
+        let engine = *self;
+        let f = std::sync::Arc::new(f);
+        pool.run(
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let f = std::sync::Arc::clone(&f);
+                    move || f(engine, seed)
+                })
+                .collect(),
+        )
     }
 
     /// Runs relay chains (scheme A, two-hop, static multihop — anything

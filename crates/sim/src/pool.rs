@@ -1,0 +1,314 @@
+//! A persistent worker pool for the measurement stack.
+//!
+//! Every parallel consumer in the crate — the slot-sharded fluid engine,
+//! [`crate::PacketEngine::run_replications`], the sweep driver and the bench
+//! bins — used to spawn fresh threads per call. [`WorkerPool`] replaces that
+//! with long-lived workers fed from a shared queue: threads are spawned once,
+//! jobs are boxed closures, and batch results come back tagged with their
+//! input index so callers always see outputs in submission order regardless
+//! of which worker ran what.
+//!
+//! Determinism contract: the pool itself never reorders *data*. Batch APIs
+//! ([`WorkerPool::run`], [`WorkerPool::map`]) return `Vec`s indexed exactly
+//! like their inputs; any reduction a caller performs over that `Vec` in
+//! index order is therefore independent of thread count and scheduling.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolState {
+    queue: Mutex<PoolQueue>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Dropping the pool shuts the workers down and joins them. Jobs must not
+/// block on other jobs submitted to the same pool (the pool has no nested
+/// scheduling); every caller in this crate submits independent leaf tasks.
+///
+/// ```
+/// use hycap_sim::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let squares = pool.map((0..8usize).collect(), |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("hycap-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { state, workers }
+    }
+
+    /// A pool sized to the machine: one worker per available core.
+    pub fn with_default_threads() -> Self {
+        WorkerPool::new(Self::default_threads())
+    }
+
+    /// The machine's available parallelism (1 when it cannot be queried),
+    /// the default for CLI `--threads` and the bench drivers.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task on the pool and returns the results in task order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked on a worker (the batch cannot be
+    /// completed deterministically).
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let total = tasks.len();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(total);
+        out.resize_with(total, || None);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        {
+            let mut queue = self.state.queue.lock().expect("pool queue poisoned");
+            for (index, task) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                queue.jobs.push_back(Box::new(move || {
+                    // A send can only fail when the batch owner already gave
+                    // up (another task panicked); dropping the result then
+                    // is fine.
+                    let _ = tx.send((index, task()));
+                }));
+            }
+        }
+        drop(tx);
+        self.state.work_ready.notify_all();
+        for _ in 0..total {
+            // Every queued job either sends or drops its sender; once all
+            // senders are gone a missing result means a worker panicked.
+            let (index, value) = rx
+                .recv()
+                .expect("pool worker panicked while running a batch task");
+            out[index] = Some(value);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch index reported exactly once"))
+            .collect()
+    }
+
+    /// Maps `f` over owned `inputs` on the pool, preserving input order.
+    pub fn map<I, O, F>(&self, inputs: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(I) -> O + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        self.run(
+            inputs
+                .into_iter()
+                .map(|input| {
+                    let f = Arc::clone(&f);
+                    move || f(input)
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.state.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.state.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already reported through the batch
+            // channel; joining its remains must not double-panic the drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = state
+                    .work_ready
+                    .wait(queue)
+                    .expect("pool queue poisoned while waiting");
+            }
+        };
+        job();
+    }
+}
+
+/// Splits `total` items into at most `chunks` contiguous, maximally balanced
+/// ranges (first remainder chunks get one extra item). Empty ranges are
+/// omitted, so fewer than `chunks` ranges come back when `total < chunks`.
+///
+/// The fluid engine keys its per-chunk accumulators off these ranges; since
+/// they are a function of `(total, chunks)` only, the partition — and hence
+/// the chunk-ordered reduction — is reproducible.
+pub(crate) fn chunk_ranges(total: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1);
+    let base = total / chunks;
+    let remainder = total % chunks;
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < remainder);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static TEST_DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    #[test]
+    fn run_preserves_task_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    // Stagger so completion order differs from submission.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((32 - i) % 5) as u64 * 50,
+                    ));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, (0..32usize).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.map((0..17usize).collect(), |x| x + 1);
+        assert_eq!(out, (1..18usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_multiple_batches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5usize {
+            let out = pool.map(vec![round; 8], |x| x * 2);
+            assert_eq!(out, vec![round * 2; 8]);
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(vec![5usize], |x| x), vec![5]);
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<usize> = pool.run(Vec::<fn() -> usize>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drop_joins_workers_with_queued_work_done() {
+        struct Bump;
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                TEST_DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        TEST_DROPS.store(0, Ordering::SeqCst);
+        {
+            let pool = WorkerPool::new(2);
+            let _ = pool.map(vec![Bump, Bump, Bump], drop);
+        }
+        assert_eq!(TEST_DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_contiguously() {
+        for total in [0usize, 1, 5, 7, 60, 61] {
+            for chunks in [1usize, 2, 4, 7, 64] {
+                let ranges = chunk_ranges(total, chunks);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, total);
+                assert!(ranges.len() <= chunks.max(1));
+                // Balanced: lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+}

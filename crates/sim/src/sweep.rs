@@ -3,9 +3,12 @@
 //! Every Θ(·) claim in the paper is checked the same way: measure capacity
 //! at a geometric ladder of network sizes, fit `ln λ` against `ln n`, and
 //! compare the slope against the predicted exponent. This module provides
-//! the ladder, the fit and a thread-parallel sweep driver built on
-//! `std::thread::scope` (no extra dependencies).
+//! the ladder, the fit and a sweep driver that partitions its inputs with
+//! the same contiguous chunking as [`crate::WorkerPool`]: each scoped
+//! worker owns a disjoint `split_at_mut` slice of the output, so results
+//! land in input order with no per-item locking (no extra dependencies).
 
+use crate::pool::chunk_ranges;
 use hycap_errors::HycapError;
 use hycap_obs::{MemorySink, Observer, Snapshot};
 
@@ -120,12 +123,23 @@ pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> Result<FitResult, HycapError> {
 /// A geometric ladder of `count` network sizes from `min_n` to `max_n`
 /// (inclusive, deduplicated after rounding).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `count < 2` or `min_n >= max_n` or `min_n == 0`.
-pub fn geometric_ns(min_n: usize, max_n: usize, count: usize) -> Vec<usize> {
-    assert!(count >= 2, "need at least two ladder points");
-    assert!(min_n > 0 && min_n < max_n, "need 0 < min_n < max_n");
+/// [`HycapError::InvalidParameter`] if `count < 2`, `min_n == 0` or
+/// `min_n >= max_n`.
+pub fn geometric_ns(min_n: usize, max_n: usize, count: usize) -> Result<Vec<usize>, HycapError> {
+    if count < 2 {
+        return Err(HycapError::invalid(
+            "ladder count",
+            format!("need at least two ladder points, got {count}"),
+        ));
+    }
+    if min_n == 0 || min_n >= max_n {
+        return Err(HycapError::invalid(
+            "ladder range",
+            format!("need 0 < min_n < max_n, got min_n={min_n} max_n={max_n}"),
+        ));
+    }
     let ratio = (max_n as f64 / min_n as f64).powf(1.0 / (count - 1) as f64);
     let mut out = Vec::with_capacity(count);
     let mut v = min_n as f64;
@@ -139,11 +153,16 @@ pub fn geometric_ns(min_n: usize, max_n: usize, count: usize) -> Vec<usize> {
     if out.last() != Some(&max_n) {
         out.push(max_n);
     }
-    out
+    Ok(out)
 }
 
-/// Runs `f` over the inputs on scoped threads (at most `threads` at a time)
+/// Runs `f` over the inputs on scoped threads (at most `threads` of them)
 /// and returns outputs in input order.
+///
+/// Inputs are split into contiguous chunks exactly like the
+/// [`crate::WorkerPool`] slot sharding; each worker owns its chunk's output
+/// slice outright (via `split_at_mut`), so no locks are taken and order
+/// preservation is structural rather than bookkept.
 ///
 /// # Panics
 ///
@@ -157,22 +176,20 @@ where
     assert!(threads > 0, "need at least one thread");
     let mut out: Vec<Option<O>> = Vec::with_capacity(inputs.len());
     out.resize_with(inputs.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_cells: Vec<std::sync::Mutex<&mut Option<O>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(inputs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
+        let f = &f;
+        let mut out_rest = out.as_mut_slice();
+        for range in chunk_ranges(inputs.len(), threads) {
+            let (out_chunk, tail) = out_rest.split_at_mut(range.len());
+            out_rest = tail;
+            let in_chunk = &inputs[range];
+            scope.spawn(move || {
+                for (slot, input) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(input));
                 }
-                let value = f(&inputs[i]);
-                **out_cells[i].lock().expect("poisoned sweep cell") = Some(value);
             });
         }
     });
-    drop(out_cells);
     out.into_iter()
         .map(|o| o.expect("sweep worker skipped an input"))
         .collect()
@@ -254,7 +271,7 @@ mod tests {
 
     #[test]
     fn geometric_ladder_spans_range() {
-        let ns = geometric_ns(100, 1600, 5);
+        let ns = geometric_ns(100, 1600, 5).unwrap();
         assert_eq!(ns.first(), Some(&100));
         assert_eq!(ns.last(), Some(&1600));
         assert!(ns.windows(2).all(|w| w[0] < w[1]));
@@ -262,6 +279,17 @@ mod tests {
         for w in ns.windows(2) {
             let r = w[1] as f64 / w[0] as f64;
             assert!((1.5..3.0).contains(&r), "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn geometric_ladder_rejects_bad_parameters() {
+        for (min_n, max_n, count) in [(100, 1600, 1), (0, 1600, 5), (1600, 100, 5), (100, 100, 5)] {
+            let err = geometric_ns(min_n, max_n, count).unwrap_err();
+            assert!(
+                matches!(err, HycapError::InvalidParameter { .. }),
+                "({min_n}, {max_n}, {count}) -> {err}"
+            );
         }
     }
 

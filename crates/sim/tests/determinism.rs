@@ -1,0 +1,240 @@
+//! Thread-count determinism of the slot-sharded fluid engines.
+//!
+//! The contract under test: for every scheme (A, B), fault-free and
+//! faulted, the `_par` entry points produce **bit-identical** reports and
+//! merged metrics snapshots at 1, 2, 4 and 7 worker threads, and all of
+//! them equal the single-threaded counter-based `_ctr` reference. This is
+//! what makes `--threads` a pure throughput knob: parallelism can never
+//! change a measured number.
+
+use hycap_infra::BaseStations;
+use hycap_mobility::{Kernel, MobilityKind, Population, PopulationConfig};
+use hycap_routing::{SchemeAPlan, SchemeBPlan, TrafficMatrix};
+use hycap_sim::{FaultSchedule, FluidEngine, HybridNetwork, OutagePolicy, WorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xD0_0D;
+const SLOT_SEED: u64 = 0x5107;
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// A hybrid network with a deterministic regular BS grid, plus the plans.
+fn hybrid_setup(
+    n: usize,
+    k: usize,
+    cells_per_side: usize,
+) -> (HybridNetwork, SchemeBPlan, SchemeAPlan) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let config = PopulationConfig::builder(n)
+        .alpha(0.25)
+        .kernel(Kernel::uniform_disk(1.0))
+        .mobility(MobilityKind::IidStationary)
+        .build();
+    let pop = Population::generate(&config, &mut rng);
+    let bs = BaseStations::generate_regular(k, 1.0);
+    let homes = pop.home_points().points().to_vec();
+    let traffic = TrafficMatrix::permutation(n, &mut rng);
+    let plan_b = SchemeBPlan::build(&homes, &traffic, &bs, cells_per_side);
+    let plan_a = SchemeAPlan::build(&homes, &traffic, (n as f64).powf(0.25));
+    (HybridNetwork::with_infrastructure(pop, bs), plan_b, plan_a)
+}
+
+/// A schedule exercising scripted crashes, a repair and transient outages.
+fn faulty_schedule() -> FaultSchedule {
+    FaultSchedule::empty()
+        .crash_bs(0, 0)
+        .crash_bs(40, 1)
+        .crash_bs(90, 2)
+        .repair_bs(130, 1)
+        .with_bernoulli_bs_outage(0.02, 7)
+}
+
+#[test]
+fn scheme_a_par_bit_identical_across_thread_counts() {
+    let slots = 200;
+    let (net, _, plan) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let (reference, ref_snap) = engine
+        .measure_scheme_a_ctr_observed(&net, &plan, slots, SLOT_SEED)
+        .unwrap();
+    let ref_json = ref_snap.to_json();
+    for threads in THREADS {
+        let pool = WorkerPool::new(threads);
+        let (report, snap) = engine
+            .measure_scheme_a_par_observed(&net, &plan, slots, SLOT_SEED, &pool)
+            .unwrap();
+        assert_eq!(report, reference, "report drifted at {threads} threads");
+        assert_eq!(
+            report.lambda.to_bits(),
+            reference.lambda.to_bits(),
+            "lambda bits drifted at {threads} threads"
+        );
+        assert_eq!(
+            report.lambda_typical.to_bits(),
+            reference.lambda_typical.to_bits()
+        );
+        assert_eq!(
+            snap.to_json(),
+            ref_json,
+            "snapshot drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn scheme_b_par_bit_identical_across_thread_counts() {
+    let slots = 200;
+    let (net, plan, _) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let (reference, ref_snap) = engine
+        .measure_scheme_b_ctr_observed(&net, &plan, slots, SLOT_SEED)
+        .unwrap();
+    let ref_json = ref_snap.to_json();
+    for threads in THREADS {
+        let pool = WorkerPool::new(threads);
+        let (report, snap) = engine
+            .measure_scheme_b_par_observed(&net, &plan, slots, SLOT_SEED, &pool)
+            .unwrap();
+        assert_eq!(report, reference, "report drifted at {threads} threads");
+        assert_eq!(report.lambda.to_bits(), reference.lambda.to_bits());
+        assert_eq!(
+            snap.to_json(),
+            ref_json,
+            "snapshot drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn faulted_scheme_a_par_bit_identical_across_thread_counts() {
+    let slots = 200;
+    let (net, _, plan) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let schedule = faulty_schedule();
+    for policy in [OutagePolicy::RadioOff, OutagePolicy::OccupySpectrum] {
+        let (reference, ref_snap) = engine
+            .measure_scheme_a_with_faults_ctr_observed(
+                &net, &plan, slots, &schedule, policy, SLOT_SEED,
+            )
+            .unwrap();
+        let ref_json = ref_snap.to_json();
+        for threads in THREADS {
+            let pool = WorkerPool::new(threads);
+            let (report, snap) = engine
+                .measure_scheme_a_with_faults_par_observed(
+                    &net, &plan, slots, &schedule, policy, SLOT_SEED, &pool,
+                )
+                .unwrap();
+            assert_eq!(
+                report.base, reference.base,
+                "base report drifted at {threads} threads ({policy:?})"
+            );
+            assert_eq!(
+                report.base.lambda.to_bits(),
+                reference.base.lambda.to_bits()
+            );
+            assert_eq!(
+                report.k_alive_mean.to_bits(),
+                reference.k_alive_mean.to_bits()
+            );
+            assert_eq!(report.outage_slots, reference.outage_slots);
+            assert_eq!(report.tally, reference.tally);
+            assert_eq!(
+                snap.to_json(),
+                ref_json,
+                "snapshot drifted at {threads} threads ({policy:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_scheme_b_par_bit_identical_across_thread_counts() {
+    let slots = 200;
+    let (net, plan, _) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let schedule = faulty_schedule();
+    for policy in [OutagePolicy::RadioOff, OutagePolicy::OccupySpectrum] {
+        let (reference, ref_snap) = engine
+            .measure_scheme_b_with_faults_ctr_observed(
+                &net, &plan, slots, &schedule, policy, SLOT_SEED,
+            )
+            .unwrap();
+        let ref_json = ref_snap.to_json();
+        for threads in THREADS {
+            let pool = WorkerPool::new(threads);
+            let (report, snap) = engine
+                .measure_scheme_b_with_faults_par_observed(
+                    &net, &plan, slots, &schedule, policy, SLOT_SEED, &pool,
+                )
+                .unwrap();
+            assert_eq!(
+                report.base, reference.base,
+                "base report drifted at {threads} threads ({policy:?})"
+            );
+            assert_eq!(
+                report.base.lambda.to_bits(),
+                reference.base.lambda.to_bits()
+            );
+            assert_eq!(
+                report.k_alive_mean.to_bits(),
+                reference.k_alive_mean.to_bits()
+            );
+            assert_eq!(report.outage_slots, reference.outage_slots);
+            assert_eq!(report.infra_flows, reference.infra_flows);
+            assert_eq!(report.fallback_flows, reference.fallback_flows);
+            assert_eq!(report.dead_groups, reference.dead_groups);
+            assert_eq!(report.tally, reference.tally);
+            assert_eq!(
+                snap.to_json(),
+                ref_json,
+                "snapshot drifted at {threads} threads ({policy:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_schedule_faulted_par_matches_fault_free_par() {
+    let slots = 150;
+    let (net, plan, _) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let pool = WorkerPool::new(3);
+    let plain = engine
+        .measure_scheme_b_par(&net, &plan, slots, SLOT_SEED, &pool)
+        .unwrap();
+    let faulted = engine
+        .measure_scheme_b_with_faults_par(
+            &net,
+            &plan,
+            slots,
+            &FaultSchedule::empty(),
+            OutagePolicy::RadioOff,
+            SLOT_SEED,
+            &pool,
+        )
+        .unwrap();
+    assert_eq!(faulted.base, plain);
+    assert_eq!(faulted.k_alive_mean, 16.0);
+    assert_eq!(faulted.outage_slots, 0);
+    assert_eq!(faulted.tally.scripted_total(), 0);
+}
+
+#[test]
+fn counter_run_rejects_history_dependent_mobility() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let config = PopulationConfig::builder(120)
+        .alpha(0.25)
+        .kernel(Kernel::uniform_disk(1.0))
+        .mobility(MobilityKind::TetheredWalk { step_frac: 0.1 })
+        .build();
+    let pop = Population::generate(&config, &mut rng);
+    let homes = pop.home_points().points().to_vec();
+    let traffic = TrafficMatrix::permutation(120, &mut rng);
+    let plan = SchemeAPlan::build(&homes, &traffic, (120f64).powf(0.25));
+    let net = HybridNetwork::ad_hoc(pop);
+    let err = FluidEngine::default()
+        .measure_scheme_a_ctr(&net, &plan, 50, SLOT_SEED)
+        .unwrap_err();
+    assert!(err.to_string().contains("counter"), "{err}");
+}

@@ -54,7 +54,7 @@ proptest! {
         count in 2usize..10,
     ) {
         let max_n = min_n * factor;
-        let ns = geometric_ns(min_n, max_n, count);
+        let ns = geometric_ns(min_n, max_n, count).unwrap();
         prop_assert_eq!(*ns.first().unwrap(), min_n);
         prop_assert_eq!(*ns.last().unwrap(), max_n);
         prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
