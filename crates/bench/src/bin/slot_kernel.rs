@@ -1,0 +1,452 @@
+//! Scheduling-phase kernel throughput: seed scan vs cell-occupancy kernel.
+//!
+//! Replays the pre-kernel slot loop (full CSR rebuild + per-node radius
+//! scan, reimplemented verbatim on the public `SpatialHash` API) against
+//! the production schedulers (incremental `update` + occupancy-pruned
+//! kernels) over a ladder of population sizes, for uniform and clustered
+//! placements and both policies, on a drifting mobility sequence. Every
+//! timed slot is also cross-checked for bit-identity between the two
+//! paths, so the speedup numbers cannot come from a divergent schedule.
+//!
+//! Writes `target/reports/BENCH_PR5.json` and prints an ASCII table. The
+//! `phases` section breaks one slot at the largest `n` into its phases
+//! (index maintenance vs neighbor kernel) for the DESIGN.md anatomy
+//! numbers.
+//!
+//! ```text
+//! cargo run -p hycap-bench --release --bin slot_kernel [--quick]
+//! ```
+
+use hycap_bench::report;
+use hycap_geom::{clamp_index_radius, OccupancyScratch, Point, SpatialHash, Vec2};
+use hycap_wireless::{
+    critical_range, GreedyMatchingScheduler, SStarScheduler, ScheduledPair, Scheduler,
+    SlotWorkspace,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 0x51A7_2010;
+const DELTA: f64 = 1.0;
+/// Per-slot random-walk step, a fraction of the typical cell side.
+const DRIFT: f64 = 0.002;
+
+fn uniform(n: usize, rng: &mut StdRng) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+fn clustered(n: usize, rng: &mut StdRng) -> Vec<Point> {
+    let m = ((n as f64).sqrt() as usize).max(2);
+    let centers: Vec<Point> = (0..m)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.gen_range(0..centers.len())];
+            let dx = (rng.gen::<f64>() - 0.5) * 0.06;
+            let dy = (rng.gen::<f64>() - 0.5) * 0.06;
+            Point::new(c.x + dx, c.y + dy)
+        })
+        .collect()
+}
+
+fn drift(positions: &mut [Point], rng: &mut StdRng) {
+    for p in positions {
+        let dx = (rng.gen::<f64>() - 0.5) * 2.0 * DRIFT;
+        let dy = (rng.gen::<f64>() - 0.5) * 2.0 * DRIFT;
+        *p = p.translate(Vec2::new(dx, dy));
+    }
+}
+
+/// The seed (pre-kernel) slot loops, verbatim: full rebuild every slot,
+/// per-node radius scan, no occupancy pruning. Buffers are reused across
+/// slots exactly as the old `SlotWorkspace` did.
+#[derive(Default)]
+struct SeedWorkspace {
+    hash: SpatialHash,
+    neighbor: Vec<usize>,
+    candidates: Vec<(usize, usize)>,
+    used: Vec<bool>,
+    active: Vec<Point>,
+}
+
+impl SeedWorkspace {
+    fn sstar_slot(&mut self, positions: &[Point], range: f64, out: &mut Vec<ScheduledPair>) {
+        out.clear();
+        let guard = (1.0 + DELTA) * range;
+        if positions.len() < 2 {
+            return;
+        }
+        self.hash.rebuild(positions, clamp_index_radius(guard));
+        self.neighbor.clear();
+        self.neighbor.resize(positions.len(), usize::MAX);
+        for (i, &p) in positions.iter().enumerate() {
+            let mut count = 0u32;
+            let mut only = usize::MAX;
+            self.hash.for_each_within(p, guard, |id| {
+                if id != i {
+                    count += 1;
+                    only = id;
+                }
+            });
+            if count == 1 {
+                self.neighbor[i] = only;
+            }
+        }
+        for (i, &j) in self.neighbor.iter().enumerate() {
+            if j != usize::MAX
+                && j > i
+                && self.neighbor[j] == i
+                && positions[i].torus_dist_sq(positions[j]) < range * range
+            {
+                out.push(ScheduledPair::new(i, j));
+            }
+        }
+    }
+
+    fn greedy_slot(&mut self, positions: &[Point], range: f64, out: &mut Vec<ScheduledPair>) {
+        out.clear();
+        if positions.len() < 2 {
+            return;
+        }
+        let guard = (1.0 + DELTA) * range;
+        self.hash.rebuild(positions, clamp_index_radius(guard));
+        self.candidates.clear();
+        for (i, &p) in positions.iter().enumerate() {
+            let candidates = &mut self.candidates;
+            self.hash.for_each_within(p, range, |j| {
+                if j > i {
+                    candidates.push((i, j));
+                }
+            });
+        }
+        let seed = positions
+            .iter()
+            .fold(0u64, |acc, p| {
+                acc.wrapping_mul(31).wrapping_add((p.x * 1e9) as u64)
+            })
+            .wrapping_add(positions.len() as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.candidates.shuffle(&mut rng);
+        self.used.clear();
+        self.used.resize(positions.len(), false);
+        self.active.clear();
+        'next: for &(i, j) in &self.candidates {
+            if self.used[i] || self.used[j] {
+                continue;
+            }
+            for &e in &self.active {
+                if e.torus_dist(positions[i]) < guard || e.torus_dist(positions[j]) < guard {
+                    continue 'next;
+                }
+            }
+            self.used[i] = true;
+            self.used[j] = true;
+            self.active.push(positions[i]);
+            self.active.push(positions[j]);
+            out.push(ScheduledPair::new(i, j));
+        }
+    }
+}
+
+struct Row {
+    policy: &'static str,
+    placement: &'static str,
+    n: usize,
+    slots: usize,
+    old_seconds: f64,
+    new_seconds: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+struct PhaseRow {
+    placement: &'static str,
+    n: usize,
+    phase: &'static str,
+    ms_per_slot: f64,
+}
+
+/// Times `slots` drifting slots through both paths, asserting per-slot
+/// bit-identity. The drift sequence is regenerated identically for both
+/// passes so each path sees the exact same snapshots.
+#[allow(clippy::too_many_arguments)]
+fn run_case(
+    policy: &'static str,
+    placement: &'static str,
+    base: &[Point],
+    n: usize,
+    slots: usize,
+    range: f64,
+) -> Row {
+    let sstar = SStarScheduler::new(DELTA);
+    let greedy = GreedyMatchingScheduler::new(DELTA);
+    let mut identical = true;
+
+    // Old path.
+    let mut seed_ws = SeedWorkspace::default();
+    let mut old_out = Vec::new();
+    let mut positions = base.to_vec();
+    let mut rng = StdRng::seed_from_u64(SEED ^ n as u64);
+    // Warm-up slot (buffer growth, first rebuild).
+    match policy {
+        "sstar" => seed_ws.sstar_slot(&positions, range, &mut old_out),
+        _ => seed_ws.greedy_slot(&positions, range, &mut old_out),
+    }
+    let mut old_schedules: Vec<Vec<ScheduledPair>> = Vec::with_capacity(slots);
+    let start = Instant::now();
+    for _ in 0..slots {
+        drift(&mut positions, &mut rng);
+        match policy {
+            "sstar" => seed_ws.sstar_slot(&positions, range, &mut old_out),
+            _ => seed_ws.greedy_slot(&positions, range, &mut old_out),
+        }
+        old_schedules.push(old_out.clone());
+    }
+    let old_seconds = start.elapsed().as_secs_f64();
+
+    // New path, identical drift sequence.
+    let mut ws = SlotWorkspace::new();
+    let mut new_out = Vec::new();
+    let mut positions = base.to_vec();
+    let mut rng = StdRng::seed_from_u64(SEED ^ n as u64);
+    match policy {
+        "sstar" => sstar.schedule_into(&positions, range, &mut ws, &mut new_out),
+        _ => greedy.schedule_into(&positions, range, &mut ws, &mut new_out),
+    }
+    let start = Instant::now();
+    for old in &old_schedules {
+        drift(&mut positions, &mut rng);
+        match policy {
+            "sstar" => sstar.schedule_into(&positions, range, &mut ws, &mut new_out),
+            _ => greedy.schedule_into(&positions, range, &mut ws, &mut new_out),
+        }
+        identical &= new_out == *old;
+    }
+    let new_seconds = start.elapsed().as_secs_f64();
+
+    Row {
+        policy,
+        placement,
+        n,
+        slots,
+        old_seconds,
+        new_seconds,
+        speedup: old_seconds / new_seconds,
+        identical,
+    }
+}
+
+/// Per-phase anatomy of one S* slot at size `n`: index maintenance (full
+/// rebuild vs incremental update) and neighbor kernel (seed scan vs
+/// occupancy kernel), averaged over `slots` drifting slots.
+fn run_phases(placement: &'static str, base: &[Point], n: usize, slots: usize) -> Vec<PhaseRow> {
+    let range = critical_range(n, 1.0);
+    let guard = (1.0 + DELTA) * range;
+    let clamped = clamp_index_radius(guard);
+    let mut positions = base.to_vec();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xFA5E ^ n as u64);
+    let mut rebuild_hash = SpatialHash::build(&positions, clamped);
+    let mut update_hash = SpatialHash::build(&positions, clamped);
+    let mut scratch = OccupancyScratch::default();
+    let mut neighbor = Vec::new();
+    let mut scan_neighbor: Vec<usize> = Vec::new();
+    let mut t_rebuild = 0.0;
+    let mut t_update = 0.0;
+    let mut t_scan = 0.0;
+    let mut t_kernel = 0.0;
+    for _ in 0..slots {
+        drift(&mut positions, &mut rng);
+
+        let start = Instant::now();
+        rebuild_hash.rebuild(&positions, clamped);
+        t_rebuild += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        update_hash.update(&positions, clamped);
+        t_update += start.elapsed().as_secs_f64();
+
+        // Seed scan (on the fresh hash, as the old loop ran it).
+        let start = Instant::now();
+        scan_neighbor.clear();
+        scan_neighbor.resize(positions.len(), usize::MAX);
+        for (i, &p) in positions.iter().enumerate() {
+            let mut count = 0u32;
+            let mut only = usize::MAX;
+            rebuild_hash.for_each_within(p, guard, |id| {
+                if id != i {
+                    count += 1;
+                    only = id;
+                }
+            });
+            if count == 1 {
+                scan_neighbor[i] = only;
+            }
+        }
+        t_scan += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        update_hash.unique_neighbors_into(guard, None, &mut scratch, &mut neighbor);
+        t_kernel += start.elapsed().as_secs_f64();
+
+        assert_eq!(neighbor, scan_neighbor, "kernel diverged from seed scan");
+    }
+    let per = |t: f64| t / slots as f64 * 1e3;
+    vec![
+        PhaseRow {
+            placement,
+            n,
+            phase: "index: full rebuild",
+            ms_per_slot: per(t_rebuild),
+        },
+        PhaseRow {
+            placement,
+            n,
+            phase: "index: incremental update",
+            ms_per_slot: per(t_update),
+        },
+        PhaseRow {
+            placement,
+            n,
+            phase: "neighbors: seed scan",
+            ms_per_slot: per(t_scan),
+        },
+        PhaseRow {
+            placement,
+            n,
+            phase: "neighbors: occupancy kernel",
+            ms_per_slot: per(t_kernel),
+        },
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ladder: &[(usize, usize)] = if quick {
+        &[(1_000, 30), (10_000, 6)]
+    } else {
+        &[(1_000, 120), (4_000, 30), (10_000, 12)]
+    };
+    let max_n = ladder.last().expect("non-empty ladder").0;
+    let phase_slots = if quick { 4 } else { 10 };
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut phases: Vec<PhaseRow> = Vec::new();
+    for &(n, slots) in ladder {
+        let range = critical_range(n, 1.0);
+        for (placement, base) in [
+            ("uniform", uniform(n, &mut rng)),
+            ("clustered", clustered(n, &mut rng)),
+        ] {
+            for policy in ["sstar", "greedy"] {
+                rows.push(run_case(policy, placement, &base, n, slots, range));
+            }
+            if n == max_n {
+                phases.extend(run_phases(placement, &base, n, phase_slots));
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hycap-bench/1\",");
+    let _ = writeln!(json, "  \"bench\": \"slot_kernel\",");
+    let _ = writeln!(
+        json,
+        "  \"compare\": \"seed scan + full rebuild vs occupancy kernel + incremental update\","
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"placement\": \"{}\", \"n\": {}, \"slots\": {}, \
+             \"old_seconds\": {:.6}, \"new_seconds\": {:.6}, \
+             \"old_slots_per_second\": {:.3}, \"new_slots_per_second\": {:.3}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{comma}",
+            r.policy,
+            r.placement,
+            r.n,
+            r.slots,
+            r.old_seconds,
+            r.new_seconds,
+            r.slots as f64 / r.old_seconds,
+            r.slots as f64 / r.new_seconds,
+            r.speedup,
+            r.identical,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"placement\": \"{}\", \"n\": {}, \"phase\": \"{}\", \"ms_per_slot\": {:.4}}}{comma}",
+            p.placement, p.n, p.phase, p.ms_per_slot,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = report::write_json("BENCH_PR5", &json).expect("write BENCH_PR5.json");
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.to_string(),
+                r.placement.to_string(),
+                r.n.to_string(),
+                r.slots.to_string(),
+                format!("{:.1}", r.slots as f64 / r.old_seconds),
+                format!("{:.1}", r.slots as f64 / r.new_seconds),
+                format!("{:.2}x", r.speedup),
+                r.identical.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::ascii_table(
+            &[
+                "policy",
+                "placement",
+                "n",
+                "slots",
+                "old slots/s",
+                "new slots/s",
+                "speedup",
+                "bit-identical",
+            ],
+            &table_rows,
+        )
+    );
+    let phase_rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.placement.to_string(),
+                p.n.to_string(),
+                p.phase.to_string(),
+                format!("{:.3}", p.ms_per_slot),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::ascii_table(&["placement", "n", "phase", "ms/slot"], &phase_rows)
+    );
+    println!("wrote {}", path.display());
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "new kernel diverged from the seed scheduler"
+    );
+}

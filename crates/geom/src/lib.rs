@@ -51,7 +51,10 @@ pub use cut::{Cut, DiskCut, HalfStripCut, RectCut};
 pub use grid::{Cell, GridPath, SquareGrid};
 pub use hex::{HexCell, HexLattice};
 pub use point::{Point, Vec2};
-pub use spatial::SpatialHash;
+pub use spatial::{
+    clamp_index_radius, OccupancyScratch, RebuildKind, SpatialHash, MAX_INDEX_RADIUS,
+    MIN_INDEX_RADIUS,
+};
 pub use torus::Torus;
 
 /// Numerical tolerance used by geometric comparisons in tests and debug

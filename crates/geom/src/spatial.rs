@@ -12,8 +12,142 @@
 //! without allocating: the Monte-Carlo engines call it once per slot, and
 //! after the first slot every rebuild reuses the buffers grown by the
 //! previous one.
+//!
+//! Three layers of structure keep the per-slot cost down:
+//!
+//! 1. **Incremental re-indexing** ([`SpatialHash::update`]): the paper's
+//!    mobility model confines each node to a `Θ(1/f(n))` disk around its
+//!    home-point, so cell membership is overwhelmingly stable from one slot
+//!    to the next. `update` patches only the CSR suffix that actually
+//!    changed (a counting-sort repair) and falls back to a full
+//!    [`SpatialHash::rebuild`] when churn is high.
+//! 2. **Cell-occupancy arithmetic** ([`SpatialHash::unique_neighbors_into`],
+//!    [`SpatialHash::block_population`]): most guard-zone questions are
+//!    decidable from per-cell population counts alone — an empty 3×3 block
+//!    means isolated, a crowded cell means "cannot be a singleton" — so the
+//!    exact `torus_dist_sq` checks run only for the ambiguous sliver.
+//! 3. **Locality-ordered SoA buffers**: positions are mirrored into
+//!    cell-sorted `xs`/`ys` arrays so kernel passes stream memory in cell
+//!    order instead of chasing ids through the original snapshot.
 
 use crate::{Point, SquareGrid};
+
+/// Lower bound applied to the cell-sizing radius of the slot-path spatial
+/// index (see [`clamp_index_radius`]).
+///
+/// Radii below this bound would request more than `10_000` cells per side;
+/// the builder additionally hard-caps the grid at `2048` cells per side, so
+/// every radius at or below `MIN_INDEX_RADIUS` maps to the same maximal
+/// grid and the clamp loses no resolution — it only keeps the requested
+/// cell count finite for degenerate inputs.
+pub const MIN_INDEX_RADIUS: f64 = 1e-4;
+
+/// Upper bound applied to the cell-sizing radius of the slot-path spatial
+/// index (see [`clamp_index_radius`]).
+///
+/// The torus metric caps pairwise distances at `√2 / 2 ≈ 0.707`, and per
+/// axis at `1/2`, so buckets coarser than a quarter of the torus cannot
+/// prune anything — the scan degenerates to whole-grid anyway. Capping at
+/// `0.25` guarantees at least `⌊1 / 0.25⌋ = 4` cells per side, which keeps
+/// the wrap-around block enumeration well-defined: with fewer cells the
+/// centered block of a radius-`0.25` query would wrap onto the same cell
+/// from both sides, and correctness would rest entirely on the whole-grid
+/// fallback path instead of the torus `rem_euclid` arithmetic.
+pub const MAX_INDEX_RADIUS: f64 = 0.25;
+
+/// Clamps a query radius into `[MIN_INDEX_RADIUS, MAX_INDEX_RADIUS]` for
+/// use as the cell-sizing hint of [`SpatialHash::rebuild`] /
+/// [`SpatialHash::update`].
+///
+/// Queries against the resulting index remain exact for *any* radius — the
+/// clamp only tunes bucket granularity. Schedulers and trace kernels share
+/// this single definition instead of re-deriving the magic bounds.
+#[inline]
+#[must_use]
+pub fn clamp_index_radius(radius: f64) -> f64 {
+    radius.clamp(MIN_INDEX_RADIUS, MAX_INDEX_RADIUS)
+}
+
+/// Incremental `update` falls back to a full rebuild when more than
+/// `1 / CHURN_FALLBACK_DENOM` of the points changed cell: beyond that the
+/// suffix repair tends to start near cell 0 and re-place almost everything
+/// anyway, so the plain counting sort is cheaper and touches memory once.
+const CHURN_FALLBACK_DENOM: usize = 4;
+
+/// How the most recent [`SpatialHash::rebuild`] / [`SpatialHash::update`]
+/// refreshed the index. Exposed for tests and benches that want to assert
+/// the delta path actually engaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RebuildKind {
+    /// Full counting-sort rebuild of the CSR layout.
+    #[default]
+    Full,
+    /// Suffix-only counting-sort repair: only cells at or after the first
+    /// dirty cell were re-placed.
+    Incremental,
+    /// No point changed cell; only positions and the SoA mirror were
+    /// refreshed.
+    Unchanged,
+}
+
+/// Reusable scratch for the cell-occupancy kernels
+/// ([`SpatialHash::unique_neighbors_into`]).
+///
+/// Owning this outside the hash keeps the kernels `&self` (so they can run
+/// while the caller holds other borrows) without allocating per call: slot
+/// workspaces hold one and reuse it across every slot.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyScratch {
+    /// Per-cell *alive* population counts (masked kernels only).
+    counts: Vec<u32>,
+    /// Flat indices of the current cell's block, deduplicated for wrap.
+    block: Vec<u32>,
+}
+
+/// The number of grid cells per side for a given cell-sizing radius: cell
+/// side `>= max_radius` so a radius-`r` query needs only the block of cells
+/// around the query point, with a hard cap bounding memory for tiny radii.
+#[inline]
+fn cells_for_radius(max_radius: f64) -> usize {
+    (1.0 / max_radius).floor().clamp(1.0, 2048.0) as usize
+}
+
+/// Chebyshev cell reach covering a radius-`radius` disk: any point within
+/// torus distance `radius` of a point in cell `c` lies within
+/// `⌈radius / cell_len⌉` cells of `c` along each axis.
+#[inline]
+fn block_reach(radius: f64, cell_len: f64) -> isize {
+    ((radius / cell_len).ceil() as isize).max(1)
+}
+
+/// Visits the flat index of every *distinct* cell in the `(2bc+1)²` block
+/// centered on `(row, col)`, collapsing to one whole-grid sweep when the
+/// block wraps past the grid size (so no cell is visited twice).
+#[inline]
+fn for_each_block_cell<F: FnMut(usize)>(
+    grid: SquareGrid,
+    row: usize,
+    col: usize,
+    bc: isize,
+    mut f: F,
+) {
+    let s = grid.cells_per_side() as isize;
+    let whole = 2 * bc + 1 >= s;
+    let (lo, hi) = if whole { (0, s - 1) } else { (-bc, bc) };
+    for dr in lo..=hi {
+        for dc in lo..=hi {
+            let (r, c) = if whole {
+                (dr as usize, dc as usize)
+            } else {
+                (
+                    (row as isize + dr).rem_euclid(s) as usize,
+                    (col as isize + dc).rem_euclid(s) as usize,
+                )
+            };
+            f(grid.cell(r, c).index());
+        }
+    }
+}
 
 /// A spatial hash of indexed points on the unit torus.
 ///
@@ -21,7 +155,9 @@ use crate::{Point, SquareGrid};
 /// cell back to back, cell `c` owning `ids[starts[c]..starts[c + 1]]`.
 /// Within a cell, ids are in increasing order (the rebuild pass scans the
 /// input slice in order), which keeps query iteration order identical to
-/// the historical `Vec<Vec<u32>>` bucket implementation.
+/// the historical `Vec<Vec<u32>>` bucket implementation. Alongside `ids`,
+/// the positions are mirrored into cell-sorted SoA arrays `xs`/`ys` so the
+/// hot kernels stream coordinates in cell order.
 ///
 /// # Example
 ///
@@ -29,22 +165,24 @@ use crate::{Point, SquareGrid};
 /// use hycap_geom::{Point, SpatialHash};
 /// let pts = vec![Point::new(0.1, 0.1), Point::new(0.12, 0.1), Point::new(0.9, 0.9)];
 /// let hash = SpatialHash::build(&pts, 0.05);
-/// let mut near = hash.query(Point::new(0.11, 0.1), 0.05);
+/// let mut near = Vec::new();
+/// hash.for_each_within(Point::new(0.11, 0.1), 0.05, |id| near.push(id));
 /// near.sort_unstable();
 /// assert_eq!(near, vec![0, 1]);
 /// ```
 ///
-/// Reusing one index across simulation slots:
+/// Reusing one index across simulation slots with the incremental path:
 ///
 /// ```
-/// use hycap_geom::{Point, SpatialHash};
+/// use hycap_geom::{Point, RebuildKind, SpatialHash};
 /// let mut hash = SpatialHash::new();
 /// for slot in 0..3 {
 ///     let t = slot as f64 * 0.01;
 ///     let snapshot = vec![Point::new(0.2 + t, 0.3), Point::new(0.8, 0.5 + t)];
-///     hash.rebuild(&snapshot, 0.1);
+///     hash.update(&snapshot, 0.1);
 ///     assert_eq!(hash.len(), 2);
 /// }
+/// assert_ne!(hash.last_rebuild(), RebuildKind::Full);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SpatialHash {
@@ -53,11 +191,20 @@ pub struct SpatialHash {
     ids: Vec<u32>,
     /// Per-cell offsets into `ids`; length `cell_count + 1` (CSR offsets).
     starts: Vec<u32>,
+    /// Cell-sorted x coordinates: `xs[slot]` is the x of `ids[slot]`.
+    xs: Vec<f64>,
+    /// Cell-sorted y coordinates: `ys[slot]` is the y of `ids[slot]`.
+    ys: Vec<f64>,
     points: Vec<Point>,
     /// Rebuild scratch: the flat cell index of each point, cached between
-    /// the counting and placement passes.
+    /// the counting and placement passes and across `update` calls.
     cell_scratch: Vec<u32>,
+    /// `update` scratch: the new flat cell index of each point.
+    next_cells: Vec<u32>,
+    /// `update` scratch: per-cell population counts over the dirty suffix.
+    update_counts: Vec<u32>,
     cell_len: f64,
+    last_rebuild: RebuildKind,
 }
 
 impl SpatialHash {
@@ -91,8 +238,9 @@ impl SpatialHash {
     /// max_radius)`, but reuses the buffers of the previous build: after the
     /// first call, rebuilding with snapshots of the same (or smaller) size
     /// and a radius mapping to the same grid resolution performs **no**
-    /// allocations. This is the per-slot hot path of the measurement
-    /// engines.
+    /// allocations. Slot loops should prefer [`SpatialHash::update`], which
+    /// additionally skips the full counting sort when few points changed
+    /// cell.
     ///
     /// # Panics
     ///
@@ -110,7 +258,7 @@ impl SpatialHash {
         // Cell side >= max_radius so that a radius-r query only needs the
         // 3x3 (or slightly larger) block of cells around the query point.
         // Cap the cell count for tiny radii to bound memory.
-        let cells = (1.0 / max_radius).floor().clamp(1.0, 2048.0) as usize;
+        let cells = cells_for_radius(max_radius);
         let grid = match self.grid {
             Some(g) if g.cells_per_side() == cells => g,
             _ => SquareGrid::with_cells_per_side(cells),
@@ -137,13 +285,21 @@ impl SpatialHash {
         }
         // Placement pass: scan points in id order so each cell's ids come
         // out increasing (the order the historical per-cell Vecs received
-        // them), bumping starts[c] as a cursor.
+        // them), bumping starts[c] as a cursor. The SoA position mirror is
+        // filled in the same sweep.
         self.ids.clear();
         self.ids.resize(points.len(), 0);
+        self.xs.clear();
+        self.xs.resize(points.len(), 0.0);
+        self.ys.clear();
+        self.ys.resize(points.len(), 0.0);
         for (id, &cell) in self.cell_scratch.iter().enumerate() {
-            let slot = self.starts[cell as usize];
-            self.ids[slot as usize] = id as u32;
-            self.starts[cell as usize] = slot + 1;
+            let slot = self.starts[cell as usize] as usize;
+            self.ids[slot] = id as u32;
+            let p = points[id];
+            self.xs[slot] = p.x;
+            self.ys[slot] = p.y;
+            self.starts[cell as usize] = slot as u32 + 1;
         }
         // After placement starts[c] holds the *end* of cell c; shift right
         // to restore "starts[c] = begin of cell c".
@@ -152,6 +308,129 @@ impl SpatialHash {
         }
         self.starts[0] = 0;
         self.grid = Some(grid);
+        self.last_rebuild = RebuildKind::Full;
+    }
+
+    /// Re-indexes a new snapshot of the *same* population, patching the CSR
+    /// layout incrementally when little has changed.
+    ///
+    /// Produces a layout byte-identical to [`SpatialHash::rebuild`] on the
+    /// same input. Three paths, reported by the return value:
+    ///
+    /// - [`RebuildKind::Unchanged`]: no point changed cell; only the stored
+    ///   positions and the SoA mirror are refreshed (`O(n)`).
+    /// - [`RebuildKind::Incremental`]: a bounded fraction of points changed
+    ///   cell; the CSR suffix starting at the first dirty cell is repaired
+    ///   with a counting sort over the affected cells only. Cells (and the
+    ///   id prefix) before the first dirty cell are untouched because every
+    ///   move's source and destination cell lie at or after it.
+    /// - [`RebuildKind::Full`]: the snapshot has a different length, maps to
+    ///   a different grid resolution, or more than `1/4` of the points
+    ///   changed cell — delegate to [`SpatialHash::rebuild`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_radius` is not finite and positive, or if more than
+    /// `u32::MAX` points are indexed.
+    pub fn update(&mut self, points: &[Point], max_radius: f64) -> RebuildKind {
+        assert!(
+            max_radius.is_finite() && max_radius > 0.0,
+            "max_radius must be positive, got {max_radius}"
+        );
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "too many points for the spatial hash"
+        );
+        let cells = cells_for_radius(max_radius);
+        let same_shape = matches!(self.grid, Some(g) if g.cells_per_side() == cells)
+            && self.points.len() == points.len();
+        if !same_shape {
+            self.rebuild(points, max_radius);
+            return RebuildKind::Full;
+        }
+        let grid = self.grid.expect("same_shape implies a grid");
+        let cell_count = grid.cell_count();
+        // Pass 1: the new cell of every point; count churn and track the
+        // first cell whose CSR range can change. A move from cell a to cell
+        // b only perturbs offsets at or after min(a, b).
+        self.next_cells.clear();
+        let mut churn = 0usize;
+        let mut first_dirty = cell_count;
+        for (id, &p) in points.iter().enumerate() {
+            let c = grid.cell_of(p).index() as u32;
+            self.next_cells.push(c);
+            let old = self.cell_scratch[id];
+            if c != old {
+                churn += 1;
+                first_dirty = first_dirty.min(old.min(c) as usize);
+            }
+        }
+        if churn * CHURN_FALLBACK_DENOM > points.len() {
+            self.rebuild(points, max_radius);
+            return RebuildKind::Full;
+        }
+        let kind = if churn == 0 {
+            RebuildKind::Unchanged
+        } else {
+            RebuildKind::Incremental
+        };
+        if churn > 0 {
+            // Counting-sort repair of the suffix [first_dirty, cell_count):
+            // derive new per-cell counts by patching the old ones (readable
+            // from the still-intact starts), prefix-sum from the unchanged
+            // base offset, and re-place exactly the ids living in the
+            // suffix — in increasing id order, preserving the per-cell id
+            // ordering invariant of `rebuild`.
+            let base = self.starts[first_dirty];
+            self.update_counts.clear();
+            self.update_counts
+                .extend((first_dirty..cell_count).map(|c| self.starts[c + 1] - self.starts[c]));
+            for (id, &c) in self.next_cells.iter().enumerate() {
+                let old = self.cell_scratch[id];
+                if c != old {
+                    self.update_counts[old as usize - first_dirty] -= 1;
+                    self.update_counts[c as usize - first_dirty] += 1;
+                }
+            }
+            let mut running = base;
+            for (off, &cnt) in self.update_counts.iter().enumerate() {
+                self.starts[first_dirty + off] = running;
+                running += cnt;
+            }
+            debug_assert_eq!(running as usize, points.len());
+            for (id, &c) in self.next_cells.iter().enumerate() {
+                let c = c as usize;
+                if c < first_dirty {
+                    continue;
+                }
+                let slot = self.starts[c];
+                self.ids[slot as usize] = id as u32;
+                self.starts[c] = slot + 1;
+            }
+            for c in ((first_dirty + 1)..=cell_count).rev() {
+                self.starts[c] = self.starts[c - 1];
+            }
+            self.starts[first_dirty] = base;
+        }
+        std::mem::swap(&mut self.cell_scratch, &mut self.next_cells);
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        // Every position moves every slot even when no cell does: refresh
+        // the cell-ordered SoA mirror wholesale (sequential write, cheap).
+        for (slot, &id) in self.ids.iter().enumerate() {
+            let p = points[id as usize];
+            self.xs[slot] = p.x;
+            self.ys[slot] = p.y;
+        }
+        self.last_rebuild = kind;
+        kind
+    }
+
+    /// How the most recent [`SpatialHash::rebuild`] / [`SpatialHash::update`]
+    /// refreshed the index.
+    #[inline]
+    pub fn last_rebuild(&self) -> RebuildKind {
+        self.last_rebuild
     }
 
     /// Number of indexed points.
@@ -177,13 +456,29 @@ impl SpatialHash {
     }
 
     /// The ids bucketed in flat cell `idx`, in increasing order.
-    #[inline]
+    #[cfg(test)]
     fn cell_ids(&self, idx: usize) -> &[u32] {
         &self.ids[self.starts[idx] as usize..self.starts[idx + 1] as usize]
     }
 
+    /// The raw CSR layout `(starts, ids)` of the index.
+    ///
+    /// Test-only accessor for cross-crate equivalence checks (incremental
+    /// `update` vs fresh `build`); not part of the supported API surface.
+    #[doc(hidden)]
+    pub fn csr_layout(&self) -> (&[u32], &[u32]) {
+        (&self.starts, &self.ids)
+    }
+
     /// Ids of all points strictly within distance `radius` of `center`
     /// (torus metric). The center point itself is included when indexed.
+    ///
+    /// Allocates its result; retained as a convenience for tests and
+    /// doctests. Production slot paths use the visitor and kernel APIs
+    /// ([`SpatialHash::for_each_within`],
+    /// [`SpatialHash::unique_neighbors_into`],
+    /// [`SpatialHash::for_each_pair_within`]) which reuse caller buffers.
+    #[doc(hidden)]
     pub fn query(&self, center: Point, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         self.for_each_within(center, radius, |id| out.push(id));
@@ -192,7 +487,8 @@ impl SpatialHash {
 
     /// Calls `f(id)` for every point strictly within `radius` of `center`.
     ///
-    /// This is the allocation-free variant of [`SpatialHash::query`].
+    /// This is the allocation-free radius visitor; iteration order is the
+    /// fixed cell-block order relied upon by the deterministic schedulers.
     pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
         let Some(grid) = self.grid else { return };
         let r2 = radius * radius;
@@ -217,9 +513,15 @@ impl SpatialHash {
                     )
                 };
                 let idx = grid.cell(row, col).index();
-                for &id in self.cell_ids(idx) {
-                    if self.points[id as usize].torus_dist_sq(center) < r2 {
-                        f(id as usize);
+                for t in self.starts[idx] as usize..self.starts[idx + 1] as usize {
+                    // Stream the cell-sorted SoA mirror; coordinates are
+                    // bit-identical to the stored points.
+                    let q = Point {
+                        x: self.xs[t],
+                        y: self.ys[t],
+                    };
+                    if q.torus_dist_sq(center) < r2 {
+                        f(self.ids[t] as usize);
                     }
                 }
             }
@@ -254,9 +556,13 @@ impl SpatialHash {
                     )
                 };
                 let idx = grid.cell(row, col).index();
-                for &id in self.cell_ids(idx) {
-                    let id = id as usize;
-                    if !exclude.contains(&id) && self.points[id].torus_dist_sq(center) < r2 {
+                for t in self.starts[idx] as usize..self.starts[idx + 1] as usize {
+                    let id = self.ids[t] as usize;
+                    let q = Point {
+                        x: self.xs[t],
+                        y: self.ys[t],
+                    };
+                    if !exclude.contains(&id) && q.torus_dist_sq(center) < r2 {
                         return true;
                     }
                 }
@@ -270,6 +576,246 @@ impl SpatialHash {
         let mut n = 0;
         self.for_each_within(center, radius, |_| n += 1);
         n
+    }
+
+    /// Fills `counts` with the per-cell population of *alive* points:
+    /// `counts[c]` is the number of ids in cell `c` with `alive[id]`.
+    ///
+    /// `O(n + cell_count)`; the masked occupancy kernels call this once per
+    /// slot so per-node scans can prune on exact alive counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from [`SpatialHash::len`].
+    pub fn fill_alive_cell_counts(&self, alive: &[bool], counts: &mut Vec<u32>) {
+        assert_eq!(alive.len(), self.points.len(), "alive mask length mismatch");
+        let cell_count = self.starts.len().saturating_sub(1);
+        counts.clear();
+        counts.resize(cell_count, 0);
+        for (id, &c) in self.cell_scratch.iter().enumerate() {
+            if alive[id] {
+                counts[c as usize] += 1;
+            }
+        }
+    }
+
+    /// Total indexed population (alive or not) of the cell block that
+    /// covers a radius-`radius` disk around point `id`, including `id`
+    /// itself.
+    ///
+    /// Upper-bounds `1 + count_within(position(id), radius)`: a result of
+    /// `<= 1` proves `id` has no neighbor within `radius`, without a single
+    /// distance computation. Used to prune candidate generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_population(&self, id: usize, radius: f64) -> usize {
+        let Some(grid) = self.grid else { return 0 };
+        let c = self.cell_scratch[id] as usize;
+        let s = grid.cells_per_side();
+        let bc = block_reach(radius, self.cell_len);
+        let mut pop = 0usize;
+        for_each_block_cell(grid, c / s, c % s, bc, |idx| {
+            pop += (self.starts[idx + 1] - self.starts[idx]) as usize;
+        });
+        pop
+    }
+
+    /// The singleton-guard-zone kernel of scheduler `S*`: for every alive
+    /// point `i`, sets `out[i]` to the id of the *unique* alive point
+    /// strictly within `radius` of `i`, or `usize::MAX` when `i` has zero
+    /// or more than one such neighbor (or is itself dead).
+    ///
+    /// Result-identical to running the naive per-node radius scan, but
+    /// decided from cell-occupancy arithmetic wherever possible:
+    ///
+    /// - cells whose covering block holds `<= 1` (alive) point are skipped
+    ///   wholesale — every member is isolated;
+    /// - when the cell diagonal fits inside `radius`, a cell with `>= 3`
+    ///   alive members cannot contain a singleton (each member already has
+    ///   two strict neighbors), so the cell is skipped;
+    /// - the remaining ambiguous sliver runs exact `torus_dist_sq` checks,
+    ///   early-exiting each node's scan at the second hit (two neighbors
+    ///   already disqualify a singleton regardless of the rest).
+    ///
+    /// Pass `alive: None` for the unmasked (fault-free) variant. The scan
+    /// streams the cell-sorted SoA mirror, so iteration is cache-local in
+    /// cell order; `out` is indexed by original point id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not finite and positive, or if a mask is given
+    /// whose length differs from [`SpatialHash::len`].
+    pub fn unique_neighbors_into(
+        &self,
+        radius: f64,
+        alive: Option<&[bool]>,
+        scratch: &mut OccupancyScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.resize(self.points.len(), usize::MAX);
+        let Some(grid) = self.grid else { return };
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive, got {radius}"
+        );
+        if let Some(mask) = alive {
+            assert_eq!(mask.len(), self.points.len(), "alive mask length mismatch");
+        }
+        let r2 = radius * radius;
+        let s = grid.cells_per_side();
+        let bc = block_reach(radius, self.cell_len);
+        let cell_count = grid.cell_count();
+        // With a mask, exact alive counts make both prunes exact; skip the
+        // O(cell_count) pass only when the grid dwarfs the population
+        // (tiny-radius regimes), where totals still give a sound bound.
+        let masked_counts = match alive {
+            Some(mask) if cell_count <= 4 * self.points.len().max(256) => {
+                self.fill_alive_cell_counts(mask, &mut scratch.counts);
+                true
+            }
+            _ => false,
+        };
+        let counts_exact = masked_counts || alive.is_none();
+        // Any two points sharing a cell differ by < cell_len per axis, so
+        // their distance is strictly below the cell diagonal.
+        let same_cell_close = 2.0 * self.cell_len * self.cell_len <= r2;
+
+        for c in 0..cell_count {
+            let begin = self.starts[c] as usize;
+            let end = self.starts[c + 1] as usize;
+            if begin == end {
+                continue;
+            }
+            scratch.block.clear();
+            for_each_block_cell(grid, c / s, c % s, bc, |idx| scratch.block.push(idx as u32));
+            let mut block_pop: u64 = 0;
+            for &idx in &scratch.block {
+                let idx = idx as usize;
+                block_pop += if masked_counts {
+                    u64::from(scratch.counts[idx])
+                } else {
+                    u64::from(self.starts[idx + 1] - self.starts[idx])
+                };
+            }
+            // Prune 1: the block holds at most one point — each member sees
+            // nobody but itself, so all stay MAX. (With a mask but without
+            // alive counts the total still upper-bounds the alive count.)
+            if block_pop <= 1 {
+                continue;
+            }
+            // Prune 2: >= 3 alive members in this cell are pairwise within
+            // radius, so each has >= 2 neighbors — no singleton here.
+            if counts_exact && same_cell_close {
+                let cell_pop = if masked_counts {
+                    scratch.counts[c] as usize
+                } else {
+                    end - begin
+                };
+                if cell_pop >= 3 {
+                    continue;
+                }
+            }
+            // Ambiguous sliver: exact scan per alive member, early-exiting
+            // at the second in-radius neighbor.
+            for slot in begin..end {
+                let i = self.ids[slot] as usize;
+                if let Some(mask) = alive {
+                    if !mask[i] {
+                        continue;
+                    }
+                }
+                let center = Point {
+                    x: self.xs[slot],
+                    y: self.ys[slot],
+                };
+                let mut count = 0u32;
+                let mut only = usize::MAX;
+                'scan: for &idx in &scratch.block {
+                    let idx = idx as usize;
+                    for t in self.starts[idx] as usize..self.starts[idx + 1] as usize {
+                        let j = self.ids[t] as usize;
+                        if j == i {
+                            continue;
+                        }
+                        if let Some(mask) = alive {
+                            if !mask[j] {
+                                continue;
+                            }
+                        }
+                        let q = Point {
+                            x: self.xs[t],
+                            y: self.ys[t],
+                        };
+                        if center.torus_dist_sq(q) < r2 {
+                            count += 1;
+                            if count >= 2 {
+                                break 'scan;
+                            }
+                            only = j;
+                        }
+                    }
+                }
+                if count == 1 {
+                    out[i] = only;
+                }
+            }
+        }
+    }
+
+    /// Calls `f(i, j)` with `i < j` exactly once for every unordered pair of
+    /// indexed points strictly within `radius` of each other.
+    ///
+    /// Visits each cell once and scans only its covering block, streaming
+    /// the SoA mirror; emission order is unspecified. This is the
+    /// allocation-free kernel behind contact counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not finite and positive.
+    pub fn for_each_pair_within<F: FnMut(usize, usize)>(&self, radius: f64, mut f: F) {
+        let Some(grid) = self.grid else { return };
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive, got {radius}"
+        );
+        let r2 = radius * radius;
+        let s = grid.cells_per_side();
+        let bc = block_reach(radius, self.cell_len);
+        let cell_count = grid.cell_count();
+        for c in 0..cell_count {
+            let begin = self.starts[c] as usize;
+            let end = self.starts[c + 1] as usize;
+            if begin == end {
+                continue;
+            }
+            // Each pair is emitted while processing the cell of its smaller
+            // id: the `j > i` filter drops the mirror visit from the other
+            // endpoint's cell (blocks are symmetric, so both visits occur).
+            for_each_block_cell(grid, c / s, c % s, bc, |idx| {
+                for t in self.starts[idx] as usize..self.starts[idx + 1] as usize {
+                    let j = self.ids[t] as usize;
+                    let q = Point {
+                        x: self.xs[t],
+                        y: self.ys[t],
+                    };
+                    for slot in begin..end {
+                        let i = self.ids[slot] as usize;
+                        if j > i {
+                            let p = Point {
+                                x: self.xs[slot],
+                                y: self.ys[slot],
+                            };
+                            if p.torus_dist_sq(q) < r2 {
+                                f(i, j);
+                            }
+                        }
+                    }
+                }
+            });
+        }
     }
 }
 
@@ -293,6 +839,29 @@ mod tests {
         (0..n)
             .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
             .collect()
+    }
+
+    /// Jitters every point by at most `step` per axis (bounded
+    /// displacement, like the paper's mobility model).
+    fn drift(points: &[Point], step: f64, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        points
+            .iter()
+            .map(|p| {
+                Point::new(
+                    p.x + rng.gen_range(-step..=step),
+                    p.y + rng.gen_range(-step..=step),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_same_layout(a: &SpatialHash, b: &SpatialHash) {
+        assert_eq!(a.csr_layout(), b.csr_layout());
+        assert_eq!(a.xs, b.xs);
+        assert_eq!(a.ys, b.ys);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.cell_scratch, b.cell_scratch);
     }
 
     #[test]
@@ -374,6 +943,11 @@ mod tests {
         assert!(hash.is_empty());
         assert!(hash.query(Point::new(0.5, 0.5), 0.2).is_empty());
         assert!(!hash.any_within_excluding(Point::new(0.5, 0.5), 0.2, &[]));
+        let mut scratch = OccupancyScratch::default();
+        let mut out = Vec::new();
+        hash.unique_neighbors_into(0.1, None, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        hash.for_each_pair_within(0.1, |_, _| panic!("no pairs in an empty index"));
     }
 
     #[test]
@@ -397,6 +971,17 @@ mod tests {
         }
         let total: usize = hash.ids.len();
         assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn soa_mirror_matches_points() {
+        let pts = random_points(300, 21);
+        let hash = SpatialHash::build(&pts, 0.06);
+        for (slot, &id) in hash.ids.iter().enumerate() {
+            let p = pts[id as usize];
+            assert_eq!(hash.xs[slot], p.x);
+            assert_eq!(hash.ys[slot], p.y);
+        }
     }
 
     #[test]
@@ -439,5 +1024,223 @@ mod tests {
         let mut want = brute_force(&pts_b, pts_b[0], 0.03);
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn update_bounded_drift_matches_fresh_build() {
+        let radius = 0.05;
+        let mut pts = random_points(400, 37);
+        let mut hash = SpatialHash::build(&pts, radius);
+        let mut saw_incremental = false;
+        let mut saw_unchanged = false;
+        for slot in 0..30 {
+            pts = drift(&pts, 2e-4, 1000 + slot);
+            let kind = hash.update(&pts, radius);
+            match kind {
+                RebuildKind::Incremental => saw_incremental = true,
+                RebuildKind::Unchanged => saw_unchanged = true,
+                RebuildKind::Full => {}
+            }
+            let fresh = SpatialHash::build(&pts, radius);
+            assert_same_layout(&hash, &fresh);
+        }
+        assert!(
+            saw_incremental || saw_unchanged,
+            "bounded drift never took a delta path"
+        );
+    }
+
+    #[test]
+    fn update_high_churn_falls_back_to_full_rebuild() {
+        let radius = 0.05;
+        let pts = random_points(400, 41);
+        let mut hash = SpatialHash::build(&pts, radius);
+        // Teleport everything: churn ~100% must trip the fallback.
+        let teleported = random_points(400, 43);
+        let kind = hash.update(&teleported, radius);
+        assert_eq!(kind, RebuildKind::Full);
+        assert_eq!(hash.last_rebuild(), RebuildKind::Full);
+        assert_same_layout(&hash, &SpatialHash::build(&teleported, radius));
+    }
+
+    #[test]
+    fn update_shape_change_falls_back_to_full_rebuild() {
+        let pts = random_points(200, 47);
+        let mut hash = SpatialHash::build(&pts, 0.05);
+        // Different grid resolution.
+        assert_eq!(hash.update(&pts, 0.1), RebuildKind::Full);
+        assert_same_layout(&hash, &SpatialHash::build(&pts, 0.1));
+        // Different population size.
+        let fewer = random_points(150, 49);
+        assert_eq!(hash.update(&fewer, 0.1), RebuildKind::Full);
+        assert_same_layout(&hash, &SpatialHash::build(&fewer, 0.1));
+    }
+
+    #[test]
+    fn update_identical_snapshot_is_unchanged() {
+        let pts = random_points(250, 53);
+        let mut hash = SpatialHash::build(&pts, 0.05);
+        assert_eq!(hash.update(&pts, 0.05), RebuildKind::Unchanged);
+        assert_same_layout(&hash, &SpatialHash::build(&pts, 0.05));
+    }
+
+    #[test]
+    fn update_single_move_repairs_suffix_only() {
+        // One point hops exactly one cell; layout must match a fresh build.
+        let radius = 0.1;
+        let mut pts = vec![
+            Point::new(0.05, 0.05),
+            Point::new(0.15, 0.05),
+            Point::new(0.55, 0.55),
+            Point::new(0.95, 0.95),
+        ];
+        let mut hash = SpatialHash::build(&pts, radius);
+        pts[1] = Point::new(0.25, 0.05); // crosses into the next column
+        assert_eq!(hash.update(&pts, radius), RebuildKind::Incremental);
+        assert_same_layout(&hash, &SpatialHash::build(&pts, radius));
+    }
+
+    fn brute_unique_neighbors(pts: &[Point], radius: f64, alive: Option<&[bool]>) -> Vec<usize> {
+        let ok = |i: usize| alive.is_none_or(|m| m[i]);
+        (0..pts.len())
+            .map(|i| {
+                if !ok(i) {
+                    return usize::MAX;
+                }
+                let mut count = 0;
+                let mut only = usize::MAX;
+                for (j, q) in pts.iter().enumerate() {
+                    if j != i && ok(j) && pts[i].torus_dist_sq(*q) < radius * radius {
+                        count += 1;
+                        only = j;
+                    }
+                }
+                if count == 1 {
+                    only
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unique_neighbors_matches_brute_force() {
+        let mut scratch = OccupancyScratch::default();
+        let mut out = Vec::new();
+        for (n, radius, seed) in [
+            (2usize, 0.3, 59u64),
+            (50, 0.08, 61),
+            (400, 0.03, 67),
+            (400, 0.2, 71),
+            (1000, 0.01, 73),
+        ] {
+            let pts = random_points(n, seed);
+            let hash = SpatialHash::build(&pts, clamp_index_radius(radius));
+            hash.unique_neighbors_into(radius, None, &mut scratch, &mut out);
+            assert_eq!(out, brute_unique_neighbors(&pts, radius, None), "n={n}");
+        }
+    }
+
+    #[test]
+    fn unique_neighbors_masked_matches_brute_force() {
+        let mut scratch = OccupancyScratch::default();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(79);
+        for (n, radius) in [(60usize, 0.1), (300, 0.04), (300, 0.25)] {
+            let pts = random_points(n, 83 + n as u64);
+            let alive: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.6)).collect();
+            let hash = SpatialHash::build(&pts, clamp_index_radius(radius));
+            hash.unique_neighbors_into(radius, Some(&alive), &mut scratch, &mut out);
+            assert_eq!(
+                out,
+                brute_unique_neighbors(&pts, radius, Some(&alive)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unique_neighbors_masked_tiny_radius_skips_alive_counts() {
+        // Radius so small that the 2048-cap grid dwarfs the population:
+        // the kernel must stay correct on the totals-only bound path.
+        let mut scratch = OccupancyScratch::default();
+        let mut out = Vec::new();
+        let pts = random_points(100, 89);
+        let alive: Vec<bool> = (0..100).map(|i| i % 3 != 0).collect();
+        let hash = SpatialHash::build(&pts, clamp_index_radius(1e-6));
+        hash.unique_neighbors_into(1e-3, Some(&alive), &mut scratch, &mut out);
+        assert_eq!(out, brute_unique_neighbors(&pts, 1e-3, Some(&alive)));
+    }
+
+    #[test]
+    fn unique_neighbors_dense_cluster_prunes_correctly() {
+        // Everyone packed into one cell: the >=3-in-cell prune must not
+        // misclassify, and the answer is "no singletons anywhere".
+        let mut scratch = OccupancyScratch::default();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(97);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| {
+                Point::new(
+                    0.5 + rng.gen_range(-0.01..0.01),
+                    0.5 + rng.gen_range(-0.01..0.01),
+                )
+            })
+            .collect();
+        let hash = SpatialHash::build(&pts, 0.1);
+        hash.unique_neighbors_into(0.1, None, &mut scratch, &mut out);
+        assert_eq!(out, brute_unique_neighbors(&pts, 0.1, None));
+        assert!(out.iter().all(|&v| v == usize::MAX));
+    }
+
+    #[test]
+    fn pair_kernel_matches_brute_force() {
+        for (n, radius, seed) in [(2usize, 0.4, 101u64), (150, 0.07, 103), (500, 0.02, 107)] {
+            let pts = random_points(n, seed);
+            let hash = SpatialHash::build(&pts, clamp_index_radius(radius));
+            let mut got = Vec::new();
+            hash.for_each_pair_within(radius, |i, j| {
+                assert!(i < j);
+                got.push((i, j));
+            });
+            got.sort_unstable();
+            let mut want = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if pts[i].torus_dist_sq(pts[j]) < radius * radius {
+                        want.push((i, j));
+                    }
+                }
+            }
+            assert_eq!(got, want, "n={n} radius={radius}");
+            // Exactly once: no duplicates even with wrap-around blocks.
+            assert!(got.windows(2).all(|w| w[0] != w[1]));
+        }
+    }
+
+    #[test]
+    fn block_population_upper_bounds_disk_count() {
+        let pts = random_points(300, 109);
+        let radius = 0.05;
+        let hash = SpatialHash::build(&pts, radius);
+        for (id, &p) in pts.iter().enumerate() {
+            let pop = hash.block_population(id, radius);
+            let within = hash.count_within(p, radius);
+            assert!(pop >= within, "id {id}: block {pop} < disk {within}");
+            assert!(pop >= 1, "block must include the point itself");
+        }
+    }
+
+    #[test]
+    fn clamp_index_radius_bounds() {
+        assert_eq!(clamp_index_radius(0.5), MAX_INDEX_RADIUS);
+        assert_eq!(clamp_index_radius(0.0), MIN_INDEX_RADIUS);
+        assert_eq!(clamp_index_radius(0.1), 0.1);
+        // Below the floor the hard cell cap makes the clamp lossless: both
+        // radii map to the same maximal grid.
+        assert_eq!(cells_for_radius(MIN_INDEX_RADIUS), 2048);
+        assert_eq!(cells_for_radius(1e-9), 2048);
+        assert_eq!(cells_for_radius(MAX_INDEX_RADIUS), 4);
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based tests for the torus geometry primitives.
 
-use hycap_geom::{Cut, DiskCut, HalfStripCut, Point, RectCut, SpatialHash, SquareGrid, Vec2};
+use hycap_geom::{
+    clamp_index_radius, Cut, DiskCut, HalfStripCut, OccupancyScratch, Point, RebuildKind, RectCut,
+    SpatialHash, SquareGrid, Vec2,
+};
 use proptest::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Point> {
@@ -158,6 +161,160 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Incremental `update` across a drifting slot sequence keeps the CSR
+    /// layout byte-identical to a fresh `build` of the same snapshot. Step
+    /// sizes span both regimes: tiny drifts take the suffix-repair path,
+    /// large ones trip the churn fall-back — the layout must be identical
+    /// either way.
+    #[test]
+    fn incremental_update_equals_fresh_build(
+        pts in prop::collection::vec(arb_unit_point(), 1..120),
+        radius in 0.005f64..0.4,
+        steps in prop::collection::vec(0.0f64..0.08, 1..5),
+        centers in prop::collection::vec(arb_unit_point(), 1..4),
+    ) {
+        let r = clamp_index_radius(radius);
+        let mut pts = pts;
+        let mut reused = SpatialHash::new();
+        reused.update(&pts, r);
+        for (s, &step) in steps.iter().enumerate() {
+            for (i, p) in pts.iter_mut().enumerate() {
+                // Deterministic per-(slot, node) jitter in [-step, step].
+                let h = (i.wrapping_mul(2654435761).wrapping_add(s.wrapping_mul(40503))) as u64;
+                let dx = ((h % 1024) as f64 / 511.5 - 1.0) * step;
+                let dy = (((h >> 10) % 1024) as f64 / 511.5 - 1.0) * step;
+                *p = p.translate(Vec2::new(dx, dy));
+            }
+            reused.update(&pts, r);
+            let fresh = SpatialHash::build(&pts, r);
+            prop_assert_eq!(reused.csr_layout(), fresh.csr_layout());
+            for &c in &centers {
+                prop_assert_eq!(reused.query(c, radius), fresh.query(c, radius));
+                prop_assert_eq!(
+                    reused.count_within(c, radius),
+                    fresh.count_within(c, radius)
+                );
+            }
+        }
+    }
+
+    /// Wholesale teleportation between two unrelated snapshots still leaves
+    /// `update` equivalent to a fresh `build` (exercising the high-churn
+    /// full-rebuild path on nearly every case).
+    #[test]
+    fn update_teleport_churn_equals_fresh_build(
+        a in prop::collection::vec(arb_unit_point(), 2..150),
+        b in prop::collection::vec(arb_unit_point(), 2..150),
+        radius in 0.02f64..0.2,
+    ) {
+        // Truncate to a common length: `update` requires matching shapes
+        // for the delta path, and we want the churn decision — not the
+        // shape check — to pick the rebuild strategy.
+        let n = a.len().min(b.len());
+        let mut a = a;
+        let mut b = b;
+        a.truncate(n);
+        b.truncate(n);
+        let r = clamp_index_radius(radius);
+        let mut reused = SpatialHash::new();
+        reused.update(&a, r);
+        reused.update(&b, r);
+        let fresh = SpatialHash::build(&b, r);
+        prop_assert_eq!(reused.csr_layout(), fresh.csr_layout());
+        for i in 0..b.len() {
+            prop_assert_eq!(reused.position(i), fresh.position(i));
+        }
+    }
+
+    /// A global half-torus shift moves every point to a different cell, so
+    /// `update` MUST take the full-rebuild fall-back — and still match a
+    /// fresh build exactly.
+    #[test]
+    fn update_global_shift_forces_full_rebuild(
+        pts in prop::collection::vec(arb_unit_point(), 8..120),
+        radius in 0.02f64..0.2,
+    ) {
+        let r = clamp_index_radius(radius);
+        let mut reused = SpatialHash::new();
+        reused.update(&pts, r);
+        let shifted: Vec<Point> = pts
+            .iter()
+            .map(|p| p.translate(Vec2::new(0.5, 0.5)))
+            .collect();
+        let kind = reused.update(&shifted, r);
+        prop_assert_eq!(kind, RebuildKind::Full);
+        let fresh = SpatialHash::build(&shifted, r);
+        prop_assert_eq!(reused.csr_layout(), fresh.csr_layout());
+    }
+
+    /// The occupancy-pruned unique-neighbor kernel agrees with brute force
+    /// for every node, with and without an alive mask.
+    #[test]
+    fn unique_neighbors_kernel_equals_brute_force(
+        pts in prop::collection::vec(arb_unit_point(), 0..150),
+        mask_seed in any::<u64>(),
+        radius in 0.002f64..0.35,
+    ) {
+        // Seed-derived mask: `None` a quarter of the time, otherwise
+        // roughly a quarter of the nodes dead.
+        let mask: Option<Vec<bool>> = if mask_seed.is_multiple_of(4) {
+            None
+        } else {
+            Some((0..pts.len()).map(|i| {
+                let mut h = mask_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h ^= h >> 33;
+                !h.is_multiple_of(4)
+            }).collect())
+        };
+        let hash = SpatialHash::build(&pts, clamp_index_radius(radius));
+        let mut scratch = OccupancyScratch::default();
+        let mut got = Vec::new();
+        hash.unique_neighbors_into(radius, mask.as_deref(), &mut scratch, &mut got);
+        prop_assert_eq!(got.len(), pts.len());
+        let alive = |i: usize| mask.as_ref().is_none_or(|m| m[i]);
+        for (i, &p) in pts.iter().enumerate() {
+            let mut want = usize::MAX;
+            let mut count = 0u32;
+            if alive(i) {
+                for (j, &q) in pts.iter().enumerate() {
+                    if j != i && alive(j) && p.torus_dist_sq(q) < radius * radius {
+                        count += 1;
+                        want = j;
+                    }
+                }
+            }
+            if count != 1 {
+                want = usize::MAX;
+            }
+            prop_assert_eq!(got[i], want, "node {}", i);
+        }
+    }
+
+    /// The pair kernel emits exactly the brute-force set of unordered
+    /// in-range pairs, each exactly once with `i < j`.
+    #[test]
+    fn pair_kernel_equals_brute_force(
+        pts in prop::collection::vec(arb_unit_point(), 0..150),
+        radius in 0.002f64..0.35,
+    ) {
+        let hash = SpatialHash::build(&pts, clamp_index_radius(radius));
+        let mut got = Vec::new();
+        hash.for_each_pair_within(radius, |i, j| got.push((i, j)));
+        prop_assert!(got.iter().all(|&(i, j)| i < j));
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].torus_dist_sq(pts[j]) < radius * radius {
+                    want.push((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
     }
 
     /// Cut membership agrees with the defining geometry of each cut.

@@ -226,6 +226,30 @@ impl HomePoints {
         self.centers.len()
     }
 
+    /// A copy with the home-points relabeled so new index `i` holds old
+    /// index `perm[i]`. The cluster structure (centers, radius) is shared;
+    /// per-point cluster assignments follow their points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len`.
+    pub fn permuted(&self, perm: &[usize]) -> HomePoints {
+        assert_eq!(perm.len(), self.points.len(), "permutation length mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(
+                p < perm.len() && !std::mem::replace(&mut seen[p], true),
+                "not a permutation: index {p} repeated or out of range"
+            );
+        }
+        HomePoints {
+            points: perm.iter().map(|&p| self.points[p]).collect(),
+            cluster_of: perm.iter().map(|&p| self.cluster_of[p]).collect(),
+            centers: self.centers.clone(),
+            radius: self.radius,
+        }
+    }
+
     /// Members of each cluster, as index lists.
     pub fn members_by_cluster(&self) -> Vec<Vec<usize>> {
         let mut members = vec![Vec::new(); self.centers.len()];

@@ -290,16 +290,13 @@ impl Trace {
     pub fn contact_stats(&self, range: f64) -> ContactStats {
         assert!(range > 0.0, "range must be positive");
         let mut contacts = 0u64;
+        // One index reused across slots (incremental `update`), with the
+        // pair kernel visiting each cell block once instead of running a
+        // radius query per node.
         let mut hash = hycap_geom::SpatialHash::new();
         for slot in 0..self.slots {
-            hash.rebuild(self.positions(slot), range.min(0.25));
-            for (i, &p) in self.positions(slot).iter().enumerate() {
-                hash.for_each_within(p, range, |j| {
-                    if j > i {
-                        contacts += 1;
-                    }
-                });
-            }
+            hash.update(self.positions(slot), hycap_geom::clamp_index_radius(range));
+            hash.for_each_pair_within(range, |_, _| contacts += 1);
         }
         let pairs = (self.n * (self.n - 1) / 2) as f64;
         ContactStats {

@@ -1,7 +1,7 @@
 //! Scheduling policies: the paper's `S*` and a greedy baseline.
 
 use crate::{NodeId, ProtocolModel};
-use hycap_geom::{Point, SpatialHash};
+use hycap_geom::{clamp_index_radius, OccupancyScratch, Point, SpatialHash};
 use hycap_obs::{MetricsSink, Observer, Probes, PROBE_SCHEDULE_FEASIBILITY};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -78,8 +78,12 @@ impl ScheduledPair {
 /// [`Scheduler::schedule`] path.
 #[derive(Debug, Clone, Default)]
 pub struct SlotWorkspace {
-    /// Spatial index, rebuilt in place each slot.
+    /// Spatial index, refreshed in place each slot. Consecutive slots of
+    /// the same run reuse it through [`SpatialHash::update`], so the CSR
+    /// layout is patched incrementally while cell churn stays low.
     hash: SpatialHash,
+    /// Scratch for the cell-occupancy kernels of the spatial index.
+    occupancy: OccupancyScratch,
     /// `S*`: unique guard-zone neighbor per node (`usize::MAX` = none/many).
     neighbor: Vec<usize>,
     /// Greedy: candidate `(i, j)` pairs within range.
@@ -226,28 +230,14 @@ impl Scheduler for SStarScheduler {
         if positions.len() < 2 {
             return;
         }
-        ws.hash.rebuild(positions, guard.clamp(1e-4, 0.25));
-        ws.neighbor.clear();
-        ws.neighbor.resize(positions.len(), usize::MAX);
-        // One pass: record, for every alive node, its unique alive
-        // guard-zone neighbor (if the alive neighborhood is a singleton).
-        // Dead nodes are invisible — they neither pair nor block.
-        for (i, &p) in positions.iter().enumerate() {
-            if !is_alive(alive, i) {
-                continue;
-            }
-            let mut count = 0u32;
-            let mut only = usize::MAX;
-            ws.hash.for_each_within(p, guard, |id| {
-                if id != i && is_alive(alive, id) {
-                    count += 1;
-                    only = id;
-                }
-            });
-            if count == 1 {
-                ws.neighbor[i] = only;
-            }
-        }
+        ws.hash.update(positions, clamp_index_radius(guard));
+        // Cell-occupancy kernel: record, for every alive node, its unique
+        // alive guard-zone neighbor (if the alive neighborhood is a
+        // singleton). Dead nodes are invisible — they neither pair nor
+        // block. Result-identical to the per-node radius scan this replaced,
+        // but most cells are decided from occupancy counts alone.
+        ws.hash
+            .unique_neighbors_into(guard, alive, &mut ws.occupancy, &mut ws.neighbor);
         for (i, &j) in ws.neighbor.iter().enumerate() {
             if j != usize::MAX && j > i && ws.neighbor[j] == i {
                 // Both guard zones are singletons pointing at each other;
@@ -309,11 +299,18 @@ impl Scheduler for GreedyMatchingScheduler {
             return;
         }
         let guard = self.protocol.guard_radius(range);
-        ws.hash.rebuild(positions, guard.clamp(1e-4, 0.25));
+        ws.hash.update(positions, clamp_index_radius(guard));
         // Enumerate candidate pairs within range; dead nodes are invisible.
+        // Nodes whose covering cell block holds nobody else are skipped
+        // before any distance math; since they would contribute zero
+        // candidates, the candidate list (and hence the shuffle) is
+        // unchanged.
         ws.candidates.clear();
         for (i, &p) in positions.iter().enumerate() {
             if !is_alive(alive, i) {
+                continue;
+            }
+            if ws.hash.block_population(i, range) <= 1 {
                 continue;
             }
             let candidates = &mut ws.candidates;

@@ -14,6 +14,144 @@ fn arb_positions(max: usize) -> impl Strategy<Value = Vec<Point>> {
     )
 }
 
+/// Deterministic alive mask derived from a seed: `None` for a quarter of
+/// seeds (the unmasked fast path), otherwise roughly a quarter of the
+/// nodes dead. Deriving the mask from a scalar sidesteps the length
+/// coupling a dependent strategy would need.
+fn mask_from_seed(n: usize, seed: u64) -> Option<Vec<bool>> {
+    if seed.is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        (0..n)
+            .map(|i| {
+                let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h ^= h >> 33;
+                !h.is_multiple_of(4)
+            })
+            .collect(),
+    )
+}
+
+/// Transmission ranges spanning the three mobility regimes the sweeps use:
+/// trivial (sub-critical), critical (`Θ(√(log n / n))` for the tested n),
+/// and large (guard radius hits the index clamp).
+fn arb_regime_range() -> impl Strategy<Value = f64> {
+    prop_oneof![0.002f64..0.012, 0.012f64..0.08, 0.08f64..0.35]
+}
+
+/// The seed schedulers, reimplemented verbatim from the pre-kernel source
+/// on top of the public `SpatialHash` API (`rebuild` + `for_each_within`,
+/// both of which kept their exact iteration semantics). The production
+/// schedulers must stay bit-identical to these loops.
+mod seed_reference {
+    use hycap_geom::{Point, SpatialHash};
+    use hycap_wireless::ScheduledPair;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn is_alive(alive: Option<&[bool]>, id: usize) -> bool {
+        alive.is_none_or(|a| a[id])
+    }
+
+    pub fn sstar(
+        positions: &[Point],
+        range: f64,
+        delta: f64,
+        alive: Option<&[bool]>,
+    ) -> Vec<ScheduledPair> {
+        let mut out = Vec::new();
+        let guard = (1.0 + delta) * range;
+        if positions.len() < 2 {
+            return out;
+        }
+        let mut hash = SpatialHash::new();
+        hash.rebuild(positions, guard.clamp(1e-4, 0.25));
+        let mut neighbor = vec![usize::MAX; positions.len()];
+        for (i, &p) in positions.iter().enumerate() {
+            if !is_alive(alive, i) {
+                continue;
+            }
+            let mut count = 0u32;
+            let mut only = usize::MAX;
+            hash.for_each_within(p, guard, |id| {
+                if id != i && is_alive(alive, id) {
+                    count += 1;
+                    only = id;
+                }
+            });
+            if count == 1 {
+                neighbor[i] = only;
+            }
+        }
+        for (i, &j) in neighbor.iter().enumerate() {
+            if j != usize::MAX
+                && j > i
+                && neighbor[j] == i
+                && positions[i].torus_dist_sq(positions[j]) < range * range
+            {
+                out.push(ScheduledPair::new(i, j));
+            }
+        }
+        out
+    }
+
+    pub fn greedy(
+        positions: &[Point],
+        range: f64,
+        delta: f64,
+        alive: Option<&[bool]>,
+    ) -> Vec<ScheduledPair> {
+        let mut out = Vec::new();
+        if positions.len() < 2 {
+            return out;
+        }
+        let guard = (1.0 + delta) * range;
+        let mut hash = SpatialHash::new();
+        hash.rebuild(positions, guard.clamp(1e-4, 0.25));
+        let mut candidates = Vec::new();
+        for (i, &p) in positions.iter().enumerate() {
+            if !is_alive(alive, i) {
+                continue;
+            }
+            hash.for_each_within(p, range, |j| {
+                if j > i && is_alive(alive, j) {
+                    candidates.push((i, j));
+                }
+            });
+        }
+        let seed = positions
+            .iter()
+            .fold(0u64, |acc, p| {
+                acc.wrapping_mul(31).wrapping_add((p.x * 1e9) as u64)
+            })
+            .wrapping_add(positions.len() as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        candidates.shuffle(&mut rng);
+        let mut used = vec![false; positions.len()];
+        let mut active: Vec<Point> = Vec::new();
+        'next: for &(i, j) in &candidates {
+            if used[i] || used[j] {
+                continue;
+            }
+            for &e in &active {
+                if e.torus_dist(positions[i]) < guard || e.torus_dist(positions[j]) < guard {
+                    continue 'next;
+                }
+            }
+            used[i] = true;
+            used[j] = true;
+            active.push(positions[i]);
+            active.push(positions[j]);
+            out.push(ScheduledPair::new(i, j));
+        }
+        out
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -114,6 +252,71 @@ proptest! {
         prop_assert_eq!(p.partner_of(b), Some(a));
     }
 
+    /// The occupancy-pruned S* kernel is bit-identical to the seed
+    /// scheduler across random alive masks and all three range regimes.
+    #[test]
+    fn sstar_bit_identical_to_seed_reference(
+        positions in arb_positions(250),
+        mask_seed in any::<u64>(),
+        range in arb_regime_range(),
+        delta in 0.0f64..1.5,
+    ) {
+        let mask = mask_from_seed(positions.len(), mask_seed);
+        let want = seed_reference::sstar(&positions, range, delta, mask.as_deref());
+        let mut ws = SlotWorkspace::new();
+        let mut got = Vec::new();
+        SStarScheduler::new(delta)
+            .schedule_masked_into(&positions, range, mask.as_deref(), &mut ws, &mut got);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The block-pruned greedy matcher is bit-identical to the seed
+    /// scheduler: the candidate list (and hence the deterministic shuffle
+    /// and the activation order) must be unchanged.
+    #[test]
+    fn greedy_bit_identical_to_seed_reference(
+        positions in arb_positions(250),
+        mask_seed in any::<u64>(),
+        range in arb_regime_range(),
+        delta in 0.0f64..1.5,
+    ) {
+        let mask = mask_from_seed(positions.len(), mask_seed);
+        let want = seed_reference::greedy(&positions, range, delta, mask.as_deref());
+        let mut ws = SlotWorkspace::new();
+        let mut got = Vec::new();
+        GreedyMatchingScheduler::new(delta)
+            .schedule_masked_into(&positions, range, mask.as_deref(), &mut ws, &mut got);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bit-identity holds across a slot *sequence* reusing one workspace,
+    /// where consecutive snapshots drift — this is the path where the
+    /// incremental CSR update actually engages inside the scheduler.
+    #[test]
+    fn drifting_slots_bit_identical_to_seed_reference(
+        positions in arb_positions(150),
+        range in 0.01f64..0.1,
+        steps in prop::collection::vec(0.0f64..0.02, 1..4),
+    ) {
+        let mut positions = positions;
+        let s = SStarScheduler::new(1.0);
+        let g = GreedyMatchingScheduler::new(1.0);
+        let mut ws = SlotWorkspace::new();
+        let mut got = Vec::new();
+        for (slot, &step) in steps.iter().enumerate() {
+            for (i, p) in positions.iter_mut().enumerate() {
+                let h = (i.wrapping_mul(2654435761).wrapping_add(slot.wrapping_mul(97))) as u64;
+                let dx = ((h % 1024) as f64 / 511.5 - 1.0) * step;
+                let dy = (((h >> 10) % 1024) as f64 / 511.5 - 1.0) * step;
+                *p = p.translate(hycap_geom::Vec2::new(dx, dy));
+            }
+            s.schedule_into(&positions, range, &mut ws, &mut got);
+            prop_assert_eq!(&got, &seed_reference::sstar(&positions, range, 1.0, None));
+            g.schedule_into(&positions, range, &mut ws, &mut got);
+            prop_assert_eq!(&got, &seed_reference::greedy(&positions, range, 1.0, None));
+        }
+    }
+
     /// Scaling invariance: translating every node leaves the schedule's
     /// pair set unchanged (the torus is homogeneous).
     #[test]
@@ -134,5 +337,72 @@ proptest! {
         // floating-point ties at the exact range/guard boundary, which the
         // strict inequalities make measure-zero; compare directly.
         prop_assert_eq!(a, b);
+    }
+}
+
+/// Bit-identity at the scales the proptest budget cannot reach: n up to
+/// 2000, uniform and clustered placements, faulted and fault-free, against
+/// the seed reference for both policies. The clustered placement is the
+/// regime where the occupancy prunes fire hardest (dense cells decided by
+/// counts, empty cells skipped), so any pruning unsoundness shows up here.
+#[test]
+fn large_n_bit_identical_to_seed_reference() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let uniform = |rng: &mut StdRng, n: usize| -> Vec<Point> {
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    };
+    let clustered = |rng: &mut StdRng, n: usize| -> Vec<Point> {
+        let centers: Vec<Point> = (0..8)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                let dx = (rng.gen::<f64>() - 0.5) * 0.04;
+                let dy = (rng.gen::<f64>() - 0.5) * 0.04;
+                Point::new(c.x + dx, c.y + dy)
+            })
+            .collect()
+    };
+    let mut ws = SlotWorkspace::new();
+    let mut got = Vec::new();
+    for &n in &[2usize, 17, 400, 2000] {
+        for placement in 0..2 {
+            let positions = if placement == 0 {
+                uniform(&mut rng, n)
+            } else {
+                clustered(&mut rng, n)
+            };
+            let mask: Option<Vec<bool>> = if n % 2 == 0 {
+                Some((0..n).map(|i| i % 7 != 0).collect())
+            } else {
+                None
+            };
+            let range = hycap_wireless::critical_range(n.max(8), 1.0);
+            for &r in &[range, 0.004, 0.2] {
+                let want = seed_reference::sstar(&positions, r, 1.0, mask.as_deref());
+                SStarScheduler::new(1.0).schedule_masked_into(
+                    &positions,
+                    r,
+                    mask.as_deref(),
+                    &mut ws,
+                    &mut got,
+                );
+                assert_eq!(got, want, "sstar n={n} placement={placement} r={r}");
+                let want = seed_reference::greedy(&positions, r, 1.0, mask.as_deref());
+                GreedyMatchingScheduler::new(1.0).schedule_masked_into(
+                    &positions,
+                    r,
+                    mask.as_deref(),
+                    &mut ws,
+                    &mut got,
+                );
+                assert_eq!(got, want, "greedy n={n} placement={placement} r={r}");
+            }
+        }
     }
 }
