@@ -1,0 +1,173 @@
+//! Event-queue flow-engine throughput: events/second and flow-completion
+//! percentiles over a population ladder.
+//!
+//! Runs the finite-flow chains engine (direct source–destination pairs on
+//! a dense uniform population) under a Poisson workload at `n = 10³` and
+//! `n = 10⁴`, for a fixed flow size and an elephant/mice mix. Each case
+//! reports the drained-event rate (the event core's unit of work) plus FCT
+//! p50/p99 and the completion ratio; the smallest case is also rerun and
+//! checked for bit-identity, so the throughput numbers cannot come from a
+//! nondeterministic schedule.
+//!
+//! Writes `target/reports/BENCH_PR6.json` and prints an ASCII table.
+//!
+//! ```text
+//! cargo run -p hycap-bench --release --bin flow_engine [--quick]
+//! ```
+
+use hycap_bench::report;
+use hycap_mobility::{Kernel, MobilityKind, Population, PopulationConfig};
+use hycap_routing::TrafficMatrix;
+use hycap_sim::{FlowRunStats, FlowSizes, FlowWorkload, HybridNetwork, PacketEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 0xF10A_2010;
+
+struct Row {
+    n: usize,
+    sizes: &'static str,
+    horizon: usize,
+    seconds: f64,
+    stats: FlowRunStats,
+}
+
+fn workload(sizes: &'static str, horizon: usize) -> FlowWorkload {
+    let base = FlowWorkload::poisson(0.002, 2, horizon).with_seed(SEED);
+    match sizes {
+        "fixed" => base,
+        _ => base.with_sizes(FlowSizes::ElephantMice {
+            mice: 1,
+            elephants: 12,
+            elephant_frac: 0.1,
+        }),
+    }
+}
+
+/// One timed chains-engine run: fresh network and RNG from the case seed,
+/// so reruns are bit-identical by construction.
+fn run_case(n: usize, sizes: &'static str, horizon: usize) -> Row {
+    let mut rng = StdRng::seed_from_u64(SEED ^ n as u64);
+    let config = PopulationConfig::builder(n)
+        .alpha(0.0)
+        .kernel(Kernel::uniform_disk(1.0))
+        .mobility(MobilityKind::IidStationary)
+        .build();
+    let pop = Population::generate(&config, &mut rng);
+    let mut net = HybridNetwork::ad_hoc(pop);
+    let traffic = TrafficMatrix::permutation(n, &mut rng);
+    let chains: Vec<Vec<usize>> = traffic.pairs().map(|(s, d)| vec![s, d]).collect();
+    let w = workload(sizes, horizon);
+    let start = Instant::now();
+    let stats = PacketEngine::default()
+        .run_flows(&mut net, &chains, &w, &mut rng)
+        .expect("flow run");
+    let seconds = start.elapsed().as_secs_f64();
+    Row {
+        n,
+        sizes,
+        horizon,
+        seconds,
+        stats,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ladder: &[(usize, usize)] = if quick {
+        &[(1_000, 60), (10_000, 15)]
+    } else {
+        &[(1_000, 400), (10_000, 100)]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(n, horizon) in ladder {
+        for sizes in ["fixed", "mice-elephants"] {
+            rows.push(run_case(n, sizes, horizon));
+        }
+    }
+
+    // Determinism cross-check on the smallest case: a rerun must reproduce
+    // the statistics bit for bit.
+    let (n0, h0) = ladder[0];
+    let rerun = run_case(n0, "fixed", h0);
+    let identical = rerun.stats == rows[0].stats;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hycap-bench/1\",");
+    let _ = writeln!(json, "  \"bench\": \"flow_engine\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"poisson rate 0.002/pair/slot on direct chains, window 8\","
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"rerun_bit_identical\": {identical},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let s = &r.stats;
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"sizes\": \"{}\", \"horizon\": {}, \
+             \"flows_started\": {}, \"flows_completed\": {}, \"completion\": {:.4}, \
+             \"packets_delivered\": {}, \"events\": {}, \"seconds\": {:.6}, \
+             \"events_per_second\": {:.1}, \"fct_p50\": {:.1}, \"fct_p99\": {:.1}, \
+             \"mean_delay\": {:.3}}}{comma}",
+            r.n,
+            r.sizes,
+            r.horizon,
+            s.flows_started,
+            s.flows_completed,
+            s.completion_ratio(),
+            s.packets_delivered,
+            s.events,
+            r.seconds,
+            s.events as f64 / r.seconds,
+            s.fct_p50,
+            s.fct_p99,
+            s.mean_delay,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = report::write_json("BENCH_PR6", &json).expect("write BENCH_PR6.json");
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let s = &r.stats;
+            vec![
+                r.n.to_string(),
+                r.sizes.to_string(),
+                r.horizon.to_string(),
+                format!("{}/{}", s.flows_completed, s.flows_started),
+                format!("{:.0}", s.events as f64 / r.seconds),
+                format!("{:.0}", s.fct_p50),
+                format!("{:.0}", s.fct_p99),
+                format!("{:.2}", s.mean_delay),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::ascii_table(
+            &[
+                "n",
+                "sizes",
+                "horizon",
+                "completed",
+                "events/s",
+                "fct p50",
+                "fct p99",
+                "mean delay",
+            ],
+            &table_rows,
+        )
+    );
+    println!("wrote {}", path.display());
+
+    assert!(identical, "flow engine rerun diverged");
+}

@@ -7,7 +7,10 @@ use hycap::{theory as laws, MobilityRegime, ModelExponents, Realization, Scenari
 use hycap_errors::HycapError;
 use hycap_mobility::MobilityKind;
 use hycap_routing::SchemeBPlan;
-use hycap_sim::{fit_loglog, geometric_ns, FaultSchedule, FluidEngine, OutagePolicy, WorkerPool};
+use hycap_sim::{
+    fit_loglog, geometric_ns, load_ladder, FaultSchedule, FlowRunStats, FlowSizes, FlowWorkload,
+    FluidEngine, OutagePolicy, PacketEngine, WorkerPool,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -30,6 +33,13 @@ USAGE:
                  [--fail-frac F] [--outage-p P] [--outage-seed Y]
                  [--cells C] [--slots S] [--seed X] [--threads T] [--occupy]
                  [--metrics PATH]
+  hycap flows    --alpha A --m M --r R --k K --phi P --n N
+                 [--rate R | --interval I] [--size P]
+                 [--mice P --elephants P --elephant-frac F]
+                 [--window W] [--horizon H] [--flow-seed Y]
+                 [--loads 0.001,0.002 | --min-load L --max-load L --load-count C]
+                 [--delta D] [--ct C] [--seed X] [--static] [--no-bs]
+                 [--metrics PATH]
 
 EXPONENTS (the paper's model family):
   --alpha  network side f(n) = n^alpha, alpha in [0, 1/2]
@@ -51,6 +61,21 @@ OBSERVABILITY:
                   flat CSV when PATH ends in .csv); recording never
                   perturbs the measurement — the numbers are bit-identical
                   with and without it
+
+FLOWS (flows subcommand — finite-flow packet runs on the event core):
+  --rate R          Poisson flow arrivals per slot per pair (default 0.005)
+  --interval I      deterministic arrivals every I slots (overrides --rate)
+  --size P          packets per flow (default 4)
+  --mice/--elephants/--elephant-frac
+                    two-point (mice/elephant) size mix instead of --size
+  --window W        per-flow admission window in packets (default 8)
+  --horizon H       arrival horizon in slots (default 400; the run drains)
+  --flow-seed Y     workload RNG stream seed (default 0)
+  --loads ...       sweep Poisson rates (comma list), or a geometric ladder
+                    via --min-load/--max-load/--load-count; prints an
+                    FCT-vs-load table instead of a single run
+  --delta D         protocol guard factor (default 0.5)
+  --ct C            transmission-range constant c_T (default 0.4)
 
 FAULTS (degrade subcommand):
   --fail-frac F   crash this fraction of the BSs at slot 0 (default 0.25)
@@ -424,6 +449,156 @@ pub fn degrade(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// One-line flow-run summary shared by the single-run and sweep outputs.
+fn flow_summary(stats: &FlowRunStats) -> String {
+    format!(
+        "flows {}/{} ({:.1}%), packets {}/{}, fct p50 = {:.0}, p99 = {:.0}, mean delay = {:.2}",
+        stats.flows_completed,
+        stats.flows_started,
+        100.0 * stats.completion_ratio(),
+        stats.packets_delivered,
+        stats.packets_injected,
+        stats.fct_p50,
+        stats.fct_p99,
+        stats.mean_delay,
+    )
+}
+
+/// `hycap flows` — finite-flow packet runs on the event-queue core through
+/// the regime-optimal scheme(s): flow-completion times, per-packet delays
+/// and completion ratios, for a single workload or an FCT-vs-load sweep.
+pub fn flows(args: &Args) -> CmdResult {
+    let exps = exponents(args)?;
+    let n: usize = args.require("n")?;
+    // Protocol constants go through the fallible engine constructor first,
+    // so bad values exit as invalid input (2) instead of panicking inside
+    // the scenario builder.
+    let delta: f64 = args.get_or("delta", 0.5)?;
+    let c_t: f64 = args.get_or("ct", 0.4)?;
+    PacketEngine::try_new(delta, c_t)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mut builder = Scenario::builder(exps, n).seed(seed).delta(delta).c_t(c_t);
+    if args.flag("static") {
+        builder = builder.mobility(MobilityKind::Static);
+    }
+    if args.flag("no-bs") {
+        builder = builder.without_bs();
+    }
+    let sc = builder.build();
+    let horizon: usize = args.get_or("horizon", 400)?;
+    let window: u64 = args.get_or("window", 8)?;
+    let flow_seed: u64 = args.get_or("flow-seed", 0)?;
+    let size: u64 = args.get_or("size", 4)?;
+    let sizes = match (args.get::<u64>("mice")?, args.get::<u64>("elephants")?) {
+        (Some(mice), Some(elephants)) => Some(FlowSizes::ElephantMice {
+            mice,
+            elephants,
+            elephant_frac: args.get_or("elephant-frac", 0.1)?,
+        }),
+        (None, None) => None,
+        _ => {
+            return Err(HycapError::invalid(
+                "mice",
+                "the size mix needs both --mice and --elephants",
+            )
+            .into())
+        }
+    };
+    let finish = |mut workload: FlowWorkload| {
+        if let Some(s) = sizes {
+            workload = workload.with_sizes(s);
+        }
+        workload.with_window(window).with_seed(flow_seed)
+    };
+    let loads: Option<Vec<f64>> = match args.get_list("loads")? {
+        Some(ls) => Some(ls),
+        None if args.get::<f64>("min-load")?.is_some()
+            || args.get::<f64>("max-load")?.is_some()
+            || args.get::<usize>("load-count")?.is_some() =>
+        {
+            let lo: f64 = args.get_or("min-load", 0.001)?;
+            let hi: f64 = args.get_or("max-load", 0.016)?;
+            let count: usize = args.get_or("load-count", 5)?;
+            Some(load_ladder(lo, hi, count)?)
+        }
+        None => None,
+    };
+    let metrics = metrics_path(args)?;
+    let mut merged = Snapshot::default();
+    let mut run = |workload: &FlowWorkload| -> Result<_, HycapError> {
+        if metrics.is_some() {
+            let mut obs = hycap::obs::Observer::recording().with_probes();
+            let report = sc.measure_flows_observed(workload, &mut obs)?;
+            merged.merge(&obs.snapshot());
+            Ok(report)
+        } else {
+            sc.measure_flows(workload)
+        }
+    };
+    let mut out = String::new();
+    if let Some(loads) = loads {
+        // FCT-vs-load sweep: Poisson arrivals at each ladder rate.
+        writeln!(
+            out,
+            "fct vs load: n = {n}, size = {size}, window = {window}, horizon = {horizon}"
+        )?;
+        for &rate in &loads {
+            let workload = finish(FlowWorkload::poisson(rate, size, horizon));
+            let report = run(&workload)?;
+            write!(out, "load = {rate:.6}:")?;
+            if let Some(s) = &report.flows_mobility {
+                write!(out, "  [mobility] {}", flow_summary(s))?;
+            }
+            if let Some(s) = &report.flows_infra {
+                write!(out, "  [infra] {}", flow_summary(s))?;
+            }
+            if report.flows_mobility.is_none() && report.flows_infra.is_none() {
+                write!(out, "  no applicable scheme (weak/trivial without BSs)")?;
+            }
+            writeln!(out)?;
+        }
+    } else {
+        let workload = match args.get::<u64>("interval")? {
+            Some(interval) => finish(FlowWorkload::deterministic(interval, size, horizon)),
+            None => {
+                let rate: f64 = args.get_or("rate", 0.005)?;
+                finish(FlowWorkload::poisson(rate, size, horizon))
+            }
+        };
+        let report = run(&workload)?;
+        writeln!(
+            out,
+            "realized: n = {}, k = {}, m = {}, r = {:.4}, c = {:.5}, f = {:.3}",
+            report.params.n,
+            report.params.k,
+            report.params.m,
+            report.params.r,
+            report.params.c,
+            report.params.f
+        )?;
+        match report.regime {
+            Some(r) => writeln!(out, "regime: {r} mobility")?,
+            None => writeln!(out, "regime: boundary (scheme A still runs)")?,
+        }
+        if let Some(s) = &report.flows_mobility {
+            writeln!(out, "mobility path (scheme A):  {}", flow_summary(s))?;
+        }
+        if let Some(s) = &report.flows_infra {
+            writeln!(out, "infrastructure path:       {}", flow_summary(s))?;
+        }
+        if report.flows_mobility.is_none() && report.flows_infra.is_none() {
+            writeln!(
+                out,
+                "no applicable scheme (weak/trivial regime without BSs)"
+            )?;
+        }
+    }
+    if let Some(path) = metrics {
+        report_snapshot(&mut out, &path, &merged)?;
+    }
+    Ok(out)
+}
+
 /// `hycap surface` — the Figure 3 exponent surface as text rows.
 pub fn surface(args: &Args) -> CmdResult {
     let phi: f64 = args.get_or("phi", 0.0)?;
@@ -614,6 +789,78 @@ mod tests {
         .unwrap_err();
         let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
         assert_eq!(hycap_err.exit_code(), 2);
+    }
+
+    #[test]
+    fn flows_runs_single_workload() {
+        let out = flows(&args(
+            "flows --alpha 0.25 --m 1.0 --k 0.5 --n 120 --rate 0.002 --size 3 \
+             --horizon 300 --seed 5",
+        ))
+        .unwrap();
+        assert!(out.contains("regime: strong"), "{out}");
+        assert!(out.contains("mobility path (scheme A)"), "{out}");
+        assert!(out.contains("fct p50"), "{out}");
+    }
+
+    #[test]
+    fn flows_sweeps_load_ladder() {
+        let out = flows(&args(
+            "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --min-load 0.001 \
+             --max-load 0.004 --load-count 3 --size 2 --horizon 200 --seed 5",
+        ))
+        .unwrap();
+        assert!(out.contains("fct vs load"), "{out}");
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("load = ")).count(),
+            3,
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn flows_rejects_bad_protocol_constants_as_invalid_input() {
+        let err = flows(&args("flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --ct 0.0")).unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+        let err = flows(&args(
+            "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --delta -1.0",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+    }
+
+    #[test]
+    fn flows_rejects_half_specified_size_mix() {
+        let err = flows(&args("flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --mice 1")).unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+    }
+
+    #[test]
+    fn flows_metrics_snapshot_does_not_perturb_output() {
+        let base = flows(&args(
+            "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --rate 0.002 --horizon 200 --seed 6",
+        ))
+        .unwrap();
+        let path = std::env::temp_dir().join("hycap_cli_flows_metrics_test.json");
+        let cmd = format!(
+            "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --rate 0.002 --horizon 200 --seed 6 \
+             --metrics {}",
+            path.display()
+        );
+        let observed = flows(&args(&cmd)).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"schema\": \"hycap-metrics/1\""), "{json}");
+        assert!(json.contains("flows.chains.runs"), "{json}");
+        let stripped: String = observed
+            .lines()
+            .filter(|l| !l.starts_with("metrics:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(base, stripped);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! hycap degrade  --alpha A --m M --r R --k K --phi P --n N
 //!                [--fail-frac F] [--outage-p P] [--slots S] [--seed X] [--occupy]
 //!                [--metrics PATH]
+//! hycap flows    --alpha A --m M --r R --k K --phi P --n N
+//!                [--rate R | --interval I] [--size P] [--window W]
+//!                [--horizon H] [--loads ... | --min-load L --max-load L
+//!                 --load-count C] [--delta D] [--ct C] [--seed X]
+//!                [--static] [--no-bs] [--metrics PATH]
 //! ```
 //!
 //! `--metrics PATH` records deterministic metrics and invariant-probe
@@ -53,6 +58,7 @@ fn main() {
         "sweep" => commands::sweep(&parsed),
         "surface" => commands::surface(&parsed),
         "degrade" => commands::degrade(&parsed),
+        "flows" => commands::flows(&parsed),
         other => {
             eprintln!("error: unknown subcommand '{other}'");
             eprint!("{}", commands::USAGE);

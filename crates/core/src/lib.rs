@@ -48,7 +48,7 @@ pub mod theory;
 pub use bounds::{access_upper_bound, cut_upper_bound, CutBound};
 pub use order::Order;
 pub use regime::{MobilityRegime, ModelExponents, RealizedParams, RegimeError};
-pub use scenario::{Realization, Scenario, ScenarioBuilder, ScenarioReport};
+pub use scenario::{FlowScenarioReport, Realization, Scenario, ScenarioBuilder, ScenarioReport};
 pub use theory::{
     capacity_exponent, capacity_no_bs, capacity_with_bs, dominance, infrastructure_order,
     mobility_order, optimal_range, phase_surface, Dominance, Table1Row,

@@ -15,7 +15,7 @@ use hycap_infra::{Backbone, BaseStations, BsPlacement, CellularLayout};
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
 use hycap_obs::{MetricsSink, Observer, Snapshot};
 use hycap_routing::{SchemeAPlan, SchemeBPlan, SchemeCPlan, TrafficMatrix};
-use hycap_sim::{FluidEngine, HybridNetwork, WorkerPool};
+use hycap_sim::{FlowRunStats, FlowWorkload, FluidEngine, HybridNetwork, PacketEngine, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -256,6 +256,115 @@ impl Scenario {
             params,
             slots,
         }
+    }
+
+    /// Runs a finite-flow packet workload through the regime-optimal
+    /// scheme(s) and returns flow-completion statistics.
+    ///
+    /// The regime dispatch mirrors [`Scenario::measure`], but instead of
+    /// fluid service-rate estimation each applicable scheme runs the
+    /// event-queue packet engine under `workload` (arrival process, flow
+    /// sizes, admission window and horizon):
+    ///
+    /// * strong — scheme A relay chains (+ scheme B when BSs are present);
+    /// * weak — scheme B grouped by clusters;
+    /// * trivial — scheme C cellular TDMA (rate `c` from the realized
+    ///   parameters);
+    /// * boundary parameters — scheme A only.
+    ///
+    /// Weak/trivial scenarios without infrastructure have no applicable
+    /// scheme; both report fields come back `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when the workload fails
+    /// [`FlowWorkload::validate`] or the scenario's protocol constants are
+    /// rejected by [`PacketEngine::try_new`]; scheme preconditions
+    /// (missing infrastructure, plan/traffic mismatches) propagate from the
+    /// flow engines.
+    pub fn measure_flows(&self, workload: &FlowWorkload) -> Result<FlowScenarioReport, HycapError> {
+        self.measure_flows_observed(workload, &mut Observer::noop())
+    }
+
+    /// [`Scenario::measure_flows`] with an observer threaded through plan
+    /// compilation and the flow engines (`routing.*`, `flows.*` metrics,
+    /// FCT and delay histograms). A no-op observer is bit-identical to
+    /// [`Scenario::measure_flows`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::measure_flows`].
+    pub fn measure_flows_observed<S: MetricsSink>(
+        &self,
+        workload: &FlowWorkload,
+        obs: &mut Observer<S>,
+    ) -> Result<FlowScenarioReport, HycapError> {
+        workload.validate()?;
+        let Realization {
+            mut net,
+            traffic,
+            params,
+            mut rng,
+        } = self.realize();
+        let engine = PacketEngine::try_new(self.delta, self.c_t)?;
+        let regime = self.regime().ok();
+        let homes = net.population().home_points().points().to_vec();
+        let mut flows_mobility = None;
+        let mut flows_infra = None;
+        match regime {
+            Some(MobilityRegime::Strong) | None => {
+                let plan = SchemeAPlan::build_observed(&homes, &traffic, params.f.max(1.0), obs);
+                let stats = engine.run_flows_scheme_a_observed(
+                    &mut net, &plan, &traffic, workload, &mut rng, obs,
+                )?;
+                flows_mobility = Some(stats);
+                if self.with_bs && regime.is_some() {
+                    let bs = net.base_stations().expect("with_bs").clone();
+                    let plan_b = SchemeBPlan::build_observed(
+                        &homes,
+                        &traffic,
+                        &bs,
+                        self.scheme_b_cells,
+                        obs,
+                    );
+                    flows_infra =
+                        Some(engine.run_flows_scheme_b_observed(
+                            &mut net, &plan_b, workload, &mut rng, obs,
+                        )?);
+                }
+            }
+            Some(MobilityRegime::Weak) => {
+                if self.with_bs {
+                    let bs = net.base_stations().expect("with_bs").clone();
+                    let centers = net.population().home_points().centers().to_vec();
+                    let plan = SchemeBPlan::by_clusters(&homes, &traffic, &bs, &centers);
+                    flows_infra =
+                        Some(engine.run_flows_scheme_b_observed(
+                            &mut net, &plan, workload, &mut rng, obs,
+                        )?);
+                }
+            }
+            Some(MobilityRegime::Trivial) => {
+                if self.with_bs {
+                    let hp = net.population().home_points();
+                    let centers = hp.centers().to_vec();
+                    let cluster_of = hp.cluster_of().to_vec();
+                    let radius = hp.radius().max(1e-3);
+                    let layout =
+                        CellularLayout::build(&centers, radius, params.k.max(centers.len()));
+                    let plan = SchemeCPlan::build(&homes, &cluster_of, &layout, &traffic);
+                    flows_infra = Some(engine.run_flows_scheme_c_observed(
+                        &plan, &layout, &traffic, params.c, workload, obs,
+                    )?);
+                }
+            }
+        }
+        Ok(FlowScenarioReport {
+            regime,
+            flows_mobility,
+            flows_infra,
+            params,
+        })
     }
 
     /// [`Scenario::measure`] on a [`WorkerPool`], using the counter-based
@@ -536,6 +645,23 @@ pub struct ScenarioReport {
     pub slots: usize,
 }
 
+/// The result of [`Scenario::measure_flows`]: flow-completion statistics
+/// for each applicable scheme, keyed by the same regime dispatch as
+/// [`ScenarioReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowScenarioReport {
+    /// The classified regime (`None` on boundary parameters).
+    pub regime: Option<MobilityRegime>,
+    /// Flow statistics for the mobility path (scheme A relay chains), when
+    /// applicable.
+    pub flows_mobility: Option<FlowRunStats>,
+    /// Flow statistics for the infrastructure path (scheme B or C), when
+    /// applicable.
+    pub flows_infra: Option<FlowRunStats>,
+    /// Realized finite-`n` parameters.
+    pub params: RealizedParams,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,6 +779,62 @@ mod tests {
         assert_eq!(s1.to_json(), s4.to_json());
         let bare = scenario.measure_par(120, &pool4).unwrap();
         assert_eq!(bare, r1);
+    }
+
+    #[test]
+    fn strong_flow_scenario_runs_both_schemes() {
+        let scenario = Scenario::builder(strong_exps(), 150).seed(11).build();
+        let workload = FlowWorkload::poisson(0.002, 4, 400);
+        let report = scenario.measure_flows(&workload).unwrap();
+        assert_eq!(report.regime, Some(MobilityRegime::Strong));
+        let mob = report.flows_mobility.expect("scheme A ran");
+        let infra = report.flows_infra.expect("scheme B ran");
+        assert!(mob.flows_started > 0);
+        assert!(infra.flows_started > 0);
+        assert!(mob.events > 0 && infra.events > 0);
+    }
+
+    #[test]
+    fn flow_measurement_is_deterministic() {
+        let scenario = Scenario::builder(strong_exps(), 120).seed(12).build();
+        let workload = FlowWorkload::poisson(0.005, 3, 300).with_seed(9);
+        let a = scenario.measure_flows(&workload).unwrap();
+        let b = scenario.measure_flows(&workload).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_flow_scenario_uses_scheme_c() {
+        let exps = ModelExponents::new(0.4, 0.2, 0.4, 0.6, 0.0).unwrap();
+        let scenario = Scenario::builder(exps, 200)
+            .mobility(MobilityKind::Static)
+            .seed(13)
+            .build();
+        let workload = FlowWorkload::deterministic(50, 2, 400);
+        let report = scenario.measure_flows(&workload).unwrap();
+        assert_eq!(report.regime, Some(MobilityRegime::Trivial));
+        assert!(report.flows_mobility.is_none());
+        let infra = report.flows_infra.expect("scheme C ran");
+        assert!(infra.flows_started > 0);
+    }
+
+    #[test]
+    fn flow_scenario_without_bs_in_weak_regime_has_no_scheme() {
+        let exps = ModelExponents::new(0.4, 0.2, 0.4, 0.6, 0.0).unwrap();
+        let scenario = Scenario::builder(exps, 150).without_bs().seed(14).build();
+        assert_eq!(scenario.regime().unwrap(), MobilityRegime::Weak);
+        let workload = FlowWorkload::poisson(0.01, 2, 100);
+        let report = scenario.measure_flows(&workload).unwrap();
+        assert!(report.flows_mobility.is_none());
+        assert!(report.flows_infra.is_none());
+    }
+
+    #[test]
+    fn flow_scenario_rejects_invalid_workload() {
+        let scenario = Scenario::builder(strong_exps(), 100).seed(15).build();
+        let workload = FlowWorkload::poisson(0.01, 2, 100).with_window(0);
+        let err = scenario.measure_flows(&workload).unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! The discrete-event core of the packet engine.
+//!
+//! Every packet-level run — steady-state adapters and flow-level workloads
+//! alike — drains one [`EventQueue`]: a time-ordered binary heap of typed
+//! [`Event`]s popped in strict `(time, class, flow, seq)` order. The
+//! four-part key makes the drain order a pure function of the pushed set:
+//!
+//! * `time`  — the slot index the event fires at (u64, never wraps);
+//! * `class` — the event kind's fixed rank: [`Event::Arrival`] (0) before
+//!   [`Event::HopComplete`] (1) before [`Event::SlotBoundary`] (2) before
+//!   [`Event::FlowDone`] (3), so packets land in queues before the slot's
+//!   transmissions are scheduled and completions are observed last;
+//! * `flow`  — the subject flow id (the slot index for boundaries), so
+//!   same-class events of different flows drain in flow order;
+//! * `seq`   — a monotone push counter, so equal `(time, class, flow)`
+//!   events drain FIFO (per-queue packet order is stable).
+//!
+//! The module also provides [`EventList`], a `SmallVec`-style list with
+//! inline capacity for the short per-flow queues the flow engine tracks
+//! (no `unsafe`: the inline slots are `Option`s), and [`FlowRng`], the
+//! counter-based per-flow random stream — the same SplitMix64 construction
+//! as `hycap_mobility::SlotRng` under a distinct domain-separation tag, so
+//! flow workloads stay independently rederivable from `(seed, flow)`
+//! without replaying anything.
+
+use rand::RngCore;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Event timestamps, in slots. `u64` end to end: the packet engine never
+/// stores a narrowed timestamp again (the pre-refactor `u32` slots wrapped
+/// past 2³² slots and corrupted every delay metric downstream).
+pub type Time = u64;
+
+/// A typed simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A flow arrives: its first window of packets becomes available at
+    /// the source.
+    Arrival {
+        /// The arriving flow's id.
+        flow: u32,
+    },
+    /// A packet transmitted during the previous slot lands at hop `hop`'s
+    /// receiver (or at the destination when `hop` is the last one).
+    HopComplete {
+        /// The flow whose packet completes the hop.
+        flow: u32,
+        /// Hop index within the flow's route (0 = first transmission).
+        hop: u32,
+    },
+    /// Start of slot `slot`: mobility advances, the scheduler runs, and
+    /// scheduled pairs transmit.
+    SlotBoundary {
+        /// The absolute slot index (base offset included).
+        slot: u64,
+    },
+    /// A flow's last packet was delivered; flow-completion time is
+    /// recorded when this drains.
+    FlowDone {
+        /// The completed flow's id.
+        flow: u32,
+    },
+}
+
+impl Event {
+    /// The fixed within-slot rank of this event kind.
+    fn class(&self) -> u8 {
+        match self {
+            Event::Arrival { .. } => 0,
+            Event::HopComplete { .. } => 1,
+            Event::SlotBoundary { .. } => 2,
+            Event::FlowDone { .. } => 3,
+        }
+    }
+
+    /// The third tiebreak component: the subject flow (the slot index for
+    /// boundaries, which never share a `(time, class)` with each other
+    /// anyway).
+    fn flow_key(&self) -> u64 {
+        match *self {
+            Event::Arrival { flow } => flow as u64,
+            Event::HopComplete { flow, .. } => flow as u64,
+            Event::SlotBoundary { slot } => slot,
+            Event::FlowDone { flow } => flow as u64,
+        }
+    }
+}
+
+/// A queued event with its full ordering key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedEvent {
+    time: Time,
+    class: u8,
+    flow: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl QueuedEvent {
+    fn key(&self) -> (Time, u8, u64, u64) {
+        (self.time, self.class, self.flow, self.seq)
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key out
+        // first.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue draining in `(time, class, flow, seq)` order.
+///
+/// ```
+/// use hycap_sim::{Event, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(5, Event::SlotBoundary { slot: 5 });
+/// q.push(5, Event::Arrival { flow: 3 });
+/// q.push(2, Event::FlowDone { flow: 0 });
+/// assert_eq!(q.pop(), Some((2, Event::FlowDone { flow: 0 })));
+/// // Same time: the arrival (class 0) outranks the boundary (class 2).
+/// assert_eq!(q.pop(), Some((5, Event::Arrival { flow: 3 })));
+/// assert_eq!(q.pop(), Some((5, Event::SlotBoundary { slot: 5 })));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    seq: u64,
+    popped: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Pushes `event` to fire at `time`. Events pushed earlier drain
+    /// earlier among equal `(time, class, flow)` keys.
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(QueuedEvent {
+            time,
+            class: event.class(),
+            flow: event.flow_key(),
+            seq,
+            event,
+        });
+    }
+
+    /// Pops the next event in `(time, class, flow, seq)` order.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        let qe = self.heap.pop()?;
+        self.popped += 1;
+        Some((qe.time, qe.event))
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|qe| qe.time)
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events drained over the queue's lifetime (the flow engine's
+    /// `events` statistic and the bench's events/sec numerator).
+    pub fn drained(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// Inline capacity of [`EventList`] before it spills to the heap. Eight
+/// covers the common flow windows without allocation.
+const INLINE_CAP: usize = 8;
+
+/// A `SmallVec`-style FIFO list: the first `INLINE_CAP` (8) elements live
+/// inline (as `Option`s — no `unsafe`), the rest spill into a `Vec`.
+///
+/// The flow engine uses it for per-flow in-flight packet timestamps, which
+/// the window limit keeps short; steady-state adapters never allocate
+/// through it at all.
+///
+/// ```
+/// let mut l = hycap_sim::EventList::new();
+/// for i in 0..10u64 {
+///     l.push(i);
+/// }
+/// assert_eq!(l.len(), 10);
+/// assert_eq!(l.pop_front(), Some(0));
+/// assert_eq!(l.iter().copied().collect::<Vec<_>>(), (1..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventList<T> {
+    inline: [Option<T>; INLINE_CAP],
+    inline_len: usize,
+    spill: Vec<T>,
+}
+
+impl<T> Default for EventList<T> {
+    fn default() -> Self {
+        EventList {
+            inline: std::array::from_fn(|_| None),
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<T> EventList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        EventList::default()
+    }
+
+    /// Appends `value` at the back.
+    pub fn push(&mut self, value: T) {
+        if self.inline_len < INLINE_CAP {
+            self.inline[self.inline_len] = Some(value);
+            self.inline_len += 1;
+        } else {
+            self.spill.push(value);
+        }
+    }
+
+    /// Removes and returns the front element, refilling the inline block
+    /// from the spill vector.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.inline_len == 0 {
+            return None;
+        }
+        let front = self.inline[0].take();
+        self.inline.rotate_left(1);
+        self.inline_len -= 1;
+        if !self.spill.is_empty() {
+            self.inline[self.inline_len] = Some(self.spill.remove(0));
+            self.inline_len += 1;
+        }
+        front
+    }
+
+    /// Elements currently stored.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    /// Whether any element has spilled past the inline block.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Iterates front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.inline_len]
+            .iter()
+            .filter_map(Option::as_ref)
+            .chain(self.spill.iter())
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline {
+            *slot = None;
+        }
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+}
+
+/// Golden-ratio increment of the SplitMix64 Weyl sequence (same constant
+/// as `hycap_mobility::SlotRng`).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Domain-separation constant for per-flow streams: distinct from the
+/// mobility crate's slot-stream tag, so `FlowRng::new(s, i)` never
+/// collides with `SlotRng::new(s, i)` under the same run seed.
+const FLOW_STREAM_TAG: u64 = 0xF10A_57E5_D1CE_B10B;
+
+/// SplitMix64 output mixer (Stafford variant 13).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A counter-based random stream for one `(seed, flow)` pair — the flow
+/// engine's workload sampler. Streams for distinct flows under the same
+/// seed are statistically independent, and the same pair always rebuilds
+/// the same stream, so replications (and resumed runs) rederive their
+/// workloads without replaying any other flow.
+///
+/// ```
+/// use hycap_sim::FlowRng;
+/// use rand::Rng;
+///
+/// let mut a = FlowRng::new(9, 4);
+/// let mut b = FlowRng::new(9, 4);
+/// assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowRng {
+    state: u64,
+}
+
+impl FlowRng {
+    /// Derives the stream for `flow` under `seed`.
+    pub fn new(seed: u64, flow: u64) -> Self {
+        let state = mix(seed.wrapping_add(GAMMA) ^ mix(flow ^ FLOW_STREAM_TAG));
+        FlowRng { state }
+    }
+}
+
+impl RngCore for FlowRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn drains_in_time_class_flow_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(3, Event::SlotBoundary { slot: 3 });
+        q.push(1, Event::HopComplete { flow: 7, hop: 0 });
+        q.push(1, Event::HopComplete { flow: 2, hop: 1 });
+        q.push(1, Event::Arrival { flow: 9 });
+        q.push(1, Event::SlotBoundary { slot: 1 });
+        q.push(1, Event::FlowDone { flow: 2 });
+        let order: Vec<(Time, Event)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, Event::Arrival { flow: 9 }),
+                (1, Event::HopComplete { flow: 2, hop: 1 }),
+                (1, Event::HopComplete { flow: 7, hop: 0 }),
+                (1, Event::SlotBoundary { slot: 1 }),
+                (1, Event::FlowDone { flow: 2 }),
+                (3, Event::SlotBoundary { slot: 3 }),
+            ]
+        );
+        assert_eq!(q.drained(), 6);
+    }
+
+    #[test]
+    fn equal_keys_drain_fifo() {
+        let mut q = EventQueue::new();
+        for hop in 0..4u32 {
+            q.push(5, Event::HopComplete { flow: 1, hop });
+        }
+        let hops: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::HopComplete { hop, .. } => hop,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(hops, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn event_list_spills_and_refills_in_order() {
+        let mut l = EventList::new();
+        for i in 0..20u64 {
+            l.push(i);
+        }
+        assert!(l.spilled());
+        assert_eq!(l.len(), 20);
+        let drained: Vec<u64> = std::iter::from_fn(|| l.pop_front()).collect();
+        assert_eq!(drained, (0..20).collect::<Vec<_>>());
+        assert!(l.is_empty());
+        assert!(!l.spilled());
+    }
+
+    #[test]
+    fn event_list_clear_resets() {
+        let mut l = EventList::new();
+        for i in 0..12u64 {
+            l.push(i);
+        }
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        l.push(7);
+        assert_eq!(l.pop_front(), Some(7));
+    }
+
+    #[test]
+    fn flow_rng_is_rederivable_and_decorrelated() {
+        let mut a = FlowRng::new(3, 5);
+        let mut b = FlowRng::new(3, 5);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FlowRng::new(3, 6);
+        let same = (0..16).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn flow_rng_differs_from_slot_rng_same_indices() {
+        use hycap_mobility::SlotRng;
+        let mut f = FlowRng::new(42, 7);
+        let mut s = SlotRng::new(42, 7);
+        assert_ne!(f.next_u64(), s.next_u64());
+    }
+
+    #[test]
+    fn flow_rng_uniform_draws_balanced() {
+        let mut rng = FlowRng::new(11, 0);
+        let draws = 4096;
+        let mean: f64 = (0..draws).map(|_| rng.gen::<f64>()).sum::<f64>() / draws as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

@@ -47,19 +47,26 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod events;
 pub mod faults;
+mod flows;
 mod fluid;
 mod packet;
 mod pool;
 pub mod sweep;
 
 pub use engine::HybridNetwork;
+pub use events::{Event, EventList, EventQueue, FlowRng, Time};
 pub use faults::{FaultEvent, FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
+pub use flows::{
+    ArrivalProcess, DegradedFlowStats, FlowRunStats, FlowSizes, FlowSpec, FlowWorkload,
+};
 pub use fluid::{Bottleneck, DegradedFluidReport, FluidEngine, FluidReport, TwoHopReport};
 pub use packet::{DegradedPacketStats, PacketEngine, PacketStats};
 pub use pool::WorkerPool;
 pub use sweep::{
-    fit_linear, fit_loglog, geometric_ns, parallel_map, parallel_map_observed, FitResult,
+    fit_linear, fit_loglog, geometric_ns, load_ladder, parallel_map, parallel_map_observed,
+    FitResult,
 };
 
 /// Re-export of the observability crate so downstream code can construct

@@ -10,6 +10,7 @@
 //! Packets have size `W/2`, so one scheduled pair moves one packet in each
 //! direction per slot (the Definition 10 equal two-way bandwidth split).
 
+use crate::events::{Event, EventQueue};
 use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
 use crate::pool::WorkerPool;
 use crate::HybridNetwork;
@@ -20,7 +21,7 @@ use hycap_wireless::{
     critical_range, schedule_observed, SStarScheduler, ScheduledPair, SlotWorkspace,
 };
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Statistics of one packet-level run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,27 +50,109 @@ impl PacketStats {
             self.delivered as f64 / self.injected as f64
         }
     }
+
+    /// Builds stats from raw totals, guarding the derived metrics against
+    /// empty-run poisoning: `mean_delay` is `0.0` when nothing was
+    /// delivered and `throughput_per_node` is `0.0` on a degenerate
+    /// `slots`/`nodes` denominator, so NaN/inf never leak into
+    /// `hycap-metrics/1` JSON snapshots.
+    pub fn from_totals(
+        injected: u64,
+        delivered: u64,
+        delay_sum: u64,
+        backlog: u64,
+        slots: usize,
+        nodes: usize,
+    ) -> Self {
+        PacketStats {
+            injected,
+            delivered,
+            throughput_per_node: if slots == 0 || nodes == 0 {
+                0.0
+            } else {
+                delivered as f64 / (slots as f64 * nodes as f64)
+            },
+            mean_delay: if delivered == 0 {
+                0.0
+            } else {
+                delay_sum as f64 / delivered as f64
+            },
+            backlog,
+            slots,
+        }
+    }
 }
 
 /// The packet-level engine (same protocol parameters as the fluid engine).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketEngine {
-    delta: f64,
-    c_t: f64,
+    pub(crate) delta: f64,
+    pub(crate) c_t: f64,
+    pub(crate) base_slot: u64,
 }
 
 impl PacketEngine {
     /// Creates an engine with guard factor `Δ` and range constant `c_T`.
+    ///
+    /// This is the panicking convenience for hand-written parameters; code
+    /// handling untrusted input (the CLI, config files) should use
+    /// [`PacketEngine::try_new`] and surface the typed error instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_T` is not positive and finite or `Δ` is not
+    /// non-negative and finite.
     pub fn new(delta: f64, c_t: f64) -> Self {
-        assert!(
-            c_t > 0.0 && c_t.is_finite(),
-            "c_T must be positive, got {c_t}"
-        );
-        assert!(
-            delta >= 0.0 && delta.is_finite(),
-            "Δ must be non-negative, got {delta}"
-        );
-        PacketEngine { delta, c_t }
+        match Self::try_new(delta, c_t) {
+            Ok(engine) => engine,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`PacketEngine::new`]: validates `Δ` and `c_T` and returns
+    /// a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] if `c_T` is not positive and finite
+    /// or `Δ` is not non-negative and finite.
+    pub fn try_new(delta: f64, c_t: f64) -> Result<Self, HycapError> {
+        if !(c_t > 0.0 && c_t.is_finite()) {
+            return Err(HycapError::invalid(
+                "c_T",
+                format!("c_T must be positive and finite, got {c_t}"),
+            ));
+        }
+        if !(delta >= 0.0 && delta.is_finite()) {
+            return Err(HycapError::invalid(
+                "delta",
+                format!("Δ must be non-negative and finite, got {delta}"),
+            ));
+        }
+        Ok(PacketEngine {
+            delta,
+            c_t,
+            base_slot: 0,
+        })
+    }
+
+    /// Returns a copy of this engine whose runs start at absolute slot
+    /// `base_slot` instead of 0.
+    ///
+    /// Timestamps and delays are computed on the absolute slot index;
+    /// scheduling and TDMA phases use the relative index, so the dynamics
+    /// are unchanged — only the clock origin moves. This exercises the
+    /// 64-bit timestamp path (the pre-refactor engine stored `slot as u32`
+    /// and wrapped past 2³² slots).
+    pub fn with_base_slot(mut self, base_slot: u64) -> Self {
+        self.base_slot = base_slot;
+        self
+    }
+
+    /// The absolute slot index at which runs start (0 unless overridden by
+    /// [`PacketEngine::with_base_slot`]).
+    pub fn base_slot(&self) -> u64 {
+        self.base_slot
     }
 
     /// Runs one packet-level replication per seed on `pool`, returning the
@@ -166,9 +249,9 @@ impl PacketEngine {
                 watchers.entry((w[0], w[1])).or_default().push((f, h));
             }
         }
-        // queues[f][h]: injection timestamps of packets waiting at chain
-        // position h (to be sent to h+1).
-        let mut queues: Vec<Vec<VecDeque<u32>>> = chains
+        // queues[f][h]: injection timestamps (absolute 64-bit slots) of
+        // packets waiting at chain position h (to be sent to h+1).
+        let mut queues: Vec<Vec<VecDeque<u64>>> = chains
             .iter()
             .map(|c| vec![VecDeque::new(); c.len() - 1])
             .collect();
@@ -179,13 +262,29 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        for slot in 0..slots {
+        // Steady-state adapter over the event core: only boundary events
+        // exist, pushed at relative ticks and carrying the absolute slot.
+        // Timestamps/delays use the absolute index (u64, never wraps);
+        // scheduling uses the relative index, so with base_slot == 0 the
+        // run is bit-identical to the pre-refactor slot loop.
+        let mut events = EventQueue::new();
+        events.push(
+            0,
+            Event::SlotBoundary {
+                slot: self.base_slot,
+            },
+        );
+        while let Some((tick, ev)) = events.pop() {
+            let Event::SlotBoundary { slot: abs_slot } = ev else {
+                unreachable!("steady-state adapter only queues boundaries");
+            };
+            let slot = tick as usize;
             // Injection.
             for (f, a) in acc.iter_mut().enumerate() {
                 *a += lambda;
                 while *a >= 1.0 {
                     *a -= 1.0;
-                    queues[f][0].push_back(slot as u32);
+                    queues[f][0].push_back(abs_slot);
                     injected += 1;
                 }
             }
@@ -217,7 +316,7 @@ impl PacketEngine {
                             let ts = queues[f][h].pop_front().expect("nonempty");
                             if h + 1 == queues[f].len() {
                                 delivered += 1;
-                                delay_sum += (slot as u32 - ts) as u64;
+                                delay_sum += abs_slot - ts;
                             } else {
                                 queues[f][h + 1].push_back(ts);
                             }
@@ -225,23 +324,16 @@ impl PacketEngine {
                     }
                 }
             }
+            if slot + 1 < slots {
+                events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+            }
         }
         let backlog: u64 = queues
             .iter()
             .flat_map(|q| q.iter().map(|d| d.len() as u64))
             .sum();
-        let stats = PacketStats {
-            injected,
-            delivered,
-            throughput_per_node: delivered as f64 / (slots as f64 * chains.len() as f64),
-            mean_delay: if delivered > 0 {
-                delay_sum as f64 / delivered as f64
-            } else {
-                f64::NAN
-            },
-            backlog,
-            slots,
-        };
+        let stats =
+            PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, chains.len());
         if let Some(probes) = obs.probes_mut() {
             probes.flow_conservation("packet chains", None, injected, delivered, backlog);
         }
@@ -321,9 +413,13 @@ impl PacketEngine {
             .iter()
             .map(|p| p.cells().iter().map(|c| c.index()).collect())
             .collect();
-        // holdings[node] -> (flow, hop) -> timestamps. A packet "at hop h"
-        // is held by a node homed in paths[flow][h] (or the source at 0).
-        let mut holdings: Vec<HashMap<(usize, usize), VecDeque<u32>>> = vec![HashMap::new(); n];
+        // holdings[node] -> (flow, hop) -> timestamps (absolute 64-bit
+        // slots). A packet "at hop h" is held by a node homed in
+        // paths[flow][h] (or the source at 0). BTreeMap, not HashMap: the
+        // longest-queue scan below breaks ties by iteration order, and a
+        // hashed order varies per process (random hasher state), which made
+        // runs irreproducible across invocations.
+        let mut holdings: Vec<BTreeMap<(usize, usize), VecDeque<u64>>> = vec![BTreeMap::new(); n];
         let mut acc = vec![0.0f64; n];
         let mut injected = 0u64;
         let mut delivered = 0u64;
@@ -332,15 +428,23 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        for slot in 0..slots {
+        let mut events = EventQueue::new();
+        events.push(
+            0,
+            Event::SlotBoundary {
+                slot: self.base_slot,
+            },
+        );
+        while let Some((tick, ev)) = events.pop() {
+            let Event::SlotBoundary { slot: abs_slot } = ev else {
+                unreachable!("steady-state adapter only queues boundaries");
+            };
+            let slot = tick as usize;
             for f in 0..n {
                 acc[f] += lambda;
                 while acc[f] >= 1.0 {
                     acc[f] -= 1.0;
-                    holdings[f]
-                        .entry((f, 0))
-                        .or_default()
-                        .push_back(slot as u32);
+                    holdings[f].entry((f, 0)).or_default().push_back(abs_slot);
                     injected += 1;
                     backlog += 1;
                 }
@@ -393,12 +497,15 @@ impl PacketEngine {
                         if final_delivery {
                             delivered += 1;
                             backlog -= 1;
-                            delay_sum += (slot as u32 - ts) as u64;
+                            delay_sum += abs_slot - ts;
                         } else {
                             holdings[v].entry((f, h + 1)).or_default().push_back(ts);
                         }
                     }
                 }
+            }
+            if slot + 1 < slots {
+                events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
             }
         }
         if let Some(probes) = obs.probes_mut() {
@@ -409,18 +516,14 @@ impl PacketEngine {
                 .sum();
             probes.flow_conservation("packet scheme A", None, injected, delivered, stored);
         }
-        let stats = PacketStats {
+        let stats = PacketStats::from_totals(
             injected,
             delivered,
-            throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
-            mean_delay: if delivered > 0 {
-                delay_sum as f64 / delivered as f64
-            } else {
-                f64::NAN
-            },
-            backlog: backlog.max(0) as u64,
+            delay_sum,
+            backlog.max(0) as u64,
             slots,
-        };
+            n,
+        );
         if obs.sink.enabled() {
             obs.sink.counter("packet.scheme_a.runs", 1);
             obs.sink.counter("packet.scheme_a.injected", injected);
@@ -485,10 +588,10 @@ impl PacketEngine {
         }
         // Flow f is sourced at node f; dst via plan.flows().
         let dst_of: Vec<usize> = plan.flows().iter().map(|fl| fl.dst).collect();
-        // Stage queues (timestamps).
-        let mut at_src: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
-        let mut at_backbone: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
-        let mut at_dst_group: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
+        // Stage queues (absolute 64-bit slot timestamps).
+        let mut at_src: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut at_backbone: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut at_dst_group: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
         // flows by destination for phase III lookup.
         let mut flows_by_dst: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (f, &d) in dst_of.iter().enumerate() {
@@ -503,12 +606,23 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        for slot in 0..slots {
+        let mut events = EventQueue::new();
+        events.push(
+            0,
+            Event::SlotBoundary {
+                slot: self.base_slot,
+            },
+        );
+        while let Some((tick, ev)) = events.pop() {
+            let Event::SlotBoundary { slot: abs_slot } = ev else {
+                unreachable!("steady-state adapter only queues boundaries");
+            };
+            let slot = tick as usize;
             for (f, a) in acc.iter_mut().enumerate() {
                 *a += lambda;
                 while *a >= 1.0 {
                     *a -= 1.0;
-                    at_src[f].push_back(slot as u32);
+                    at_src[f].push_back(abs_slot);
                     injected += 1;
                 }
             }
@@ -552,7 +666,7 @@ impl PacketEngine {
                 if let Some(f) = best {
                     let ts = at_dst_group[f].pop_front().expect("nonempty");
                     delivered += 1;
-                    delay_sum += (slot as u32 - ts) as u64;
+                    delay_sum += abs_slot - ts;
                 }
             }
             // Phase II: drain backbone queues at the wire rate.
@@ -584,6 +698,9 @@ impl PacketEngine {
                     }
                 }
             }
+            if slot + 1 < slots {
+                events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+            }
         }
         let backlog: u64 = at_src
             .iter()
@@ -594,18 +711,7 @@ impl PacketEngine {
         if let Some(probes) = obs.probes_mut() {
             probes.flow_conservation("packet scheme B", None, injected, delivered, backlog);
         }
-        let stats = PacketStats {
-            injected,
-            delivered,
-            throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
-            mean_delay: if delivered > 0 {
-                delay_sum as f64 / delivered as f64
-            } else {
-                f64::NAN
-            },
-            backlog,
-            slots,
-        };
+        let stats = PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, n);
         if obs.sink.enabled() {
             obs.sink.counter("packet.scheme_b.runs", 1);
             obs.sink.counter("packet.scheme_b.injected", injected);
@@ -684,18 +790,30 @@ impl PacketEngine {
                 flows_by_dst_cell[cell].push(f);
             }
         }
-        // Stage queues (timestamps): at the source, at the source cell's
-        // BS awaiting the backbone, at the destination cell's BS.
-        let mut at_src: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
-        let mut at_src_cell: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
-        let mut at_dst_cell: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
+        // Stage queues (absolute 64-bit slot timestamps): at the source, at
+        // the source cell's BS awaiting the backbone, at the destination
+        // cell's BS.
+        let mut at_src: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut at_src_cell: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut at_dst_cell: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
         let mut wire_budget: HashMap<(usize, usize), f64> = HashMap::new();
         let mut acc = vec![0.0f64; n];
         let mut injected = 0u64;
         let mut delivered = 0u64;
         let mut delay_sum = 0u64;
         let mut uplink_rr = vec![0usize; total_cells];
-        for slot in 0..slots {
+        let mut events = EventQueue::new();
+        events.push(
+            0,
+            Event::SlotBoundary {
+                slot: self.base_slot,
+            },
+        );
+        while let Some((tick, ev)) = events.pop() {
+            let Event::SlotBoundary { slot: abs_slot } = ev else {
+                unreachable!("steady-state adapter only queues boundaries");
+            };
+            let slot = tick as usize;
             for (f, a) in acc.iter_mut().enumerate() {
                 if plan.serving_cell(f) == usize::MAX {
                     continue; // uncovered sources inject nothing
@@ -703,7 +821,7 @@ impl PacketEngine {
                 *a += lambda;
                 while *a >= 1.0 {
                     *a -= 1.0;
-                    at_src[f].push_back(slot as u32);
+                    at_src[f].push_back(abs_slot);
                     injected += 1;
                 }
             }
@@ -738,7 +856,7 @@ impl PacketEngine {
                 if let Some(f) = best {
                     let ts = at_dst_cell[f].pop_front().expect("nonempty");
                     delivered += 1;
-                    delay_sum += (slot as u32 - ts) as u64;
+                    delay_sum += abs_slot - ts;
                 }
             }
             // Backbone: one wire of bandwidth c between every cell pair.
@@ -766,6 +884,9 @@ impl PacketEngine {
                     }
                 }
             }
+            if slot + 1 < slots {
+                events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+            }
         }
         let backlog: u64 = at_src
             .iter()
@@ -773,18 +894,7 @@ impl PacketEngine {
             .chain(&at_dst_cell)
             .map(|q| q.len() as u64)
             .sum();
-        PacketStats {
-            injected,
-            delivered,
-            throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
-            mean_delay: if delivered > 0 {
-                delay_sum as f64 / delivered as f64
-            } else {
-                f64::NAN
-            },
-            backlog,
-            slots,
-        }
+        PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, n)
     }
 
     /// Bisects for the chain-network stability boundary: the largest
@@ -1004,9 +1114,9 @@ impl PacketEngine {
             }
         }
         let dst_of: Vec<usize> = plan.flows().iter().map(|fl| fl.dst).collect();
-        let mut at_src: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
-        let mut at_backbone: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
-        let mut at_dst_group: Vec<VecDeque<u32>> = vec![VecDeque::new(); n];
+        let mut at_src: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut at_backbone: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut at_dst_group: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
         let mut flows_by_dst: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (f, &d) in dst_of.iter().enumerate() {
             flows_by_dst[d].push(f);
@@ -1027,7 +1137,18 @@ impl PacketEngine {
         let mut outage_slots = 0usize;
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        for slot in 0..slots {
+        let mut events = EventQueue::new();
+        events.push(
+            0,
+            Event::SlotBoundary {
+                slot: self.base_slot,
+            },
+        );
+        while let Some((tick, ev)) = events.pop() {
+            let Event::SlotBoundary { slot: abs_slot } = ev else {
+                unreachable!("steady-state adapter only queues boundaries");
+            };
+            let slot = tick as usize;
             injector.advance_to(slot);
             injector.fill_alive(n, policy, &mut alive);
             let mask = injector.mask();
@@ -1050,7 +1171,7 @@ impl PacketEngine {
                 *a += lambda;
                 while *a >= 1.0 {
                     *a -= 1.0;
-                    at_src[f].push_back(slot as u32);
+                    at_src[f].push_back(abs_slot);
                     injected += 1;
                 }
             }
@@ -1080,7 +1201,7 @@ impl PacketEngine {
                                 if let Some(ts) = at_src[u].pop_front() {
                                     delivered += 1;
                                     fallback_delivered += 1;
-                                    delay_sum += (slot as u32 - ts) as u64;
+                                    delay_sum += abs_slot - ts;
                                 }
                             }
                         }
@@ -1117,7 +1238,7 @@ impl PacketEngine {
                     let ts = at_dst_group[f].pop_front().expect("nonempty");
                     delivered += 1;
                     infra_delivered += 1;
-                    delay_sum += (slot as u32 - ts) as u64;
+                    delay_sum += abs_slot - ts;
                 }
             }
             // Phase II: drain backbone queues over surviving wires.
@@ -1160,6 +1281,9 @@ impl PacketEngine {
                     }
                 }
             }
+            if slot + 1 < slots {
+                events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+            }
         }
         let backlog: u64 = at_src
             .iter()
@@ -1201,18 +1325,7 @@ impl PacketEngine {
             );
         }
         Ok(DegradedPacketStats {
-            base: PacketStats {
-                injected,
-                delivered,
-                throughput_per_node: delivered as f64 / (slots as f64 * n as f64),
-                mean_delay: if delivered > 0 {
-                    delay_sum as f64 / delivered as f64
-                } else {
-                    f64::NAN
-                },
-                backlog,
-                slots,
-            },
+            base: PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, n),
             infra_delivered,
             fallback_delivered,
             lost_uplink_contacts,
@@ -1295,7 +1408,10 @@ mod tests {
         assert_eq!(stats.injected, 0);
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.backlog, 0);
-        assert!(stats.mean_delay.is_nan());
+        // Empty runs must not poison derived metrics: 0.0, not NaN, so
+        // nothing non-finite leaks into hycap-metrics/1 snapshots.
+        assert_eq!(stats.mean_delay, 0.0);
+        assert_eq!(stats.throughput_per_node, 0.0);
         assert_eq!(stats.delivery_ratio(), 1.0);
     }
 

@@ -156,6 +156,46 @@ pub fn geometric_ns(min_n: usize, max_n: usize, count: usize) -> Result<Vec<usiz
     Ok(out)
 }
 
+/// A geometric ladder of `count` load points from `lo` to `hi` (inclusive):
+/// the λ/arrival-rate axis of an FCT-vs-load sweep, geometric because
+/// queueing delay blows up multiplicatively near the stability boundary.
+///
+/// # Errors
+///
+/// [`HycapError::InvalidParameter`] if `count < 2`, `lo` is not positive
+/// and finite, or `lo >= hi`.
+///
+/// # Example
+///
+/// ```
+/// let loads = hycap_sim::load_ladder(0.001, 0.016, 5).unwrap();
+/// assert_eq!(loads.len(), 5);
+/// assert!((loads[1] / loads[0] - 2.0).abs() < 1e-9);
+/// ```
+pub fn load_ladder(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, HycapError> {
+    if count < 2 {
+        return Err(HycapError::invalid(
+            "ladder count",
+            format!("need at least two ladder points, got {count}"),
+        ));
+    }
+    if !(lo > 0.0 && lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(HycapError::invalid(
+            "ladder range",
+            format!("need 0 < lo < hi (finite), got lo={lo} hi={hi}"),
+        ));
+    }
+    let ratio = (hi / lo).powf(1.0 / (count - 1) as f64);
+    let mut out = Vec::with_capacity(count);
+    let mut v = lo;
+    for _ in 0..count - 1 {
+        out.push(v);
+        v *= ratio;
+    }
+    out.push(hi);
+    Ok(out)
+}
+
 /// Runs `f` over the inputs on scoped threads (at most `threads` of them)
 /// and returns outputs in input order.
 ///
@@ -289,6 +329,36 @@ mod tests {
             assert!(
                 matches!(err, HycapError::InvalidParameter { .. }),
                 "({min_n}, {max_n}, {count}) -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_ladder_spans_range_geometrically() {
+        let loads = load_ladder(0.001, 0.016, 5).unwrap();
+        assert_eq!(loads.len(), 5);
+        assert_eq!(loads[0], 0.001);
+        assert_eq!(*loads.last().unwrap(), 0.016);
+        for w in loads.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9, "ratio {}", w[1] / w[0]);
+        }
+    }
+
+    #[test]
+    fn load_ladder_rejects_bad_parameters() {
+        for (lo, hi, count) in [
+            (0.001, 0.016, 1),
+            (0.0, 0.016, 5),
+            (0.01, 0.001, 5),
+            (f64::NAN, 1.0, 3),
+            (0.001, f64::INFINITY, 3),
+        ] {
+            assert!(
+                matches!(
+                    load_ladder(lo, hi, count),
+                    Err(HycapError::InvalidParameter { .. })
+                ),
+                "({lo}, {hi}, {count}) should be rejected"
             );
         }
     }

@@ -21,8 +21,8 @@ use hycap::obs::{Observer, PROBE_RATE_BUDGET, PROBE_SCHEDULE_FEASIBILITY};
 use hycap::{ModelExponents, Realization, Scenario};
 use hycap_routing::{SchemeAPlan, SchemeBPlan};
 use hycap_sim::{
-    DegradedPacketStats, FaultInjector, FaultSchedule, FluidEngine, OutagePolicy, PacketEngine,
-    PacketStats,
+    DegradedPacketStats, FaultInjector, FaultSchedule, FlowWorkload, FluidEngine, OutagePolicy,
+    PacketEngine, PacketStats,
 };
 
 /// Bit-level equality for packet statistics: stricter than `PartialEq`
@@ -321,6 +321,112 @@ fn packet_faulted_matrix_clean_and_bit_identical() {
             );
             assert_eq!(obs.snapshot().counter("packet.scheme_b.faulted_runs"), 1);
         }
+    }
+}
+
+#[test]
+fn flow_matrix_clean_and_bit_identical() {
+    for seed in SEEDS {
+        let workload = FlowWorkload::poisson(0.002, 3, SLOTS).with_seed(seed);
+        let engine = PacketEngine::default();
+        let (mut plain, plan_a, plan_b) = realize(seed);
+        let base_a = engine
+            .run_flows_scheme_a(
+                &mut plain.net,
+                &plan_a,
+                &plain.traffic,
+                &workload,
+                &mut plain.rng,
+            )
+            .unwrap();
+        let base_b = engine
+            .run_flows_scheme_b(&mut plain.net, &plan_b, &workload, &mut plain.rng)
+            .unwrap();
+
+        let (mut obsd, plan_a2, plan_b2) = realize(seed);
+        let mut obs = Observer::recording().with_probes();
+        let got_a = engine
+            .run_flows_scheme_a_observed(
+                &mut obsd.net,
+                &plan_a2,
+                &obsd.traffic,
+                &workload,
+                &mut obsd.rng,
+                &mut obs,
+            )
+            .unwrap();
+        let got_b = engine
+            .run_flows_scheme_b_observed(
+                &mut obsd.net,
+                &plan_b2,
+                &workload,
+                &mut obsd.rng,
+                &mut obs,
+            )
+            .unwrap();
+        // Plain f64 equality doubles as the NaN pin: a poisoned statistic
+        // would fail even against an identical rerun.
+        assert_eq!(base_a, got_a, "seed {seed}: flow scheme A diverged");
+        assert_eq!(base_b, got_b, "seed {seed}: flow scheme B diverged");
+        assert!(
+            obs.is_clean(),
+            "seed {seed}: violations: {:?}",
+            obs.violations()
+        );
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("flows.chains.runs"), 1);
+        assert_eq!(snap.counter("flows.scheme_b.runs"), 1);
+    }
+}
+
+/// Conformance row for the empty-run contract: a run that injects nothing
+/// must report exact zeros (not NaN/inf) so every downstream serializer
+/// stays valid, and its metrics snapshot must contain only finite numbers.
+#[test]
+fn empty_run_row_reports_zeros_and_finite_json() {
+    let (mut r, _, _) = realize(SEEDS[0]);
+    let chains: Vec<Vec<usize>> = r.traffic.pairs().map(|(s, d)| vec![s, d]).collect();
+    let mut obs = Observer::recording().with_probes();
+    let stats = PacketEngine::default()
+        .run_chains_observed(&mut r.net, &chains, 0.0, SLOTS, &mut r.rng, &mut obs)
+        .unwrap();
+    assert_eq!(stats.injected, 0);
+    assert_eq!(stats.delivered, 0);
+    assert_eq!(stats.mean_delay.to_bits(), 0.0f64.to_bits());
+    assert_eq!(stats.throughput_per_node.to_bits(), 0.0f64.to_bits());
+
+    let workload = FlowWorkload::poisson(0.0, 2, SLOTS);
+    let flow_stats = PacketEngine::default()
+        .run_flows_observed(&mut r.net, &chains, &workload, &mut r.rng, &mut obs)
+        .unwrap();
+    assert_eq!(flow_stats.flows_started, 0);
+    assert_eq!(flow_stats.mean_fct.to_bits(), 0.0f64.to_bits());
+    assert_eq!(flow_stats.fct_p99.to_bits(), 0.0f64.to_bits());
+    assert_eq!(flow_stats.mean_delay.to_bits(), 0.0f64.to_bits());
+
+    assert!(obs.is_clean(), "violations: {:?}", obs.violations());
+    let json = obs.snapshot().to_json();
+    assert!(!json.contains("NaN"), "non-finite value leaked: {json}");
+    assert!(
+        !json.contains("Infinity"),
+        "non-finite value leaked: {json}"
+    );
+}
+
+#[test]
+fn scenario_measure_flows_is_bit_identical_under_observation() {
+    for seed in SEEDS {
+        let sc = Scenario::builder(strong_exps(), N).seed(seed).build();
+        let workload = FlowWorkload::poisson(0.002, 3, SLOTS).with_seed(seed);
+        let base = sc.measure_flows(&workload).unwrap();
+        let mut obs = Observer::recording().with_probes();
+        let got = sc.measure_flows_observed(&workload, &mut obs).unwrap();
+        assert_eq!(base, got, "seed {seed}: flow scenario diverged");
+        assert!(
+            obs.is_clean(),
+            "seed {seed}: violations: {:?}",
+            obs.violations()
+        );
     }
 }
 
