@@ -3,11 +3,13 @@
 //! Figure 1/2/3) at a configurable scale.
 
 use hycap::{capacity_exponent, MobilityRegime, ModelExponents, Scenario};
+use hycap_errors::HycapError;
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
 use hycap_routing::{baselines, StaticMultihopPlan, TrafficMatrix};
-use hycap_sim::{fit_loglog, FitResult, WorkerPool};
+use hycap_sim::{fit_loglog, Checkpoint, FitResult, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
 
 /// Experiment scale: `Quick` for benches and smoke runs, `Full` for the
 /// EXPERIMENTS.md numbers.
@@ -145,6 +147,41 @@ pub fn run_table1_row(
     seed: u64,
     pool: &WorkerPool,
 ) -> RowResult {
+    run_table1_row_checkpointed(label, exps, with_bs, mobility, scale, seed, pool, None)
+        .expect("a checkpoint-free table row performs no journal I/O")
+}
+
+/// The checkpoint key of one Table I ladder point. Row label and `n`
+/// identify the point; scale, seed and engine version are bound by the
+/// journal's scenario digest, not the key.
+fn table1_point_key(label: &str, n: usize) -> String {
+    format!("table1/{label}/n={n}")
+}
+
+/// [`run_table1_row`] with per-point checkpoint/resume: every completed
+/// ladder point is journaled to `checkpoint` as it finishes (from the
+/// worker, so a crash mid-row keeps the finished points), and points
+/// already in the journal are returned without recomputation. The merged
+/// row is bit-identical to an uninterrupted run because each point is a
+/// pure function of `(label, n, seed, scale)` and the journal stores exact
+/// `f64` bits.
+///
+/// # Errors
+///
+/// [`HycapError::Io`] when journaling a completed point fails; the row's
+/// measurements are lost but the journal stays consistent (only fully
+/// written records are ever read back).
+#[allow(clippy::too_many_arguments)]
+pub fn run_table1_row_checkpointed(
+    label: &'static str,
+    exps: ModelExponents,
+    with_bs: bool,
+    mobility: MobilityKind,
+    scale: Scale,
+    seed: u64,
+    pool: &WorkerPool,
+    checkpoint: Option<&Arc<Checkpoint>>,
+) -> Result<RowResult, HycapError> {
     let ns = ladder_for(scale, &exps);
     let slots = scale.slots();
     let static_nodes = matches!(mobility, MobilityKind::Static);
@@ -156,7 +193,7 @@ pub fn run_table1_row(
     let reps = scale.reps();
     // Per ladder point: (mobility term, infrastructure term), averaged
     // over positive reps.
-    let measured: Vec<(f64, f64)> = pool.map(ns.clone(), move |n| {
+    let point = move |n: usize| {
         let (mut acc_m, mut used_m, mut acc_i, mut used_i) = (0.0, 0usize, 0.0, 0usize);
         for rep in 0..reps {
             let seed = seed
@@ -200,7 +237,41 @@ pub fn run_table1_row(
                 0.0
             },
         )
-    });
+    };
+    let measured: Vec<(f64, f64)> = match checkpoint {
+        None => pool.map(ns.clone(), point),
+        Some(ck) => {
+            let mut out: Vec<Option<(f64, f64)>> = ns
+                .iter()
+                .map(|&n| {
+                    ck.lookup(&table1_point_key(label, n))
+                        .and_then(|bits| (bits.len() == 2).then(|| (bits[0], bits[1])))
+                })
+                .collect();
+            let missing_idx: Vec<usize> = (0..ns.len()).filter(|&i| out[i].is_none()).collect();
+            let missing_ns: Vec<usize> = missing_idx.iter().map(|&i| ns[i]).collect();
+            let journal_err: Arc<Mutex<Option<HycapError>>> = Arc::new(Mutex::new(None));
+            let ck2 = Arc::clone(ck);
+            let err2 = Arc::clone(&journal_err);
+            let fresh = pool.map(missing_ns, move |n| {
+                let value = point(n);
+                if let Err(e) = ck2.record(&table1_point_key(label, n), &[value.0, value.1]) {
+                    let mut slot = err2.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(e);
+                }
+                value
+            });
+            if let Some(e) = journal_err.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                return Err(e);
+            }
+            for (&i, value) in missing_idx.iter().zip(fresh) {
+                out[i] = Some(value);
+            }
+            out.into_iter()
+                .map(|v| v.expect("every ladder point resolved"))
+                .collect()
+        }
+    };
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
     let component = |name: &'static str, lambdas: Vec<f64>, order: Option<hycap::Order>| {
         let positive = lambdas.iter().filter(|&&l| l > 0.0).count();
@@ -252,7 +323,7 @@ pub fn run_table1_row(
             Some(hycap::capacity_with_bs(r, &exps)),
         )],
     };
-    RowResult { label, components }
+    Ok(RowResult { label, components })
 }
 
 /// Runs all five Table I rows on one shared worker pool.
@@ -452,6 +523,54 @@ mod tests {
         );
         assert!((comp.theory_exponent + 0.25).abs() < 1e-12);
         assert!(comp.slope_error().is_finite());
+    }
+
+    #[test]
+    fn checkpointed_row_journals_and_resumes_bit_identically() {
+        let (label, exps, with_bs, mobility) = table1_exponents()[0];
+        let pool = WorkerPool::new(2);
+        let plain = run_table1_row(label, exps, with_bs, mobility, Scale::Smoke, 11, &pool);
+        let dir = std::env::temp_dir().join(format!("hycap-bench-ckpt-{}", std::process::id()));
+        let path = dir.join("row.jsonl");
+        let digest = hycap_sim::scenario_digest(&[label, "scale=smoke", "seed=11"]);
+        let ck = Arc::new(Checkpoint::create(&path, &digest).unwrap());
+        let first = run_table1_row_checkpointed(
+            label,
+            exps,
+            with_bs,
+            mobility,
+            Scale::Smoke,
+            11,
+            &pool,
+            Some(&ck),
+        )
+        .unwrap();
+        let expect = &plain.components[0].lambdas;
+        let got = &first.components[0].lambdas;
+        assert_eq!(expect.len(), got.len());
+        for (a, b) in expect.iter().zip(got) {
+            assert_eq!(a.to_bits(), b.to_bits(), "journaling must not perturb");
+        }
+        assert_eq!(ck.completed(), plain.components[0].ns.len());
+        // A fresh process resuming the journal recomputes nothing and
+        // reproduces the same bits.
+        let resumed_ck = Arc::new(Checkpoint::resume(&path, &digest).unwrap());
+        assert_eq!(resumed_ck.completed(), ck.completed());
+        let resumed = run_table1_row_checkpointed(
+            label,
+            exps,
+            with_bs,
+            mobility,
+            Scale::Smoke,
+            11,
+            &pool,
+            Some(&resumed_ck),
+        )
+        .unwrap();
+        for (a, b) in expect.iter().zip(&resumed.components[0].lambdas) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resume must reproduce exactly");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["static", "no-bs", "help", "full", "occupy"];
+const SWITCHES: &[&str] = &["static", "no-bs", "help", "full", "occupy", "resume"];
 
 impl Args {
     /// Parses `tokens` (without the program name).

@@ -8,11 +8,12 @@ use hycap_errors::HycapError;
 use hycap_mobility::MobilityKind;
 use hycap_routing::SchemeBPlan;
 use hycap_sim::{
-    fit_loglog, geometric_ns, load_ladder, FaultSchedule, FlowRunStats, FlowSizes, FlowWorkload,
-    FluidEngine, OutagePolicy, PacketEngine, WorkerPool,
+    fit_loglog, geometric_ns, load_ladder, scenario_digest, Checkpoint, FaultSchedule,
+    FlowRunStats, FlowSizes, FlowWorkload, FluidEngine, OutagePolicy, PacketEngine, WorkerPool,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Usage text shared by `help` and error paths.
 pub const USAGE: &str = "\
@@ -27,7 +28,8 @@ USAGE:
   hycap sweep    --alpha A --m M --r R --k K --phi P
                  [--ns 200,400,800 | --min-n N --max-n N --count C]
                  [--slots S] [--seed X] [--threads T] [--static] [--no-bs]
-                 [--metrics PATH]
+                 [--metrics PATH] [--deadline SECS] [--checkpoint PATH]
+                 [--resume]
   hycap surface  --phi P [--res 21]
   hycap degrade  --alpha A --m M --r R --k K --phi P --n N
                  [--fail-frac F] [--outage-p P] [--outage-seed Y]
@@ -83,13 +85,56 @@ FAULTS (degrade subcommand):
   --outage-seed Y seed of the outage process (default 1)
   --cells C       BS groups per side (default: auto, ~4 BSs per group)
   --occupy        dead BSs keep occupying spectrum instead of radio-off
+
+CRASH SAFETY (sweep subcommand):
+  --deadline SECS    stop cleanly at the next ladder-point boundary once
+                     SECS of wall clock have elapsed; the partial table is
+                     printed and the process exits 4
+  --checkpoint PATH  journal each completed ladder point to PATH (one
+                     JSONL record per point, fsynced, exact f64 bits); the
+                     journal is bound to the sweep's parameters + engine
+                     version by a digest in its header
+  --resume           with --checkpoint: verify the digest, reuse every
+                     journaled point and compute only the missing ones;
+                     the merged report is bit-identical to an
+                     uninterrupted sweep (incompatible with --metrics)
 ";
 
-type CmdResult = Result<String, Box<dyn std::error::Error>>;
+/// What a subcommand hands back to `main`: the text to print plus the
+/// process exit code. `code` is 0 for a complete run and 4 when a
+/// `--deadline` cut the run short with partial results written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code (0 complete, 4 partial).
+    pub code: i32,
+}
 
-/// The `--metrics <path>` option shared by measure/sweep/degrade.
-fn metrics_path(args: &Args) -> Result<Option<PathBuf>, ArgError> {
-    Ok(args.get::<String>("metrics")?.map(PathBuf::from))
+type CmdResult = Result<CmdOutput, Box<dyn std::error::Error>>;
+
+/// Wraps a complete run's output (exit code 0).
+fn done(text: String) -> CmdResult {
+    Ok(CmdOutput { text, code: 0 })
+}
+
+/// The `--metrics <path>` option shared by measure/sweep/degrade. The
+/// parent directory is validated up front so a typo'd path exits as
+/// invalid input (2) before the run burns minutes of simulation.
+fn metrics_path(args: &Args) -> Result<Option<PathBuf>, Box<dyn std::error::Error>> {
+    let Some(path) = args.get::<String>("metrics")?.map(PathBuf::from) else {
+        return Ok(None);
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(HycapError::invalid(
+                "metrics",
+                format!("metrics directory '{}' does not exist", parent.display()),
+            )
+            .into());
+        }
+    }
+    Ok(Some(path))
 }
 
 /// The `--threads <count>` option shared by measure/sweep/degrade: a
@@ -158,7 +203,7 @@ pub fn classify(args: &Args) -> CmdResult {
         Ok(regime) => writeln!(out, "regime:         {regime} mobility")?,
         Err(e) => writeln!(out, "regime:         unclassifiable ({e})")?,
     }
-    Ok(out)
+    done(out)
 }
 
 /// `hycap theory` — the Table I row for the family.
@@ -183,7 +228,7 @@ pub fn theory(args: &Args) -> CmdResult {
             laws::dominance(exps.alpha, exps.k_exp, exps.phi)
         )?;
     }
-    Ok(out)
+    done(out)
 }
 
 fn scenario(args: &Args, exps: ModelExponents, n: usize) -> Result<Scenario, ArgError> {
@@ -248,11 +293,38 @@ pub fn measure(args: &Args) -> CmdResult {
     if let (Some(path), Some(snapshot)) = (metrics, snapshot.as_ref()) {
         report_snapshot(&mut out, &path, snapshot)?;
     }
-    Ok(out)
+    done(out)
 }
 
-/// `hycap sweep` — capacity over an `n`-ladder with a log–log exponent fit.
+/// The journal digest of one sweep invocation: every parameter that
+/// changes the measured numbers (model exponents, slots, seed, mobility
+/// and infrastructure toggles — not the ladder itself, so a journal can
+/// seed an extended ladder, and not `--threads`, which is bit-invariant).
+fn sweep_digest(exps: &ModelExponents, slots: usize, seed: u64, args: &Args) -> String {
+    scenario_digest(&[
+        "sweep",
+        &format!("alpha={}", exps.alpha),
+        &format!("m={}", exps.m_exp),
+        &format!("r={}", exps.r_exp),
+        &format!("k={}", exps.k_exp),
+        &format!("phi={}", exps.phi),
+        &format!("slots={slots}"),
+        &format!("seed={seed}"),
+        &format!("static={}", args.flag("static")),
+        &format!("no-bs={}", args.flag("no-bs")),
+    ])
+}
+
+/// `hycap sweep` — capacity over an `n`-ladder with a log–log exponent
+/// fit, with optional crash safety: `--deadline SECS` stops cleanly at the
+/// next point boundary (exit code 4, partial table printed), and
+/// `--checkpoint PATH` journals each completed point so `--resume` picks
+/// up where a killed run stopped, bit-identical to an uninterrupted sweep.
 pub fn sweep(args: &Args) -> CmdResult {
+    // The deadline clock starts before argument validation and pool
+    // spawning so `--deadline` bounds the whole command, not just the
+    // measurement loop.
+    let started = Instant::now();
     let exps = exponents(args)?;
     let ns: Vec<usize> = match args.get_list("ns")? {
         Some(ns) => ns,
@@ -269,30 +341,109 @@ pub fn sweep(args: &Args) -> CmdResult {
         return Err("sweep needs at least two ladder points".into());
     }
     let slots: usize = args.get_or("slots", 400)?;
+    let seed: u64 = args.get_or("seed", 0)?;
     let metrics = metrics_path(args)?;
+    let deadline: Option<Duration> = match args.get::<f64>("deadline")? {
+        None => None,
+        Some(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+        Some(secs) => {
+            return Err(HycapError::invalid(
+                "deadline",
+                format!("deadline must be positive seconds, got {secs}"),
+            )
+            .into())
+        }
+    };
+    let resume = args.flag("resume");
+    let checkpoint_path: Option<String> = args.get("checkpoint")?;
+    if resume && checkpoint_path.is_none() {
+        return Err(HycapError::invalid("resume", "--resume needs --checkpoint PATH").into());
+    }
+    if resume && metrics.is_some() {
+        return Err(HycapError::invalid(
+            "resume",
+            "--resume cannot rebuild the merged --metrics snapshot for cached \
+             points; rerun without --resume to record metrics",
+        )
+        .into());
+    }
+    let digest = sweep_digest(&exps, slots, seed, args);
+    let checkpoint = match &checkpoint_path {
+        None => None,
+        Some(p) => {
+            let path = Path::new(p);
+            let ck = if resume {
+                Checkpoint::resume(path, &digest)?
+            } else {
+                Checkpoint::create(path, &digest)?
+            };
+            Some(ck)
+        }
+    };
+    if let (true, Some(ck)) = (resume, checkpoint.as_ref()) {
+        // Status to stderr: stdout must stay byte-identical to an
+        // uninterrupted sweep so resumed reports diff clean.
+        eprintln!(
+            "resume: {} completed point(s) found in {}",
+            ck.completed(),
+            checkpoint_path.as_deref().unwrap_or("")
+        );
+    }
     let pool = worker_pool(args)?;
     let mut merged = Snapshot::default();
     let mut out = String::new();
     let mut lambdas = Vec::new();
-    for &n in &ns {
-        let sc = scenario(args, exps, n)?;
-        let report = if metrics.is_some() {
-            let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
-            merged.merge(&snapshot);
-            report
-        } else {
-            sc.measure_par(slots, &pool)?
+    let mut cut_after: Option<usize> = None;
+    for (i, &n) in ns.iter().enumerate() {
+        if let Some(limit) = deadline {
+            if started.elapsed() >= limit {
+                cut_after = Some(i);
+                break;
+            }
+        }
+        let key = format!("sweep/n={n}");
+        let cached = checkpoint
+            .as_ref()
+            .and_then(|ck| ck.lookup(&key))
+            .and_then(|bits| (bits.len() == 2).then(|| (bits[0], bits[1])));
+        let (lambda, typical) = match cached {
+            Some(point) => point,
+            None => {
+                let sc = scenario(args, exps, n)?;
+                let report = if metrics.is_some() {
+                    let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
+                    merged.merge(&snapshot);
+                    report
+                } else {
+                    sc.measure_par(slots, &pool)?
+                };
+                let typical = report
+                    .lambda_mobility_typical
+                    .unwrap_or(0.0)
+                    .max(report.lambda_infra_typical.unwrap_or(0.0));
+                if let Some(ck) = checkpoint.as_ref() {
+                    ck.record(&key, &[report.lambda, typical])?;
+                }
+                (report.lambda, typical)
+            }
         };
-        let typical = report
-            .lambda_mobility_typical
-            .unwrap_or(0.0)
-            .max(report.lambda_infra_typical.unwrap_or(0.0));
         writeln!(
             out,
-            "n = {n:6}: lambda = {:.6} (typical {typical:.6})",
-            report.lambda
+            "n = {n:6}: lambda = {lambda:.6} (typical {typical:.6})"
         )?;
         lambdas.push(typical);
+    }
+    if let Some(completed) = cut_after {
+        writeln!(
+            out,
+            "sweep interrupted by wall deadline after {completed}/{} points; \
+             partial results written",
+            ns.len()
+        )?;
+        if let Some(path) = metrics {
+            report_snapshot(&mut out, &path, &merged)?;
+        }
+        return Ok(CmdOutput { text: out, code: 4 });
     }
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
     if lambdas.iter().filter(|&&l| l > 0.0).count() >= 2 {
@@ -316,7 +467,7 @@ pub fn sweep(args: &Args) -> CmdResult {
     if let Some(path) = metrics {
         report_snapshot(&mut out, &path, &merged)?;
     }
-    Ok(out)
+    done(out)
 }
 
 /// `hycap degrade` — scheme-B capacity under base-station failures: the
@@ -446,7 +597,7 @@ pub fn degrade(args: &Args) -> CmdResult {
     if let Some(path) = metrics {
         report_snapshot(&mut out, &path, &merged)?;
     }
-    Ok(out)
+    done(out)
 }
 
 /// One-line flow-run summary shared by the single-run and sweep outputs.
@@ -596,7 +747,7 @@ pub fn flows(args: &Args) -> CmdResult {
     if let Some(path) = metrics {
         report_snapshot(&mut out, &path, &merged)?;
     }
-    Ok(out)
+    done(out)
 }
 
 /// `hycap surface` — the Figure 3 exponent surface as text rows.
@@ -618,7 +769,7 @@ pub fn surface(args: &Args) -> CmdResult {
         }
         writeln!(out, "{line}")?;
     }
-    Ok(out)
+    done(out)
 }
 
 #[cfg(test)]
@@ -631,7 +782,9 @@ mod tests {
 
     #[test]
     fn classify_strong_family() {
-        let out = classify(&args("classify --alpha 0.25 --m 1.0 --k 0.75")).unwrap();
+        let out = classify(&args("classify --alpha 0.25 --m 1.0 --k 0.75"))
+            .unwrap()
+            .text;
         assert!(out.contains("strong mobility"), "{out}");
     }
 
@@ -640,20 +793,25 @@ mod tests {
         let out = classify(&args(
             "classify --alpha 0.4 --m 0.2 --r 0.4 --k 0.6 --static",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("trivial mobility"), "{out}");
     }
 
     #[test]
     fn theory_prints_table_row() {
-        let out = theory(&args("theory --alpha 0.25 --m 1.0 --k 0.75")).unwrap();
+        let out = theory(&args("theory --alpha 0.25 --m 1.0 --k 0.75"))
+            .unwrap()
+            .text;
         assert!(out.contains("Θ(n^-0.25)"), "{out}");
         assert!(out.contains("Θ(n^-0.5)"), "{out}");
     }
 
     #[test]
     fn theory_no_bs_uses_other_column() {
-        let out = theory(&args("theory --alpha 0.4 --m 0.2 --r 0.4 --k 0.6 --no-bs")).unwrap();
+        let out = theory(&args("theory --alpha 0.4 --m 0.2 --r 0.4 --k 0.6 --no-bs"))
+            .unwrap()
+            .text;
         assert!(out.contains("log n"), "{out}");
     }
 
@@ -662,7 +820,8 @@ mod tests {
         let out = measure(&args(
             "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 80 --seed 3",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("total:"), "{out}");
         assert!(out.contains("regime: strong"), "{out}");
     }
@@ -672,7 +831,8 @@ mod tests {
         let out = sweep(&args(
             "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 60 --seed 4",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(
             out.contains("fit: lambda ~ n^") || out.contains("not enough"),
             "{out}"
@@ -681,7 +841,7 @@ mod tests {
 
     #[test]
     fn surface_renders_grid() {
-        let out = surface(&args("surface --phi 0 --res 5")).unwrap();
+        let out = surface(&args("surface --phi 0 --res 5")).unwrap().text;
         assert_eq!(out.lines().count(), 2 + 5);
         assert!(out.contains("-0.5") || out.contains("-0.500"));
     }
@@ -692,7 +852,8 @@ mod tests {
             "degrade --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 80 --seed 3 \
              --fail-frac 0.5 --cells 2",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("baseline: lambda ="), "{out}");
         assert!(out.contains("degraded: lambda ="), "{out}");
         assert!(out.contains("BSs crashed"), "{out}");
@@ -726,13 +887,14 @@ mod tests {
         let base = measure(&args(
             "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         let path = std::env::temp_dir().join("hycap_cli_measure_metrics_test.json");
         let cmd = format!(
             "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3 --metrics {}",
             path.display()
         );
-        let observed = measure(&args(&cmd)).unwrap();
+        let observed = measure(&args(&cmd)).unwrap().text;
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(json.contains("\"schema\": \"hycap-metrics/1\""), "{json}");
@@ -759,7 +921,7 @@ mod tests {
              --fail-frac 0.5 --cells 2 --metrics {}",
             path.display()
         );
-        let out = degrade(&args(&cmd)).unwrap();
+        let out = degrade(&args(&cmd)).unwrap().text;
         assert!(out.contains("metrics:"), "{out}");
         let csv = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -770,8 +932,8 @@ mod tests {
     #[test]
     fn measure_is_thread_count_invariant() {
         let base = "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3";
-        let one = measure(&args(&format!("{base} --threads 1"))).unwrap();
-        let four = measure(&args(&format!("{base} --threads 4"))).unwrap();
+        let one = measure(&args(&format!("{base} --threads 1"))).unwrap().text;
+        let four = measure(&args(&format!("{base} --threads 4"))).unwrap().text;
         assert_eq!(one, four);
     }
 
@@ -797,7 +959,8 @@ mod tests {
             "flows --alpha 0.25 --m 1.0 --k 0.5 --n 120 --rate 0.002 --size 3 \
              --horizon 300 --seed 5",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("regime: strong"), "{out}");
         assert!(out.contains("mobility path (scheme A)"), "{out}");
         assert!(out.contains("fct p50"), "{out}");
@@ -809,7 +972,8 @@ mod tests {
             "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --min-load 0.001 \
              --max-load 0.004 --load-count 3 --size 2 --horizon 200 --seed 5",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("fct vs load"), "{out}");
         assert_eq!(
             out.lines().filter(|l| l.starts_with("load = ")).count(),
@@ -843,14 +1007,15 @@ mod tests {
         let base = flows(&args(
             "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --rate 0.002 --horizon 200 --seed 6",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         let path = std::env::temp_dir().join("hycap_cli_flows_metrics_test.json");
         let cmd = format!(
             "flows --alpha 0.25 --m 1.0 --k 0.5 --n 100 --rate 0.002 --horizon 200 --seed 6 \
              --metrics {}",
             path.display()
         );
-        let observed = flows(&args(&cmd)).unwrap();
+        let observed = flows(&args(&cmd)).unwrap().text;
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(json.contains("\"schema\": \"hycap-metrics/1\""), "{json}");
@@ -861,6 +1026,96 @@ mod tests {
             .map(|l| format!("{l}\n"))
             .collect();
         assert_eq!(base, stripped);
+    }
+
+    #[test]
+    fn metrics_under_missing_directory_is_invalid_input() {
+        let missing = std::env::temp_dir().join("hycap-no-such-dir-xyzzy/snap.json");
+        let cmd = format!(
+            "measure --alpha 0.25 --m 1.0 --k 0.5 --n 100 --slots 40 --metrics {}",
+            missing.display()
+        );
+        let err = measure(&args(&cmd)).unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn sweep_resume_requires_checkpoint_and_rejects_metrics() {
+        let err = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 40 --resume",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+        let path = std::env::temp_dir().join("hycap_cli_resume_metrics.jsonl");
+        let cmd = format!(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 40 --resume \
+             --checkpoint {} --metrics m.json",
+            path.display()
+        );
+        let err = sweep(&args(&cmd)).unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+    }
+
+    #[test]
+    fn sweep_rejects_nonpositive_deadline() {
+        let err = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 40 --deadline 0",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+    }
+
+    #[test]
+    fn sweep_checkpoint_then_resume_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("hycap-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("sweep.jsonl");
+        let base = "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 60 --seed 4";
+        let plain = sweep(&args(base)).unwrap();
+        assert_eq!(plain.code, 0);
+        let first = sweep(&args(&format!("{base} --checkpoint {}", journal.display()))).unwrap();
+        assert_eq!(plain.text, first.text, "journaling must not perturb");
+        // Resume with a warm journal recomputes nothing and reproduces the
+        // exact bytes.
+        let resumed = sweep(&args(&format!(
+            "{base} --checkpoint {} --resume",
+            journal.display()
+        )))
+        .unwrap();
+        assert_eq!(plain.text, resumed.text);
+        assert_eq!(resumed.code, 0);
+        // A different seed is a different scenario digest: resume refuses.
+        let err = sweep(&args(&format!(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 60 --seed 5 \
+             --checkpoint {} --resume",
+            journal.display()
+        )))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_deadline_yields_partial_output_and_exit_code_4() {
+        // An already-expired deadline cuts the sweep before the first
+        // point: the partial table is empty but the exit code flags it.
+        let out = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 40 --deadline 0.000001",
+        ))
+        .unwrap();
+        assert_eq!(out.code, 4);
+        assert!(
+            out.text.contains("interrupted by wall deadline"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("0/2 points"), "{}", out.text);
     }
 
     #[test]

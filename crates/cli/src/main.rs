@@ -24,9 +24,14 @@
 //! (flat CSV when PATH ends in `.csv`) without perturbing the measured
 //! numbers.
 //!
+//! `sweep` additionally accepts `--deadline SECS` (stop at the next point
+//! boundary, exit 4), `--checkpoint PATH` (journal completed points) and
+//! `--resume` (reuse journaled points; bit-identical merged report).
+//!
 //! Exit codes: 0 success; 1 unexpected failure (including I/O); 2 invalid
 //! input (bad arguments or parameters); 3 missing/exhausted
-//! infrastructure.
+//! infrastructure; 4 run interrupted by a deadline or budget — partial
+//! results written.
 
 mod args;
 mod commands;
@@ -66,7 +71,12 @@ fn main() {
         }
     };
     match result {
-        Ok(output) => print!("{output}"),
+        Ok(output) => {
+            print!("{}", output.text);
+            if output.code != 0 {
+                std::process::exit(output.code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(exit_code_for(e.as_ref()));
@@ -75,8 +85,9 @@ fn main() {
 }
 
 /// Maps an error to the documented exit codes: typed [`hycap_errors::HycapError`]s carry
-/// their own code (2 invalid input, 3 missing infrastructure), argument
-/// errors are invalid input (2), anything else is an unexpected failure (1).
+/// their own code (2 invalid input, 3 missing infrastructure, 4
+/// interrupted with partial results), argument errors are invalid input
+/// (2), anything else is an unexpected failure (1).
 fn exit_code_for(e: &(dyn std::error::Error + 'static)) -> i32 {
     if let Some(he) = e.downcast_ref::<hycap_errors::HycapError>() {
         he.exit_code()

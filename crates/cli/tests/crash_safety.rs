@@ -1,0 +1,183 @@
+//! Crash-safety conformance for the `hycap` binary: a sweep killed with
+//! SIGKILL mid-run resumes from its checkpoint journal to a report that is
+//! byte-identical to an uninterrupted run, expired deadlines exit 4 with
+//! partial results, and bad `--metrics` paths exit 2 before any work.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_hycap");
+
+/// Journals live under `target/test-checkpoints/` so CI can upload them as
+/// an artifact when a conformance run fails.
+fn checkpoint_dir() -> PathBuf {
+    let target = Path::new(BIN)
+        .ancestors()
+        .nth(2)
+        .expect("bin lives under target/<profile>/");
+    let dir = target.join("test-checkpoints");
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+// A ladder heavy enough (hundreds of ms even on one core) that the kill
+// below lands while later points are still being computed.
+const SWEEP_ARGS: &[&str] = &[
+    "sweep",
+    "--alpha",
+    "0.25",
+    "--m",
+    "1.0",
+    "--k",
+    "0.5",
+    "--ns",
+    "100,140,200,280,400,560,800",
+    "--slots",
+    "120",
+    "--seed",
+    "7",
+    "--threads",
+    "2",
+];
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn hycap binary")
+}
+
+/// Completed records in the journal (lines after the schema header).
+fn journal_records(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| s.lines().filter(|l| l.starts_with("{\"key\"")).count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_is_byte_identical() {
+    let journal = checkpoint_dir().join("kill-resume.jsonl");
+    std::fs::remove_file(&journal).ok();
+    // The reference: one uninterrupted run without any checkpointing.
+    let reference = run(SWEEP_ARGS);
+    assert!(reference.status.success(), "reference sweep failed");
+
+    // Start the same sweep with a journal and kill it (SIGKILL — no
+    // cleanup handler runs) as soon as at least one point is durable.
+    let mut args: Vec<&str> = SWEEP_ARGS.to_vec();
+    let journal_str = journal.to_str().unwrap().to_string();
+    args.extend_from_slice(&["--checkpoint", &journal_str]);
+    let mut child = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn journaled sweep");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if journal_records(&journal) >= 1 {
+            child.kill().ok(); // SIGKILL on unix
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            // The run outpaced the poll and finished; resume still must
+            // reproduce the reference (from a complete journal).
+            break;
+        }
+        assert!(Instant::now() < deadline, "no journal record within 120s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.wait().expect("reap child");
+    let after_kill = journal_records(&journal);
+    assert!(after_kill >= 1, "kill left no durable record");
+
+    // Resume: recompute only the missing points, byte-identical stdout.
+    let mut resume_args = args.clone();
+    resume_args.push("--resume");
+    let resumed = run(&resume_args);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        reference.stdout, resumed.stdout,
+        "resumed report differs from the uninterrupted run"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resume:"),
+        "resume status line missing on stderr: {stderr}"
+    );
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn resume_with_mismatched_parameters_exits_2() {
+    let journal = checkpoint_dir().join("digest-mismatch.jsonl");
+    std::fs::remove_file(&journal).ok();
+    let journal_str = journal.to_str().unwrap().to_string();
+    let mut args: Vec<&str> = SWEEP_ARGS.to_vec();
+    args.extend_from_slice(&["--checkpoint", &journal_str]);
+    assert!(run(&args).status.success());
+    // Same journal, different seed: the digest check must refuse.
+    let mut mismatched: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let seed_at = mismatched.iter().position(|a| a == "7").unwrap();
+    mismatched[seed_at] = "8".to_string();
+    mismatched.push("--resume".to_string());
+    let out = Command::new(BIN)
+        .args(&mismatched)
+        .output()
+        .expect("spawn hycap binary");
+    assert_eq!(out.status.code(), Some(2), "digest mismatch must exit 2");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("digest"),
+        "stderr should name the digest mismatch"
+    );
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn expired_deadline_exits_4_with_partial_results() {
+    let mut args: Vec<&str> = SWEEP_ARGS.to_vec();
+    args.extend_from_slice(&["--deadline", "0.000001"]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(4), "partial run must exit 4");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("interrupted by wall deadline"),
+        "partial table must say why it stopped: {stdout}"
+    );
+    assert!(stdout.contains("partial results written"), "{stdout}");
+}
+
+#[test]
+fn metrics_under_nonexistent_directory_exits_2() {
+    let missing = checkpoint_dir().join("no-such-subdir/snap.json");
+    let missing_str = missing.to_str().unwrap().to_string();
+    let out = run(&[
+        "measure",
+        "--alpha",
+        "0.25",
+        "--m",
+        "1.0",
+        "--k",
+        "0.5",
+        "--n",
+        "100",
+        "--slots",
+        "40",
+        "--metrics",
+        &missing_str,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing metrics directory must exit 2 before the run starts"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not exist"),
+        "stderr should explain the bad path"
+    );
+}

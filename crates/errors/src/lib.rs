@@ -66,6 +66,23 @@ pub enum HycapError {
         /// The rendered `std::io::Error` message.
         message: String,
     },
+    /// A run exhausted its execution budget (wall deadline, slot cap or
+    /// event cap) before finishing. The partial progress completed so far
+    /// is valid — budgeted callers journal or report it — so this maps to
+    /// its own exit code (4, "partial results written") instead of an
+    /// input or environment failure.
+    Interrupted {
+        /// What was running (`"sweep ladder"`, `"packet flow run"`, …).
+        what: &'static str,
+        /// Work units completed before the budget tripped (slots, ladder
+        /// points — whatever the interrupted run counts in).
+        completed: u64,
+        /// Work units the run was asked for.
+        requested: u64,
+        /// The budget axis that tripped (`"wall deadline"`, `"slot
+        /// budget"`, `"event budget"`).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for HycapError {
@@ -92,6 +109,18 @@ impl fmt::Display for HycapError {
             HycapError::Io { context, message } => {
                 write!(f, "i/o failure while trying to {context}: {message}")
             }
+            HycapError::Interrupted {
+                what,
+                completed,
+                requested,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "{what} interrupted by {reason} after {completed}/{requested} \
+                     units; partial results written"
+                )
+            }
         }
     }
 }
@@ -117,7 +146,8 @@ impl HycapError {
 
     /// The conventional process exit code for this error class: `2` for
     /// malformed input (parameters, ranges, mismatches), `3` for a network
-    /// with nothing left to serve, `1` for environmental failures (I/O).
+    /// with nothing left to serve, `4` for a budget-interrupted run whose
+    /// partial results were written, `1` for environmental failures (I/O).
     /// The CLI maps `Err` returns through this instead of unwinding.
     pub fn exit_code(&self) -> i32 {
         match self {
@@ -125,6 +155,7 @@ impl HycapError {
             | HycapError::OutOfRange { .. }
             | HycapError::Mismatch { .. } => 2,
             HycapError::MissingInfrastructure(_) | HycapError::AllResourcesDown(_) => 3,
+            HycapError::Interrupted { .. } => 4,
             HycapError::Io { .. } => 1,
         }
     }
@@ -172,6 +203,15 @@ mod tests {
                 },
                 "i/o failure while trying to create reports directory",
             ),
+            (
+                HycapError::Interrupted {
+                    what: "sweep ladder",
+                    completed: 7,
+                    requested: 10,
+                    reason: "wall deadline",
+                },
+                "sweep ladder interrupted by wall deadline after 7/10",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -197,6 +237,14 @@ mod tests {
         let io = HycapError::io("write csv", &std::io::Error::other("disk full"));
         assert_eq!(io.exit_code(), 1);
         assert!(io.to_string().contains("disk full"));
+        let partial = HycapError::Interrupted {
+            what: "fluid scheme A",
+            completed: 3,
+            requested: 9,
+            reason: "slot budget",
+        };
+        assert_eq!(partial.exit_code(), 4);
+        assert!(partial.to_string().contains("partial results written"));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! flow workloads stay independently rederivable from `(seed, flow)`
 //! without replaying anything.
 
+use crate::budget::{BudgetExceeded, BudgetMeter};
 use rand::RngCore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -132,11 +133,19 @@ impl PartialOrd for QueuedEvent {
 /// assert_eq!(q.pop(), Some((5, Event::SlotBoundary { slot: 5 })));
 /// assert_eq!(q.pop(), None);
 /// ```
+/// Budget enforcement lives here rather than in each engine loop: every
+/// packet- and flow-level drain loop is `while let Some(..) = queue.pop()`,
+/// so arming a [`BudgetMeter`] (see [`EventQueue::set_budget`]) bounds all
+/// of them at once. A tripped budget makes `pop` return `None` — the drain
+/// loop ends exactly as if the queue ran dry — and the engine's post-loop
+/// [`EventQueue::interrupted`] check distinguishes "done" from "cut off".
 #[derive(Debug, Clone, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<QueuedEvent>,
     seq: u64,
     popped: u64,
+    budget: Option<BudgetMeter>,
+    interrupted: Option<BudgetExceeded>,
 }
 
 impl EventQueue {
@@ -159,8 +168,47 @@ impl EventQueue {
         });
     }
 
-    /// Pops the next event in `(time, class, flow, seq)` order.
+    /// Arms a run budget: every subsequent `pop` charges one event, and
+    /// popping a [`Event::SlotBoundary`] additionally charges one slot
+    /// (which also polls the wall deadline — the boundary is the natural
+    /// coarse tick). Once the meter trips, `pop` returns `None` and
+    /// [`EventQueue::interrupted`] reports the axis.
+    pub fn set_budget(&mut self, meter: BudgetMeter) {
+        self.budget = Some(meter);
+    }
+
+    /// The budget axis that stopped this queue, if its meter tripped.
+    /// `None` means every `pop` so far was a genuine drain.
+    pub fn interrupted(&self) -> Option<BudgetExceeded> {
+        self.interrupted
+    }
+
+    /// Slot boundaries the armed meter admitted so far (0 when no budget
+    /// is armed). Engines report this as the completed-slot count of an
+    /// interrupted run.
+    pub fn budget_slots_completed(&self) -> u64 {
+        self.budget.as_ref().map_or(0, |m| m.slots_completed())
+    }
+
+    /// Pops the next event in `(time, class, flow, seq)` order, or `None`
+    /// when the queue is empty or an armed budget has tripped.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
+        if self.interrupted.is_some() {
+            return None;
+        }
+        if let Some(meter) = &self.budget {
+            let next = self.heap.peek()?;
+            let admitted = match next.event {
+                // Event charge first so `slots_completed` never counts a
+                // boundary the event cap refused.
+                Event::SlotBoundary { .. } => meter.charge_event() && meter.charge_slot(),
+                _ => meter.charge_event(),
+            };
+            if !admitted {
+                self.interrupted = meter.exceeded();
+                return None;
+            }
+        }
         let qe = self.heap.pop()?;
         self.popped += 1;
         Some((qe.time, qe.event))
@@ -383,6 +431,49 @@ mod tests {
             })
             .collect();
         assert_eq!(hops, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn budgeted_queue_stops_at_event_cap() {
+        use crate::RunBudget;
+        let mut q = EventQueue::new();
+        for flow in 0..6u32 {
+            q.push(flow as u64, Event::Arrival { flow });
+        }
+        q.set_budget(RunBudget::unlimited().with_max_events(4).meter());
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(q.interrupted(), Some(crate::BudgetExceeded::Events));
+        assert_eq!(q.drained(), 4);
+        // Tripped queues stay stopped.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_queue_charges_slots_at_boundaries() {
+        use crate::RunBudget;
+        let mut q = EventQueue::new();
+        for slot in 0..5u64 {
+            q.push(slot, Event::SlotBoundary { slot });
+            q.push(slot, Event::Arrival { flow: slot as u32 });
+        }
+        let meter = RunBudget::unlimited().with_max_slots(2).meter();
+        q.set_budget(meter.clone());
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        // Slots 0 and 1 complete (arrival + boundary each); slot 2's
+        // arrival drains, then its boundary trips the slot cap.
+        assert_eq!(drained.len(), 5);
+        assert_eq!(q.interrupted(), Some(crate::BudgetExceeded::Slots));
+        assert_eq!(meter.slots_completed(), 2);
+    }
+
+    #[test]
+    fn unbudgeted_queue_never_interrupts() {
+        let mut q = EventQueue::new();
+        q.push(0, Event::SlotBoundary { slot: 0 });
+        while q.pop().is_some() {}
+        assert_eq!(q.interrupted(), None);
     }
 
     #[test]

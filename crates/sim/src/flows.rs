@@ -25,6 +25,7 @@
 //! same workload can be replayed against any mobility draw, and
 //! replications stay bit-identical at any thread count.
 
+use crate::budget;
 use crate::events::{Event, EventList, EventQueue, FlowRng, Time};
 use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
 use crate::packet::PacketEngine;
@@ -548,7 +549,7 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             events.push(spec.arrival, Event::Arrival { flow: id as u32 });
         }
@@ -633,6 +634,23 @@ impl PacketEngine {
                     }
                 }
             }
+        }
+        if let Some(exceeded) = events.interrupted() {
+            let completed = events.budget_slots_completed();
+            if obs.sink.enabled() {
+                obs.sink.counter("flows.chains.interrupted", 1);
+                obs.sink.counter("flows.chains.completed_slots", completed);
+                obs.sink
+                    .counter("flows.chains.started", counts.flows_started);
+                obs.sink
+                    .counter("flows.chains.completed", counts.flows_completed);
+            }
+            return Err(budget::interrupted_error(
+                "flow chains run",
+                completed,
+                horizon as u64,
+                exceeded,
+            ));
         }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);
@@ -788,7 +806,7 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             events.push(spec.arrival, Event::Arrival { flow: id as u32 });
         }
@@ -940,6 +958,24 @@ impl PacketEngine {
                     }
                 }
             }
+        }
+        if let Some(exceeded) = events.interrupted() {
+            let completed = events.budget_slots_completed();
+            if obs.sink.enabled() {
+                obs.sink.counter("flows.scheme_b.interrupted", 1);
+                obs.sink
+                    .counter("flows.scheme_b.completed_slots", completed);
+                obs.sink
+                    .counter("flows.scheme_b.started", counts.flows_started);
+                obs.sink
+                    .counter("flows.scheme_b.completed", counts.flows_completed);
+            }
+            return Err(budget::interrupted_error(
+                "flow scheme B run",
+                completed,
+                horizon as u64,
+                exceeded,
+            ));
         }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);
@@ -1104,7 +1140,7 @@ impl PacketEngine {
         let mut alive_per_group = vec![0usize; gc];
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             events.push(spec.arrival, Event::Arrival { flow: id as u32 });
         }
@@ -1323,6 +1359,24 @@ impl PacketEngine {
                 }
             }
         }
+        if let Some(exceeded) = events.interrupted() {
+            let completed = events.budget_slots_completed();
+            if obs.sink.enabled() {
+                obs.sink.counter("flows.scheme_b.interrupted", 1);
+                obs.sink
+                    .counter("flows.scheme_b.completed_slots", completed);
+                obs.sink
+                    .counter("flows.scheme_b.started", counts.flows_started);
+                obs.sink
+                    .counter("flows.scheme_b.completed", counts.flows_completed);
+            }
+            return Err(budget::interrupted_error(
+                "faulted flow scheme B run",
+                completed,
+                horizon as u64,
+                exceeded,
+            ));
+        }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);
         let tally = injector.tally();
@@ -1471,7 +1525,7 @@ impl PacketEngine {
         let mut flows = vec![FlowState::default(); specs.len()];
         let mut counts = RunCounts::default();
         let mut fcts: Vec<u64> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             // Uncovered sources inject nothing, as in the steady engine.
             if plan.serving_cell(spec.pair) != usize::MAX {
@@ -1621,6 +1675,24 @@ impl PacketEngine {
                     }
                 }
             }
+        }
+        if let Some(exceeded) = events.interrupted() {
+            let completed = events.budget_slots_completed();
+            if obs.sink.enabled() {
+                obs.sink.counter("flows.scheme_c.interrupted", 1);
+                obs.sink
+                    .counter("flows.scheme_c.completed_slots", completed);
+                obs.sink
+                    .counter("flows.scheme_c.started", counts.flows_started);
+                obs.sink
+                    .counter("flows.scheme_c.completed", counts.flows_completed);
+            }
+            return Err(budget::interrupted_error(
+                "flow scheme C run",
+                completed,
+                horizon as u64,
+                exceeded,
+            ));
         }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);

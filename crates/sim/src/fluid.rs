@@ -29,6 +29,7 @@
 //! metrics are bit-identical at 1, 2 and N threads and to the sequential
 //! counter-based reference.
 
+use crate::budget::{BudgetExceeded, BudgetMeter, Budgeted, RunBudget};
 use crate::faults::{FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
 use crate::pool::{chunk_ranges, WorkerPool};
 use crate::HybridNetwork;
@@ -132,6 +133,11 @@ pub struct TwoHopReport {
     /// Slots sampled.
     pub slots: usize,
 }
+
+/// Internal result of the fluid fan-out cores: the report, the merged
+/// snapshot when observing, and — when a run budget tripped — the
+/// completed-slot count and the axis that tripped.
+type FluidOutcome = (FluidReport, Option<Snapshot>, Option<(u64, BudgetExceeded)>);
 
 /// The fluid capacity engine: `S*` scheduling with guard factor `Δ` and
 /// range constant `c_T` (`R_T = c_T/√n`).
@@ -238,6 +244,7 @@ impl FluidEngine {
             plan,
             0..slots,
             |net, _slot, buf| net.advance_into(rng, buf),
+            None,
             obs,
         );
         finalize_scheme_a(plan, slots, &acc, timer, obs)
@@ -289,6 +296,7 @@ impl FluidEngine {
             plan,
             0..slots,
             |net, _slot, buf| net.advance_into(rng, buf),
+            None,
             obs,
         );
         finalize_scheme_b(plan, slots, &acc, k, bandwidth, timer, obs)
@@ -313,7 +321,7 @@ impl FluidEngine {
         seed: u64,
     ) -> Result<FluidReport, HycapError> {
         Ok(self
-            .scheme_a_par_impl(net, plan, slots, seed, None, false)?
+            .scheme_a_par_impl(net, plan, slots, seed, None, false, None)?
             .0)
     }
 
@@ -331,7 +339,7 @@ impl FluidEngine {
         slots: usize,
         seed: u64,
     ) -> Result<(FluidReport, Snapshot), HycapError> {
-        let (report, snap) = self.scheme_a_par_impl(net, plan, slots, seed, None, true)?;
+        let (report, snap, _) = self.scheme_a_par_impl(net, plan, slots, seed, None, true, None)?;
         Ok((report, snap.expect("observed run yields a snapshot")))
     }
 
@@ -353,7 +361,7 @@ impl FluidEngine {
         pool: &WorkerPool,
     ) -> Result<FluidReport, HycapError> {
         Ok(self
-            .scheme_a_par_impl(net, plan, slots, seed, Some(pool), false)?
+            .scheme_a_par_impl(net, plan, slots, seed, Some(pool), false, None)?
             .0)
     }
 
@@ -372,7 +380,8 @@ impl FluidEngine {
         seed: u64,
         pool: &WorkerPool,
     ) -> Result<(FluidReport, Snapshot), HycapError> {
-        let (report, snap) = self.scheme_a_par_impl(net, plan, slots, seed, Some(pool), true)?;
+        let (report, snap, _) =
+            self.scheme_a_par_impl(net, plan, slots, seed, Some(pool), true, None)?;
         Ok((report, snap.expect("observed run yields a snapshot")))
     }
 
@@ -392,7 +401,7 @@ impl FluidEngine {
         seed: u64,
     ) -> Result<FluidReport, HycapError> {
         Ok(self
-            .scheme_b_par_impl(net, plan, slots, seed, None, false)?
+            .scheme_b_par_impl(net, plan, slots, seed, None, false, None)?
             .0)
     }
 
@@ -408,7 +417,7 @@ impl FluidEngine {
         slots: usize,
         seed: u64,
     ) -> Result<(FluidReport, Snapshot), HycapError> {
-        let (report, snap) = self.scheme_b_par_impl(net, plan, slots, seed, None, true)?;
+        let (report, snap, _) = self.scheme_b_par_impl(net, plan, slots, seed, None, true, None)?;
         Ok((report, snap.expect("observed run yields a snapshot")))
     }
 
@@ -427,7 +436,7 @@ impl FluidEngine {
         pool: &WorkerPool,
     ) -> Result<FluidReport, HycapError> {
         Ok(self
-            .scheme_b_par_impl(net, plan, slots, seed, Some(pool), false)?
+            .scheme_b_par_impl(net, plan, slots, seed, Some(pool), false, None)?
             .0)
     }
 
@@ -445,8 +454,102 @@ impl FluidEngine {
         seed: u64,
         pool: &WorkerPool,
     ) -> Result<(FluidReport, Snapshot), HycapError> {
-        let (report, snap) = self.scheme_b_par_impl(net, plan, slots, seed, Some(pool), true)?;
+        let (report, snap, _) =
+            self.scheme_b_par_impl(net, plan, slots, seed, Some(pool), true, None)?;
         Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Counter-based scheme A measurement under a [`RunBudget`]: inline
+    /// when `pool` is `None`, slot-sharded otherwise. Within budget the
+    /// result is [`Budgeted::Complete`] and bit-identical to the
+    /// unbudgeted entry points; an exhausted budget yields
+    /// [`Budgeted::Interrupted`] carrying a best-effort partial report
+    /// normalized over the slots that completed.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`].
+    pub fn measure_scheme_a_budgeted(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        budget: RunBudget,
+    ) -> Result<Budgeted<FluidReport>, HycapError> {
+        let (report, _, cut) =
+            self.scheme_a_par_impl(net, plan, slots, seed, pool, false, Some(budget.meter()))?;
+        Ok(budgeted_outcome(report, cut, slots))
+    }
+
+    /// [`FluidEngine::measure_scheme_a_budgeted`] with a recording
+    /// observer. An interrupted run's snapshot carries the
+    /// `fluid.scheme_a.interrupted` and `fluid.scheme_a.completed_slots`
+    /// counters so downstream consumers can tell a partial report apart.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`].
+    pub fn measure_scheme_a_budgeted_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        budget: RunBudget,
+    ) -> Result<(Budgeted<FluidReport>, Snapshot), HycapError> {
+        let (report, snap, cut) =
+            self.scheme_a_par_impl(net, plan, slots, seed, pool, true, Some(budget.meter()))?;
+        Ok((
+            budgeted_outcome(report, cut, slots),
+            snap.expect("observed run yields a snapshot"),
+        ))
+    }
+
+    /// Counter-based scheme B measurement under a [`RunBudget`]; semantics
+    /// as [`FluidEngine::measure_scheme_a_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`].
+    pub fn measure_scheme_b_budgeted(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        budget: RunBudget,
+    ) -> Result<Budgeted<FluidReport>, HycapError> {
+        let (report, _, cut) =
+            self.scheme_b_par_impl(net, plan, slots, seed, pool, false, Some(budget.meter()))?;
+        Ok(budgeted_outcome(report, cut, slots))
+    }
+
+    /// [`FluidEngine::measure_scheme_b_budgeted`] with a recording
+    /// observer; interrupted snapshots carry `fluid.scheme_b.interrupted`
+    /// and `fluid.scheme_b.completed_slots`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`].
+    pub fn measure_scheme_b_budgeted_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+        budget: RunBudget,
+    ) -> Result<(Budgeted<FluidReport>, Snapshot), HycapError> {
+        let (report, snap, cut) =
+            self.scheme_b_par_impl(net, plan, slots, seed, pool, true, Some(budget.meter()))?;
+        Ok((
+            budgeted_outcome(report, cut, slots),
+            snap.expect("observed run yields a snapshot"),
+        ))
     }
 
     /// Counter-based sequential reference for scheme A under fault
@@ -719,6 +822,7 @@ impl FluidEngine {
             0..slots,
             |net, _slot, buf| net.advance_into(rng, buf),
             Some((&mut *injector, policy)),
+            None,
             obs,
         );
         let tally = injector.tally();
@@ -811,6 +915,7 @@ impl FluidEngine {
             0..slots,
             |net, _slot, buf| net.advance_into(rng, buf),
             Some((&mut *injector, policy)),
+            None,
             obs,
         );
         let tally = injector.tally();
@@ -890,15 +995,17 @@ impl FluidEngine {
         plan: &SchemeAPlan,
         slots: Range<usize>,
         advance: F,
+        budget: Option<&BudgetMeter>,
         obs: &mut Observer<S>,
     ) -> SchemeAAcc
     where
         S: MetricsSink,
         F: FnMut(&mut HybridNetwork, usize, &mut Vec<Point>),
     {
-        self.scheme_a_chunk_impl(net, plan, slots, advance, None, obs)
+        self.scheme_a_chunk_impl(net, plan, slots, advance, None, budget, obs)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn scheme_a_chunk_impl<S, F>(
         &self,
         net: &mut HybridNetwork,
@@ -906,6 +1013,7 @@ impl FluidEngine {
         slots: Range<usize>,
         mut advance: F,
         mut faults: Option<(&mut FaultInjector, OutagePolicy)>,
+        budget: Option<&BudgetMeter>,
         obs: &mut Observer<S>,
     ) -> SchemeAAcc
     where
@@ -924,6 +1032,11 @@ impl FluidEngine {
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
         for slot in slots {
+            if let Some(meter) = budget {
+                if !meter.charge_slot() {
+                    break;
+                }
+            }
             let masked = if let Some((injector, policy)) = faults.as_mut() {
                 injector.advance_to(slot);
                 injector.fill_alive(n, *policy, &mut alive);
@@ -959,6 +1072,7 @@ impl FluidEngine {
                     acc.credited += 1;
                 }
             }
+            acc.slots_done += 1;
         }
         acc
     }
@@ -970,15 +1084,17 @@ impl FluidEngine {
         plan: &SchemeBPlan,
         slots: Range<usize>,
         advance: F,
+        budget: Option<&BudgetMeter>,
         obs: &mut Observer<S>,
     ) -> SchemeBAcc
     where
         S: MetricsSink,
         F: FnMut(&mut HybridNetwork, usize, &mut Vec<Point>),
     {
-        self.scheme_b_chunk_impl(net, plan, slots, advance, None, obs)
+        self.scheme_b_chunk_impl(net, plan, slots, advance, None, budget, obs)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn scheme_b_chunk_impl<S, F>(
         &self,
         net: &mut HybridNetwork,
@@ -986,6 +1102,7 @@ impl FluidEngine {
         slots: Range<usize>,
         mut advance: F,
         mut faults: Option<(&mut FaultInjector, OutagePolicy)>,
+        budget: Option<&BudgetMeter>,
         obs: &mut Observer<S>,
     ) -> SchemeBAcc
     where
@@ -1013,6 +1130,11 @@ impl FluidEngine {
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
         for slot in slots {
+            if let Some(meter) = budget {
+                if !meter.charge_slot() {
+                    break;
+                }
+            }
             let masked = if let Some((injector, policy)) = faults.as_mut() {
                 injector.advance_to(slot);
                 injector.fill_alive(n, *policy, &mut alive);
@@ -1059,12 +1181,17 @@ impl FluidEngine {
                     acc.access_contacts += 1;
                 }
             }
+            acc.slots_done += 1;
         }
         acc
     }
 
     /// Fan-out core shared by the `_ctr` (no pool: one inline chunk) and
-    /// `_par` (chunk per pool thread) scheme A entry points.
+    /// `_par` (chunk per pool thread) scheme A entry points, plus the
+    /// budgeted variants (which arm `meter`). The third tuple element is
+    /// `Some((completed_slots, axis))` when the budget cut the run short;
+    /// the report is then a best-effort estimate over the completed slots.
+    #[allow(clippy::too_many_arguments)]
     fn scheme_a_par_impl(
         &self,
         net: &HybridNetwork,
@@ -1073,7 +1200,8 @@ impl FluidEngine {
         seed: u64,
         pool: Option<&WorkerPool>,
         observe: bool,
-    ) -> Result<(FluidReport, Option<Snapshot>), HycapError> {
+        meter: Option<BudgetMeter>,
+    ) -> Result<FluidOutcome, HycapError> {
         check_counter_run(net, slots)?;
         let timer = SpanTimer::start();
         let engine = *self;
@@ -1083,13 +1211,21 @@ impl FluidEngine {
             .map(|range| {
                 let mut net = net.clone();
                 let plan = Arc::clone(&plan_arc);
+                let meter = meter.clone();
                 move || {
                     let advance = |net: &mut HybridNetwork, slot: usize, buf: &mut Vec<Point>| {
                         net.advance_slot_into(seed, slot as u64, buf)
                     };
                     if observe {
                         let mut obs = Observer::recording().with_probes();
-                        let acc = engine.scheme_a_chunk(&mut net, &plan, range, advance, &mut obs);
+                        let acc = engine.scheme_a_chunk(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            meter.as_ref(),
+                            &mut obs,
+                        );
                         (acc, Some(obs.snapshot()))
                     } else {
                         let acc = engine.scheme_a_chunk(
@@ -1097,6 +1233,7 @@ impl FluidEngine {
                             &plan,
                             range,
                             advance,
+                            meter.as_ref(),
                             &mut Observer::noop(),
                         );
                         (acc, None)
@@ -1116,21 +1253,39 @@ impl FluidEngine {
                 m.merge(s);
             }
         }
+        let cut = meter
+            .as_ref()
+            .and_then(|m| m.exceeded().map(|e| (acc.slots_done, e)));
+        // A partial report normalizes by the slots that actually ran, so
+        // its per-slot rates stay meaningful estimates.
+        let effective = if cut.is_some() {
+            acc.slots_done.max(1) as usize
+        } else {
+            slots
+        };
         if observe {
             let mut obs = Observer::recording().with_probes();
-            let report = finalize_scheme_a(plan, slots, &acc, timer, &mut obs);
+            let report = finalize_scheme_a(plan, effective, &acc, timer, &mut obs);
+            if let Some((completed, _)) = cut {
+                obs.sink.counter("fluid.scheme_a.interrupted", 1);
+                obs.sink
+                    .counter("fluid.scheme_a.completed_slots", completed);
+            }
             let mut snap = merged.expect("observed run collects snapshots");
             snap.merge(&obs.snapshot());
-            Ok((report, Some(snap)))
+            Ok((report, Some(snap), cut))
         } else {
             Ok((
-                finalize_scheme_a(plan, slots, &acc, timer, &mut Observer::noop()),
+                finalize_scheme_a(plan, effective, &acc, timer, &mut Observer::noop()),
                 None,
+                cut,
             ))
         }
     }
 
-    /// Fan-out core shared by the `_ctr` and `_par` scheme B entry points.
+    /// Fan-out core shared by the `_ctr`, `_par` and budgeted scheme B
+    /// entry points; interruption semantics as [`FluidEngine::scheme_a_par_impl`].
+    #[allow(clippy::too_many_arguments)]
     fn scheme_b_par_impl(
         &self,
         net: &HybridNetwork,
@@ -1139,7 +1294,8 @@ impl FluidEngine {
         seed: u64,
         pool: Option<&WorkerPool>,
         observe: bool,
-    ) -> Result<(FluidReport, Option<Snapshot>), HycapError> {
+        meter: Option<BudgetMeter>,
+    ) -> Result<FluidOutcome, HycapError> {
         check_counter_run(net, slots)?;
         let Some(bs) = net.base_stations() else {
             return Err(HycapError::MissingInfrastructure("scheme B"));
@@ -1154,13 +1310,21 @@ impl FluidEngine {
             .map(|range| {
                 let mut net = net.clone();
                 let plan = Arc::clone(&plan_arc);
+                let meter = meter.clone();
                 move || {
                     let advance = |net: &mut HybridNetwork, slot: usize, buf: &mut Vec<Point>| {
                         net.advance_slot_into(seed, slot as u64, buf)
                     };
                     if observe {
                         let mut obs = Observer::recording().with_probes();
-                        let acc = engine.scheme_b_chunk(&mut net, &plan, range, advance, &mut obs);
+                        let acc = engine.scheme_b_chunk(
+                            &mut net,
+                            &plan,
+                            range,
+                            advance,
+                            meter.as_ref(),
+                            &mut obs,
+                        );
                         (acc, Some(obs.snapshot()))
                     } else {
                         let acc = engine.scheme_b_chunk(
@@ -1168,6 +1332,7 @@ impl FluidEngine {
                             &plan,
                             range,
                             advance,
+                            meter.as_ref(),
                             &mut Observer::noop(),
                         );
                         (acc, None)
@@ -1187,17 +1352,30 @@ impl FluidEngine {
                 m.merge(s);
             }
         }
+        let cut = meter
+            .as_ref()
+            .and_then(|m| m.exceeded().map(|e| (acc.slots_done, e)));
+        let effective = if cut.is_some() {
+            acc.slots_done.max(1) as usize
+        } else {
+            slots
+        };
         if observe {
             let mut obs = Observer::recording().with_probes();
-            let report = finalize_scheme_b(plan, slots, &acc, k, bandwidth, timer, &mut obs);
+            let report = finalize_scheme_b(plan, effective, &acc, k, bandwidth, timer, &mut obs);
+            if let Some((completed, _)) = cut {
+                obs.sink.counter("fluid.scheme_b.interrupted", 1);
+                obs.sink
+                    .counter("fluid.scheme_b.completed_slots", completed);
+            }
             let mut snap = merged.expect("observed run collects snapshots");
             snap.merge(&obs.snapshot());
-            Ok((report, Some(snap)))
+            Ok((report, Some(snap), cut))
         } else {
             Ok((
                 finalize_scheme_b(
                     plan,
-                    slots,
+                    effective,
                     &acc,
                     k,
                     bandwidth,
@@ -1205,6 +1383,7 @@ impl FluidEngine {
                     &mut Observer::noop(),
                 ),
                 None,
+                cut,
             ))
         }
     }
@@ -1232,7 +1411,8 @@ impl FluidEngine {
         if schedule.is_empty() {
             // Mirror the sequential empty-schedule delegation: the base
             // report is bit-identical to the fault-free measurement.
-            let (base, snap) = self.scheme_a_par_impl(net, plan, slots, seed, pool, observe)?;
+            let (base, snap, _) =
+                self.scheme_a_par_impl(net, plan, slots, seed, pool, observe, None)?;
             return Ok((
                 DegradedFluidReport {
                     base,
@@ -1270,6 +1450,7 @@ impl FluidEngine {
                             range,
                             advance,
                             Some((&mut injector, policy)),
+                            None,
                             &mut obs,
                         );
                         (acc, injector, Some(obs.snapshot()))
@@ -1280,6 +1461,7 @@ impl FluidEngine {
                             range,
                             advance,
                             Some((&mut injector, policy)),
+                            None,
                             &mut Observer::noop(),
                         );
                         (acc, injector, None)
@@ -1359,7 +1541,8 @@ impl FluidEngine {
         let bandwidth = bs.bandwidth();
         FaultInjector::new(k, schedule)?;
         if schedule.is_empty() {
-            let (base, snap) = self.scheme_b_par_impl(net, plan, slots, seed, pool, observe)?;
+            let (base, snap, _) =
+                self.scheme_b_par_impl(net, plan, slots, seed, pool, observe, None)?;
             return Ok((
                 DegradedFluidReport {
                     base,
@@ -1397,6 +1580,7 @@ impl FluidEngine {
                             range,
                             advance,
                             Some((&mut injector, policy)),
+                            None,
                             &mut obs,
                         );
                         (acc, injector, Some(obs.snapshot()))
@@ -1407,6 +1591,7 @@ impl FluidEngine {
                             range,
                             advance,
                             Some((&mut injector, policy)),
+                            None,
                             &mut Observer::noop(),
                         );
                         (acc, injector, None)
@@ -1491,6 +1676,9 @@ struct SchemeAAcc {
     credited: u64,
     alive_sum: usize,
     outage_slots: usize,
+    /// Slots this chunk actually processed: equals the chunk length unless
+    /// a run budget cut the loop short.
+    slots_done: u64,
 }
 
 impl SchemeAAcc {
@@ -1502,6 +1690,7 @@ impl SchemeAAcc {
         self.credited += other.credited;
         self.alive_sum += other.alive_sum;
         self.outage_slots += other.outage_slots;
+        self.slots_done += other.slots_done;
     }
 }
 
@@ -1514,6 +1703,8 @@ struct SchemeBAcc {
     access_contacts: u64,
     alive_sum: usize,
     outage_slots: usize,
+    /// Slots this chunk actually processed; see [`SchemeAAcc::slots_done`].
+    slots_done: u64,
 }
 
 impl SchemeBAcc {
@@ -1524,6 +1715,7 @@ impl SchemeBAcc {
             access_contacts: 0,
             alive_sum: 0,
             outage_slots: 0,
+            slots_done: 0,
         }
     }
 
@@ -1536,6 +1728,25 @@ impl SchemeBAcc {
         self.access_contacts += other.access_contacts;
         self.alive_sum += other.alive_sum;
         self.outage_slots += other.outage_slots;
+        self.slots_done += other.slots_done;
+    }
+}
+
+/// Wraps a fan-out core's report into the [`Budgeted`] outcome from its
+/// interruption info.
+fn budgeted_outcome(
+    report: FluidReport,
+    cut: Option<(u64, BudgetExceeded)>,
+    requested_slots: usize,
+) -> Budgeted<FluidReport> {
+    match cut {
+        None => Budgeted::Complete(report),
+        Some((completed, exceeded)) => Budgeted::Interrupted {
+            partial: report,
+            completed_slots: completed,
+            requested_slots: requested_slots as u64,
+            exceeded,
+        },
     }
 }
 
@@ -1954,6 +2165,97 @@ mod tests {
             FluidEngine::default().measure_two_hop(&mut net, &plan, &traffic, 600, &mut rng);
         assert!(report.mean_rate > 0.0, "two-hop starved");
         assert_eq!(report.flows, 200);
+    }
+
+    #[test]
+    fn budgeted_within_budget_is_bit_identical() {
+        let (net, mut rng) = uniform_net(200, 21);
+        let f = (200f64).powf(0.25);
+        let traffic = TrafficMatrix::permutation(200, &mut rng);
+        let homes = net.population().home_points().points().to_vec();
+        let plan = SchemeAPlan::build(&homes, &traffic, f);
+        let engine = FluidEngine::default();
+        let plain = engine.measure_scheme_a_ctr(&net, &plan, 60, 9).unwrap();
+        let budgeted = engine
+            .measure_scheme_a_budgeted(&net, &plan, 60, 9, None, RunBudget::unlimited())
+            .unwrap();
+        assert!(budgeted.is_complete());
+        let report = budgeted.report();
+        assert_eq!(report.lambda.to_bits(), plain.lambda.to_bits());
+        assert_eq!(
+            report.scheduled_pairs_per_slot.to_bits(),
+            plain.scheduled_pairs_per_slot.to_bits()
+        );
+    }
+
+    #[test]
+    fn budgeted_slot_cap_interrupts_with_partial_report() {
+        let (net, mut rng) = uniform_net(200, 22);
+        let f = (200f64).powf(0.25);
+        let traffic = TrafficMatrix::permutation(200, &mut rng);
+        let homes = net.population().home_points().points().to_vec();
+        let plan = SchemeAPlan::build(&homes, &traffic, f);
+        let engine = FluidEngine::default();
+        let budget = RunBudget::unlimited().with_max_slots(10);
+        let (outcome, snap) = engine
+            .measure_scheme_a_budgeted_observed(&net, &plan, 100, 9, None, budget)
+            .unwrap();
+        let Budgeted::Interrupted {
+            partial,
+            completed_slots,
+            requested_slots,
+            exceeded,
+        } = outcome
+        else {
+            panic!("slot cap of 10 on a 100-slot run must interrupt");
+        };
+        assert_eq!(completed_slots, 10);
+        assert_eq!(requested_slots, 100);
+        assert_eq!(exceeded, BudgetExceeded::Slots);
+        // Partial report normalizes by the completed slots.
+        assert_eq!(partial.slots, 10);
+        assert_eq!(snap.counter("fluid.scheme_a.interrupted"), 1);
+        assert_eq!(snap.counter("fluid.scheme_a.completed_slots"), 10);
+        // The typed unwrap maps to exit code 4.
+        let err = Budgeted::Interrupted {
+            partial,
+            completed_slots,
+            requested_slots,
+            exceeded,
+        }
+        .into_complete("fluid scheme A")
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn scheme_b_budgeted_event_free_axes_complete() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let config = PopulationConfig::builder(200)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::IidStationary)
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        let bs = BaseStations::generate_regular(16, 1.0);
+        let homes = pop.home_points().points().to_vec();
+        let traffic = TrafficMatrix::permutation(200, &mut rng);
+        let plan = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        let net = HybridNetwork::with_infrastructure(pop, bs);
+        let engine = FluidEngine::default();
+        let plain = engine.measure_scheme_b_ctr(&net, &plan, 40, 3).unwrap();
+        let budgeted = engine
+            .measure_scheme_b_budgeted(
+                &net,
+                &plan,
+                40,
+                3,
+                None,
+                RunBudget::unlimited().with_max_slots(40),
+            )
+            .unwrap();
+        assert!(budgeted.is_complete(), "cap equal to slots must complete");
+        assert_eq!(budgeted.report().lambda.to_bits(), plain.lambda.to_bits());
     }
 
     #[test]

@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
+mod checkpoint;
 mod engine;
 mod events;
 pub mod faults;
@@ -55,6 +57,8 @@ mod packet;
 mod pool;
 pub mod sweep;
 
+pub use budget::{BudgetExceeded, BudgetMeter, Budgeted, RunBudget};
+pub use checkpoint::{scenario_digest, Checkpoint, ENGINE_VERSION};
 pub use engine::HybridNetwork;
 pub use events::{Event, EventList, EventQueue, FlowRng, Time};
 pub use faults::{FaultEvent, FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
@@ -63,10 +67,10 @@ pub use flows::{
 };
 pub use fluid::{Bottleneck, DegradedFluidReport, FluidEngine, FluidReport, TwoHopReport};
 pub use packet::{DegradedPacketStats, PacketEngine, PacketStats};
-pub use pool::WorkerPool;
+pub use pool::{JobPanic, WorkerPool};
 pub use sweep::{
-    fit_linear, fit_loglog, geometric_ns, load_ladder, parallel_map, parallel_map_observed,
-    FitResult,
+    fit_linear, fit_loglog, geometric_ns, load_ladder, parallel_map, parallel_map_checkpointed,
+    parallel_map_observed, FitResult,
 };
 
 /// Re-export of the observability crate so downstream code can construct

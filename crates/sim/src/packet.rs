@@ -10,6 +10,7 @@
 //! Packets have size `W/2`, so one scheduled pair moves one packet in each
 //! direction per slot (the Definition 10 equal two-way bandwidth split).
 
+use crate::budget::{self, RunBudget};
 use crate::events::{Event, EventQueue};
 use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
 use crate::pool::WorkerPool;
@@ -89,6 +90,7 @@ pub struct PacketEngine {
     pub(crate) delta: f64,
     pub(crate) c_t: f64,
     pub(crate) base_slot: u64,
+    pub(crate) budget: Option<RunBudget>,
 }
 
 impl PacketEngine {
@@ -133,6 +135,7 @@ impl PacketEngine {
             delta,
             c_t,
             base_slot: 0,
+            budget: None,
         })
     }
 
@@ -153,6 +156,43 @@ impl PacketEngine {
     /// [`PacketEngine::with_base_slot`]).
     pub fn base_slot(&self) -> u64 {
         self.base_slot
+    }
+
+    /// Returns a copy of this engine with a run budget armed. Every
+    /// event-core run started by this engine gets its **own** fresh meter
+    /// (the budget bounds one run, not the engine's lifetime): the run's
+    /// drain loop stops at the first exhausted axis.
+    ///
+    /// On exhaustion, entry points returning `Result` fail with
+    /// [`hycap_errors::HycapError::Interrupted`] (CLI exit code 4) and the
+    /// partial tallies stay visible in the run's `hycap-metrics/1` snapshot
+    /// under `*.interrupted` / `*.completed_slots`; infallible entry points
+    /// instead return stats normalized over the completed slots, with
+    /// [`PacketStats::slots`] reporting how many actually ran.
+    ///
+    /// A budget that never trips leaves every statistic bit-identical to an
+    /// unbudgeted run.
+    pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The armed run budget, if any.
+    pub fn run_budget(&self) -> Option<RunBudget> {
+        self.budget
+    }
+
+    /// Builds the event queue for one run, armed with a fresh meter for
+    /// this engine's budget (unlimited budgets stay unarmed so the hot pop
+    /// path skips the atomics).
+    pub(crate) fn event_queue(&self) -> EventQueue {
+        let mut events = EventQueue::new();
+        if let Some(b) = self.budget {
+            if !b.is_unlimited() {
+                events.set_budget(b.meter());
+            }
+        }
+        events
     }
 
     /// Runs one packet-level replication per seed on `pool`, returning the
@@ -267,7 +307,7 @@ impl PacketEngine {
         // Timestamps/delays use the absolute index (u64, never wraps);
         // scheduling uses the relative index, so with base_slot == 0 the
         // run is bit-identical to the pre-refactor slot loop.
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         events.push(
             0,
             Event::SlotBoundary {
@@ -332,6 +372,21 @@ impl PacketEngine {
             .iter()
             .flat_map(|q| q.iter().map(|d| d.len() as u64))
             .sum();
+        if let Some(exceeded) = events.interrupted() {
+            let completed = events.budget_slots_completed();
+            if obs.sink.enabled() {
+                obs.sink.counter("packet.chains.interrupted", 1);
+                obs.sink.counter("packet.chains.completed_slots", completed);
+                obs.sink.counter("packet.chains.injected", injected);
+                obs.sink.counter("packet.chains.delivered", delivered);
+            }
+            return Err(budget::interrupted_error(
+                "packet chains run",
+                completed,
+                slots as u64,
+                exceeded,
+            ));
+        }
         let stats =
             PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, chains.len());
         if let Some(probes) = obs.probes_mut() {
@@ -428,7 +483,7 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         events.push(
             0,
             Event::SlotBoundary {
@@ -516,15 +571,28 @@ impl PacketEngine {
                 .sum();
             probes.flow_conservation("packet scheme A", None, injected, delivered, stored);
         }
+        // A tripped budget leaves an honest partial report: normalize over
+        // the slots that actually ran and flag the cut in the snapshot.
+        let effective_slots = match events.interrupted() {
+            Some(_) => (events.budget_slots_completed() as usize).max(1),
+            None => slots,
+        };
         let stats = PacketStats::from_totals(
             injected,
             delivered,
             delay_sum,
             backlog.max(0) as u64,
-            slots,
+            effective_slots,
             n,
         );
         if obs.sink.enabled() {
+            if events.interrupted().is_some() {
+                obs.sink.counter("packet.scheme_a.interrupted", 1);
+                obs.sink.counter(
+                    "packet.scheme_a.completed_slots",
+                    events.budget_slots_completed(),
+                );
+            }
             obs.sink.counter("packet.scheme_a.runs", 1);
             obs.sink.counter("packet.scheme_a.injected", injected);
             obs.sink.counter("packet.scheme_a.delivered", delivered);
@@ -606,7 +674,7 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         events.push(
             0,
             Event::SlotBoundary {
@@ -711,8 +779,20 @@ impl PacketEngine {
         if let Some(probes) = obs.probes_mut() {
             probes.flow_conservation("packet scheme B", None, injected, delivered, backlog);
         }
-        let stats = PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, n);
+        let effective_slots = match events.interrupted() {
+            Some(_) => (events.budget_slots_completed() as usize).max(1),
+            None => slots,
+        };
+        let stats =
+            PacketStats::from_totals(injected, delivered, delay_sum, backlog, effective_slots, n);
         if obs.sink.enabled() {
+            if events.interrupted().is_some() {
+                obs.sink.counter("packet.scheme_b.interrupted", 1);
+                obs.sink.counter(
+                    "packet.scheme_b.completed_slots",
+                    events.budget_slots_completed(),
+                );
+            }
             obs.sink.counter("packet.scheme_b.runs", 1);
             obs.sink.counter("packet.scheme_b.injected", injected);
             obs.sink.counter("packet.scheme_b.delivered", delivered);
@@ -802,7 +882,7 @@ impl PacketEngine {
         let mut delivered = 0u64;
         let mut delay_sum = 0u64;
         let mut uplink_rr = vec![0usize; total_cells];
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         events.push(
             0,
             Event::SlotBoundary {
@@ -894,7 +974,11 @@ impl PacketEngine {
             .chain(&at_dst_cell)
             .map(|q| q.len() as u64)
             .sum();
-        PacketStats::from_totals(injected, delivered, delay_sum, backlog, slots, n)
+        let effective_slots = match events.interrupted() {
+            Some(_) => (events.budget_slots_completed() as usize).max(1),
+            None => slots,
+        };
+        PacketStats::from_totals(injected, delivered, delay_sum, backlog, effective_slots, n)
     }
 
     /// Bisects for the chain-network stability boundary: the largest
@@ -1137,7 +1221,7 @@ impl PacketEngine {
         let mut outage_slots = 0usize;
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
-        let mut events = EventQueue::new();
+        let mut events = self.event_queue();
         events.push(
             0,
             Event::SlotBoundary {
@@ -1309,6 +1393,22 @@ impl PacketEngine {
                 tally.bernoulli_bs_outages,
             );
         }
+        if let Some(exceeded) = events.interrupted() {
+            let completed = events.budget_slots_completed();
+            if obs.sink.enabled() {
+                obs.sink.counter("packet.scheme_b.interrupted", 1);
+                obs.sink
+                    .counter("packet.scheme_b.completed_slots", completed);
+                obs.sink.counter("packet.scheme_b.injected", injected);
+                obs.sink.counter("packet.scheme_b.delivered", delivered);
+            }
+            return Err(budget::interrupted_error(
+                "faulted packet scheme B run",
+                completed,
+                slots as u64,
+                exceeded,
+            ));
+        }
         if obs.sink.enabled() {
             obs.sink.counter("packet.scheme_b.faulted_runs", 1);
             obs.sink
@@ -1413,6 +1513,36 @@ mod tests {
         assert_eq!(stats.mean_delay, 0.0);
         assert_eq!(stats.throughput_per_node, 0.0);
         assert_eq!(stats.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn budgeted_chains_run_interrupts_with_exit_code_4() {
+        let (mut net, mut rng) = dense_net(50, 1);
+        let chains = vec![vec![0, 1]; 1];
+        let engine =
+            PacketEngine::default().with_run_budget(RunBudget::unlimited().with_max_slots(10));
+        let err = engine
+            .run_chains(&mut net, &chains, 0.1, 100, &mut rng)
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        let msg = err.to_string();
+        assert!(msg.contains("10/100"), "{msg}");
+        assert!(msg.contains("slot budget"), "{msg}");
+    }
+
+    #[test]
+    fn budget_that_never_trips_is_bit_identical() {
+        let chains = vec![vec![0, 1]; 1];
+        let (mut net_a, mut rng_a) = dense_net(50, 4);
+        let plain = PacketEngine::default()
+            .run_chains(&mut net_a, &chains, 0.1, 50, &mut rng_a)
+            .unwrap();
+        let (mut net_b, mut rng_b) = dense_net(50, 4);
+        let budgeted = PacketEngine::default()
+            .with_run_budget(RunBudget::unlimited().with_max_slots(50))
+            .run_chains(&mut net_b, &chains, 0.1, 50, &mut rng_b)
+            .unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

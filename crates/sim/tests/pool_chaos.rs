@@ -1,0 +1,55 @@
+//! Chaos property tests for the panic-isolated worker pool: randomly
+//! chosen jobs panic mid-batch, and the pool must (a) report exactly the
+//! panicking indices, (b) return correct results for every other index,
+//! and (c) serve clean follow-up batches on the same pool instance.
+
+use hycap_sim::{JobPanic, WorkerPool};
+use proptest::prelude::*;
+
+proptest! {
+    /// A random panic mask over a batch: `try_map` errors exactly where
+    /// the mask says, succeeds everywhere else, and leaves the pool fully
+    /// usable — a panicking job never disables the pool.
+    #[test]
+    fn random_panics_are_isolated_to_their_index(
+        jobs in 1usize..24,
+        threads in 1usize..5,
+        panic_mask in 0u32..(1u32 << 16),
+    ) {
+        let pool = WorkerPool::new(threads);
+        let inputs: Vec<usize> = (0..jobs).collect();
+        let mask = panic_mask;
+        let results = pool.try_map(inputs.clone(), move |i| {
+            if i < 16 && mask & (1u32 << i) != 0 {
+                panic!("chaos job {i} goes down");
+            }
+            i * 7 + 1
+        });
+        prop_assert_eq!(results.len(), jobs);
+        for (i, res) in results.iter().enumerate() {
+            let should_panic = i < 16 && mask & (1u32 << i) != 0;
+            match res {
+                Err(err) => {
+                    prop_assert!(should_panic, "index {i} failed without a scripted panic");
+                    prop_assert_eq!(err.index(), i);
+                    let expected = format!("chaos job {i} goes down");
+                    prop_assert!(
+                        err.message().contains(&expected),
+                        "panic message lost: {err}"
+                    );
+                }
+                Ok(value) => {
+                    prop_assert!(!should_panic, "index {i} was scripted to panic but succeeded");
+                    prop_assert_eq!(*value, i * 7 + 1);
+                }
+            }
+        }
+        // The same pool serves a clean fallible follow-up batch...
+        let follow: Vec<Result<usize, JobPanic>> = pool.try_map(inputs, |i| i + 1);
+        for (i, res) in follow.iter().enumerate() {
+            prop_assert_eq!(*res.as_ref().expect("clean batch must not fail"), i + 1);
+        }
+        // ...and the infallible path still works after the chaos.
+        prop_assert_eq!(pool.map(vec![1usize, 2, 3], |x| x * 2), vec![2, 4, 6]);
+    }
+}
