@@ -1,0 +1,328 @@
+//! Million-node ladder: the Table I "strong mobility with BSs" row on the
+//! streamed engines, with throughput and peak-RSS accounting (PR 8).
+//!
+//! Drives `n = m⁴` for m ∈ {10, 14, 18, 24, 28, 32} — the full ladder tops
+//! out at `n = 32⁴ = 1 048 576` — with `k = m² = √n` base stations, scheme A
+//! at `f = n^¼ = m` (the strong-regime optimum) and scheme B at the two-cell
+//! split. Every measurement runs through
+//! [`FluidEngine::measure_scheme_a_streamed_observed`] /
+//! `..._b_streamed_observed`, so no engine ever materializes all `n` slot
+//! positions: positions stream from the per-slot counter RNG in chunks and
+//! the spatial index is built by the two-pass streamed builder. The bench
+//! records, per ladder point and scheme, `λ_typical`, wall-clock and
+//! slots/second, plus the process peak RSS (`VmHWM`, via
+//! [`hycap_obs::read_peak_rss_kb`] — note the kernel counter is monotone
+//! over the process lifetime, so each row reports the high-water mark *up
+//! to and including* that point; the ladder ascends, so the largest row is
+//! the honest 10⁶ figure).
+//!
+//! Exponent fits: `log λ_typical` against `log n` per scheme, compared to
+//! the paper's Θ(·) claims for this row — mobility Θ(n^−¼) for scheme A and
+//! infrastructure Θ(k/n) = Θ(n^−½) for scheme B (`k = √n`, ϕ = 0) — with an
+//! in-band flag at ±[`FIT_BAND`].
+//!
+//! Artifacts: `target/reports/BENCH_PR8.json` (numbers + fits, committed at
+//! the repo root as the CI regression baseline) and
+//! `target/reports/BENCH_PR8_metrics.json` (merged observer snapshot with
+//! the `peak_rss_kb` gauge).
+//!
+//! ```text
+//! cargo run -p hycap-bench --release --bin scale [--quick] [--ladder-max 1e6]
+//! ```
+//!
+//! `--quick` stops the ladder at `n ≈ 10⁵` (the CI nightly configuration);
+//! `--ladder-max` caps it at an arbitrary node count (accepts `1e6`).
+
+use hycap_bench::report;
+use hycap_infra::BaseStations;
+use hycap_mobility::{Kernel, MobilityKind, Population, PopulationConfig};
+use hycap_obs::{read_peak_rss_kb, Snapshot};
+use hycap_routing::{SchemeAPlan, SchemeBPlan, TrafficMatrix};
+use hycap_sim::{fit_loglog, FitResult, FluidEngine, FluidReport, HybridNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 2010;
+/// Streaming chunk: 64 Ki points ≈ 1 MiB of scratch, amortizing per-chunk
+/// overhead while keeping the slot loop's live footprint flat in `n`.
+const CHUNK: usize = 65_536;
+/// Fourth roots of the ladder: `n = m⁴` keeps `f = n^¼` integral and
+/// `k = m² = √n` a perfect square for the regular BS grid.
+const LADDER_M: [usize; 6] = [10, 14, 18, 24, 28, 32];
+/// `--quick` keeps the first three points (top: `18⁴ = 104 976`).
+const QUICK_POINTS: usize = 3;
+/// Acceptance band around the theory exponent for the log–log fits.
+const FIT_BAND: f64 = 0.15;
+
+struct SchemeResult {
+    lambda_typical: f64,
+    scheduled_pairs_per_slot: f64,
+    seconds: f64,
+    slots_per_second: f64,
+}
+
+struct Row {
+    n: usize,
+    k: usize,
+    f: usize,
+    seed: u64,
+    setup_seconds: f64,
+    scheme_a: SchemeResult,
+    scheme_b: SchemeResult,
+    peak_rss_kb: Option<u64>,
+}
+
+/// The per-point seed convention shared with `experiments::run_table1_row`.
+fn point_seed(n: usize) -> u64 {
+    SEED.wrapping_add((n as u64) << 8)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn time_scheme<F: FnOnce() -> (FluidReport, Snapshot)>(
+    slots: usize,
+    run: F,
+) -> (SchemeResult, Snapshot) {
+    let start = Instant::now();
+    let (report, snap) = run();
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        SchemeResult {
+            lambda_typical: report.lambda_typical,
+            scheduled_pairs_per_slot: report.scheduled_pairs_per_slot,
+            seconds,
+            slots_per_second: slots as f64 / seconds,
+        },
+        snap,
+    )
+}
+
+fn run_point(m: usize, slots: usize, merged: &mut Snapshot) -> Row {
+    let n = m * m * m * m;
+    let k = m * m;
+    let seed = point_seed(n);
+    let setup_start = Instant::now();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = PopulationConfig::builder(n)
+        .alpha(0.25)
+        .kernel(Kernel::uniform_disk(1.0))
+        .mobility(MobilityKind::IidStationary)
+        .build();
+    let pop = Population::generate(&config, &mut rng);
+    let bs = BaseStations::generate_regular(k, 1.0);
+    let traffic = TrafficMatrix::permutation(n, &mut rng);
+    let plan_a = SchemeAPlan::build(pop.home_points().points(), &traffic, m as f64);
+    let plan_b = SchemeBPlan::build(pop.home_points().points(), &traffic, &bs, 2);
+    drop(traffic);
+    let net = HybridNetwork::with_infrastructure(pop, bs);
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+
+    let engine = FluidEngine::default();
+    let (scheme_a, snap_a) = time_scheme(slots, || {
+        engine
+            .measure_scheme_a_streamed_observed(&net, &plan_a, slots, seed, CHUNK)
+            .expect("scheme A streamed measurement")
+    });
+    let (scheme_b, snap_b) = time_scheme(slots, || {
+        engine
+            .measure_scheme_b_streamed_observed(&net, &plan_b, slots, seed, CHUNK)
+            .expect("scheme B streamed measurement")
+    });
+
+    merged.merge(&snap_a);
+    merged.merge(&snap_b);
+    let peak_rss_kb = read_peak_rss_kb();
+    if let Some(kb) = peak_rss_kb {
+        merged.record_peak_rss_kb(kb);
+    }
+
+    Row {
+        n,
+        k,
+        f: m,
+        seed,
+        setup_seconds,
+        scheme_a,
+        scheme_b,
+        peak_rss_kb,
+    }
+}
+
+fn fit_scheme<F: Fn(&Row) -> f64>(rows: &[Row], lambda: F) -> Option<FitResult> {
+    let xs: Vec<f64> = rows.iter().map(|r| r.n as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(&lambda).collect();
+    if ys.iter().any(|&y| y <= 0.0) {
+        return None;
+    }
+    fit_loglog(&xs, &ys).ok()
+}
+
+fn push_fit(json: &mut String, name: &str, fit: Option<&FitResult>, theory: f64, comma: &str) {
+    match fit {
+        Some(f) => {
+            let in_band = (f.slope - theory).abs() <= FIT_BAND;
+            let _ = writeln!(
+                json,
+                "    \"{name}\": {{\"slope\": {:.4}, \"r2\": {:.4}, \"theory\": {theory}, \
+                 \"band\": {FIT_BAND}, \"within_band\": {in_band}}}{comma}",
+                f.slope, f.r2,
+            );
+        }
+        None => {
+            let _ = writeln!(json, "    \"{name}\": null{comma}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ladder_max: usize = args
+        .iter()
+        .position(|a| a == "--ladder-max")
+        .map(|i| {
+            let raw = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--ladder-max needs a value, e.g. --ladder-max 1e6"));
+            let v: f64 = raw
+                .parse()
+                .unwrap_or_else(|_| panic!("--ladder-max: cannot parse {raw:?} as a number"));
+            assert!(
+                v.is_finite() && v >= 1.0,
+                "--ladder-max must be a positive node count, got {raw}"
+            );
+            v as usize
+        })
+        .unwrap_or(usize::MAX);
+
+    let points = if quick { QUICK_POINTS } else { LADDER_M.len() };
+    let ladder: Vec<usize> = LADDER_M[..points]
+        .iter()
+        .copied()
+        .filter(|&m| m * m * m * m <= ladder_max)
+        .collect();
+    assert!(
+        !ladder.is_empty(),
+        "--ladder-max {ladder_max} leaves no ladder points (smallest is {})",
+        LADDER_M[0].pow(4)
+    );
+    let slots = if quick { 40 } else { 60 };
+
+    let mut merged = Snapshot::default();
+    let mut rows: Vec<Row> = Vec::new();
+    for &m in &ladder {
+        let n = m * m * m * m;
+        eprintln!("scale: n = {n} (f = {m}, k = {}) ...", m * m);
+        rows.push(run_point(m, slots, &mut merged));
+    }
+
+    let fit_a = fit_scheme(&rows, |r| r.scheme_a.lambda_typical);
+    let fit_b = fit_scheme(&rows, |r| r.scheme_b.lambda_typical);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hycap-bench/1\",");
+    let _ = writeln!(json, "  \"bench\": \"scale\",");
+    let _ = writeln!(
+        json,
+        "  \"row\": \"strong mobility with base stations (alpha = 0.25, k = sqrt(n), phi = 0)\","
+    );
+    let _ = writeln!(json, "  \"engines\": \"streamed fluid scheme A + B\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"slots\": {slots},");
+    let _ = writeln!(json, "  \"chunk\": {CHUNK},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let rss = r
+            .peak_rss_kb
+            .map_or("null".to_string(), |kb| kb.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"k\": {}, \"f\": {}, \"seed\": {}, \"setup_seconds\": {:.3}, \
+             \"scheme_a\": {{\"lambda_typical\": {:.6e}, \"pairs_per_slot\": {:.2}, \
+             \"seconds\": {:.3}, \"slots_per_second\": {:.3}}}, \
+             \"scheme_b\": {{\"lambda_typical\": {:.6e}, \"pairs_per_slot\": {:.2}, \
+             \"seconds\": {:.3}, \"slots_per_second\": {:.3}}}, \
+             \"peak_rss_kb\": {rss}}}{comma}",
+            r.n,
+            r.k,
+            r.f,
+            r.seed,
+            r.setup_seconds,
+            r.scheme_a.lambda_typical,
+            r.scheme_a.scheduled_pairs_per_slot,
+            r.scheme_a.seconds,
+            r.scheme_a.slots_per_second,
+            r.scheme_b.lambda_typical,
+            r.scheme_b.scheduled_pairs_per_slot,
+            r.scheme_b.seconds,
+            r.scheme_b.slots_per_second,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"fits\": {{");
+    push_fit(&mut json, "scheme_a_mobility", fit_a.as_ref(), -0.25, ",");
+    push_fit(
+        &mut json,
+        "scheme_b_infrastructure",
+        fit_b.as_ref(),
+        -0.5,
+        "",
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let path = report::write_json("BENCH_PR8", &json).expect("write BENCH_PR8.json");
+    let metrics_path = report::write_snapshot_json("BENCH_PR8_metrics", &merged)
+        .expect("write BENCH_PR8_metrics.json");
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.k.to_string(),
+                format!("{:.3e}", r.scheme_a.lambda_typical),
+                format!("{:.1}", r.scheme_a.slots_per_second),
+                format!("{:.3e}", r.scheme_b.lambda_typical),
+                format!("{:.1}", r.scheme_b.slots_per_second),
+                r.peak_rss_kb
+                    .map_or("n/a".to_string(), |kb| format!("{:.1}", kb as f64 / 1024.0)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::ascii_table(
+            &[
+                "n",
+                "k",
+                "lambda_A",
+                "slots/s A",
+                "lambda_B",
+                "slots/s B",
+                "peak RSS MiB",
+            ],
+            &table_rows,
+        )
+    );
+    for (name, fit, theory) in [
+        ("scheme A (mobility)", &fit_a, -0.25),
+        ("scheme B (infrastructure)", &fit_b, -0.5),
+    ] {
+        match fit {
+            Some(f) => println!(
+                "{name}: fitted exponent {:.4} (theory {theory}, band +/-{FIT_BAND}, \
+                 in band: {}, R^2 = {:.4})",
+                f.slope,
+                (f.slope - theory).abs() <= FIT_BAND,
+                f.r2,
+            ),
+            None => println!("{name}: fit unavailable (non-positive lambda on the ladder)"),
+        }
+    }
+    println!("wrote {}", path.display());
+    println!("wrote {}", metrics_path.display());
+}

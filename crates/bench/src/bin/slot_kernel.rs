@@ -185,7 +185,9 @@ fn run_case(
     range: f64,
 ) -> Row {
     let sstar = SStarScheduler::new(DELTA);
-    let greedy = GreedyMatchingScheduler::new(DELTA);
+    // v1: the bit-identity assertion below is against the frozen seed
+    // greedy; the default GreedyV2 is a documented seed-break (PR 8).
+    let greedy = GreedyMatchingScheduler::v1(DELTA);
     let mut identical = true;
 
     // Old path.

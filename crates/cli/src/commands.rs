@@ -27,9 +27,9 @@ USAGE:
                  [--metrics PATH]
   hycap sweep    --alpha A --m M --r R --k K --phi P
                  [--ns 200,400,800 | --min-n N --max-n N --count C]
-                 [--slots S] [--seed X] [--threads T] [--static] [--no-bs]
-                 [--metrics PATH] [--deadline SECS] [--checkpoint PATH]
-                 [--resume]
+                 [--ladder-max N] [--slots S] [--seed X] [--threads T]
+                 [--static] [--no-bs] [--metrics PATH] [--deadline SECS]
+                 [--checkpoint PATH] [--resume]
   hycap surface  --phi P [--res 21]
   hycap degrade  --alpha A --m M --r R --k K --phi P --n N
                  [--fail-frac F] [--outage-p P] [--outage-seed Y]
@@ -85,6 +85,12 @@ FAULTS (degrade subcommand):
   --outage-seed Y seed of the outage process (default 1)
   --cells C       BS groups per side (default: auto, ~4 BSs per group)
   --occupy        dead BSs keep occupying spectrum instead of radio-off
+
+LADDER (sweep subcommand):
+  --ladder-max N     cap the ladder at N nodes; accepts scientific
+                     notation (--ladder-max 1e6). Caps an explicit --ns
+                     list and replaces --max-n for the geometric default,
+                     so one flag scales a sweep recipe up or down
 
 CRASH SAFETY (sweep subcommand):
   --deadline SECS    stop cleanly at the next ladder-point boundary once
@@ -326,13 +332,30 @@ pub fn sweep(args: &Args) -> CmdResult {
     // measurement loop.
     let started = Instant::now();
     let exps = exponents(args)?;
+    // Parsed as f64 so million-node ladders can be spelled `1e6`.
+    let ladder_max: Option<usize> = match args.get::<f64>("ladder-max")? {
+        None => None,
+        Some(v) if v.is_finite() && v >= 1.0 => Some(v as usize),
+        Some(v) => {
+            return Err(HycapError::invalid(
+                "ladder-max",
+                format!("ladder cap must be a positive node count, got {v}"),
+            )
+            .into())
+        }
+    };
     let ns: Vec<usize> = match args.get_list("ns")? {
-        Some(ns) => ns,
+        Some(mut ns) => {
+            if let Some(max) = ladder_max {
+                ns.retain(|&n| n <= max);
+            }
+            ns
+        }
         // No explicit ladder: build a geometric one (the defaults reproduce
         // the old 200,400,800,1600 ladder exactly).
         None => {
             let min_n: usize = args.get_or("min-n", 200)?;
-            let max_n: usize = args.get_or("max-n", 1600)?;
+            let max_n: usize = ladder_max.unwrap_or(args.get_or("max-n", 1600)?);
             let count: usize = args.get_or("count", 4)?;
             geometric_ns(min_n, max_n, count)?
         }
@@ -837,6 +860,46 @@ mod tests {
             out.contains("fit: lambda ~ n^") || out.contains("not enough"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn sweep_ladder_max_accepts_scientific_notation_and_caps_the_ladder() {
+        // `--ladder-max 2e2` caps the explicit list at 200 nodes; the
+        // remaining single point makes the ladder too short, which proves
+        // the cap was applied before validation.
+        let err = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200,400 --slots 40 \
+             --ladder-max 1.5e2",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("two ladder points"), "{err}");
+
+        // Capping above every point changes nothing and the sweep runs.
+        let out = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 60 --seed 4 \
+             --ladder-max 1e6",
+        ))
+        .unwrap()
+        .text;
+        assert!(out.contains("n =    100"), "{out}");
+        assert!(out.contains("n =    200"), "{out}");
+
+        // For the geometric default the cap replaces --max-n.
+        let out = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --min-n 100 --count 2 \
+             --ladder-max 2e2 --slots 40 --seed 4",
+        ))
+        .unwrap()
+        .text;
+        assert!(out.contains("n =    200"), "{out}");
+        assert!(!out.contains("n =   1600"), "{out}");
+
+        let err = sweep(&args(
+            "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --ladder-max -3",
+        ))
+        .unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
     }
 
     #[test]

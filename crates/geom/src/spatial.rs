@@ -31,6 +31,7 @@
 //!    order instead of chasing ids through the original snapshot.
 
 use crate::{Point, SquareGrid};
+use hycap_errors::HycapError;
 
 /// Lower bound applied to the cell-sizing radius of the slot-path spatial
 /// index (see [`clamp_index_radius`]).
@@ -195,7 +196,14 @@ pub struct SpatialHash {
     xs: Vec<f64>,
     /// Cell-sorted y coordinates: `ys[slot]` is the y of `ids[slot]`.
     ys: Vec<f64>,
+    /// Id-ordered copy of the indexed snapshot. Empty after a streamed
+    /// build ([`SpatialHash::try_rebuild_streamed`]), where positions live
+    /// only in the cell-sorted SoA mirror and [`SpatialHash::position`]
+    /// goes through `slot_of`.
     points: Vec<Point>,
+    /// Inverse CSR permutation, filled by streamed builds only:
+    /// `slot_of[id]` is the SoA slot holding point `id`.
+    slot_of: Vec<u32>,
     /// Rebuild scratch: the flat cell index of each point, cached between
     /// the counting and placement passes and across `update` calls.
     cell_scratch: Vec<u32>,
@@ -307,8 +315,186 @@ impl SpatialHash {
             self.starts[c] = self.starts[c - 1];
         }
         self.starts[0] = 0;
+        self.slot_of.clear();
         self.grid = Some(grid);
         self.last_rebuild = RebuildKind::Full;
+    }
+
+    /// The constructor contract shared by every (re)build path: at most
+    /// `u32::MAX` points (ids are stored as `u32` in the CSR layout) and a
+    /// finite positive cell-sizing radius.
+    ///
+    /// The panicking builders enforce the same bounds with `assert!`; the
+    /// `try_*` builders and long-running sweeps route violations through
+    /// this checked form instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] naming the violated parameter.
+    pub fn check_build_inputs(len: usize, max_radius: f64) -> Result<(), HycapError> {
+        if len > u32::MAX as usize {
+            return Err(HycapError::invalid(
+                "points",
+                format!(
+                    "too many points for the spatial hash: {len} exceeds the u32 id \
+                     capacity of {}",
+                    u32::MAX
+                ),
+            ));
+        }
+        if !(max_radius.is_finite() && max_radius > 0.0) {
+            return Err(HycapError::invalid(
+                "max_radius",
+                format!("max_radius must be positive, got {max_radius}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checked [`SpatialHash::rebuild`]: validates the constructor contract
+    /// and re-indexes, returning an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] when more than `u32::MAX` points
+    /// are given or `max_radius` is not finite and positive.
+    pub fn try_rebuild(&mut self, points: &[Point], max_radius: f64) -> Result<(), HycapError> {
+        Self::check_build_inputs(points.len(), max_radius)?;
+        self.rebuild(points, max_radius);
+        Ok(())
+    }
+
+    /// Checked [`SpatialHash::update`]: validates the constructor contract
+    /// and re-indexes incrementally, returning an error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpatialHash::try_rebuild`].
+    pub fn try_update(
+        &mut self,
+        points: &[Point],
+        max_radius: f64,
+    ) -> Result<RebuildKind, HycapError> {
+        Self::check_build_inputs(points.len(), max_radius)?;
+        Ok(self.update(points, max_radius))
+    }
+
+    /// Builds the index from a *streamed* snapshot of `len` positions
+    /// without ever materializing them: `stream` is invoked twice (once per
+    /// counting-sort pass) and must replay the identical chunk sequence to
+    /// its argument both times — e.g. by re-running a counter-based slot
+    /// RNG from the same `(seed, slot)`.
+    ///
+    /// The CSR layout, the SoA coordinate mirror and every query kernel are
+    /// byte-identical to [`SpatialHash::rebuild`] over the concatenation of
+    /// the chunks; only the id-ordered `points` copy is omitted (so the
+    /// resident footprint stays `O(len)` in compact arrays —
+    /// [`SpatialHash::position`] reads back through the inverse
+    /// permutation).
+    ///
+    /// # Errors
+    ///
+    /// [`HycapError::InvalidParameter`] on a violated constructor contract;
+    /// [`HycapError::Mismatch`] when a pass streams a total different from
+    /// `len` (e.g. a non-replayable stream).
+    pub fn try_rebuild_streamed<F>(
+        &mut self,
+        len: usize,
+        max_radius: f64,
+        mut stream: F,
+    ) -> Result<(), HycapError>
+    where
+        F: FnMut(&mut dyn FnMut(&[Point])),
+    {
+        Self::check_build_inputs(len, max_radius)?;
+        let cells = cells_for_radius(max_radius);
+        let grid = match self.grid {
+            Some(g) if g.cells_per_side() == cells => g,
+            _ => SquareGrid::with_cells_per_side(cells),
+        };
+        self.cell_len = grid.cell_len();
+        self.points.clear();
+
+        // Pass 1 (counting): cache each point's flat cell and accumulate
+        // per-cell populations, exactly as the materialized rebuild does.
+        let cell_count = grid.cell_count();
+        self.starts.clear();
+        self.starts.resize(cell_count + 1, 0);
+        self.cell_scratch.clear();
+        {
+            let starts = &mut self.starts;
+            let cell_scratch = &mut self.cell_scratch;
+            stream(&mut |chunk: &[Point]| {
+                for &p in chunk {
+                    let c = grid.cell_of(p).index() as u32;
+                    cell_scratch.push(c);
+                    starts[c as usize + 1] += 1;
+                }
+            });
+        }
+        if self.cell_scratch.len() != len {
+            return Err(HycapError::Mismatch {
+                what: "streamed point count and declared length",
+                left: self.cell_scratch.len(),
+                right: len,
+            });
+        }
+        for c in 0..cell_count {
+            self.starts[c + 1] += self.starts[c];
+        }
+
+        // Pass 2 (placement): replay the stream, placing ids in id order so
+        // per-cell ids come out increasing, and fill the inverse
+        // permutation that backs `position` lookups.
+        self.ids.clear();
+        self.ids.resize(len, 0);
+        self.xs.clear();
+        self.xs.resize(len, 0.0);
+        self.ys.clear();
+        self.ys.resize(len, 0.0);
+        self.slot_of.clear();
+        self.slot_of.resize(len, 0);
+        let mut id = 0usize;
+        {
+            let starts = &mut self.starts;
+            let cell_scratch = &self.cell_scratch;
+            let ids = &mut self.ids;
+            let xs = &mut self.xs;
+            let ys = &mut self.ys;
+            let slot_of = &mut self.slot_of;
+            stream(&mut |chunk: &[Point]| {
+                for &p in chunk {
+                    if id >= len {
+                        // Tolerate the overflow here; rejected after the pass.
+                        id += 1;
+                        continue;
+                    }
+                    let cell = cell_scratch[id] as usize;
+                    let slot = starts[cell] as usize;
+                    ids[slot] = id as u32;
+                    xs[slot] = p.x;
+                    ys[slot] = p.y;
+                    slot_of[id] = slot as u32;
+                    starts[cell] = slot as u32 + 1;
+                    id += 1;
+                }
+            });
+        }
+        if id != len {
+            return Err(HycapError::Mismatch {
+                what: "streamed point count and declared length",
+                left: id,
+                right: len,
+            });
+        }
+        for c in (1..=cell_count).rev() {
+            self.starts[c] = self.starts[c - 1];
+        }
+        self.starts[0] = 0;
+        self.grid = Some(grid);
+        self.last_rebuild = RebuildKind::Full;
+        Ok(())
     }
 
     /// Re-indexes a new snapshot of the *same* population, patching the CSR
@@ -436,23 +622,52 @@ impl SpatialHash {
     /// Number of indexed points.
     #[inline]
     pub fn len(&self) -> usize {
-        self.points.len()
+        // `ids` (not `points`): streamed builds hold positions only in the
+        // cell-sorted mirror and leave `points` empty.
+        self.ids.len()
     }
 
     /// Returns `true` when the index holds no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.ids.is_empty()
     }
 
     /// The indexed position of point `id`.
+    ///
+    /// After a streamed build the coordinates are read back from the
+    /// cell-sorted mirror through the inverse permutation; the returned
+    /// `f64`s are bit-identical to the streamed input either way.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[inline]
     pub fn position(&self, id: usize) -> Point {
-        self.points[id]
+        if self.points.is_empty() && !self.ids.is_empty() {
+            let slot = self.slot_of[id] as usize;
+            Point {
+                x: self.xs[slot],
+                y: self.ys[slot],
+            }
+        } else {
+            self.points[id]
+        }
+    }
+
+    /// The Morton (Z-order) code of the grid cell currently holding point
+    /// `id`. Geometry-determined (it never depends on how the input was
+    /// indexed), which is what makes it usable as a canonical sort key for
+    /// order-neutral candidate enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty or `id` is out of range.
+    #[inline]
+    pub fn cell_morton_of(&self, id: usize) -> u64 {
+        let grid = self.grid.expect("morton code of an empty index");
+        grid.cell_from_index(self.cell_scratch[id] as usize)
+            .morton()
     }
 
     /// The ids bucketed in flat cell `idx`, in increasing order.
@@ -588,7 +803,7 @@ impl SpatialHash {
     ///
     /// Panics if `alive.len()` differs from [`SpatialHash::len`].
     pub fn fill_alive_cell_counts(&self, alive: &[bool], counts: &mut Vec<u32>) {
-        assert_eq!(alive.len(), self.points.len(), "alive mask length mismatch");
+        assert_eq!(alive.len(), self.ids.len(), "alive mask length mismatch");
         let cell_count = self.starts.len().saturating_sub(1);
         counts.clear();
         counts.resize(cell_count, 0);
@@ -655,14 +870,14 @@ impl SpatialHash {
         out: &mut Vec<usize>,
     ) {
         out.clear();
-        out.resize(self.points.len(), usize::MAX);
+        out.resize(self.ids.len(), usize::MAX);
         let Some(grid) = self.grid else { return };
         assert!(
             radius.is_finite() && radius > 0.0,
             "radius must be positive, got {radius}"
         );
         if let Some(mask) = alive {
-            assert_eq!(mask.len(), self.points.len(), "alive mask length mismatch");
+            assert_eq!(mask.len(), self.ids.len(), "alive mask length mismatch");
         }
         let r2 = radius * radius;
         let s = grid.cells_per_side();
@@ -1229,6 +1444,142 @@ mod tests {
             let within = hash.count_within(p, radius);
             assert!(pop >= within, "id {id}: block {pop} < disk {within}");
             assert!(pop >= 1, "block must include the point itself");
+        }
+    }
+
+    /// Streams `pts` in chunks of `chunk` through the streamed builder.
+    fn build_streamed(pts: &[Point], radius: f64, chunk: usize) -> SpatialHash {
+        let mut hash = SpatialHash::new();
+        hash.try_rebuild_streamed(pts.len(), radius, |emit| {
+            for c in pts.chunks(chunk.max(1)) {
+                emit(c);
+            }
+        })
+        .expect("streamed build");
+        hash
+    }
+
+    #[test]
+    fn streamed_build_matches_materialized() {
+        for (n, radius, chunk, seed) in [
+            (400usize, 0.05, 64usize, 211u64),
+            (400, 0.05, 1, 211),
+            (400, 0.05, 1000, 211),
+            (1000, 0.01, 37, 223),
+            (3, 0.3, 2, 227),
+            (0, 0.1, 8, 229),
+        ] {
+            let pts = random_points(n, seed);
+            let fresh = SpatialHash::build(&pts, radius);
+            let streamed = build_streamed(&pts, radius, chunk);
+            assert_eq!(streamed.csr_layout(), fresh.csr_layout(), "n={n}");
+            assert_eq!(streamed.xs, fresh.xs);
+            assert_eq!(streamed.ys, fresh.ys);
+            assert_eq!(streamed.cell_scratch, fresh.cell_scratch);
+            assert_eq!(streamed.len(), n);
+            assert_eq!(streamed.is_empty(), n == 0);
+            for (id, &p) in pts.iter().enumerate() {
+                assert_eq!(streamed.position(id), p, "position {id}");
+            }
+            // Kernels read only the CSR + SoA state, so equal layouts give
+            // equal answers; spot-check the occupancy kernel end to end.
+            let mut scratch = OccupancyScratch::default();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            streamed.unique_neighbors_into(radius, None, &mut scratch, &mut a);
+            fresh.unique_neighbors_into(radius, None, &mut scratch, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn streamed_build_reuses_buffers_across_slots() {
+        let radius = 0.05;
+        let mut pts = random_points(500, 233);
+        let mut hash = build_streamed(&pts, radius, 100);
+        for slot in 0..5 {
+            pts = drift(&pts, 1e-3, 2000 + slot);
+            let p = pts.clone();
+            hash.try_rebuild_streamed(p.len(), radius, |emit| {
+                for c in p.chunks(100) {
+                    emit(c);
+                }
+            })
+            .unwrap();
+            assert_same_layout_streamed(&hash, &SpatialHash::build(&pts, radius));
+        }
+    }
+
+    fn assert_same_layout_streamed(streamed: &SpatialHash, fresh: &SpatialHash) {
+        assert_eq!(streamed.csr_layout(), fresh.csr_layout());
+        assert_eq!(streamed.xs, fresh.xs);
+        assert_eq!(streamed.ys, fresh.ys);
+        assert_eq!(streamed.cell_scratch, fresh.cell_scratch);
+    }
+
+    #[test]
+    fn streamed_build_rejects_length_mismatch() {
+        let pts = random_points(20, 239);
+        let mut hash = SpatialHash::new();
+        let err = hash
+            .try_rebuild_streamed(21, 0.05, |emit| emit(&pts))
+            .unwrap_err();
+        assert!(matches!(err, HycapError::Mismatch { .. }), "{err}");
+        let err = hash
+            .try_rebuild_streamed(19, 0.05, |emit| emit(&pts))
+            .unwrap_err();
+        assert!(matches!(err, HycapError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn constructor_contract_checked_conversion() {
+        // The u32 id capacity: one past the cap is rejected without ever
+        // allocating (the check is pure arithmetic on the length).
+        let err = SpatialHash::check_build_inputs(u32::MAX as usize + 1, 0.1).unwrap_err();
+        assert!(
+            matches!(err, HycapError::InvalidParameter { name: "points", .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("u32 id capacity"));
+        assert!(SpatialHash::check_build_inputs(u32::MAX as usize, 0.1).is_ok());
+        // Degenerate radii go through the same contract.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SpatialHash::check_build_inputs(10, bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    HycapError::InvalidParameter {
+                        name: "max_radius",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+        // The try_ builders surface the same error instead of panicking.
+        let pts = random_points(10, 241);
+        let mut hash = SpatialHash::new();
+        assert!(hash.try_rebuild(&pts, f64::NAN).is_err());
+        assert!(hash.try_rebuild(&pts, 0.1).is_ok());
+        assert!(hash.try_update(&pts, -0.5).is_err());
+        assert_eq!(hash.try_update(&pts, 0.1).unwrap(), RebuildKind::Unchanged);
+    }
+
+    #[test]
+    fn cell_morton_is_geometry_determined() {
+        let pts = random_points(200, 251);
+        let radius = 0.06;
+        let hash = SpatialHash::build(&pts, radius);
+        let grid = SquareGrid::with_cells_per_side(cells_for_radius(radius));
+        for (id, &p) in pts.iter().enumerate() {
+            assert_eq!(hash.cell_morton_of(id), grid.cell_of(p).morton());
+        }
+        // Identical under any permutation of the input.
+        let mut perm: Vec<usize> = (0..pts.len()).collect();
+        perm.reverse();
+        let shuffled: Vec<Point> = perm.iter().map(|&i| pts[i]).collect();
+        let hash2 = SpatialHash::build(&shuffled, radius);
+        for (new_id, &old_id) in perm.iter().enumerate() {
+            assert_eq!(hash2.cell_morton_of(new_id), hash.cell_morton_of(old_id));
         }
     }
 

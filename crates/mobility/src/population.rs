@@ -291,6 +291,39 @@ impl Population {
         self.config.mobility.counter_samplable()
     }
 
+    /// Streams the slot-`slot` snapshot chunk by chunk without mutating the
+    /// population or materializing all `n` positions at once.
+    ///
+    /// The stream replays the same counter-based RNG
+    /// [`Population::advance_slot`]`(seed, slot)` would consume, drawing
+    /// per node exactly the variates an advance would draw, in id order —
+    /// so the concatenation of all chunks is bit-identical to the
+    /// `advance_slot` position cache. Kernels are rejection-sampled (a
+    /// variable number of draws per node), so chunks must be consumed
+    /// strictly in sequence; the stream enforces this by construction.
+    ///
+    /// Re-created per slot, the stream is the memory backbone of the
+    /// million-node ladder points: engines index positions straight out of
+    /// bounded chunks (see `SpatialHash::try_rebuild_streamed`) instead of
+    /// cloning the full snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mobility model is not
+    /// [`Population::counter_samplable`].
+    pub fn slot_stream(&self, seed: u64, slot: u64) -> SlotPositionStream<'_> {
+        assert!(
+            self.counter_samplable(),
+            "slot streaming requires a counter-samplable mobility model, got {:?}",
+            self.config.mobility
+        );
+        SlotPositionStream {
+            processes: &self.processes,
+            rng: crate::SlotRng::new(seed, slot),
+            cursor: 0,
+        }
+    }
+
     /// Redraws every node from its stationary distribution. Equivalent to
     /// an `advance` for [`MobilityKind::IidStationary`]; useful to decorrelate
     /// snapshots for the slower processes.
@@ -356,6 +389,59 @@ impl Population {
     }
 }
 
+/// A sequential, chunked view of one slot's position snapshot, created by
+/// [`Population::slot_stream`].
+///
+/// The stream borrows the population immutably and owns the slot's
+/// counter-based RNG; pulling chunks advances an internal node cursor.
+/// Because kernel offsets are rejection-sampled, positions can only be
+/// produced front to back — there is no random access, only replay.
+#[derive(Debug)]
+pub struct SlotPositionStream<'a> {
+    processes: &'a [NodeProcess],
+    rng: crate::SlotRng,
+    cursor: usize,
+}
+
+impl SlotPositionStream<'_> {
+    /// Total number of nodes in the underlying snapshot.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// `true` when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Nodes not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.processes.len() - self.cursor
+    }
+
+    /// Fills `buf` with the next `min(max, remaining)` positions (in node-id
+    /// order) and returns how many were produced; `0` means the stream is
+    /// exhausted. `buf` is cleared first, so its capacity — not the
+    /// population size — bounds the live memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0` (a zero-sized chunk would loop forever at every
+    /// call site).
+    pub fn next_chunk(&mut self, max: usize, buf: &mut Vec<Point>) -> usize {
+        assert!(max > 0, "chunk size must be positive");
+        buf.clear();
+        let take = max.min(self.remaining());
+        buf.extend(
+            self.processes[self.cursor..self.cursor + take]
+                .iter()
+                .map(|p| p.sample_slot_position(&mut self.rng)),
+        );
+        self.cursor += take;
+        take
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +455,57 @@ mod tests {
             .kernel(Kernel::uniform_disk(1.0))
             .mobility(MobilityKind::IidStationary)
             .build()
+    }
+
+    /// Streaming one slot chunk by chunk must reproduce the
+    /// `advance_slot` position cache bit for bit, for any chunk size and
+    /// for both counter-samplable mobility kinds.
+    #[test]
+    fn slot_stream_matches_advance_slot_bitwise() {
+        for kind in [MobilityKind::IidStationary, MobilityKind::Static] {
+            let config = PopulationConfig::builder(257)
+                .alpha(0.25)
+                .clusters(ClusteredModel::explicit(5, 0.05))
+                .kernel(Kernel::uniform_disk(1.0))
+                .mobility(kind)
+                .build();
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut pop = Population::generate(&config, &mut rng);
+            for slot in [0u64, 1, 17] {
+                pop.advance_slot(0xABCD, slot);
+                let want = pop.positions().to_vec();
+                for chunk in [1usize, 64, 100, 257, 1000] {
+                    let mut stream = pop.slot_stream(0xABCD, slot);
+                    assert_eq!(stream.len(), 257);
+                    let mut got = Vec::new();
+                    let mut buf = Vec::new();
+                    while stream.next_chunk(chunk, &mut buf) > 0 {
+                        assert!(buf.len() <= chunk);
+                        got.extend_from_slice(&buf);
+                    }
+                    assert_eq!(stream.remaining(), 0);
+                    assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.x.to_bits(), w.x.to_bits(), "{kind:?} slot {slot}");
+                        assert_eq!(g.y.to_bits(), w.y.to_bits(), "{kind:?} slot {slot}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// History-dependent mobility cannot be streamed.
+    #[test]
+    #[should_panic(expected = "counter-samplable")]
+    fn slot_stream_rejects_history_dependent_mobility() {
+        let config = PopulationConfig::builder(8)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::TetheredWalk { step_frac: 0.1 })
+            .build();
+        let mut rng = StdRng::seed_from_u64(9);
+        let pop = Population::generate(&config, &mut rng);
+        let _ = pop.slot_stream(1, 0);
     }
 
     #[test]

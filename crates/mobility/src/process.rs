@@ -223,6 +223,31 @@ impl NodeProcess {
             MobilityKind::Static => {}
         }
     }
+
+    /// Samples this node's position for one slot *without mutating the
+    /// process* — the streaming primitive behind
+    /// [`crate::Population::slot_stream`].
+    ///
+    /// Draws exactly the random variates [`NodeProcess::advance`] would
+    /// draw from `rng`, so replaying one slot's RNG through every node in
+    /// id order reproduces the [`crate::Population::advance_slot`] snapshot
+    /// bit for bit — but the caller never materializes or stores per-node
+    /// state. Only memoryless kinds qualify: the walk/OU/Brownian processes
+    /// evolve the previous offset and cannot be sampled statelessly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mobility kind is not
+    /// [`MobilityKind::counter_samplable`].
+    pub fn sample_slot_position<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        match self.kind {
+            MobilityKind::IidStationary => self
+                .home
+                .translate(self.kernel.sample_offset(rng) * self.norm),
+            MobilityKind::Static => self.position(),
+            kind => panic!("slot positions of {kind:?} depend on history and cannot be streamed"),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub use probe::{
 pub use sink::{
     Histogram, MemorySink, MetricsSink, NoopSink, SpanStats, SpanTimer, HISTOGRAM_BUCKETS,
 };
-pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA};
+pub use snapshot::{read_peak_rss_kb, Snapshot, SNAPSHOT_SCHEMA};
 
 /// What engines thread through a measurement run: a sink for metrics plus
 /// optional invariant probes.

@@ -23,6 +23,12 @@ pub struct Snapshot {
     probe_checks: BTreeMap<&'static str, u64>,
     violation_count: u64,
     violations: Vec<Violation>,
+    /// Peak resident-set size of the process in KiB (`VmHWM`), recorded by
+    /// scale benches. `None` (the default) keeps the field out of the
+    /// serialized output entirely, so snapshots that never sample RSS stay
+    /// byte-identical to pre-PR 8 output. Unlike counters this is a
+    /// high-water mark: merging takes the max, not the sum.
+    peak_rss_kb: Option<u64>,
 }
 
 impl Snapshot {
@@ -80,6 +86,17 @@ impl Snapshot {
         self.violation_count == 0
     }
 
+    /// Records a peak-RSS observation in KiB. Repeated calls keep the
+    /// maximum — the field is a high-water mark, not an accumulator.
+    pub fn record_peak_rss_kb(&mut self, kb: u64) {
+        self.peak_rss_kb = Some(self.peak_rss_kb.map_or(kb, |prev| prev.max(kb)));
+    }
+
+    /// The recorded peak RSS in KiB, if any run sampled it.
+    pub fn peak_rss_kb(&self) -> Option<u64> {
+        self.peak_rss_kb
+    }
+
     /// Folds `other` into `self`. Counters, checks and histogram buckets
     /// add; span stats add; violation details append up to the shared cap.
     /// Merging in input order makes the result independent of how work was
@@ -100,6 +117,11 @@ impl Snapshot {
             *self.probe_checks.entry(k).or_insert(0) += v;
         }
         self.violation_count += other.violation_count;
+        // Peak RSS is a per-process high-water mark: max, never sum.
+        self.peak_rss_kb = match (self.peak_rss_kb, other.peak_rss_kb) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
         for d in &other.violations {
             if self.violations.len() >= MAX_VIOLATION_DETAILS {
                 break;
@@ -159,6 +181,12 @@ impl Snapshot {
             o.push_str(&v.to_string())
         });
         out.push_str("},\n");
+
+        // Omitted when never recorded, keeping RSS-free snapshots
+        // byte-identical to the historical schema output.
+        if let Some(kb) = self.peak_rss_kb {
+            out.push_str(&format!("  \"peak_rss_kb\": {kb},\n"));
+        }
 
         out.push_str(&format!(
             "  \"violation_count\": {},\n",
@@ -220,8 +248,20 @@ impl Snapshot {
             out.push_str(&format!("probe,{name},checks,{v}\n"));
         }
         out.push_str(&format!("probe,all,violations,{}\n", self.violation_count));
+        if let Some(kb) = self.peak_rss_kb {
+            out.push_str(&format!("gauge,peak_rss_kb,value,{kb}\n"));
+        }
         out
     }
+}
+
+/// Reads the process peak resident-set size (`VmHWM`) in KiB from
+/// `/proc/self/status`. Zero dependencies by design; returns `None` on
+/// platforms without procfs or if the field is missing/unparsable.
+pub fn read_peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn push_map<'a, K: std::fmt::Display + 'a, V: 'a>(
@@ -325,6 +365,43 @@ mod tests {
             left.histogram("schedule.pairs_per_slot").unwrap().count(),
             4
         );
+    }
+
+    #[test]
+    fn peak_rss_merges_as_max_and_serialises_only_when_set() {
+        let plain = sample();
+        assert!(plain.peak_rss_kb().is_none());
+        assert!(!plain.to_json().contains("peak_rss_kb"));
+        assert!(!plain.to_csv().contains("peak_rss_kb"));
+
+        let mut a = sample();
+        a.record_peak_rss_kb(1_500);
+        a.record_peak_rss_kb(900); // high-water mark: keeps the max
+        assert_eq!(a.peak_rss_kb(), Some(1_500));
+        assert!(a.to_json().contains("\"peak_rss_kb\": 1500"));
+        assert!(a.to_csv().contains("gauge,peak_rss_kb,value,1500"));
+
+        let mut b = sample();
+        b.record_peak_rss_kb(2_000);
+        a.merge(&b);
+        assert_eq!(a.peak_rss_kb(), Some(2_000));
+
+        // Merging an RSS-free snapshot keeps the existing mark.
+        a.merge(&sample());
+        assert_eq!(a.peak_rss_kb(), Some(2_000));
+
+        // And merging into a fresh snapshot adopts the other side's mark.
+        let mut fresh = Snapshot::default();
+        fresh.merge(&a);
+        assert_eq!(fresh.peak_rss_kb(), Some(2_000));
+    }
+
+    #[test]
+    fn read_peak_rss_reports_a_plausible_value_on_linux() {
+        if let Some(kb) = read_peak_rss_kb() {
+            // Any running test binary has touched at least a few hundred KiB.
+            assert!(kb > 100, "VmHWM of {kb} KiB is implausibly small");
+        }
     }
 
     #[test]

@@ -104,6 +104,41 @@ impl HybridNetwork {
     pub fn counter_samplable(&self) -> bool {
         self.population.counter_samplable()
     }
+
+    /// Streams the slot-`slot` combined `MS ++ BS` snapshot to `emit` in
+    /// chunks of at most `chunk` positions, without mutating the network or
+    /// materializing all `n + k` positions.
+    ///
+    /// The concatenation of the emitted chunks is bit-identical to the
+    /// `buf` an [`HybridNetwork::advance_slot_into`]`(seed, slot, buf)`
+    /// would produce: MS positions first (replayed through
+    /// [`Population::slot_stream`]), then the static BS tail. `buf` is the
+    /// caller-provided chunk scratch — its capacity, not the network size,
+    /// bounds the live memory; `emit` must copy out what it needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0` or the mobility model is not
+    /// [`HybridNetwork::counter_samplable`].
+    pub fn stream_slot_positions<F: FnMut(&[Point])>(
+        &self,
+        seed: u64,
+        slot: u64,
+        chunk: usize,
+        buf: &mut Vec<Point>,
+        mut emit: F,
+    ) {
+        assert!(chunk > 0, "chunk size must be positive");
+        let mut stream = self.population.slot_stream(seed, slot);
+        while stream.next_chunk(chunk, buf) > 0 {
+            emit(buf);
+        }
+        if let Some(bs) = &self.bs {
+            for tail in bs.positions().chunks(chunk) {
+                emit(tail);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +201,30 @@ mod tests {
         assert_eq!(buf.len(), direct.len());
         for (a, b) in buf.iter().zip(&direct) {
             assert!(a.torus_dist(*b) < 1e-15);
+        }
+    }
+
+    /// Streamed chunks concatenate to the exact `advance_slot_into` buffer
+    /// (MS head, BS tail), bit for bit, for any chunk size.
+    #[test]
+    fn stream_slot_positions_matches_advance_slot_into() {
+        let (pop, mut rng) = population(97, 5);
+        let bs = BaseStations::generate_uniform(7, 1.0, &mut rng);
+        let mut net = HybridNetwork::with_infrastructure(pop, bs);
+        let mut want = Vec::new();
+        net.advance_slot_into(42, 3, &mut want);
+        for chunk in [1usize, 16, 97, 104, 1000] {
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            net.stream_slot_positions(42, 3, chunk, &mut buf, |c| {
+                assert!(c.len() <= chunk);
+                got.extend_from_slice(c);
+            });
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.x.to_bits(), w.x.to_bits());
+                assert_eq!(g.y.to_bits(), w.y.to_bits());
+            }
         }
     }
 

@@ -34,12 +34,13 @@ use crate::faults::{FaultInjector, FaultSchedule, FaultTally, OutagePolicy};
 use crate::pool::{chunk_ranges, WorkerPool};
 use crate::HybridNetwork;
 use hycap_errors::HycapError;
-use hycap_geom::Point;
+use hycap_geom::{clamp_index_radius, Point};
 use hycap_infra::Backbone;
 use hycap_obs::{MetricsSink, Observer, Snapshot, SpanTimer};
 use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
 use hycap_wireless::{
-    critical_range, schedule_observed, SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+    critical_range, schedule_observed, schedule_prebuilt_observed, SStarScheduler, ScheduledPair,
+    Scheduler, SlotWorkspace,
 };
 use rand::Rng;
 use std::collections::HashMap;
@@ -1647,6 +1648,620 @@ impl FluidEngine {
             ))
         }
     }
+
+    /// Streamed scheme A measurement: bit-identical to
+    /// [`FluidEngine::measure_scheme_a_ctr`], but no step ever materializes
+    /// the full `n + k` position snapshot. Each slot's positions are
+    /// replayed from the counter stream in chunks of at most `chunk`
+    /// points, straight into the workspace's spatial index
+    /// (`SpatialHash::try_rebuild_streamed`), and the scheduler runs over
+    /// the prebuilt index. Peak live memory is `O(n)` ids/coordinates in
+    /// the index plus `O(chunk)` scratch — never a second position array —
+    /// which is what makes `n = 10⁶` ladder points routine.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_ctr`], plus
+    /// [`HycapError::InvalidParameter`] when `chunk == 0`.
+    pub fn measure_scheme_a_streamed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<FluidReport, HycapError> {
+        Ok(self
+            .scheme_a_streamed_impl(net, plan, slots, seed, chunk, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_a_streamed`] with a recording
+    /// observer; the snapshot is byte-equal to the one
+    /// [`FluidEngine::measure_scheme_a_ctr_observed`] produces.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_streamed`].
+    pub fn measure_scheme_a_streamed_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<(FluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_a_streamed_impl(net, plan, slots, seed, chunk, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Streamed scheme B measurement; the scheme B counterpart of
+    /// [`FluidEngine::measure_scheme_a_streamed`], bit-identical to
+    /// [`FluidEngine::measure_scheme_b_ctr`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_ctr`], plus
+    /// [`HycapError::InvalidParameter`] when `chunk == 0`.
+    pub fn measure_scheme_b_streamed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<FluidReport, HycapError> {
+        Ok(self
+            .scheme_b_streamed_impl(net, plan, slots, seed, chunk, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_b_streamed`] with a recording
+    /// observer; snapshot byte-equal to
+    /// [`FluidEngine::measure_scheme_b_ctr_observed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_streamed`].
+    pub fn measure_scheme_b_streamed_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<(FluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_b_streamed_impl(net, plan, slots, seed, chunk, true)?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Streamed faulted scheme A measurement; bit-identical to
+    /// [`FluidEngine::measure_scheme_a_with_faults_ctr`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_with_faults_ctr`], plus
+    /// [`HycapError::InvalidParameter`] when `chunk == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_a_with_faults_streamed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        Ok(self
+            .scheme_a_faulted_streamed_impl(net, plan, slots, schedule, policy, seed, chunk, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_a_with_faults_streamed`] with a
+    /// recording observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_a_with_faults_streamed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_a_with_faults_streamed_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<(DegradedFluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_a_faulted_streamed_impl(
+            net, plan, slots, schedule, policy, seed, chunk, true,
+        )?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Streamed faulted scheme B measurement; bit-identical to
+    /// [`FluidEngine::measure_scheme_b_with_faults_ctr`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_with_faults_ctr`], plus
+    /// [`HycapError::InvalidParameter`] when `chunk == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_b_with_faults_streamed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<DegradedFluidReport, HycapError> {
+        Ok(self
+            .scheme_b_faulted_streamed_impl(net, plan, slots, schedule, policy, seed, chunk, false)?
+            .0)
+    }
+
+    /// [`FluidEngine::measure_scheme_b_with_faults_streamed`] with a
+    /// recording observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEngine::measure_scheme_b_with_faults_streamed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_scheme_b_with_faults_streamed_observed(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        chunk: usize,
+    ) -> Result<(DegradedFluidReport, Snapshot), HycapError> {
+        let (report, snap) = self.scheme_b_faulted_streamed_impl(
+            net, plan, slots, schedule, policy, seed, chunk, true,
+        )?;
+        Ok((report, snap.expect("observed run yields a snapshot")))
+    }
+
+    /// Streamed scheme A slot loop: the streaming counterpart of
+    /// [`FluidEngine::scheme_a_chunk_impl`]. Instead of materializing the
+    /// slot snapshot and letting the scheduler index it, each slot streams
+    /// its positions chunk-by-chunk straight into the workspace's spatial
+    /// index and schedules over the prebuilt index — same accumulator
+    /// updates, same observer counters, same probe verdicts, so the result
+    /// absorbs into bit-identical reports.
+    #[allow(clippy::too_many_arguments)]
+    fn scheme_a_streamed_chunk<S: MetricsSink>(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: Range<usize>,
+        seed: u64,
+        chunk: usize,
+        mut faults: Option<(&mut FaultInjector, OutagePolicy)>,
+        obs: &mut Observer<S>,
+    ) -> Result<SchemeAAcc, HycapError> {
+        let n = net.n();
+        let k = net.k();
+        let total = net.total_nodes();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        let index_radius = clamp_index_radius(scheduler.protocol().guard_radius(range));
+        let grid = *plan.grid();
+        let homes = net.population().home_points().points();
+        let mut acc = SchemeAAcc::default();
+        let mut chunk_buf: Vec<Point> = Vec::new();
+        let mut alive = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        for slot in slots {
+            let masked = if let Some((injector, policy)) = faults.as_mut() {
+                injector.advance_to(slot);
+                injector.fill_alive(n, *policy, &mut alive);
+                let alive_now = injector.alive_count();
+                acc.alive_sum += alive_now;
+                if alive_now < k {
+                    acc.outage_slots += 1;
+                }
+                true
+            } else {
+                false
+            };
+            ws.hash_mut()
+                .try_rebuild_streamed(total, index_radius, |emit| {
+                    net.stream_slot_positions(seed, slot as u64, chunk, &mut chunk_buf, emit)
+                })?;
+            schedule_prebuilt_observed(
+                &scheduler,
+                range,
+                masked.then_some(alive.as_slice()),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
+            acc.total_pairs += pairs.len();
+            for &pair in &pairs {
+                if pair.a >= n || pair.b >= n {
+                    continue; // MS–BS contacts do not serve scheme A
+                }
+                let ca = grid.cell_of(homes[pair.a]);
+                let cb = grid.cell_of(homes[pair.b]);
+                if ca == cb || grid.manhattan(ca, cb) == 1 {
+                    *acc.service.entry(edge_key(ca, cb)).or_insert(0.0) += 1.0;
+                    acc.credited += 1;
+                }
+            }
+            acc.slots_done += 1;
+        }
+        Ok(acc)
+    }
+
+    /// Streamed scheme B slot loop; the scheme B counterpart of
+    /// [`FluidEngine::scheme_a_streamed_chunk`].
+    #[allow(clippy::too_many_arguments)]
+    fn scheme_b_streamed_chunk<S: MetricsSink>(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: Range<usize>,
+        seed: u64,
+        chunk: usize,
+        mut faults: Option<(&mut FaultInjector, OutagePolicy)>,
+        obs: &mut Observer<S>,
+    ) -> Result<SchemeBAcc, HycapError> {
+        let n = net.n();
+        let k = net.k();
+        let total = net.total_nodes();
+        let range = self.range_for(n);
+        let scheduler = SStarScheduler::new(self.delta);
+        let index_radius = clamp_index_radius(scheduler.protocol().guard_radius(range));
+        let mut ms_group = vec![usize::MAX; n];
+        let mut bs_group = vec![usize::MAX; k];
+        for g in 0..plan.group_count() {
+            for &i in plan.ms_members(g) {
+                ms_group[i] = g;
+            }
+            for &b in plan.bs_members(g) {
+                bs_group[b] = g;
+            }
+        }
+        let mut acc = SchemeBAcc::new(plan.group_count());
+        let mut chunk_buf: Vec<Point> = Vec::new();
+        let mut alive = Vec::new();
+        let mut ws = SlotWorkspace::new();
+        let mut pairs: Vec<ScheduledPair> = Vec::new();
+        for slot in slots {
+            let masked = if let Some((injector, policy)) = faults.as_mut() {
+                injector.advance_to(slot);
+                injector.fill_alive(n, *policy, &mut alive);
+                let alive_now = injector.alive_count();
+                acc.alive_sum += alive_now;
+                if alive_now < k {
+                    acc.outage_slots += 1;
+                }
+                true
+            } else {
+                false
+            };
+            ws.hash_mut()
+                .try_rebuild_streamed(total, index_radius, |emit| {
+                    net.stream_slot_positions(seed, slot as u64, chunk, &mut chunk_buf, emit)
+                })?;
+            schedule_prebuilt_observed(
+                &scheduler,
+                range,
+                masked.then_some(alive.as_slice()),
+                slot as u64,
+                &mut ws,
+                &mut pairs,
+                obs,
+            );
+            acc.total_pairs += pairs.len();
+            for &pair in &pairs {
+                let (ms, bs_id) = if pair.a < n && pair.b >= n {
+                    (pair.a, pair.b - n)
+                } else if pair.b < n && pair.a >= n {
+                    (pair.b, pair.a - n)
+                } else {
+                    continue;
+                };
+                if let Some((injector, _)) = faults.as_ref() {
+                    if !injector.mask().bs_alive(bs_id) {
+                        continue;
+                    }
+                }
+                let g = bs_group[bs_id];
+                if g != usize::MAX && ms_group[ms] == g {
+                    acc.service[g] += 1.0;
+                    acc.access_contacts += 1;
+                }
+            }
+            acc.slots_done += 1;
+        }
+        Ok(acc)
+    }
+
+    /// Single-pass core of the streamed scheme A entry points; reduces and
+    /// finalizes exactly as the sequential branch of
+    /// [`FluidEngine::scheme_a_par_impl`] so reports and snapshots stay
+    /// bit-identical.
+    fn scheme_a_streamed_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        seed: u64,
+        chunk: usize,
+        observe: bool,
+    ) -> Result<(FluidReport, Option<Snapshot>), HycapError> {
+        check_streamed_run(net, slots, chunk)?;
+        let timer = SpanTimer::start();
+        let (acc, chunk_snap) = if observe {
+            let mut obs = Observer::recording().with_probes();
+            let acc =
+                self.scheme_a_streamed_chunk(net, plan, 0..slots, seed, chunk, None, &mut obs)?;
+            (acc, Some(obs.snapshot()))
+        } else {
+            let acc = self.scheme_a_streamed_chunk(
+                net,
+                plan,
+                0..slots,
+                seed,
+                chunk,
+                None,
+                &mut Observer::noop(),
+            )?;
+            (acc, None)
+        };
+        if observe {
+            let mut merged = Snapshot::default();
+            merged.merge(&chunk_snap.expect("observed run collects snapshots"));
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_a(plan, slots, &acc, timer, &mut obs);
+            merged.merge(&obs.snapshot());
+            Ok((report, Some(merged)))
+        } else {
+            Ok((
+                finalize_scheme_a(plan, slots, &acc, timer, &mut Observer::noop()),
+                None,
+            ))
+        }
+    }
+
+    /// Single-pass core of the streamed scheme B entry points.
+    fn scheme_b_streamed_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        seed: u64,
+        chunk: usize,
+        observe: bool,
+    ) -> Result<(FluidReport, Option<Snapshot>), HycapError> {
+        check_streamed_run(net, slots, chunk)?;
+        let Some(bs) = net.base_stations() else {
+            return Err(HycapError::MissingInfrastructure("scheme B"));
+        };
+        let k = net.k();
+        let bandwidth = bs.bandwidth();
+        let timer = SpanTimer::start();
+        let (acc, chunk_snap) = if observe {
+            let mut obs = Observer::recording().with_probes();
+            let acc =
+                self.scheme_b_streamed_chunk(net, plan, 0..slots, seed, chunk, None, &mut obs)?;
+            (acc, Some(obs.snapshot()))
+        } else {
+            let acc = self.scheme_b_streamed_chunk(
+                net,
+                plan,
+                0..slots,
+                seed,
+                chunk,
+                None,
+                &mut Observer::noop(),
+            )?;
+            (acc, None)
+        };
+        if observe {
+            let mut merged = Snapshot::default();
+            merged.merge(&chunk_snap.expect("observed run collects snapshots"));
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_b(plan, slots, &acc, k, bandwidth, timer, &mut obs);
+            merged.merge(&obs.snapshot());
+            Ok((report, Some(merged)))
+        } else {
+            Ok((
+                finalize_scheme_b(
+                    plan,
+                    slots,
+                    &acc,
+                    k,
+                    bandwidth,
+                    timer,
+                    &mut Observer::noop(),
+                ),
+                None,
+            ))
+        }
+    }
+
+    /// Single-pass core of the streamed faulted scheme A entry points.
+    #[allow(clippy::too_many_arguments)]
+    fn scheme_a_faulted_streamed_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeAPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        chunk: usize,
+        observe: bool,
+    ) -> Result<(DegradedFluidReport, Option<Snapshot>), HycapError> {
+        check_streamed_run(net, slots, chunk)?;
+        let k = net.k();
+        let mut injector = FaultInjector::new(k, schedule)?;
+        if schedule.is_empty() {
+            // Mirror the sequential empty-schedule delegation.
+            let (base, snap) =
+                self.scheme_a_streamed_impl(net, plan, slots, seed, chunk, observe)?;
+            return Ok((
+                DegradedFluidReport {
+                    base,
+                    k_alive_mean: k as f64,
+                    outage_slots: 0,
+                    infra_flows: plan.paths().len(),
+                    fallback_flows: 0,
+                    dead_groups: 0,
+                    tally: FaultTally::default(),
+                },
+                snap,
+            ));
+        }
+        injector.seek(0);
+        let (acc, chunk_snap) = if observe {
+            let mut obs = Observer::recording().with_probes();
+            let acc = self.scheme_a_streamed_chunk(
+                net,
+                plan,
+                0..slots,
+                seed,
+                chunk,
+                Some((&mut injector, policy)),
+                &mut obs,
+            )?;
+            (acc, Some(obs.snapshot()))
+        } else {
+            let acc = self.scheme_a_streamed_chunk(
+                net,
+                plan,
+                0..slots,
+                seed,
+                chunk,
+                Some((&mut injector, policy)),
+                &mut Observer::noop(),
+            )?;
+            (acc, None)
+        };
+        let tally = injector.tally();
+        let flows = plan.paths().len();
+        if observe {
+            let mut merged = Snapshot::default();
+            merged.merge(&chunk_snap.expect("observed run collects snapshots"));
+            let mut obs = Observer::recording().with_probes();
+            let report =
+                finalize_scheme_a_faulted(plan, slots, &acc, flows, k, &injector, tally, &mut obs);
+            merged.merge(&obs.snapshot());
+            Ok((report, Some(merged)))
+        } else {
+            Ok((
+                finalize_scheme_a_faulted(
+                    plan,
+                    slots,
+                    &acc,
+                    flows,
+                    k,
+                    &injector,
+                    tally,
+                    &mut Observer::noop(),
+                ),
+                None,
+            ))
+        }
+    }
+
+    /// Single-pass core of the streamed faulted scheme B entry points.
+    #[allow(clippy::too_many_arguments)]
+    fn scheme_b_faulted_streamed_impl(
+        &self,
+        net: &HybridNetwork,
+        plan: &SchemeBPlan,
+        slots: usize,
+        schedule: &FaultSchedule,
+        policy: OutagePolicy,
+        seed: u64,
+        chunk: usize,
+        observe: bool,
+    ) -> Result<(DegradedFluidReport, Option<Snapshot>), HycapError> {
+        check_streamed_run(net, slots, chunk)?;
+        let Some(bs) = net.base_stations() else {
+            return Err(HycapError::MissingInfrastructure("scheme B"));
+        };
+        let k = net.k();
+        let bandwidth = bs.bandwidth();
+        let mut injector = FaultInjector::new(k, schedule)?;
+        if schedule.is_empty() {
+            let (base, snap) =
+                self.scheme_b_streamed_impl(net, plan, slots, seed, chunk, observe)?;
+            return Ok((
+                DegradedFluidReport {
+                    base,
+                    k_alive_mean: k as f64,
+                    outage_slots: 0,
+                    infra_flows: plan.flows().len(),
+                    fallback_flows: 0,
+                    dead_groups: 0,
+                    tally: FaultTally::default(),
+                },
+                snap,
+            ));
+        }
+        injector.seek(0);
+        let (acc, chunk_snap) = if observe {
+            let mut obs = Observer::recording().with_probes();
+            let acc = self.scheme_b_streamed_chunk(
+                net,
+                plan,
+                0..slots,
+                seed,
+                chunk,
+                Some((&mut injector, policy)),
+                &mut obs,
+            )?;
+            (acc, Some(obs.snapshot()))
+        } else {
+            let acc = self.scheme_b_streamed_chunk(
+                net,
+                plan,
+                0..slots,
+                seed,
+                chunk,
+                Some((&mut injector, policy)),
+                &mut Observer::noop(),
+            )?;
+            (acc, None)
+        };
+        let tally = injector.tally();
+        if observe {
+            let mut merged = Snapshot::default();
+            merged.merge(&chunk_snap.expect("observed run collects snapshots"));
+            let mut obs = Observer::recording().with_probes();
+            let report = finalize_scheme_b_faulted(
+                plan, slots, &acc, k, bandwidth, &injector, tally, &mut obs,
+            )?;
+            merged.merge(&obs.snapshot());
+            Ok((report, Some(merged)))
+        } else {
+            Ok((
+                finalize_scheme_b_faulted(
+                    plan,
+                    slots,
+                    &acc,
+                    k,
+                    bandwidth,
+                    &injector,
+                    tally,
+                    &mut Observer::noop(),
+                )?,
+                None,
+            ))
+        }
+    }
 }
 
 impl Default for FluidEngine {
@@ -1762,6 +2377,16 @@ fn check_counter_run(net: &HybridNetwork, slots: usize) -> Result<(), HycapError
             "counter-based sampling requires an i.i.d.-per-slot or static \
              mobility model (slot positions must not depend on history)",
         ));
+    }
+    Ok(())
+}
+
+/// Validation shared by the streamed entry points: counter-samplability as
+/// [`check_counter_run`], plus a positive chunk size.
+fn check_streamed_run(net: &HybridNetwork, slots: usize, chunk: usize) -> Result<(), HycapError> {
+    check_counter_run(net, slots)?;
+    if chunk == 0 {
+        return Err(HycapError::invalid("chunk", "need a positive chunk size"));
     }
     Ok(())
 }

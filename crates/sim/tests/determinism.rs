@@ -220,6 +220,132 @@ fn empty_schedule_faulted_par_matches_fault_free_par() {
     assert_eq!(faulted.tally.scripted_total(), 0);
 }
 
+/// The streamed engines (PR 8) never materialize the full snapshot, yet
+/// must reproduce the fully materialized `_ctr` reference bit for bit —
+/// reports *and* metrics snapshots — for both schemes, fault-free, at
+/// several chunk sizes (including chunks smaller, equal to and larger than
+/// the node count).
+#[test]
+fn streamed_bit_identical_to_ctr_fault_free() {
+    let slots = 150;
+    let chunks = [1usize, 37, 216, 4096];
+    let (net, plan_b, plan_a) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let (ref_a, ref_a_snap) = engine
+        .measure_scheme_a_ctr_observed(&net, &plan_a, slots, SLOT_SEED)
+        .unwrap();
+    let (ref_b, ref_b_snap) = engine
+        .measure_scheme_b_ctr_observed(&net, &plan_b, slots, SLOT_SEED)
+        .unwrap();
+    for chunk in chunks {
+        let (a, a_snap) = engine
+            .measure_scheme_a_streamed_observed(&net, &plan_a, slots, SLOT_SEED, chunk)
+            .unwrap();
+        assert_eq!(a, ref_a, "scheme A report drifted at chunk {chunk}");
+        assert_eq!(a.lambda.to_bits(), ref_a.lambda.to_bits());
+        assert_eq!(a.lambda_typical.to_bits(), ref_a.lambda_typical.to_bits());
+        assert_eq!(
+            a_snap.to_json(),
+            ref_a_snap.to_json(),
+            "scheme A snapshot drifted at chunk {chunk}"
+        );
+        let (b, b_snap) = engine
+            .measure_scheme_b_streamed_observed(&net, &plan_b, slots, SLOT_SEED, chunk)
+            .unwrap();
+        assert_eq!(b, ref_b, "scheme B report drifted at chunk {chunk}");
+        assert_eq!(b.lambda.to_bits(), ref_b.lambda.to_bits());
+        assert_eq!(
+            b_snap.to_json(),
+            ref_b_snap.to_json(),
+            "scheme B snapshot drifted at chunk {chunk}"
+        );
+    }
+}
+
+/// Streamed == ctr under faults too, for both outage policies: same base
+/// report, fault statistics, tallies and snapshots.
+#[test]
+fn streamed_bit_identical_to_ctr_faulted() {
+    let slots = 150;
+    let chunk = 64;
+    let (net, plan_b, plan_a) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let schedule = faulty_schedule();
+    for policy in [OutagePolicy::RadioOff, OutagePolicy::OccupySpectrum] {
+        let (ref_a, ref_a_snap) = engine
+            .measure_scheme_a_with_faults_ctr_observed(
+                &net, &plan_a, slots, &schedule, policy, SLOT_SEED,
+            )
+            .unwrap();
+        let (a, a_snap) = engine
+            .measure_scheme_a_with_faults_streamed_observed(
+                &net, &plan_a, slots, &schedule, policy, SLOT_SEED, chunk,
+            )
+            .unwrap();
+        assert_eq!(a.base, ref_a.base, "scheme A base drifted ({policy:?})");
+        assert_eq!(a.base.lambda.to_bits(), ref_a.base.lambda.to_bits());
+        assert_eq!(a.k_alive_mean.to_bits(), ref_a.k_alive_mean.to_bits());
+        assert_eq!(a.outage_slots, ref_a.outage_slots);
+        assert_eq!(a.tally, ref_a.tally);
+        assert_eq!(a_snap.to_json(), ref_a_snap.to_json());
+        let (ref_b, ref_b_snap) = engine
+            .measure_scheme_b_with_faults_ctr_observed(
+                &net, &plan_b, slots, &schedule, policy, SLOT_SEED,
+            )
+            .unwrap();
+        let (b, b_snap) = engine
+            .measure_scheme_b_with_faults_streamed_observed(
+                &net, &plan_b, slots, &schedule, policy, SLOT_SEED, chunk,
+            )
+            .unwrap();
+        assert_eq!(b.base, ref_b.base, "scheme B base drifted ({policy:?})");
+        assert_eq!(b.base.lambda.to_bits(), ref_b.base.lambda.to_bits());
+        assert_eq!(b.k_alive_mean.to_bits(), ref_b.k_alive_mean.to_bits());
+        assert_eq!(b.outage_slots, ref_b.outage_slots);
+        assert_eq!(b.infra_flows, ref_b.infra_flows);
+        assert_eq!(b.fallback_flows, ref_b.fallback_flows);
+        assert_eq!(b.dead_groups, ref_b.dead_groups);
+        assert_eq!(b.tally, ref_b.tally);
+        assert_eq!(b_snap.to_json(), ref_b_snap.to_json());
+    }
+}
+
+/// An empty fault schedule delegates the streamed faulted run to the
+/// fault-free streamed measurement, mirroring the `_par` behavior.
+#[test]
+fn empty_schedule_faulted_streamed_matches_fault_free_streamed() {
+    let slots = 100;
+    let (net, plan, _) = hybrid_setup(200, 16, 2);
+    let engine = FluidEngine::default();
+    let plain = engine
+        .measure_scheme_b_streamed(&net, &plan, slots, SLOT_SEED, 50)
+        .unwrap();
+    let faulted = engine
+        .measure_scheme_b_with_faults_streamed(
+            &net,
+            &plan,
+            slots,
+            &FaultSchedule::empty(),
+            OutagePolicy::RadioOff,
+            SLOT_SEED,
+            50,
+        )
+        .unwrap();
+    assert_eq!(faulted.base, plain);
+    assert_eq!(faulted.k_alive_mean, 16.0);
+    assert_eq!(faulted.outage_slots, 0);
+}
+
+/// Chunk size zero is a parameter error, not a hang.
+#[test]
+fn streamed_rejects_zero_chunk() {
+    let (net, _, plan) = hybrid_setup(50, 4, 2);
+    let err = FluidEngine::default()
+        .measure_scheme_a_streamed(&net, &plan, 10, SLOT_SEED, 0)
+        .unwrap_err();
+    assert!(err.to_string().contains("chunk"), "{err}");
+}
+
 #[test]
 fn counter_run_rejects_history_dependent_mobility() {
     let mut rng = StdRng::seed_from_u64(SEED);

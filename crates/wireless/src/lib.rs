@@ -41,7 +41,8 @@ pub mod schedule;
 pub use linkcap::{ContactEstimate, LinkCapacityEstimator};
 pub use protocol::ProtocolModel;
 pub use schedule::{
-    check_schedule_feasibility, schedule_observed, GreedyMatchingScheduler, SStarScheduler,
+    check_schedule_feasibility, check_schedule_feasibility_indexed, schedule_observed,
+    schedule_prebuilt_observed, GreedyMatchingScheduler, GreedyVersion, SStarScheduler,
     ScheduledPair, Scheduler, SlotWorkspace,
 };
 

@@ -86,8 +86,13 @@ pub struct SlotWorkspace {
     occupancy: OccupancyScratch,
     /// `S*`: unique guard-zone neighbor per node (`usize::MAX` = none/many).
     neighbor: Vec<usize>,
-    /// Greedy: candidate `(i, j)` pairs within range.
-    candidates: Vec<(usize, usize)>,
+    /// Greedy: candidate `(i, j)` pairs within range. Node ids fit in
+    /// `u32` by the [`SpatialHash`] capacity contract, so a candidate is 8
+    /// bytes — at 10⁶ nodes the list stays cache-friendly.
+    candidates: Vec<(u32, u32)>,
+    /// Greedy v2: canonical per-node sort key (cell Morton code, then the
+    /// order-preserving bit patterns of x and y).
+    node_keys: Vec<(u64, u64, u64)>,
     /// Greedy: per-node "already matched" flags.
     used: Vec<bool>,
     /// Greedy: endpoints of the pairs activated so far this slot.
@@ -98,6 +103,19 @@ impl SlotWorkspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
         SlotWorkspace::default()
+    }
+
+    /// Mutable access to the workspace's spatial index, for callers that
+    /// build the index themselves — e.g. streaming slot positions chunk by
+    /// chunk through `SpatialHash::try_rebuild_streamed` — before invoking
+    /// [`SStarScheduler::schedule_prebuilt_masked_into`].
+    pub fn hash_mut(&mut self) -> &mut SpatialHash {
+        &mut self.hash
+    }
+
+    /// Shared access to the workspace's spatial index.
+    pub fn hash(&self) -> &SpatialHash {
+        &self.hash
     }
 }
 
@@ -203,6 +221,53 @@ impl SStarScheduler {
     pub fn protocol(&self) -> ProtocolModel {
         self.protocol
     }
+
+    /// [`Scheduler::schedule_masked_into`] over a spatial index the caller
+    /// has already refreshed for this slot, instead of a materialized
+    /// position slice.
+    ///
+    /// The caller must have (re)built `ws.hash` — via
+    /// [`SlotWorkspace::hash_mut`] — over this slot's positions with the
+    /// cell-sizing radius `clamp_index_radius((1 + Δ) * range)`, exactly as
+    /// the slice path does internally. Given that, the emitted pairs are
+    /// bit-identical to the slice path: the occupancy kernel and the strict
+    /// range check both read the index's own coordinate mirror. This is the
+    /// scheduling entry point of the streaming engines, which never hold
+    /// all `n` positions at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive or `alive` is `Some` with a length
+    /// different from the indexed point count.
+    pub fn schedule_prebuilt_masked_into(
+        &self,
+        range: f64,
+        alive: Option<&[bool]>,
+        ws: &mut SlotWorkspace,
+        out: &mut Vec<ScheduledPair>,
+    ) {
+        assert!(
+            range.is_finite() && range > 0.0,
+            "transmission range must be positive, got {range}"
+        );
+        let n = ws.hash.len();
+        check_mask(alive, n);
+        out.clear();
+        let guard = self.protocol.guard_radius(range);
+        if n < 2 {
+            return;
+        }
+        ws.hash
+            .unique_neighbors_into(guard, alive, &mut ws.occupancy, &mut ws.neighbor);
+        for (i, &j) in ws.neighbor.iter().enumerate() {
+            if j != usize::MAX && j > i && ws.neighbor[j] == i {
+                let (pi, pj) = (ws.hash.position(i), ws.hash.position(j));
+                if pi.torus_dist_sq(pj) < range * range {
+                    out.push(ScheduledPair::new(i, j));
+                }
+            }
+        }
+    }
 }
 
 impl Default for SStarScheduler {
@@ -254,30 +319,158 @@ impl Scheduler for SStarScheduler {
     }
 }
 
+/// Which candidate-enumeration generation a [`GreedyMatchingScheduler`]
+/// runs. See DESIGN.md §14 for the v1 → v2 seed-break rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GreedyVersion {
+    /// The historical matcher: candidates gathered by a per-node radius
+    /// scan in input-id order, then shuffled with an RNG seeded from a
+    /// fold over the position array. Deterministic per snapshot, but the
+    /// accept order — and hence the schedule — depends on how the input
+    /// happens to be indexed, which blocks order-neutral (streamed,
+    /// sharded) candidate generation.
+    V1,
+    /// The order-neutral matcher: candidates enumerated by the pair kernel
+    /// of the occupancy index and sorted into canonical cell-Morton order
+    /// keyed on geometry alone, so any permutation of the input produces
+    /// the same schedule (up to the node relabeling). This is the
+    /// documented seed-break of PR 8; v1 stays available for the frozen
+    /// bit-identity pins.
+    #[default]
+    V2,
+}
+
 /// A greedy maximal-matching baseline scheduler.
 ///
-/// Candidate pairs within range are visited in randomized order (seeded from
-/// the slot positions so the policy remains a deterministic function of the
-/// snapshot, as required for Definition 9's stationarity); a pair is
-/// activated iff both endpoints are unused and each endpoint is at least
-/// `(1+Δ)R_T` away from every endpoint of an already-active pair.
+/// Candidate pairs within range are visited in a deterministic order — a
+/// canonical geometry-keyed order for [`GreedyVersion::V2`] (the default),
+/// a snapshot-seeded shuffle for the historical [`GreedyVersion::V1`] —
+/// and a pair is activated iff both endpoints are unused and each endpoint
+/// is at least `(1+Δ)R_T` away from every endpoint of an already-active
+/// pair. Both versions are pure functions of the position snapshot, as
+/// Definition 9's stationarity requires.
 ///
 /// `S*` is strictly more conservative: every `S*` pair is feasible for the
-/// greedy matcher, but the greedy matcher can pack more pairs in crowded
-/// areas. Theorem 2 shows the extra pairs do not change the capacity order;
-/// the `schedulers` bench quantifies the constant-factor gap.
+/// greedy matcher *regardless of accept order* (no third node sits within
+/// the guard zone of either `S*` endpoint, so nothing can block it), but
+/// the greedy matcher can pack more pairs in crowded areas. Theorem 2
+/// shows the extra pairs do not change the capacity order; the
+/// `schedulers` bench quantifies the constant-factor gap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GreedyMatchingScheduler {
     protocol: ProtocolModel,
+    version: GreedyVersion,
 }
 
 impl GreedyMatchingScheduler {
-    /// Creates the baseline with guard factor `Δ`.
+    /// Creates the matcher with guard factor `Δ`, running the current
+    /// candidate-order generation ([`GreedyVersion::V2`]).
+    ///
+    /// **Seed-break notice:** up to PR 7 this constructor produced the v1
+    /// shuffle order; schedules (not capacity orders) differ between the
+    /// two. Callers pinned to the historical bit patterns must migrate to
+    /// [`GreedyMatchingScheduler::v1`].
     pub fn new(delta: f64) -> Self {
+        GreedyMatchingScheduler::with_version(delta, GreedyVersion::V2)
+    }
+
+    /// Creates the frozen historical matcher ([`GreedyVersion::V1`]),
+    /// bit-identical to the pre-PR 8 `new`.
+    pub fn v1(delta: f64) -> Self {
+        GreedyMatchingScheduler::with_version(delta, GreedyVersion::V1)
+    }
+
+    /// Creates the matcher with an explicit candidate-order version.
+    pub fn with_version(delta: f64, version: GreedyVersion) -> Self {
         GreedyMatchingScheduler {
             protocol: ProtocolModel::new(delta),
+            version,
         }
     }
+
+    /// The candidate-order generation this instance runs.
+    pub fn version(&self) -> GreedyVersion {
+        self.version
+    }
+
+    /// v1 candidate order: per-node radius scans in input-id order, then a
+    /// shuffle seeded from a fold over the position array. Preserved
+    /// verbatim (including the seed fold) for the frozen pins.
+    fn order_candidates_v1(
+        positions: &[Point],
+        range: f64,
+        alive: Option<&[bool]>,
+        ws: &mut SlotWorkspace,
+    ) {
+        ws.candidates.clear();
+        for (i, &p) in positions.iter().enumerate() {
+            if !is_alive(alive, i) {
+                continue;
+            }
+            if ws.hash.block_population(i, range) <= 1 {
+                continue;
+            }
+            let candidates = &mut ws.candidates;
+            ws.hash.for_each_within(p, range, |j| {
+                if j > i && is_alive(alive, j) {
+                    candidates.push((i as u32, j as u32));
+                }
+            });
+        }
+        // Deterministic shuffle seeded from the snapshot geometry.
+        let seed = positions
+            .iter()
+            .fold(0u64, |acc, p| {
+                acc.wrapping_mul(31).wrapping_add((p.x * 1e9) as u64)
+            })
+            .wrapping_add(positions.len() as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ws.candidates.shuffle(&mut rng);
+    }
+
+    /// v2 candidate order: enumerate in-range pairs with the symmetric pair
+    /// kernel, then sort by a key derived from geometry alone — each
+    /// endpoint maps to (cell Morton code, x bits, y bits) and a pair is
+    /// keyed by its smaller endpoint key first. Input ids never enter the
+    /// key, so any permutation of the snapshot yields the same candidate
+    /// sequence (and hence the same schedule) up to the relabeling —
+    /// except between nodes at *exactly* coincident positions, whose keys
+    /// tie (a measure-zero event for continuous placements).
+    fn order_candidates_v2(range: f64, alive: Option<&[bool]>, ws: &mut SlotWorkspace) {
+        let n = ws.hash.len();
+        ws.node_keys.clear();
+        ws.node_keys.reserve(n);
+        for id in 0..n {
+            let p = ws.hash.position(id);
+            ws.node_keys
+                .push((ws.hash.cell_morton_of(id), f64_key(p.x), f64_key(p.y)));
+        }
+        ws.candidates.clear();
+        let candidates = &mut ws.candidates;
+        ws.hash.for_each_pair_within(range, |i, j| {
+            if is_alive(alive, i) && is_alive(alive, j) {
+                candidates.push((i as u32, j as u32));
+            }
+        });
+        let keys = &ws.node_keys;
+        ws.candidates.sort_unstable_by_key(|&(i, j)| {
+            let (a, b) = (keys[i as usize], keys[j as usize]);
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        });
+    }
+}
+
+/// Maps a non-negative coordinate in `[0, 1)` to a sort key whose integer
+/// order matches the numeric order (IEEE-754 bit patterns of non-negative
+/// floats are monotone).
+#[inline]
+fn f64_key(v: f64) -> u64 {
+    debug_assert!(v >= 0.0, "torus coordinates are non-negative, got {v}");
+    v.to_bits()
 }
 
 impl Scheduler for GreedyMatchingScheduler {
@@ -300,40 +493,19 @@ impl Scheduler for GreedyMatchingScheduler {
         }
         let guard = self.protocol.guard_radius(range);
         ws.hash.update(positions, clamp_index_radius(guard));
-        // Enumerate candidate pairs within range; dead nodes are invisible.
-        // Nodes whose covering cell block holds nobody else are skipped
-        // before any distance math; since they would contribute zero
-        // candidates, the candidate list (and hence the shuffle) is
-        // unchanged.
-        ws.candidates.clear();
-        for (i, &p) in positions.iter().enumerate() {
-            if !is_alive(alive, i) {
-                continue;
-            }
-            if ws.hash.block_population(i, range) <= 1 {
-                continue;
-            }
-            let candidates = &mut ws.candidates;
-            ws.hash.for_each_within(p, range, |j| {
-                if j > i && is_alive(alive, j) {
-                    candidates.push((i, j));
-                }
-            });
+        // Enumerate and order candidate pairs within range; dead nodes are
+        // invisible. Both orderings are deterministic per snapshot; only v2
+        // is invariant under input permutation.
+        match self.version {
+            GreedyVersion::V1 => Self::order_candidates_v1(positions, range, alive, ws),
+            GreedyVersion::V2 => Self::order_candidates_v2(range, alive, ws),
         }
-        // Deterministic shuffle seeded from the snapshot geometry.
-        let seed = positions
-            .iter()
-            .fold(0u64, |acc, p| {
-                acc.wrapping_mul(31).wrapping_add((p.x * 1e9) as u64)
-            })
-            .wrapping_add(positions.len() as u64);
-        let mut rng = StdRng::seed_from_u64(seed);
-        ws.candidates.shuffle(&mut rng);
 
         ws.used.clear();
         ws.used.resize(positions.len(), false);
         ws.active_endpoints.clear();
         'next: for &(i, j) in &ws.candidates {
+            let (i, j) = (i as usize, j as usize);
             if ws.used[i] || ws.used[j] {
                 continue;
             }
@@ -398,6 +570,47 @@ pub fn schedule_observed<Sch, S>(
     }
 }
 
+/// [`schedule_observed`] for the prebuilt-index path: runs
+/// [`SStarScheduler::schedule_prebuilt_masked_into`] and feeds the result
+/// through the same metrics and feasibility probe, reading positions from
+/// the workspace's spatial index instead of a slice. Emits the identical
+/// counters and probe verdicts as [`schedule_observed`] on the
+/// materialized equivalent of the same slot.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_prebuilt_observed<S>(
+    scheduler: &SStarScheduler,
+    range: f64,
+    alive: Option<&[bool]>,
+    slot: u64,
+    ws: &mut SlotWorkspace,
+    out: &mut Vec<ScheduledPair>,
+    obs: &mut Observer<S>,
+) where
+    S: MetricsSink,
+{
+    scheduler.schedule_prebuilt_masked_into(range, alive, ws, out);
+    if obs.sink.enabled() {
+        obs.sink.counter("schedule.slots", 1);
+        obs.sink.counter("schedule.pairs_total", out.len() as u64);
+        obs.sink
+            .observe("schedule.pairs_per_slot", out.len() as f64);
+    }
+    let n = ws.hash.len();
+    let SlotWorkspace { hash, .. } = ws;
+    if let Some(probes) = obs.probes_mut() {
+        check_schedule_feasibility_indexed(
+            probes,
+            slot,
+            n,
+            |id| hash.position(id),
+            out,
+            range,
+            scheduler.delta(),
+            alive,
+        );
+    }
+}
+
 /// The schedule-feasibility probe: every emitted pair must have two
 /// distinct *alive* endpoints strictly within transmission range, pairs
 /// must be node-disjoint, and every cross-pair endpoint distance must
@@ -417,19 +630,69 @@ pub fn check_schedule_feasibility(
     delta: f64,
     alive: Option<&[bool]>,
 ) {
+    check_schedule_feasibility_indexed(
+        probes,
+        slot,
+        positions.len(),
+        |id| positions[id],
+        pairs,
+        range,
+        delta,
+        alive,
+    );
+}
+
+/// [`check_schedule_feasibility`] with positions behind an accessor instead
+/// of a slice, for callers that never materialize the full position array
+/// (the streaming engines probe against the slot's spatial index).
+#[allow(clippy::too_many_arguments)]
+pub fn check_schedule_feasibility_indexed<P: Fn(usize) -> Point>(
+    probes: &mut Probes,
+    slot: u64,
+    n: usize,
+    position: P,
+    pairs: &[ScheduledPair],
+    range: f64,
+    delta: f64,
+    alive: Option<&[bool]>,
+) {
     probes.check(PROBE_SCHEDULE_FEASIBILITY);
     let guard = (1.0 + delta) * range;
-    let mut seen = vec![false; positions.len()];
+    let mut seen = vec![false; n];
+
+    // The cross-pair guard scan buckets earlier endpoints by torus cell of
+    // side >= guard, so only the 3x3 neighborhood of each endpoint is
+    // examined instead of every earlier pair. A maximal schedule holds
+    // Θ(n) pairs, so the old all-pairs double loop made observed runs
+    // quadratic in n and dominated million-node slot loops. Index-invalid
+    // pairs never enter the buckets (the old loop would read positions past
+    // `n` for them).
+    let cells = if guard.is_finite() && guard > 0.0 {
+        ((1.0 / guard) as usize).clamp(1, 4096)
+    } else {
+        1
+    };
+    let cell_of = |p: Point| {
+        let fold = |v: f64| (((v.rem_euclid(1.0)) * cells as f64) as usize).min(cells - 1);
+        (fold(p.x), fold(p.y))
+    };
+    // An endpoint of an already-checked pair: (pair index, endpoint slot in
+    // that pair, node id).
+    type Endpoint = (usize, u8, usize);
+    let mut buckets: std::collections::HashMap<(usize, usize), Vec<Endpoint>> =
+        std::collections::HashMap::new();
+    // (earlier pair index, endpoint slot in that pair, endpoint slot in this
+    // pair, offending node, distance) — sorted to reproduce the emission
+    // order of the replaced double loop exactly.
+    let mut hits: Vec<(usize, u8, u8, usize, f64)> = Vec::new();
+
     for (idx, pair) in pairs.iter().enumerate() {
         let (i, j) = (pair.a, pair.b);
-        if i >= positions.len() || j >= positions.len() {
+        if i >= n || j >= n {
             probes.fail(
                 PROBE_SCHEDULE_FEASIBILITY,
                 Some(slot),
-                format!(
-                    "pair {idx} ({i}, {j}) indexes past {} nodes",
-                    positions.len()
-                ),
+                format!("pair {idx} ({i}, {j}) indexes past {n} nodes"),
             );
             continue;
         }
@@ -440,7 +703,7 @@ pub fn check_schedule_feasibility(
                 format!("pair {idx} ({i}, {j}) has a dead endpoint"),
             );
         }
-        let d = positions[i].torus_dist(positions[j]);
+        let d = position(i).torus_dist(position(j));
         if d >= range || d.is_nan() {
             probes.fail(
                 PROBE_SCHEDULE_FEASIBILITY,
@@ -457,21 +720,51 @@ pub fn check_schedule_feasibility(
         }
         seen[i] = true;
         seen[j] = true;
-        for other in &pairs[..idx] {
-            for &x in &[i, j] {
-                for &y in &[other.a, other.b] {
-                    let d = positions[x].torus_dist(positions[y]);
-                    if d < guard {
-                        probes.fail(
-                            PROBE_SCHEDULE_FEASIBILITY,
-                            Some(slot),
-                            format!(
-                                "endpoints {x} and {y} of concurrent pairs at distance {d} < guard {guard}"
-                            ),
-                        );
+        hits.clear();
+        for (xi, &x) in [i, j].iter().enumerate() {
+            let px = position(x);
+            let (cx, cy) = cell_of(px);
+            // With fewer than 3 cells per side the wrapped block revisits
+            // cells; dedup so each bucket is scanned once.
+            let mut keys = [(0usize, 0usize); 9];
+            let mut key_count = 0;
+            for dx in [cells - 1, 0, 1] {
+                for dy in [cells - 1, 0, 1] {
+                    let key = ((cx + dx) % cells, (cy + dy) % cells);
+                    if !keys[..key_count].contains(&key) {
+                        keys[key_count] = key;
+                        key_count += 1;
                     }
                 }
             }
+            for key in &keys[..key_count] {
+                let Some(entries) = buckets.get(key) else {
+                    continue;
+                };
+                for &(oidx, yslot, y) in entries {
+                    let d = px.torus_dist(position(y));
+                    if d < guard {
+                        hits.push((oidx, xi as u8, yslot, y, d));
+                    }
+                }
+            }
+        }
+        hits.sort_unstable_by_key(|&(oidx, xi, yslot, _, _)| (oidx, xi, yslot));
+        for &(_, xi, _, y, d) in hits.iter() {
+            let x = if xi == 0 { i } else { j };
+            probes.fail(
+                PROBE_SCHEDULE_FEASIBILITY,
+                Some(slot),
+                format!(
+                    "endpoints {x} and {y} of concurrent pairs at distance {d} < guard {guard}"
+                ),
+            );
+        }
+        for (xi, &x) in [i, j].iter().enumerate() {
+            buckets
+                .entry(cell_of(position(x)))
+                .or_default()
+                .push((idx, xi as u8, x));
         }
     }
 }
@@ -822,6 +1115,74 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.detail.contains("reuses")));
+    }
+
+    #[test]
+    fn feasibility_probe_matches_naive_double_loop() {
+        // The bucketed guard scan must reproduce the replaced O(pairs²)
+        // double loop verbatim — same violations, same order — including on
+        // dense infeasible schedules where almost everything collides.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(97);
+        for &(count, range, delta) in
+            &[(40usize, 0.02f64, 1.0f64), (80, 0.005, 0.5), (12, 0.4, 2.0)]
+        {
+            let positions: Vec<Point> = (0..2 * count)
+                .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect();
+            // Arbitrary disjoint pairings: mostly out of range and packed
+            // inside each other's guard zones.
+            let pairs: Vec<ScheduledPair> = (0..count)
+                .map(|p| ScheduledPair::new(2 * p, 2 * p + 1))
+                .collect();
+            let mut probes = Probes::new();
+            check_schedule_feasibility(&mut probes, 3, &positions, &pairs, range, delta, None);
+
+            let mut expected = Probes::new();
+            expected.check(PROBE_SCHEDULE_FEASIBILITY);
+            let guard = (1.0 + delta) * range;
+            for (idx, pair) in pairs.iter().enumerate() {
+                let (i, j) = (pair.a, pair.b);
+                let d = positions[i].torus_dist(positions[j]);
+                if d >= range || d.is_nan() {
+                    expected.fail(
+                        PROBE_SCHEDULE_FEASIBILITY,
+                        Some(3),
+                        format!("pair {idx} ({i}, {j}) at distance {d} >= range {range}"),
+                    );
+                }
+                for other in &pairs[..idx] {
+                    for &x in &[i, j] {
+                        for &y in &[other.a, other.b] {
+                            let d = positions[x].torus_dist(positions[y]);
+                            if d < guard {
+                                expected.fail(
+                                    PROBE_SCHEDULE_FEASIBILITY,
+                                    Some(3),
+                                    format!(
+                                        "endpoints {x} and {y} of concurrent pairs at \
+                                         distance {d} < guard {guard}"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(probes.violation_count(), expected.violation_count());
+            assert_eq!(
+                probes
+                    .violations()
+                    .iter()
+                    .map(|v| v.detail.clone())
+                    .collect::<Vec<_>>(),
+                expected
+                    .violations()
+                    .iter()
+                    .map(|v| v.detail.clone())
+                    .collect::<Vec<_>>(),
+            );
+        }
     }
 
     #[test]

@@ -270,11 +270,13 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
-    /// The block-pruned greedy matcher is bit-identical to the seed
+    /// The block-pruned greedy v1 matcher is bit-identical to the seed
     /// scheduler: the candidate list (and hence the deterministic shuffle
-    /// and the activation order) must be unchanged.
+    /// and the activation order) must be unchanged. The default matcher is
+    /// GreedyV2 (an explicit PR 8 seed-break, pinned by its own reference
+    /// in tests/greedy_v2.rs); this pin freezes the v1 constructor.
     #[test]
-    fn greedy_bit_identical_to_seed_reference(
+    fn greedy_v1_bit_identical_to_seed_reference(
         positions in arb_positions(250),
         mask_seed in any::<u64>(),
         range in arb_regime_range(),
@@ -284,7 +286,7 @@ proptest! {
         let want = seed_reference::greedy(&positions, range, delta, mask.as_deref());
         let mut ws = SlotWorkspace::new();
         let mut got = Vec::new();
-        GreedyMatchingScheduler::new(delta)
+        GreedyMatchingScheduler::v1(delta)
             .schedule_masked_into(&positions, range, mask.as_deref(), &mut ws, &mut got);
         prop_assert_eq!(got, want);
     }
@@ -300,7 +302,8 @@ proptest! {
     ) {
         let mut positions = positions;
         let s = SStarScheduler::new(1.0);
-        let g = GreedyMatchingScheduler::new(1.0);
+        // v1: this pin compares against the frozen seed reference.
+        let g = GreedyMatchingScheduler::v1(1.0);
         let mut ws = SlotWorkspace::new();
         let mut got = Vec::new();
         for (slot, &step) in steps.iter().enumerate() {
@@ -394,7 +397,7 @@ fn large_n_bit_identical_to_seed_reference() {
                 );
                 assert_eq!(got, want, "sstar n={n} placement={placement} r={r}");
                 let want = seed_reference::greedy(&positions, r, 1.0, mask.as_deref());
-                GreedyMatchingScheduler::new(1.0).schedule_masked_into(
+                GreedyMatchingScheduler::v1(1.0).schedule_masked_into(
                     &positions,
                     r,
                     mask.as_deref(),
