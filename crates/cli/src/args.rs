@@ -49,7 +49,9 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["static", "no-bs", "help", "full", "occupy", "resume"];
+const SWITCHES: &[&str] = &[
+    "static", "no-bs", "no-skip", "help", "full", "occupy", "resume",
+];
 
 impl Args {
     /// Parses `tokens` (without the program name).

@@ -9,7 +9,8 @@ use hycap_mobility::MobilityKind;
 use hycap_routing::SchemeBPlan;
 use hycap_sim::{
     fit_loglog, geometric_ns, load_ladder, scenario_digest, Checkpoint, FaultSchedule,
-    FlowRunStats, FlowSizes, FlowWorkload, FluidEngine, OutagePolicy, PacketEngine, WorkerPool,
+    FlowRunStats, FlowSizes, FlowWorkload, FluidEngine, OutagePolicy, PacingTrace, PacketEngine,
+    WorkerPool,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -41,7 +42,7 @@ USAGE:
                  [--window W] [--horizon H] [--flow-seed Y]
                  [--loads 0.001,0.002 | --min-load L --max-load L --load-count C]
                  [--delta D] [--ct C] [--seed X] [--static] [--no-bs]
-                 [--metrics PATH]
+                 [--no-skip] [--metrics PATH]
 
 EXPONENTS (the paper's model family):
   --alpha  network side f(n) = n^alpha, alpha in [0, 1/2]
@@ -78,6 +79,11 @@ FLOWS (flows subcommand — finite-flow packet runs on the event core):
                     FCT-vs-load table instead of a single run
   --delta D         protocol guard factor (default 0.5)
   --ct C            transmission-range constant c_T (default 0.4)
+  --no-skip         force the naive full-slot loop: materialize every slot
+                    boundary and schedule the full network on active slots
+                    instead of demand-paced fast-forward; slower, for
+                    debugging/regression capture — flow statistics are
+                    bit-identical either way
 
 FAULTS (degrade subcommand):
   --fail-frac F   crash this fraction of the BSs at slot 0 (default 0.25)
@@ -638,6 +644,18 @@ fn flow_summary(stats: &FlowRunStats) -> String {
     )
 }
 
+/// One-line slot-pacing summary: how much of the horizon was idle and how
+/// much of that was fast-forwarded in bulk (0 under `--no-skip` or legacy
+/// pacing).
+fn pacing_summary(trace: &PacingTrace) -> String {
+    format!(
+        "skipped {:.1}% of {} slots as idle ({} fast-forwarded)",
+        100.0 * trace.skip_ratio(),
+        trace.slots,
+        trace.fast_forwarded,
+    )
+}
+
 /// `hycap flows` — finite-flow packet runs on the event-queue core through
 /// the regime-optimal scheme(s): flow-completion times, per-packet delays
 /// and completion ratios, for a single workload or an FCT-vs-load sweep.
@@ -657,6 +675,9 @@ pub fn flows(args: &Args) -> CmdResult {
     }
     if args.flag("no-bs") {
         builder = builder.without_bs();
+    }
+    if args.flag("no-skip") {
+        builder = builder.flow_skip(false);
     }
     let sc = builder.build();
     let horizon: usize = args.get_or("horizon", 400)?;
@@ -756,9 +777,15 @@ pub fn flows(args: &Args) -> CmdResult {
         }
         if let Some(s) = &report.flows_mobility {
             writeln!(out, "mobility path (scheme A):  {}", flow_summary(s))?;
+            if let Some(t) = &report.pacing_mobility {
+                writeln!(out, "  pacing: {}", pacing_summary(t))?;
+            }
         }
         if let Some(s) = &report.flows_infra {
             writeln!(out, "infrastructure path:       {}", flow_summary(s))?;
+            if let Some(t) = &report.pacing_infra {
+                writeln!(out, "  pacing: {}", pacing_summary(t))?;
+            }
         }
         if report.flows_mobility.is_none() && report.flows_infra.is_none() {
             writeln!(
@@ -1027,6 +1054,28 @@ mod tests {
         assert!(out.contains("regime: strong"), "{out}");
         assert!(out.contains("mobility path (scheme A)"), "{out}");
         assert!(out.contains("fct p50"), "{out}");
+        assert!(out.contains("pacing: skipped"), "{out}");
+    }
+
+    #[test]
+    fn flows_no_skip_matches_default_output() {
+        // --no-skip walks every slot boundary instead of fast-forwarding;
+        // the statistics (and therefore every non-pacing output line) must
+        // be bit-identical, and the pacing lines may differ only in the
+        // fast-forwarded count.
+        let base = "flows --alpha 0.25 --m 1.0 --k 0.5 --n 120 --rate 0.002 --size 3 \
+                    --horizon 300 --seed 5";
+        let fast = flows(&args(base)).unwrap().text;
+        let slow = flows(&args(&format!("{base} --no-skip"))).unwrap().text;
+        assert_ne!(fast, slow, "fast run should fast-forward some slots");
+        let strip = |text: &str| -> String {
+            text.lines()
+                .filter(|l| !l.trim_start().starts_with("pacing:"))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        assert_eq!(strip(&fast), strip(&slow));
+        assert!(slow.contains("(0 fast-forwarded)"), "{slow}");
     }
 
     #[test]

@@ -15,7 +15,10 @@ use hycap_infra::{Backbone, BaseStations, BsPlacement, CellularLayout};
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
 use hycap_obs::{MetricsSink, Observer, Snapshot};
 use hycap_routing::{SchemeAPlan, SchemeBPlan, SchemeCPlan, TrafficMatrix};
-use hycap_sim::{FlowRunStats, FlowWorkload, FluidEngine, HybridNetwork, PacketEngine, WorkerPool};
+use hycap_sim::{
+    FlowRunStats, FlowWorkload, FluidEngine, HybridNetwork, Pacing, PacingTrace, PacketEngine,
+    WorkerPool,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,7 +45,13 @@ pub struct Scenario {
     c_t: f64,
     scheme_b_cells: usize,
     seed: u64,
+    flow_skip: bool,
 }
+
+/// Domain separator between the scenario seed and the counter-based
+/// mobility stream demand-paced flow runs draw from (splitmix64's golden
+/// ratio constant).
+const FLOW_PACING_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Builder for [`Scenario`].
 #[derive(Debug, Clone)]
@@ -68,6 +77,7 @@ impl Scenario {
                 c_t: 0.4,
                 scheme_b_cells: 4,
                 seed: 0,
+                flow_skip: true,
             },
         }
     }
@@ -306,18 +316,21 @@ impl Scenario {
             params,
             mut rng,
         } = self.realize();
-        let engine = PacketEngine::try_new(self.delta, self.c_t)?;
+        let engine = PacketEngine::try_new(self.delta, self.c_t)?.with_pacing(self.flow_pacing());
         let regime = self.regime().ok();
         let homes = net.population().home_points().points().to_vec();
         let mut flows_mobility = None;
         let mut flows_infra = None;
+        let mut pacing_mobility = None;
+        let mut pacing_infra = None;
         match regime {
             Some(MobilityRegime::Strong) | None => {
                 let plan = SchemeAPlan::build_observed(&homes, &traffic, params.f.max(1.0), obs);
-                let stats = engine.run_flows_scheme_a_observed(
+                let (stats, trace) = engine.run_flows_scheme_a_traced_observed(
                     &mut net, &plan, &traffic, workload, &mut rng, obs,
                 )?;
                 flows_mobility = Some(stats);
+                pacing_mobility = Some(trace);
                 if self.with_bs && regime.is_some() {
                     let bs = net.base_stations().expect("with_bs").clone();
                     let plan_b = SchemeBPlan::build_observed(
@@ -327,10 +340,11 @@ impl Scenario {
                         self.scheme_b_cells,
                         obs,
                     );
-                    flows_infra =
-                        Some(engine.run_flows_scheme_b_observed(
-                            &mut net, &plan_b, workload, &mut rng, obs,
-                        )?);
+                    let (stats, trace) = engine.run_flows_scheme_b_traced_observed(
+                        &mut net, &plan_b, workload, &mut rng, obs,
+                    )?;
+                    flows_infra = Some(stats);
+                    pacing_infra = Some(trace);
                 }
             }
             Some(MobilityRegime::Weak) => {
@@ -338,10 +352,11 @@ impl Scenario {
                     let bs = net.base_stations().expect("with_bs").clone();
                     let centers = net.population().home_points().centers().to_vec();
                     let plan = SchemeBPlan::by_clusters(&homes, &traffic, &bs, &centers);
-                    flows_infra =
-                        Some(engine.run_flows_scheme_b_observed(
-                            &mut net, &plan, workload, &mut rng, obs,
-                        )?);
+                    let (stats, trace) = engine.run_flows_scheme_b_traced_observed(
+                        &mut net, &plan, workload, &mut rng, obs,
+                    )?;
+                    flows_infra = Some(stats);
+                    pacing_infra = Some(trace);
                 }
             }
             Some(MobilityRegime::Trivial) => {
@@ -353,9 +368,11 @@ impl Scenario {
                     let layout =
                         CellularLayout::build(&centers, radius, params.k.max(centers.len()));
                     let plan = SchemeCPlan::build(&homes, &cluster_of, &layout, &traffic);
-                    flows_infra = Some(engine.run_flows_scheme_c_observed(
+                    let (stats, trace) = engine.run_flows_scheme_c_traced_observed(
                         &plan, &layout, &traffic, params.c, workload, obs,
-                    )?);
+                    )?;
+                    flows_infra = Some(stats);
+                    pacing_infra = Some(trace);
                 }
             }
         }
@@ -363,8 +380,28 @@ impl Scenario {
             regime,
             flows_mobility,
             flows_infra,
+            pacing_mobility,
+            pacing_infra,
             params,
         })
+    }
+
+    /// The slot pacing [`Scenario::measure_flows`] runs under: demand-paced
+    /// whenever the trajectory model supports counter-based slot sampling
+    /// (i.i.d. stationary or static — every scenario mobility except
+    /// history-dependent walks), with the fast paths gated on the builder's
+    /// [`ScenarioBuilder::flow_skip`] switch. History-dependent models fall
+    /// back to legacy pacing, whose trace reports every slot as worked.
+    fn flow_pacing(&self) -> Pacing {
+        if self.mobility.counter_samplable() {
+            Pacing::Demand {
+                seed: self.seed ^ FLOW_PACING_SALT,
+                skip: self.flow_skip,
+                active_set: self.flow_skip,
+            }
+        } else {
+            Pacing::Legacy
+        }
     }
 
     /// [`Scenario::measure`] on a [`WorkerPool`], using the counter-based
@@ -599,6 +636,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables or disables the demand-paced fast path of
+    /// [`Scenario::measure_flows`] (on by default). `false` is the
+    /// `--no-skip` reference walk: every slot boundary is materialized and
+    /// active slots schedule the full network, which is slower but useful
+    /// for debugging and regression capture. Flow statistics are
+    /// bit-identical either way (pinned by the `pacing_identity` suite);
+    /// only the reported [`PacingTrace::fast_forwarded`] count differs.
+    pub fn flow_skip(mut self, flow_skip: bool) -> Self {
+        self.inner.flow_skip = flow_skip;
+        self
+    }
+
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
         self.inner
@@ -658,6 +707,12 @@ pub struct FlowScenarioReport {
     /// Flow statistics for the infrastructure path (scheme B or C), when
     /// applicable.
     pub flows_infra: Option<FlowRunStats>,
+    /// Slot-pacing accounting of the mobility-path run (how much of the
+    /// horizon was idle and fast-forwarded), when that path ran.
+    pub pacing_mobility: Option<PacingTrace>,
+    /// Slot-pacing accounting of the infrastructure-path run, when that
+    /// path ran.
+    pub pacing_infra: Option<PacingTrace>,
     /// Realized finite-`n` parameters.
     pub params: RealizedParams,
 }
@@ -835,6 +890,39 @@ mod tests {
         let workload = FlowWorkload::poisson(0.01, 2, 100).with_window(0);
         let err = scenario.measure_flows(&workload).unwrap_err();
         assert!(matches!(err, HycapError::InvalidParameter { .. }), "{err}");
+    }
+
+    #[test]
+    fn no_skip_flow_measurement_is_bit_identical() {
+        let workload = FlowWorkload::poisson(0.005, 3, 300).with_seed(9);
+        let fast = Scenario::builder(strong_exps(), 120).seed(12).build();
+        let slow = Scenario::builder(strong_exps(), 120)
+            .seed(12)
+            .flow_skip(false)
+            .build();
+        let a = fast.measure_flows(&workload).unwrap();
+        let b = slow.measure_flows(&workload).unwrap();
+        assert_eq!(a.flows_mobility, b.flows_mobility);
+        assert_eq!(a.flows_infra, b.flows_infra);
+        let ta = a.pacing_mobility.expect("scheme A traced");
+        let tb = b.pacing_mobility.expect("scheme A traced");
+        assert_eq!(ta.slots, tb.slots);
+        assert_eq!(ta.idle_slots, tb.idle_slots);
+        assert_eq!(tb.fast_forwarded, 0, "--no-skip walks every boundary");
+    }
+
+    #[test]
+    fn history_dependent_mobility_runs_flows_under_legacy_pacing() {
+        let scenario = Scenario::builder(strong_exps(), 120)
+            .mobility(MobilityKind::TetheredWalk { step_frac: 0.05 })
+            .seed(16)
+            .build();
+        let workload = FlowWorkload::poisson(0.01, 2, 120);
+        let report = scenario.measure_flows(&workload).unwrap();
+        let trace = report.pacing_mobility.expect("scheme A traced");
+        assert_eq!(trace.slots, 120);
+        assert_eq!(trace.idle_slots, 0, "legacy pacing works every slot");
+        assert_eq!(trace.fast_forwarded, 0);
     }
 
     #[test]

@@ -980,6 +980,84 @@ impl SpatialHash {
         }
     }
 
+    /// The id of the *unique* indexed point strictly within `radius` of
+    /// point `id`, or `usize::MAX` when `id` has zero or more than one such
+    /// neighbor.
+    ///
+    /// This is the per-node form of the unmasked
+    /// [`SpatialHash::unique_neighbors_into`] kernel and is result-identical
+    /// to it: the batch kernel's occupancy prunes only skip work whose
+    /// outcome is already decided, and the ambiguous sliver runs exactly
+    /// this scan — a block sweep with an early exit at the second in-radius
+    /// neighbor. Demand-driven schedulers use it to answer the `S*`
+    /// singleton question for the handful of *active* nodes without paying
+    /// the whole-network batch pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not finite and positive, or `id` is out of
+    /// range.
+    pub fn unique_neighbor_within(&self, id: usize, radius: f64) -> usize {
+        let Some(grid) = self.grid else {
+            return usize::MAX;
+        };
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive, got {radius}"
+        );
+        assert!(id < self.ids.len(), "point id {id} out of range");
+        let r2 = radius * radius;
+        let s = grid.cells_per_side();
+        let bc = block_reach(radius, self.cell_len);
+        let center = self.position(id);
+        // Derive the home cell from the position (what `cell_scratch`
+        // caches on the slice paths) so streamed builds work too.
+        let c = grid.cell_of(center).index();
+        // Inlined `for_each_block_cell` block walk: the closure form cannot
+        // early-exit, and stopping at the second neighbor is the point.
+        let si = s as isize;
+        let whole = 2 * bc + 1 >= si;
+        let (lo, hi) = if whole { (0, si - 1) } else { (-bc, bc) };
+        let (row, col) = (c / s, c % s);
+        let mut count = 0u32;
+        let mut only = usize::MAX;
+        'scan: for dr in lo..=hi {
+            for dc in lo..=hi {
+                let (r, cc) = if whole {
+                    (dr as usize, dc as usize)
+                } else {
+                    (
+                        (row as isize + dr).rem_euclid(si) as usize,
+                        (col as isize + dc).rem_euclid(si) as usize,
+                    )
+                };
+                let idx = grid.cell(r, cc).index();
+                for t in self.starts[idx] as usize..self.starts[idx + 1] as usize {
+                    let j = self.ids[t] as usize;
+                    if j == id {
+                        continue;
+                    }
+                    let q = Point {
+                        x: self.xs[t],
+                        y: self.ys[t],
+                    };
+                    if center.torus_dist_sq(q) < r2 {
+                        count += 1;
+                        if count >= 2 {
+                            break 'scan;
+                        }
+                        only = j;
+                    }
+                }
+            }
+        }
+        if count == 1 {
+            only
+        } else {
+            usize::MAX
+        }
+    }
+
     /// Calls `f(i, j)` with `i < j` exactly once for every unordered pair of
     /// indexed points strictly within `radius` of each other.
     ///
@@ -1407,6 +1485,30 @@ mod tests {
         hash.unique_neighbors_into(0.1, None, &mut scratch, &mut out);
         assert_eq!(out, brute_unique_neighbors(&pts, 0.1, None));
         assert!(out.iter().all(|&v| v == usize::MAX));
+    }
+
+    #[test]
+    fn per_node_unique_neighbor_matches_batch_kernel() {
+        let mut scratch = OccupancyScratch::default();
+        let mut out = Vec::new();
+        for (n, radius, seed) in [
+            (2usize, 0.3, 59u64),
+            (50, 0.08, 61),
+            (400, 0.03, 67),
+            (400, 0.2, 71),
+            (1000, 0.01, 73),
+        ] {
+            let pts = random_points(n, seed);
+            let hash = SpatialHash::build(&pts, clamp_index_radius(radius));
+            hash.unique_neighbors_into(radius, None, &mut scratch, &mut out);
+            for id in 0..n {
+                assert_eq!(
+                    hash.unique_neighbor_within(id, radius),
+                    out[id],
+                    "n={n} id={id}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,12 @@ impl RunBudget {
     }
 
     /// Caps the number of slots the run may process.
+    ///
+    /// *Simulated* slots, not worked slots: a demand-paced engine that
+    /// fast-forwards over idle slots still charges one slot (and one event)
+    /// per slot it skips — see `EventQueue::skip_boundaries` — so the cap
+    /// trips at the same simulated time, with the same exit-code-4
+    /// behavior, whether or not skipping is enabled.
     #[must_use]
     pub fn with_max_slots(mut self, slots: u64) -> Self {
         self.max_slots = Some(slots);

@@ -214,6 +214,36 @@ impl EventQueue {
         Some((qe.time, qe.event))
     }
 
+    /// Fast-forwards `count` idle slot boundaries without materializing
+    /// them, returning how many were admitted.
+    ///
+    /// A demand-paced engine that proves a stretch of slots has no work
+    /// calls this instead of pushing and popping one
+    /// [`Event::SlotBoundary`] per slot. Each skipped boundary is accounted
+    /// exactly like a popped one: it counts toward [`EventQueue::drained`],
+    /// and an armed budget is charged one event plus one slot (polling the
+    /// wall deadline), in that order. On refusal the meter's exceeded axis
+    /// is latched — subsequent `pop`s return `None` — and the refused
+    /// boundary is *not* counted, mirroring `pop`, so budget trips, drained
+    /// totals and [`EventQueue::budget_slots_completed`] are bit-identical
+    /// to walking every slot. A return value short of `count` means the
+    /// budget tripped.
+    pub fn skip_boundaries(&mut self, count: u64) -> u64 {
+        if self.interrupted.is_some() {
+            return 0;
+        }
+        for done in 0..count {
+            if let Some(meter) = &self.budget {
+                if !(meter.charge_event() && meter.charge_slot()) {
+                    self.interrupted = meter.exceeded();
+                    return done;
+                }
+            }
+            self.popped += 1;
+        }
+        count
+    }
+
     /// The timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|qe| qe.time)
@@ -466,6 +496,53 @@ mod tests {
         assert_eq!(drained.len(), 5);
         assert_eq!(q.interrupted(), Some(crate::BudgetExceeded::Slots));
         assert_eq!(meter.slots_completed(), 2);
+    }
+
+    #[test]
+    fn skipped_boundaries_count_as_drained() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::Arrival { flow: 0 });
+        assert_eq!(q.skip_boundaries(9), 9);
+        assert_eq!(q.drained(), 9);
+        assert_eq!(q.pop(), Some((10, Event::Arrival { flow: 0 })));
+        assert_eq!(q.drained(), 10);
+        assert_eq!(q.interrupted(), None);
+    }
+
+    #[test]
+    fn skipped_boundaries_charge_the_budget_like_popped_ones() {
+        use crate::RunBudget;
+        // Reference: walk 5 boundaries one by one under a 3-slot cap.
+        let mut naive = EventQueue::new();
+        for slot in 0..5u64 {
+            naive.push(slot, Event::SlotBoundary { slot });
+        }
+        let naive_meter = RunBudget::unlimited().with_max_slots(3).meter();
+        naive.set_budget(naive_meter.clone());
+        while naive.pop().is_some() {}
+
+        // Skipping the same 5 boundaries must trip on the same one.
+        let mut q = EventQueue::new();
+        let meter = RunBudget::unlimited().with_max_slots(3).meter();
+        q.set_budget(meter.clone());
+        assert_eq!(q.skip_boundaries(5), 3);
+        assert_eq!(q.interrupted(), naive.interrupted());
+        assert_eq!(q.interrupted(), Some(crate::BudgetExceeded::Slots));
+        assert_eq!(q.drained(), naive.drained());
+        assert_eq!(meter.slots_completed(), naive_meter.slots_completed());
+        // Tripped queues stay stopped on both paths.
+        assert_eq!(q.skip_boundaries(1), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn skipped_boundaries_respect_the_event_cap() {
+        use crate::RunBudget;
+        let mut q = EventQueue::new();
+        q.set_budget(RunBudget::unlimited().with_max_events(2).meter());
+        assert_eq!(q.skip_boundaries(4), 2);
+        assert_eq!(q.interrupted(), Some(crate::BudgetExceeded::Events));
+        assert_eq!(q.drained(), 2);
     }
 
     #[test]

@@ -28,16 +28,17 @@
 use crate::budget;
 use crate::events::{Event, EventList, EventQueue, FlowRng, Time};
 use crate::faults::{FaultInjector, FaultTally, OutagePolicy};
-use crate::packet::PacketEngine;
+use crate::packet::{Pacing, PacingTrace, PacketEngine};
 use crate::HybridNetwork;
 use hycap_errors::HycapError;
 use hycap_obs::{MetricsSink, Observer, SpanTimer};
 use hycap_routing::SchemeBPlan;
 use hycap_wireless::{
-    critical_range, schedule_observed, SStarScheduler, ScheduledPair, SlotWorkspace,
+    critical_range, schedule_active_observed, schedule_observed, SStarScheduler, ScheduledPair,
+    SlotWorkspace,
 };
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// How flows arrive on each traffic pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -456,6 +457,72 @@ fn deliver(
     }
 }
 
+/// Bumps the active-set load of both endpoints of hop `h` of chain `p`
+/// after its queue went empty → non-empty, inserting newly loaded nodes.
+fn hop_went_nonempty(
+    chains: &[Vec<usize>],
+    p: usize,
+    h: usize,
+    node_load: &mut [u32],
+    active: &mut BTreeSet<usize>,
+) {
+    for x in [chains[p][h], chains[p][h + 1]] {
+        node_load[x] += 1;
+        if node_load[x] == 1 {
+            active.insert(x);
+        }
+    }
+}
+
+/// Inverse of [`hop_went_nonempty`]: drops the load after hop `h`'s queue
+/// went non-empty → empty, removing nodes whose load hit zero.
+fn hop_went_empty(
+    chains: &[Vec<usize>],
+    p: usize,
+    h: usize,
+    node_load: &mut [u32],
+    active: &mut BTreeSet<usize>,
+) {
+    for x in [chains[p][h], chains[p][h + 1]] {
+        node_load[x] -= 1;
+        if node_load[x] == 0 {
+            active.remove(&x);
+        }
+    }
+}
+
+/// Fast-forwards from the idle boundary `(t, slot)` (relative slot `rel`,
+/// which must satisfy `rel + 1 < horizon`) to the next pending event — or
+/// to the end of the run when the queue is empty or the next event falls
+/// beyond the horizon. Every boundary jumped over is provably idle (the
+/// queue holds nothing earlier than the target, and an idle boundary's
+/// only effect is pushing its successor), so it is skipped through
+/// [`EventQueue::skip_boundaries`]: charged to the run budget and counted
+/// as drained, never materialized. Pushes the target boundary when one
+/// remains inside the horizon, and returns the number of boundaries
+/// fast-forwarded.
+fn fast_forward_idle(
+    events: &mut EventQueue,
+    t: Time,
+    slot: u64,
+    rel: usize,
+    horizon: usize,
+) -> u64 {
+    let jump = match events.peek_time() {
+        Some(te) => te.max(t + 1) - t,
+        None => (horizon - rel) as u64,
+    };
+    if rel + jump as usize >= horizon {
+        let rest = (horizon - 1 - rel) as u64;
+        events.skip_boundaries(rest);
+        rest
+    } else {
+        events.skip_boundaries(jump - 1);
+        events.push(t + jump, Event::SlotBoundary { slot: slot + jump });
+        jump - 1
+    }
+}
+
 fn check_flow_count(specs: &[FlowSpec]) -> Result<(), HycapError> {
     if specs.len() > u32::MAX as usize {
         return Err(HycapError::invalid(
@@ -493,6 +560,22 @@ impl PacketEngine {
         self.run_flows_observed(net, chains, workload, rng, &mut Observer::noop())
     }
 
+    /// [`PacketEngine::run_flows`] plus the run's [`PacingTrace`] (all
+    /// zeros except `slots` under [`Pacing::Legacy`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketEngine::run_flows`].
+    pub fn run_flows_traced<R: Rng + ?Sized>(
+        &self,
+        net: &mut HybridNetwork,
+        chains: &[Vec<usize>],
+        workload: &FlowWorkload,
+        rng: &mut R,
+    ) -> Result<(FlowRunStats, PacingTrace), HycapError> {
+        self.run_flows_traced_observed(net, chains, workload, rng, &mut Observer::noop())
+    }
+
     /// [`PacketEngine::run_flows`] with an observer threaded through:
     /// per-slot schedule metrics, per-packet delay and per-flow FCT
     /// histograms (`flows.delay`, `flows.fct`), and end-of-run flow
@@ -506,6 +589,35 @@ impl PacketEngine {
         rng: &mut R,
         obs: &mut Observer<S>,
     ) -> Result<FlowRunStats, HycapError> {
+        self.run_flows_traced_observed(net, chains, workload, rng, obs)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`PacketEngine::run_flows_observed`] plus the run's [`PacingTrace`].
+    ///
+    /// Under [`Pacing::Demand`] the heavy slot body (mobility, scheduling,
+    /// transmission) runs only on slots with at least one queued packet;
+    /// with `skip` on, provably idle stretches are fast-forwarded through
+    /// [`EventQueue::skip_boundaries`] so they are still charged to the run
+    /// budget and counted in [`FlowRunStats::events`]. With `active_set`
+    /// on, active slots schedule only the nodes adjacent to queued packets
+    /// ([`hycap_wireless::SStarScheduler::schedule_active_into`]).
+    /// Statistics are bit-identical across all four demand flag
+    /// combinations.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketEngine::run_flows`], plus
+    /// [`HycapError::InvalidParameter`] when demand pacing is requested on
+    /// a network without counter-samplable mobility.
+    pub fn run_flows_traced_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        chains: &[Vec<usize>],
+        workload: &FlowWorkload,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<(FlowRunStats, PacingTrace), HycapError> {
         workload.validate()?;
         for (p, chain) in chains.iter().enumerate() {
             if chain.len() < 2 {
@@ -518,6 +630,11 @@ impl PacketEngine {
                 ));
             }
         }
+        let demand = self.demand_params(net)?;
+        let (skip, active_set) = match demand {
+            Some((_, s, a)) => (s, a),
+            None => (false, false),
+        };
         let timer = SpanTimer::start();
         let specs = workload.specs(chains.len());
         check_flow_count(&specs)?;
@@ -549,6 +666,23 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
+        // Demand-pacing bookkeeping. `queued_total` counts packets sitting
+        // in hop queues (in-transit packets need no scheduling — their
+        // completions fire on their own); `node_load[u]` counts the
+        // non-empty hop queues incident on node `u`, and `active_nodes`
+        // holds the nodes with load > 0 in ascending order — the active set
+        // handed to the occupancy-restricted scheduler.
+        let mut queued_total: u64 = 0;
+        let mut node_load: Vec<u32> = if active_set {
+            let max_node = chains.iter().flatten().copied().max().unwrap_or(0);
+            vec![0; max_node + 1]
+        } else {
+            Vec::new()
+        };
+        let mut active_nodes: BTreeSet<usize> = BTreeSet::new();
+        let mut active_buf: Vec<usize> = Vec::new();
+        let mut trace_idle = 0u64;
+        let mut trace_ff = 0u64;
         let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             events.push(spec.arrival, Event::Arrival { flow: id as u32 });
@@ -559,6 +693,7 @@ impl PacketEngine {
                 Event::Arrival { flow } => {
                     counts.flows_started += 1;
                     let spec = &specs[flow as usize];
+                    let before = queues[spec.pair][0].len();
                     admit(
                         spec,
                         &mut flows[flow as usize],
@@ -568,6 +703,11 @@ impl PacketEngine {
                         t,
                         &mut counts,
                     );
+                    let after = queues[spec.pair][0].len();
+                    queued_total += (after - before) as u64;
+                    if active_set && before == 0 && after > 0 {
+                        hop_went_nonempty(chains, spec.pair, 0, &mut node_load, &mut active_nodes);
+                    }
                 }
                 Event::HopComplete { flow: pair, hop } => {
                     let p = pair as usize;
@@ -578,6 +718,7 @@ impl PacketEngine {
                             obs.sink.observe("flows.delay", (t - ts) as f64);
                         }
                         let spec = &specs[fl as usize];
+                        let before = queues[p][0].len();
                         deliver(
                             spec,
                             &mut flows[fl as usize],
@@ -589,41 +730,93 @@ impl PacketEngine {
                             &mut counts,
                             &mut events,
                         );
+                        let after = queues[p][0].len();
+                        queued_total += (after - before) as u64;
+                        if active_set && before == 0 && after > 0 {
+                            hop_went_nonempty(chains, p, 0, &mut node_load, &mut active_nodes);
+                        }
                     } else {
+                        let was_empty = queues[p][h + 1].is_empty();
                         queues[p][h + 1].push_back((fl, ts));
+                        queued_total += 1;
+                        if active_set && was_empty {
+                            hop_went_nonempty(chains, p, h + 1, &mut node_load, &mut active_nodes);
+                        }
                     }
                 }
                 Event::SlotBoundary { slot } => {
-                    net.advance_into(rng, &mut buf);
-                    schedule_observed(
-                        &scheduler, &buf, range, None, slot, &mut ws, &mut pairs, obs,
-                    );
-                    for &pair in &pairs {
-                        for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
-                            if let Some(list) = watchers.get(&(u, v)) {
-                                let mut best: Option<(usize, usize, usize)> = None;
-                                for &(p, h) in list {
-                                    let len = queues[p][h].len();
-                                    if len > 0 && best.is_none_or(|(_, _, bl)| len > bl) {
-                                        best = Some((p, h, len));
+                    let rel = slot as usize;
+                    let idle = demand.is_some() && queued_total == 0;
+                    if idle {
+                        trace_idle += 1;
+                    } else {
+                        match demand {
+                            Some((seed, _, _)) => {
+                                net.advance_slot_into(seed, self.base_slot + slot, &mut buf)
+                            }
+                            None => net.advance_into(rng, &mut buf),
+                        }
+                        if active_set {
+                            active_buf.clear();
+                            active_buf.extend(active_nodes.iter().copied());
+                            schedule_active_observed(
+                                &scheduler,
+                                &buf,
+                                range,
+                                &active_buf,
+                                slot,
+                                &mut ws,
+                                &mut pairs,
+                                obs,
+                            );
+                        } else {
+                            schedule_observed(
+                                &scheduler, &buf, range, None, slot, &mut ws, &mut pairs, obs,
+                            );
+                        }
+                        for &pair in &pairs {
+                            for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
+                                if let Some(list) = watchers.get(&(u, v)) {
+                                    let mut best: Option<(usize, usize, usize)> = None;
+                                    for &(p, h) in list {
+                                        let len = queues[p][h].len();
+                                        if len > 0 && best.is_none_or(|(_, _, bl)| len > bl) {
+                                            best = Some((p, h, len));
+                                        }
                                     }
-                                }
-                                if let Some((p, h, _)) = best {
-                                    let entry = queues[p][h].pop_front().expect("nonempty");
-                                    transit[p][h].push(entry);
-                                    events.push(
-                                        t + 1,
-                                        Event::HopComplete {
-                                            flow: p as u32,
-                                            hop: h as u32,
-                                        },
-                                    );
+                                    if let Some((p, h, _)) = best {
+                                        let entry = queues[p][h].pop_front().expect("nonempty");
+                                        queued_total -= 1;
+                                        if active_set && queues[p][h].is_empty() {
+                                            hop_went_empty(
+                                                chains,
+                                                p,
+                                                h,
+                                                &mut node_load,
+                                                &mut active_nodes,
+                                            );
+                                        }
+                                        transit[p][h].push(entry);
+                                        events.push(
+                                            t + 1,
+                                            Event::HopComplete {
+                                                flow: p as u32,
+                                                hop: h as u32,
+                                            },
+                                        );
+                                    }
                                 }
                             }
                         }
                     }
-                    if (slot as usize) + 1 < horizon {
-                        events.push(t + 1, Event::SlotBoundary { slot: slot + 1 });
+                    if rel + 1 < horizon {
+                        if idle && skip {
+                            let ff = fast_forward_idle(&mut events, t, slot, rel, horizon);
+                            trace_idle += ff;
+                            trace_ff += ff;
+                        } else {
+                            events.push(t + 1, Event::SlotBoundary { slot: slot + 1 });
+                        }
                     }
                 }
                 Event::FlowDone { flow } => {
@@ -654,6 +847,11 @@ impl PacketEngine {
         }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);
+        let trace = PacingTrace {
+            slots: horizon as u64,
+            idle_slots: trace_idle,
+            fast_forwarded: trace_ff,
+        };
         if let Some(probes) = obs.probes_mut() {
             probes.flow_conservation(
                 "flow chains",
@@ -673,9 +871,16 @@ impl PacketEngine {
                 .counter("flows.chains.injected", stats.packets_injected);
             obs.sink
                 .counter("flows.chains.delivered", stats.packets_delivered);
+            if demand.is_some() {
+                // `fast_forwarded` is deliberately NOT snapshotted: it is
+                // the one counter allowed to differ between a skip run and
+                // its `--no-skip` reference walk.
+                obs.sink
+                    .counter("flows.chains.idle_slots", trace.idle_slots);
+            }
             obs.sink.span("packet.run_flows", timer.elapsed_micros());
         }
-        Ok(stats)
+        Ok((stats, trace))
     }
 
     /// Runs a finite-flow workload under scheme A's routing plan by
@@ -716,6 +921,25 @@ impl PacketEngine {
         self.run_flows_observed(net, &chains, workload, rng, obs)
     }
 
+    /// [`PacketEngine::run_flows_scheme_a_observed`] plus the run's
+    /// [`PacingTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`PacketEngine::run_flows_traced_observed`] rejects.
+    pub fn run_flows_scheme_a_traced_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &hycap_routing::SchemeAPlan,
+        traffic: &hycap_routing::TrafficMatrix,
+        workload: &FlowWorkload,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<(FlowRunStats, PacingTrace), HycapError> {
+        let chains = plan.materialize_relays(traffic, rng);
+        self.run_flows_traced_observed(net, &chains, workload, rng, obs)
+    }
+
     /// Runs a finite-flow workload end to end over scheme B: uplink
     /// (hop 0, a scheduled MS–group-BS contact), backbone (hop 1, wire
     /// budget `c·N_b(src)·N_b(dst)` per group pair per slot) and downlink
@@ -754,7 +978,33 @@ impl PacketEngine {
         rng: &mut R,
         obs: &mut Observer<S>,
     ) -> Result<FlowRunStats, HycapError> {
+        self.run_flows_scheme_b_traced_observed(net, plan, workload, rng, obs)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`PacketEngine::run_flows_scheme_b_observed`] plus the run's
+    /// [`PacingTrace`]. Demand pacing gates the whole slot body (mobility,
+    /// `S*` scheduling, uplink/downlink service and the backbone drain) on
+    /// packets being in the network; the active-set reduction does not
+    /// apply to infrastructure scheduling, so active slots always schedule
+    /// the full network.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketEngine::run_flows_scheme_b`], plus
+    /// [`HycapError::InvalidParameter`] when demand pacing is requested on
+    /// a network without counter-samplable mobility.
+    pub fn run_flows_scheme_b_traced_observed<R: Rng + ?Sized, S: MetricsSink>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        workload: &FlowWorkload,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<(FlowRunStats, PacingTrace), HycapError> {
         workload.validate()?;
+        let demand = self.demand_params(net)?;
+        let skip = matches!(demand, Some((_, true, _)));
         let n = net.n();
         let k = net.k();
         let Some(bs) = net.base_stations() else {
@@ -806,6 +1056,8 @@ impl PacketEngine {
         let mut buf = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
+        let mut trace_idle = 0u64;
+        let mut trace_ff = 0u64;
         let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             events.push(spec.arrival, Event::Arrival { flow: id as u32 });
@@ -854,7 +1106,31 @@ impl PacketEngine {
                     }
                 }
                 Event::SlotBoundary { slot } => {
-                    net.advance_into(rng, &mut buf);
+                    let rel = slot as usize;
+                    // Demand pacing: with nothing in the network (every
+                    // injected packet delivered), the slot moves no packet —
+                    // the uplink/downlink passes find empty queues and the
+                    // backbone accrues budget only for non-empty pair
+                    // queues — so the whole body is gated off.
+                    if demand.is_some() && counts.injected == counts.delivered {
+                        trace_idle += 1;
+                        if rel + 1 < horizon {
+                            if skip {
+                                let ff = fast_forward_idle(&mut events, t, slot, rel, horizon);
+                                trace_idle += ff;
+                                trace_ff += ff;
+                            } else {
+                                events.push(t + 1, Event::SlotBoundary { slot: slot + 1 });
+                            }
+                        }
+                        continue;
+                    }
+                    match demand {
+                        Some((seed, _, _)) => {
+                            net.advance_slot_into(seed, self.base_slot + slot, &mut buf)
+                        }
+                        None => net.advance_into(rng, &mut buf),
+                    }
                     schedule_observed(
                         &scheduler, &buf, range, None, slot, &mut ws, &mut pairs, obs,
                     );
@@ -979,6 +1255,11 @@ impl PacketEngine {
         }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);
+        let trace = PacingTrace {
+            slots: horizon as u64,
+            idle_slots: trace_idle,
+            fast_forwarded: trace_ff,
+        };
         if let Some(probes) = obs.probes_mut() {
             probes.flow_conservation(
                 "flow scheme B",
@@ -998,10 +1279,14 @@ impl PacketEngine {
                 .counter("flows.scheme_b.injected", stats.packets_injected);
             obs.sink
                 .counter("flows.scheme_b.delivered", stats.packets_delivered);
+            if demand.is_some() {
+                obs.sink
+                    .counter("flows.scheme_b.idle_slots", trace.idle_slots);
+            }
             obs.sink
                 .span("packet.run_flows_scheme_b", timer.elapsed_micros());
         }
-        Ok(stats)
+        Ok((stats, trace))
     }
 
     /// Runs a finite-flow scheme-B workload under fault injection, with the
@@ -1061,7 +1346,44 @@ impl PacketEngine {
         R: Rng + ?Sized,
         S: MetricsSink,
     {
+        self.run_flows_scheme_b_with_faults_traced_observed(
+            net, plan, workload, injector, policy, rng, obs,
+        )
+        .map(|(stats, _)| stats)
+    }
+
+    /// [`PacketEngine::run_flows_scheme_b_with_faults_observed`] plus the
+    /// run's [`PacingTrace`]. Idle slots under demand pacing still advance
+    /// the fault clock (scripted events and the Bernoulli overlay are
+    /// tallied) and keep the mask-level accounting (alive mean, outage
+    /// slots) exact — including slots that are fast-forwarded, which are
+    /// replayed against the injector one relative index at a time. Contact
+    /// accounting that requires a schedule (`lost_uplink_contacts`) is
+    /// booked on active slots only, identically with and without `skip`.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketEngine::run_flows_scheme_b_with_faults`], plus
+    /// [`HycapError::InvalidParameter`] when demand pacing is requested on
+    /// a network without counter-samplable mobility.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_flows_scheme_b_with_faults_traced_observed<R, S>(
+        &self,
+        net: &mut HybridNetwork,
+        plan: &SchemeBPlan,
+        workload: &FlowWorkload,
+        injector: &mut FaultInjector,
+        policy: OutagePolicy,
+        rng: &mut R,
+        obs: &mut Observer<S>,
+    ) -> Result<(DegradedFlowStats, PacingTrace), HycapError>
+    where
+        R: Rng + ?Sized,
+        S: MetricsSink,
+    {
         workload.validate()?;
+        let demand = self.demand_params(net)?;
+        let skip = matches!(demand, Some((_, true, _)));
         let n = net.n();
         let k = net.k();
         let Some(bs) = net.base_stations() else {
@@ -1083,17 +1405,21 @@ impl PacketEngine {
             });
         }
         if injector.schedule_is_empty() {
-            let base = self.run_flows_scheme_b_observed(net, plan, workload, rng, obs)?;
-            return Ok(DegradedFlowStats {
-                infra_delivered: base.packets_delivered,
-                fallback_delivered: 0,
-                lost_uplink_contacts: 0,
-                backbone_stalled_slots: 0,
-                k_alive_mean: k as f64,
-                outage_slots: 0,
-                tally: injector.tally(),
-                base,
-            });
+            let (base, trace) =
+                self.run_flows_scheme_b_traced_observed(net, plan, workload, rng, obs)?;
+            return Ok((
+                DegradedFlowStats {
+                    infra_delivered: base.packets_delivered,
+                    fallback_delivered: 0,
+                    lost_uplink_contacts: 0,
+                    backbone_stalled_slots: 0,
+                    k_alive_mean: k as f64,
+                    outage_slots: 0,
+                    tally: injector.tally(),
+                    base,
+                },
+                trace,
+            ));
         }
         let timer = SpanTimer::start();
         let specs = workload.specs(n);
@@ -1140,6 +1466,8 @@ impl PacketEngine {
         let mut alive_per_group = vec![0usize; gc];
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
+        let mut trace_idle = 0u64;
+        let mut trace_ff = 0u64;
         let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             events.push(spec.arrival, Event::Arrival { flow: id as u32 });
@@ -1195,6 +1523,52 @@ impl PacketEngine {
                 Event::SlotBoundary { slot } => {
                     let rel = slot as usize;
                     injector.advance_to(rel);
+                    // Demand pacing: idle slots keep the fault clock honest —
+                    // the injector advanced (scripted events and the
+                    // Bernoulli overlay tallied) and the mask-level
+                    // accounting (alive mean, outage slots) still runs; only
+                    // the alive-vector fill, mobility, scheduling and drain
+                    // phases are gated off. Fast-forwarded slots are
+                    // replayed against the injector one relative index at a
+                    // time, so the mask sequence is identical to a
+                    // `--no-skip` walk.
+                    if demand.is_some() && counts.injected == counts.delivered {
+                        let alive_now = injector.mask().alive_count();
+                        alive_sum += alive_now;
+                        if alive_now < k {
+                            outage_slots += 1;
+                        }
+                        trace_idle += 1;
+                        if rel + 1 < horizon {
+                            if skip {
+                                let jump = match events.peek_time() {
+                                    Some(te) => te.max(t + 1) - t,
+                                    None => (horizon - rel) as u64,
+                                };
+                                let last = (rel + jump as usize - 1).min(horizon - 1);
+                                for r in rel + 1..=last {
+                                    if events.skip_boundaries(1) == 0 {
+                                        break;
+                                    }
+                                    injector.advance_to(r);
+                                    let alive_now = injector.mask().alive_count();
+                                    alive_sum += alive_now;
+                                    if alive_now < k {
+                                        outage_slots += 1;
+                                    }
+                                    trace_idle += 1;
+                                    trace_ff += 1;
+                                }
+                                if rel + (jump as usize) < horizon {
+                                    events
+                                        .push(t + jump, Event::SlotBoundary { slot: slot + jump });
+                                }
+                            } else {
+                                events.push(t + 1, Event::SlotBoundary { slot: slot + 1 });
+                            }
+                        }
+                        continue;
+                    }
                     injector.fill_alive(n, policy, &mut alive);
                     let mask = injector.mask();
                     let alive_now = mask.alive_count();
@@ -1212,7 +1586,12 @@ impl PacketEngine {
                         let fl = &plan.flows()[p];
                         alive_per_group[fl.src_group] == 0 || alive_per_group[fl.dst_group] == 0
                     };
-                    net.advance_into(rng, &mut buf);
+                    match demand {
+                        Some((seed, _, _)) => {
+                            net.advance_slot_into(seed, self.base_slot + slot, &mut buf)
+                        }
+                        None => net.advance_into(rng, &mut buf),
+                    }
                     schedule_observed(
                         &scheduler,
                         &buf,
@@ -1411,19 +1790,29 @@ impl PacketEngine {
                 "flows.scheme_b.k_alive_mean",
                 alive_sum as f64 / horizon as f64,
             );
+            if demand.is_some() {
+                obs.sink.counter("flows.scheme_b.idle_slots", trace_idle);
+            }
             obs.sink
                 .span("packet.run_flows_scheme_b_faulted", timer.elapsed_micros());
         }
-        Ok(DegradedFlowStats {
-            base: stats,
-            infra_delivered,
-            fallback_delivered,
-            lost_uplink_contacts,
-            backbone_stalled_slots,
-            k_alive_mean: alive_sum as f64 / horizon as f64,
-            outage_slots,
-            tally,
-        })
+        Ok((
+            DegradedFlowStats {
+                base: stats,
+                infra_delivered,
+                fallback_delivered,
+                lost_uplink_contacts,
+                backbone_stalled_slots,
+                k_alive_mean: alive_sum as f64 / horizon as f64,
+                outage_slots,
+                tally,
+            },
+            PacingTrace {
+                slots: horizon as u64,
+                idle_slots: trace_idle,
+                fast_forwarded: trace_ff,
+            },
+        ))
     }
 
     /// Runs a finite-flow workload over scheme C's deterministic TDMA
@@ -1464,7 +1853,34 @@ impl PacketEngine {
         workload: &FlowWorkload,
         obs: &mut Observer<S>,
     ) -> Result<FlowRunStats, HycapError> {
+        self.run_flows_scheme_c_traced_observed(plan, layout, traffic, c, workload, obs)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`PacketEngine::run_flows_scheme_c_observed`] plus the run's
+    /// [`PacingTrace`]. Scheme C draws no mobility at all, so demand pacing
+    /// needs no counter-samplable stream here: the TDMA sweep is gated on
+    /// packets being in the network (round-robin cursors and wire budgets
+    /// only move when a queue is non-empty, so gating is exact), and idle
+    /// stretches fast-forward when `skip` is on.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketEngine::run_flows_scheme_c`].
+    pub fn run_flows_scheme_c_traced_observed<S: MetricsSink>(
+        &self,
+        plan: &hycap_routing::SchemeCPlan,
+        layout: &hycap_infra::CellularLayout,
+        traffic: &hycap_routing::TrafficMatrix,
+        c: f64,
+        workload: &FlowWorkload,
+        obs: &mut Observer<S>,
+    ) -> Result<(FlowRunStats, PacingTrace), HycapError> {
         workload.validate()?;
+        let (demand_on, skip) = match self.pacing {
+            Pacing::Demand { skip, .. } => (true, skip),
+            Pacing::Legacy => (false, false),
+        };
         if !(c > 0.0 && c.is_finite()) {
             return Err(HycapError::invalid(
                 "c",
@@ -1525,6 +1941,8 @@ impl PacketEngine {
         let mut flows = vec![FlowState::default(); specs.len()];
         let mut counts = RunCounts::default();
         let mut fcts: Vec<u64> = Vec::new();
+        let mut trace_idle = 0u64;
+        let mut trace_ff = 0u64;
         let mut events = self.event_queue();
         for (id, spec) in specs.iter().enumerate() {
             // Uncovered sources inject nothing, as in the steady engine.
@@ -1577,6 +1995,23 @@ impl PacketEngine {
                 }
                 Event::SlotBoundary { slot } => {
                     let rel = slot as usize;
+                    // Demand pacing: with nothing in the network, the TDMA
+                    // sweep finds only empty queues — round-robin cursors
+                    // and wire budgets move solely on non-empty queues — so
+                    // gating the whole sweep off is exact.
+                    if demand_on && counts.injected == counts.delivered {
+                        trace_idle += 1;
+                        if rel + 1 < horizon {
+                            if skip {
+                                let ff = fast_forward_idle(&mut events, t, slot, rel, horizon);
+                                trace_idle += ff;
+                                trace_ff += ff;
+                            } else {
+                                events.push(t + 1, Event::SlotBoundary { slot: slot + 1 });
+                            }
+                        }
+                        continue;
+                    }
                     // TDMA: in every cluster, cells of group (slot mod
                     // groups) are active this slot.
                     for cell in 0..total_cells {
@@ -1696,6 +2131,11 @@ impl PacketEngine {
         }
         let drained = events.drained();
         let stats = FlowRunStats::from_run(counts, &mut fcts, horizon, drained);
+        let trace = PacingTrace {
+            slots: horizon as u64,
+            idle_slots: trace_idle,
+            fast_forwarded: trace_ff,
+        };
         if let Some(probes) = obs.probes_mut() {
             probes.flow_conservation(
                 "flow scheme C",
@@ -1715,10 +2155,14 @@ impl PacketEngine {
                 .counter("flows.scheme_c.injected", stats.packets_injected);
             obs.sink
                 .counter("flows.scheme_c.delivered", stats.packets_delivered);
+            if demand_on {
+                obs.sink
+                    .counter("flows.scheme_c.idle_slots", trace.idle_slots);
+            }
             obs.sink
                 .span("packet.run_flows_scheme_c", timer.elapsed_micros());
         }
-        Ok(stats)
+        Ok((stats, trace))
     }
 }
 
@@ -1814,6 +2258,58 @@ mod tests {
             stats.packets_delivered + stats.backlog
         );
         assert!(stats.events as usize >= w.horizon);
+    }
+
+    #[test]
+    fn demand_pacing_is_invariant_under_skip_and_active_set() {
+        let traffic = {
+            let (_, mut rng) = dense_net(80, 21);
+            TrafficMatrix::permutation(80, &mut rng)
+        };
+        let chains: Vec<Vec<usize>> = traffic.pairs().map(|(s, d)| vec![s, d]).collect();
+        let w = FlowWorkload::poisson(0.0004, 3, 5000).with_seed(3);
+        let mut results = Vec::new();
+        for (skip, active_set) in [(false, false), (false, true), (true, false), (true, true)] {
+            let (mut net, mut rng) = dense_net(80, 21);
+            let engine = PacketEngine::default().with_pacing(Pacing::Demand {
+                seed: 99,
+                skip,
+                active_set,
+            });
+            let (stats, trace) = engine
+                .run_flows_traced(&mut net, &chains, &w, &mut rng)
+                .unwrap();
+            if !skip {
+                assert_eq!(trace.fast_forwarded, 0, "no-skip walked every boundary");
+            } else {
+                assert!(trace.fast_forwarded > 0, "low load must fast-forward");
+            }
+            results.push((stats, trace.idle_slots));
+        }
+        assert!(results[0].0.flows_completed > 0, "{:?}", results[0].0);
+        for r in &results[1..] {
+            assert_eq!(r.0, results[0].0, "stats must not depend on pacing flags");
+            assert_eq!(r.1, results[0].1, "idleness is a property of the traffic");
+        }
+    }
+
+    #[test]
+    fn demand_pacing_rejects_history_dependent_mobility() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let config = PopulationConfig::builder(40)
+            .alpha(0.0)
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::TetheredWalk { step_frac: 0.01 })
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        let mut net = HybridNetwork::ad_hoc(pop);
+        let chains = vec![vec![0, 1]];
+        let w = FlowWorkload::poisson(0.001, 2, 100);
+        let err = PacketEngine::default()
+            .with_demand_pacing(7)
+            .run_flows(&mut net, &chains, &w, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, HycapError::InvalidParameter { .. }), "{err}");
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use flows::{
     ArrivalProcess, DegradedFlowStats, FlowRunStats, FlowSizes, FlowSpec, FlowWorkload,
 };
 pub use fluid::{Bottleneck, DegradedFluidReport, FluidEngine, FluidReport, TwoHopReport};
-pub use packet::{DegradedPacketStats, PacketEngine, PacketStats};
+pub use packet::{DegradedPacketStats, Pacing, PacingTrace, PacketEngine, PacketStats};
 pub use pool::{JobPanic, WorkerPool};
 pub use sweep::{
     fit_linear, fit_loglog, geometric_ns, load_ladder, parallel_map, parallel_map_checkpointed,

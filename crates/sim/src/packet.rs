@@ -84,6 +84,78 @@ impl PacketStats {
     }
 }
 
+/// How a run paces its slot loop.
+///
+/// See DESIGN.md §15 ("Demand-driven slot anatomy") for the full
+/// soundness argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Walk every slot and advance mobility through the run's sequential
+    /// RNG stream — the historical engine, bit-identical to every
+    /// pre-demand seed pin.
+    Legacy,
+    /// Demand-driven: mobility is sampled counter-style from
+    /// `(seed, slot)` and the heavy slot body (mobility + scheduling +
+    /// transmission) runs only on slots that hold queued traffic. Requires
+    /// counter-samplable mobility
+    /// ([`HybridNetwork::counter_samplable`]); statistics are a pure
+    /// function of `seed` and the workload, independent of `skip` and
+    /// `active_set`.
+    Demand {
+        /// Seed of the counter-based mobility stream. Independent of the
+        /// run's `rng` argument, which demand runs use only for
+        /// non-mobility draws (e.g. relay materialization).
+        seed: u64,
+        /// Fast-forward stretches of idle slots in bulk through
+        /// `EventQueue::skip_boundaries` instead of walking them one
+        /// boundary at a time. `false` is the `--no-skip` reference walk:
+        /// same slot-by-slot decisions, every boundary materialized.
+        /// Statistics and snapshots are bit-identical either way (pinned
+        /// by the `pacing_identity` suite).
+        skip: bool,
+        /// Restrict `S*` enumeration on active slots of flow-chain runs to
+        /// the nodes adjacent to queued packets
+        /// ([`SStarScheduler::schedule_active_into`]). `false` schedules
+        /// the full network on every active slot — the reference the
+        /// active-set path is pinned against. Packet motion and
+        /// [`crate::FlowRunStats`] are identical either way; snapshots
+        /// record the reduction under `schedule.active_nodes`.
+        active_set: bool,
+    },
+}
+
+/// Slot-pacing accounting of one demand-paced run, reported by the
+/// `*_traced` entry points so benches and the CLI can show how much of the
+/// horizon was actually worked.
+///
+/// Identical between `skip` and `--no-skip` runs of the same workload
+/// (only `fast_forwarded` differs): idleness is a property of the traffic,
+/// not of how the engine walks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacingTrace {
+    /// Slots the run simulated (or was cut off at, under a budget).
+    pub slots: u64,
+    /// Slots whose heavy body (mobility + scheduling + transmission) was
+    /// gated off because no packet was queued.
+    pub idle_slots: u64,
+    /// Idle slot boundaries fast-forwarded in bulk rather than walked
+    /// (always `<= idle_slots`; `0` when `skip` is off or pacing is
+    /// legacy).
+    pub fast_forwarded: u64,
+}
+
+impl PacingTrace {
+    /// Fraction of simulated slots that were idle, in `[0, 1]` (`0.0` for
+    /// an empty run).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.idle_slots as f64 / self.slots as f64
+        }
+    }
+}
+
 /// The packet-level engine (same protocol parameters as the fluid engine).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketEngine {
@@ -91,6 +163,7 @@ pub struct PacketEngine {
     pub(crate) c_t: f64,
     pub(crate) base_slot: u64,
     pub(crate) budget: Option<RunBudget>,
+    pub(crate) pacing: Pacing,
 }
 
 impl PacketEngine {
@@ -136,7 +209,62 @@ impl PacketEngine {
             c_t,
             base_slot: 0,
             budget: None,
+            pacing: Pacing::Legacy,
         })
+    }
+
+    /// Returns a copy of this engine with an explicit slot pacing.
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Returns a copy of this engine running demand-driven pacing with all
+    /// optimizations on: idle-slot fast-forward and active-set scheduling,
+    /// with mobility sampled counter-style from `seed`.
+    ///
+    /// Equivalent to `with_pacing(Pacing::Demand { seed, skip: true,
+    /// active_set: true })`.
+    pub fn with_demand_pacing(self, seed: u64) -> Self {
+        self.with_pacing(Pacing::Demand {
+            seed,
+            skip: true,
+            active_set: true,
+        })
+    }
+
+    /// The slot pacing runs of this engine use ([`Pacing::Legacy`] unless
+    /// overridden).
+    pub fn pacing(&self) -> Pacing {
+        self.pacing
+    }
+
+    /// The demand parameters `(seed, skip, active_set)` when this engine is
+    /// demand-paced, after validating that `net` supports counter-based
+    /// slot sampling (skipping under the sequential mobility stream would
+    /// desynchronize every later slot).
+    pub(crate) fn demand_params(
+        &self,
+        net: &HybridNetwork,
+    ) -> Result<Option<(u64, bool, bool)>, HycapError> {
+        match self.pacing {
+            Pacing::Legacy => Ok(None),
+            Pacing::Demand {
+                seed,
+                skip,
+                active_set,
+            } => {
+                if !net.counter_samplable() {
+                    return Err(HycapError::invalid(
+                        "pacing",
+                        "demand pacing requires counter-samplable mobility \
+                         (i.i.d. stationary or static); history-dependent \
+                         models must run legacy pacing",
+                    ));
+                }
+                Ok(Some((seed, skip, active_set)))
+            }
+        }
     }
 
     /// Returns a copy of this engine whose runs start at absolute slot
@@ -278,6 +406,7 @@ impl PacketEngine {
                 ));
             }
         }
+        let demand = self.demand_params(net)?;
         let timer = SpanTimer::start();
         let n = net.n();
         let range = critical_range(n, self.c_t);
@@ -328,37 +457,47 @@ impl PacketEngine {
                     injected += 1;
                 }
             }
-            net.advance_into(rng, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                None,
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
-            for &pair in &pairs {
-                // One packet per direction.
-                for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
-                    if let Some(list) = watchers.get(&(u, v)) {
-                        // Serve the watcher with the longest queue
-                        // (longest-queue-first keeps relays balanced).
-                        let mut best: Option<(usize, usize, usize)> = None;
-                        for &(f, h) in list {
-                            let len = queues[f][h].len();
-                            if len > 0 && best.is_none_or(|(_, _, bl)| len > bl) {
-                                best = Some((f, h, len));
+            // Demand pacing gates the heavy body (mobility + scheduling +
+            // transmission) on queued traffic; the steady-state adapter
+            // still walks every boundary because the injection accumulator
+            // above is slot-recurrent. In-network packets == injected -
+            // delivered (relays leak nothing).
+            if demand.is_none() || injected > delivered {
+                match demand {
+                    Some((seed, _, _)) => net.advance_slot_into(seed, abs_slot, &mut buf),
+                    None => net.advance_into(rng, &mut buf),
+                }
+                schedule_observed(
+                    &scheduler,
+                    &buf,
+                    range,
+                    None,
+                    slot as u64,
+                    &mut ws,
+                    &mut pairs,
+                    obs,
+                );
+                for &pair in &pairs {
+                    // One packet per direction.
+                    for (u, v) in [(pair.a, pair.b), (pair.b, pair.a)] {
+                        if let Some(list) = watchers.get(&(u, v)) {
+                            // Serve the watcher with the longest queue
+                            // (longest-queue-first keeps relays balanced).
+                            let mut best: Option<(usize, usize, usize)> = None;
+                            for &(f, h) in list {
+                                let len = queues[f][h].len();
+                                if len > 0 && best.is_none_or(|(_, _, bl)| len > bl) {
+                                    best = Some((f, h, len));
+                                }
                             }
-                        }
-                        if let Some((f, h, _)) = best {
-                            let ts = queues[f][h].pop_front().expect("nonempty");
-                            if h + 1 == queues[f].len() {
-                                delivered += 1;
-                                delay_sum += abs_slot - ts;
-                            } else {
-                                queues[f][h + 1].push_back(ts);
+                            if let Some((f, h, _)) = best {
+                                let ts = queues[f][h].pop_front().expect("nonempty");
+                                if h + 1 == queues[f].len() {
+                                    delivered += 1;
+                                    delay_sum += abs_slot - ts;
+                                } else {
+                                    queues[f][h + 1].push_back(ts);
+                                }
                             }
                         }
                     }
@@ -454,6 +593,10 @@ impl PacketEngine {
     ) -> PacketStats {
         assert!(slots > 0, "need at least one slot");
         assert!(lambda >= 0.0, "lambda must be non-negative, got {lambda}");
+        let demand = match self.demand_params(net) {
+            Ok(d) => d,
+            Err(err) => panic!("{err}"),
+        };
         let timer = SpanTimer::start();
         let n = net.n();
         let range = critical_range(n, self.c_t);
@@ -504,7 +647,19 @@ impl PacketEngine {
                     backlog += 1;
                 }
             }
-            net.advance_into(rng, &mut buf);
+            // Demand pacing: with nothing in the network (signed backlog
+            // counts every held packet) the slot moves no traffic — skip
+            // mobility, scheduling and the serve scan entirely.
+            if demand.is_some() && backlog <= 0 {
+                if slot + 1 < slots {
+                    events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+                }
+                continue;
+            }
+            match demand {
+                Some((seed, _, _)) => net.advance_slot_into(seed, abs_slot, &mut buf),
+                None => net.advance_into(rng, &mut buf),
+            }
             schedule_observed(
                 &scheduler,
                 &buf,
@@ -637,6 +792,10 @@ impl PacketEngine {
     ) -> PacketStats {
         assert!(slots > 0, "need at least one slot");
         assert!(lambda >= 0.0, "lambda must be non-negative, got {lambda}");
+        let demand = match self.demand_params(net) {
+            Ok(d) => d,
+            Err(err) => panic!("{err}"),
+        };
         let timer = SpanTimer::start();
         let n = net.n();
         let k = net.k();
@@ -694,7 +853,19 @@ impl PacketEngine {
                     injected += 1;
                 }
             }
-            net.advance_into(rng, &mut buf);
+            // Demand pacing: all in-network packets sit in the three stage
+            // queues (injected - delivered counts them); an empty network
+            // needs no mobility, schedule, or backbone drain this slot.
+            if demand.is_some() && injected == delivered {
+                if slot + 1 < slots {
+                    events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+                }
+                continue;
+            }
+            match demand {
+                Some((seed, _, _)) => net.advance_slot_into(seed, abs_slot, &mut buf),
+                None => net.advance_into(rng, &mut buf),
+            }
             schedule_observed(
                 &scheduler,
                 &buf,
@@ -904,6 +1075,17 @@ impl PacketEngine {
                     at_src[f].push_back(abs_slot);
                     injected += 1;
                 }
+            }
+            // Demand pacing: scheme C has no mobility, so gating skips the
+            // whole TDMA cell sweep and backbone drain on empty slots. The
+            // TDMA phase is slot-indexed, not history-dependent, so idle
+            // slots leave nothing behind (round-robin cursors only advance
+            // on successful pops).
+            if matches!(self.pacing, Pacing::Demand { .. }) && injected == delivered {
+                if slot + 1 < slots {
+                    events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+                }
+                continue;
             }
             // TDMA: in every cluster, cells of group (slot mod groups) are
             // active this slot.
@@ -1184,6 +1366,7 @@ impl PacketEngine {
                 base,
             });
         }
+        let demand = self.demand_params(net)?;
         let range = critical_range(n, self.c_t);
         let scheduler = SStarScheduler::new(self.delta);
         let gc = plan.group_count();
@@ -1234,6 +1417,31 @@ impl PacketEngine {
             };
             let slot = tick as usize;
             injector.advance_to(slot);
+            for (f, a) in acc.iter_mut().enumerate() {
+                *a += lambda;
+                while *a >= 1.0 {
+                    *a -= 1.0;
+                    at_src[f].push_back(abs_slot);
+                    injected += 1;
+                }
+            }
+            // Demand pacing: idle slots keep the fault clock honest — the
+            // injector advanced (scripted events and the Bernoulli overlay
+            // tallied) and the mask-level accounting (alive mean, outage
+            // slots) still runs every slot; only the alive-vector fill,
+            // mobility, schedule and drain phases are gated off.
+            if demand.is_some() && injected == delivered {
+                let mask = injector.mask();
+                let alive_now = mask.alive_count();
+                alive_sum += alive_now;
+                if alive_now < k {
+                    outage_slots += 1;
+                }
+                if slot + 1 < slots {
+                    events.push(tick + 1, Event::SlotBoundary { slot: abs_slot + 1 });
+                }
+                continue;
+            }
             injector.fill_alive(n, policy, &mut alive);
             let mask = injector.mask();
             let alive_now = mask.alive_count();
@@ -1251,15 +1459,10 @@ impl PacketEngine {
                 let fl = &plan.flows()[f];
                 alive_per_group[fl.src_group] == 0 || alive_per_group[fl.dst_group] == 0
             };
-            for (f, a) in acc.iter_mut().enumerate() {
-                *a += lambda;
-                while *a >= 1.0 {
-                    *a -= 1.0;
-                    at_src[f].push_back(abs_slot);
-                    injected += 1;
-                }
+            match demand {
+                Some((seed, _, _)) => net.advance_slot_into(seed, abs_slot, &mut buf),
+                None => net.advance_into(rng, &mut buf),
             }
-            net.advance_into(rng, &mut buf);
             schedule_observed(
                 &scheduler,
                 &buf,

@@ -1,0 +1,139 @@
+//! Live-memory ceiling of a demand-paced packet flow run (PR 9 tentpole,
+//! arena-reuse layer).
+//!
+//! The same byte-counting allocator shim as `memory_ceiling.rs`, pointed at
+//! the event-queue flow engine: realize an `n = 2·10⁴` network with direct
+//! permutation chains, take the post-setup live baseline, then run the
+//! demand-paced chains loop twice — a short warm-up horizon and a 10×
+//! longer one — and assert
+//!
+//! 1. the loop peak of the long run exceeds the warm-up peak by at most a
+//!    small flow-record allowance (FCT samples are the only per-flow state
+//!    a longer horizon may add), which fails if any per-slot workspace
+//!    (position buffer, spatial index, schedule scratch, event queue,
+//!    active-set buffers) is reallocated per slot instead of reused; and
+//! 2. an absolute O(n) ceiling on the loop peak itself.
+//!
+//! The workload keeps every slot active (permutation pairs on an i.i.d.
+//! population never drain their backlog), so the full slot body — mobility
+//! resample, index update, active-set schedule, serve loop — runs every
+//! slot and any per-slot allocation shows up multiplied by the horizon.
+//!
+//! `#[ignore]` by default — the debug-profile allocator makes it slow — and
+//! run in CI's release job via `cargo test -p hycap-sim --release
+//! --test memory_ceiling_packet -- --ignored`. Keep this the only test in
+//! the binary: a concurrent test would pollute the global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hycap_mobility::{Kernel, MobilityKind, Population, PopulationConfig};
+use hycap_routing::TrafficMatrix;
+use hycap_sim::{FlowWorkload, HybridNetwork, PacingTrace, PacketEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_live(live: usize) {
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_live(LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                note_live(LIVE.fetch_add(grow, Ordering::Relaxed) + grow);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const N: usize = 20_000;
+const WARMUP_HORIZON: usize = 30;
+const LONG_HORIZON: usize = 300;
+/// ~4 arrivals/slot: enough traffic that every slot is active, few enough
+/// flows that per-flow records stay far below the reuse allowance.
+const RATE: f64 = 2e-4;
+/// Extra loop peak the long run may add over the warm-up: per-flow FCT /
+/// delay records for ~10× the flows, plus event-queue headroom.
+const REUSE_SLACK_BYTES: usize = 512 * 1024;
+/// Absolute budget for the run's working set over the setup baseline. The
+/// dominant term is per-chain, not per-slot: hop queues, watcher maps and
+/// flow bookkeeping for the `n` direct chains (~0.5 KiB each), on top of
+/// the O(n) position buffer, spatial index and active-set scratch. The
+/// slack covers the event queue and `Vec` growth headroom.
+const BUDGET_BYTES: usize = 768 * N + 4 * 1024 * 1024;
+
+/// One demand-paced chains run; returns the loop's peak live bytes over
+/// the post-setup baseline.
+fn loop_peak_bytes(horizon: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(0x9AC7);
+    let config = PopulationConfig::builder(N)
+        .alpha(0.0)
+        .kernel(Kernel::uniform_disk(1.0))
+        .mobility(MobilityKind::IidStationary)
+        .build();
+    let pop = Population::generate(&config, &mut rng);
+    let traffic = TrafficMatrix::permutation(N, &mut rng);
+    let chains: Vec<Vec<usize>> = traffic.pairs().map(|(s, d)| vec![s, d]).collect();
+    drop(traffic);
+    let mut net = HybridNetwork::ad_hoc(pop);
+    let workload = FlowWorkload::poisson(RATE, 2, horizon).with_seed(7);
+    let engine = PacketEngine::default().with_demand_pacing(0xD0_0D);
+
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+
+    let (stats, trace): (_, PacingTrace) = engine
+        .run_flows_traced(&mut net, &chains, &workload, &mut rng)
+        .expect("demand-paced flow run succeeds");
+    assert_eq!(trace.slots, horizon as u64);
+    assert!(stats.flows_started > 0, "workload must generate traffic");
+
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+#[test]
+#[ignore = "slow under the debug profile; CI runs it in the release job"]
+fn packet_flow_run_reuses_slot_arenas() {
+    let warmup = loop_peak_bytes(WARMUP_HORIZON);
+    let long = loop_peak_bytes(LONG_HORIZON);
+
+    assert!(
+        long <= warmup + REUSE_SLACK_BYTES,
+        "a {LONG_HORIZON}-slot run peaked at {long} loop bytes vs {warmup} \
+         for {WARMUP_HORIZON} slots: slot workspaces are being reallocated \
+         per slot instead of reused (allowance {REUSE_SLACK_BYTES} bytes)"
+    );
+    assert!(
+        long <= BUDGET_BYTES,
+        "packet slot loop peaked at {long} live bytes over baseline, \
+         exceeding the documented budget of {BUDGET_BYTES} bytes \
+         (768 B/chain + 4 MiB)"
+    );
+}

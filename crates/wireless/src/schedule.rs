@@ -6,6 +6,7 @@ use hycap_obs::{MetricsSink, Observer, Probes, PROBE_SCHEDULE_FEASIBILITY};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// A scheduled bidirectional pair.
 ///
@@ -95,8 +96,16 @@ pub struct SlotWorkspace {
     node_keys: Vec<(u64, u64, u64)>,
     /// Greedy: per-node "already matched" flags.
     used: Vec<bool>,
-    /// Greedy: endpoints of the pairs activated so far this slot.
-    active_endpoints: Vec<Point>,
+    /// Greedy: endpoints of the pairs activated so far this slot, bucketed
+    /// by torus cell of side `>= guard` so the accept scan examines a 3×3
+    /// block instead of every accepted endpoint.
+    guard_buckets: HashMap<(usize, usize), Vec<Point>>,
+    /// Active-set membership stamps: `active_stamp[id] == active_epoch`
+    /// marks `id` active for the current [`SStarScheduler::
+    /// schedule_active_into`] call. Epoch-bumped so clearing is `O(1)`.
+    active_stamp: Vec<u32>,
+    /// The epoch value that means "active" in `active_stamp`.
+    active_epoch: u32,
 }
 
 impl SlotWorkspace {
@@ -116,6 +125,28 @@ impl SlotWorkspace {
     /// Shared access to the workspace's spatial index.
     pub fn hash(&self) -> &SpatialHash {
         &self.hash
+    }
+
+    /// Stamps `active` (ascending node ids below `n`) as the current
+    /// active set; previous stamps expire in `O(1)` via the epoch bump.
+    fn stamp_active(&mut self, n: usize, active: &[usize]) {
+        if self.active_stamp.len() < n {
+            self.active_stamp.resize(n, 0);
+        }
+        if self.active_epoch == u32::MAX {
+            self.active_stamp.fill(0);
+            self.active_epoch = 0;
+        }
+        self.active_epoch += 1;
+        for &id in active {
+            self.active_stamp[id] = self.active_epoch;
+        }
+    }
+
+    /// Whether `id` was stamped by the most recent [`Self::stamp_active`].
+    #[inline]
+    fn is_active(&self, id: usize) -> bool {
+        self.active_stamp[id] == self.active_epoch
     }
 }
 
@@ -265,6 +296,68 @@ impl SStarScheduler {
                 if pi.torus_dist_sq(pj) < range * range {
                     out.push(ScheduledPair::new(i, j));
                 }
+            }
+        }
+    }
+
+    /// [`Scheduler::schedule_into`] restricted to an *active set*: emits
+    /// exactly the pairs of the full `S*` schedule whose endpoints are
+    /// both in `active` (strictly ascending node ids), in the same order.
+    ///
+    /// Per-slot cost tracks the active set instead of `n`: the spatial
+    /// index is still refreshed over all positions (`S*` uniqueness counts
+    /// idle bystanders — a third node inside a guard zone blocks the pair
+    /// whether or not it holds traffic), but the singleton question runs
+    /// per *active* node through
+    /// [`SpatialHash::unique_neighbor_within`] rather than the
+    /// whole-network batch kernel. A demand-driven packet engine whose
+    /// in-flight packets touch `a ≪ n` nodes pays `O(n)` index upkeep plus
+    /// `O(a)` scans per slot.
+    ///
+    /// Dropping pairs with an idle endpoint cannot change packet motion: a
+    /// pair moves a packet only when a queued packet watches one of its
+    /// endpoints, and every such endpoint is, by construction of the
+    /// caller's active set, active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive or an active id is out of range;
+    /// debug builds additionally check that `active` is strictly
+    /// ascending.
+    pub fn schedule_active_into(
+        &self,
+        positions: &[Point],
+        range: f64,
+        active: &[usize],
+        ws: &mut SlotWorkspace,
+        out: &mut Vec<ScheduledPair>,
+    ) {
+        assert!(
+            range.is_finite() && range > 0.0,
+            "transmission range must be positive, got {range}"
+        );
+        debug_assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active set must be strictly ascending"
+        );
+        out.clear();
+        if positions.len() < 2 || active.is_empty() {
+            return;
+        }
+        let guard = self.protocol.guard_radius(range);
+        ws.hash.update(positions, clamp_index_radius(guard));
+        ws.stamp_active(positions.len(), active);
+        for &i in active {
+            let j = ws.hash.unique_neighbor_within(i, guard);
+            if j == usize::MAX || j <= i || !ws.is_active(j) {
+                continue;
+            }
+            // Mutual singletons, exactly the batch kernel's condition.
+            if ws.hash.unique_neighbor_within(j, guard) != i {
+                continue;
+            }
+            if positions[i].torus_dist_sq(positions[j]) < range * range {
+                out.push(ScheduledPair::new(i, j));
             }
         }
     }
@@ -503,21 +596,57 @@ impl Scheduler for GreedyMatchingScheduler {
 
         ws.used.clear();
         ws.used.resize(positions.len(), false);
-        ws.active_endpoints.clear();
-        'next: for &(i, j) in &ws.candidates {
+        // Accepted-endpoint guard scan through the occupancy-style buckets
+        // of the feasibility probe: endpoints bucket by torus cell of side
+        // >= guard, so each candidate examines a 3x3 block instead of every
+        // accepted endpoint (the linear scan this replaced made crowded
+        // slots O(candidates x accepted)). Pure existence queries — accept
+        // decisions are order-irrelevant — so both versions' schedules are
+        // bit-identical to the replaced scan, v1 pins included.
+        let cells = if guard.is_finite() && guard > 0.0 {
+            ((1.0 / guard) as usize).clamp(1, 4096)
+        } else {
+            1
+        };
+        let cell_of = |p: Point| {
+            let fold = |v: f64| (((v.rem_euclid(1.0)) * cells as f64) as usize).min(cells - 1);
+            (fold(p.x), fold(p.y))
+        };
+        // Keys repeat across slots (cell geometry is stable), so clearing
+        // values in place keeps the inner buckets' capacity.
+        for bucket in ws.guard_buckets.values_mut() {
+            bucket.clear();
+        }
+        let blocked = |buckets: &HashMap<(usize, usize), Vec<Point>>, p: Point| {
+            let (cx, cy) = cell_of(p);
+            // With fewer than 3 cells per side the wrapped block revisits
+            // buckets; re-scanning one is harmless for an existence check.
+            for dx in [cells - 1, 0, 1] {
+                for dy in [cells - 1, 0, 1] {
+                    let key = ((cx + dx) % cells, (cy + dy) % cells);
+                    if let Some(entries) = buckets.get(&key) {
+                        if entries.iter().any(|e| e.torus_dist(p) < guard) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        };
+        for &(i, j) in &ws.candidates {
             let (i, j) = (i as usize, j as usize);
             if ws.used[i] || ws.used[j] {
                 continue;
             }
-            for &e in &ws.active_endpoints {
-                if e.torus_dist(positions[i]) < guard || e.torus_dist(positions[j]) < guard {
-                    continue 'next;
-                }
+            if blocked(&ws.guard_buckets, positions[i]) || blocked(&ws.guard_buckets, positions[j])
+            {
+                continue;
             }
             ws.used[i] = true;
             ws.used[j] = true;
-            ws.active_endpoints.push(positions[i]);
-            ws.active_endpoints.push(positions[j]);
+            for p in [positions[i], positions[j]] {
+                ws.guard_buckets.entry(cell_of(p)).or_default().push(p);
+            }
             out.push(ScheduledPair::new(i, j));
         }
     }
@@ -567,6 +696,45 @@ pub fn schedule_observed<Sch, S>(
             scheduler.delta(),
             alive,
         );
+    }
+}
+
+/// [`schedule_observed`] for the demand-driven active-set path: runs
+/// [`SStarScheduler::schedule_active_into`] and feeds the result through
+/// the same metrics and feasibility probe.
+///
+/// Emits the same `schedule.slots` / `schedule.pairs_total` /
+/// `schedule.pairs_per_slot` series as [`schedule_observed`] would for the
+/// reduced schedule, **plus** the `schedule.active_nodes` counter — a
+/// versioned addition to the snapshot payload (new in the demand-driven
+/// engine, PR 9): the total active-set entries scheduled over, recording
+/// how reduced the demand-driven slots were. Full-schedule paths never
+/// emit the key, and snapshot readers treat its absence as "full schedule
+/// every slot".
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_active_observed<S>(
+    scheduler: &SStarScheduler,
+    positions: &[Point],
+    range: f64,
+    active: &[usize],
+    slot: u64,
+    ws: &mut SlotWorkspace,
+    out: &mut Vec<ScheduledPair>,
+    obs: &mut Observer<S>,
+) where
+    S: MetricsSink,
+{
+    scheduler.schedule_active_into(positions, range, active, ws, out);
+    if obs.sink.enabled() {
+        obs.sink.counter("schedule.slots", 1);
+        obs.sink.counter("schedule.pairs_total", out.len() as u64);
+        obs.sink
+            .observe("schedule.pairs_per_slot", out.len() as f64);
+        obs.sink
+            .counter("schedule.active_nodes", active.len() as u64);
+    }
+    if let Some(probes) = obs.probes_mut() {
+        check_schedule_feasibility(probes, slot, positions, out, range, scheduler.delta(), None);
     }
 }
 
@@ -842,6 +1010,48 @@ mod tests {
         positions.push(Point::new(0.18, 0.10)); // within guard (0.1) of node 1
         let pairs = sched.schedule(&positions, 0.05);
         assert!(pairs.is_empty(), "got {pairs:?}");
+    }
+
+    #[test]
+    fn active_set_schedule_is_the_filtered_full_schedule() {
+        use rand::Rng;
+        let sched = SStarScheduler::new(1.0);
+        let mut ws_full = SlotWorkspace::new();
+        let mut ws_active = SlotWorkspace::new();
+        let mut full = Vec::new();
+        let mut reduced = Vec::new();
+        let mut rng = StdRng::seed_from_u64(131);
+        for case in 0..25usize {
+            let n = 40 + case * 17;
+            let positions: Vec<Point> = (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+            let range = 0.03 + 0.015 * (case % 5) as f64;
+            let active: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.3)).collect();
+            sched.schedule_into(&positions, range, &mut ws_full, &mut full);
+            sched.schedule_active_into(&positions, range, &active, &mut ws_active, &mut reduced);
+            let is_active = |id: usize| active.binary_search(&id).is_ok();
+            let expected: Vec<ScheduledPair> = full
+                .iter()
+                .copied()
+                .filter(|p| is_active(p.a) && is_active(p.b))
+                .collect();
+            assert_eq!(reduced, expected, "case {case}");
+        }
+    }
+
+    #[test]
+    fn active_set_schedule_with_everyone_active_matches_full() {
+        use rand::Rng;
+        let sched = SStarScheduler::default();
+        let mut ws = SlotWorkspace::new();
+        let mut full = Vec::new();
+        let mut reduced = Vec::new();
+        let mut rng = StdRng::seed_from_u64(137);
+        let positions: Vec<Point> = (0..300).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let everyone: Vec<usize> = (0..300).collect();
+        sched.schedule_into(&positions, 0.01, &mut ws, &mut full);
+        sched.schedule_active_into(&positions, 0.01, &everyone, &mut ws, &mut reduced);
+        assert!(!full.is_empty());
+        assert_eq!(reduced, full);
     }
 
     #[test]
