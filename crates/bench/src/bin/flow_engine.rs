@@ -294,7 +294,7 @@ fn run_greedy_case(n: usize, slots: usize) -> GreedyRow {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = report::quick_flag();
     let mut cases: Vec<Case> = Vec::new();
     let pr6_ladder: &[(usize, usize)] = if quick {
         &[(1_000, 60), (10_000, 15)]
@@ -358,6 +358,9 @@ fn main() {
     let _ = writeln!(json, "  \"rerun_bit_identical\": {identical},");
     let _ = writeln!(json, "  \"demand_skip_bit_identical\": {skip_identical},");
     let _ = writeln!(json, "  \"results\": [");
+    // FCT percentiles are absent (JSON null) when no flow completed —
+    // distinguishable from a true 0-slot completion time.
+    let fct_json = |p: Option<f64>| p.map_or_else(|| "null".to_string(), |v| format!("{v:.1}"));
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let s = &r.stats;
@@ -369,7 +372,7 @@ fn main() {
              \"packets_delivered\": {}, \"events\": {}, \"seconds\": {:.6}, \
              \"events_per_second\": {:.1}, \"slots_per_second\": {:.1}, \
              \"ms_per_slot\": {:.4}, \"skip_ratio\": {:.4}, \
-             \"fct_p50\": {:.1}, \"fct_p99\": {:.1}, \"mean_delay\": {:.3}}}{comma}",
+             \"fct_p50\": {}, \"fct_p99\": {}, \"mean_delay\": {:.3}}}{comma}",
             r.case.n,
             r.case.sizes,
             r.case.load,
@@ -385,8 +388,8 @@ fn main() {
             r.case.horizon as f64 / r.seconds,
             r.seconds * 1e3 / r.case.horizon as f64,
             r.trace.skip_ratio(),
-            s.fct_p50,
-            s.fct_p99,
+            fct_json(s.fct_p50),
+            fct_json(s.fct_p99),
             s.mean_delay,
         );
     }
@@ -428,6 +431,8 @@ fn main() {
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");
 
+    // Deliberately NOT write_json_with_root_copy: the nightly CI gate
+    // diffs the committed root BENCH_PR9.json against this fresh run.
     let path = report::write_json("BENCH_PR9", &json).expect("write BENCH_PR9.json");
 
     let table_rows: Vec<Vec<String>> = rows
@@ -444,7 +449,8 @@ fn main() {
                 format!("{:.0}", r.case.horizon as f64 / r.seconds),
                 format!("{:.3}", r.seconds * 1e3 / r.case.horizon as f64),
                 format!("{:.0}%", 100.0 * r.trace.skip_ratio()),
-                format!("{:.0}", s.fct_p99),
+                s.fct_p99
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
             ]
         })
         .collect();

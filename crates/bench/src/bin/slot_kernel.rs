@@ -328,7 +328,7 @@ fn run_phases(placement: &'static str, base: &[Point], n: usize, slots: usize) -
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = report::quick_flag();
     let ladder: &[(usize, usize)] = if quick {
         &[(1_000, 30), (10_000, 6)]
     } else {
@@ -397,7 +397,7 @@ fn main() {
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");
 
-    let path = report::write_json("BENCH_PR5", &json).expect("write BENCH_PR5.json");
+    let path = report::write_json_with_root_copy("BENCH_PR5", &json).expect("write BENCH_PR5.json");
 
     let table_rows: Vec<Vec<String>> = rows
         .iter()

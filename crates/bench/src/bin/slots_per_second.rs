@@ -69,7 +69,7 @@ fn run_config(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = report::quick_flag();
     let max_threads = WorkerPool::default_threads();
     let mut thread_counts = vec![1];
     if max_threads > 1 {

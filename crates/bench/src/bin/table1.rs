@@ -8,13 +8,16 @@
 //! fitting the sum would validate neither).
 //!
 //! ```text
-//! cargo run -p hycap-bench --release --bin table1 [--full] [--seed S]
+//! cargo run -p hycap-bench --release --bin table1 [--full] [--seed S] [--cache DIR]
 //! ```
 
+use std::sync::Arc;
+
 use hycap::{optimal_range, MobilityRegime, ModelExponents};
-use hycap_bench::experiments::{run_table1, table1_exponents, Scale};
+use hycap_bench::experiments::{run_table1_cached, table1_exponents, Scale};
 use hycap_bench::report;
 use hycap_mobility::MobilityKind;
+use hycap_sim::ResultCache;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,11 +32,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(2010);
+    let cache = args
+        .iter()
+        .position(|a| a == "--cache")
+        .and_then(|i| args.get(i + 1))
+        .map(|dir| {
+            Arc::new(ResultCache::open(std::path::Path::new(dir)).expect("open result cache"))
+        });
 
     println!("Table I — capacity and optimal transmission range per regime");
     println!("scale: {scale:?}, seed: {seed}\n");
 
-    let results = run_table1(scale, seed);
+    let results = run_table1_cached(scale, seed, cache.as_ref()).expect("cache store");
     let specs = table1_exponents();
 
     let mut rows = Vec::new();
@@ -124,6 +134,18 @@ fn main() {
     )
     .expect("write report csv");
     println!("\ncsv: {}", path.display());
+
+    // Stderr, so cold and warm stdout diff clean (the CLI's convention).
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        eprintln!(
+            "cache: {} hit(s), {} miss(es), {} store(s) in {}",
+            s.hits,
+            s.misses,
+            s.stores,
+            cache.dir().display()
+        );
+    }
 }
 
 fn regime_of(exps: &ModelExponents, mobility: MobilityKind) -> Option<MobilityRegime> {

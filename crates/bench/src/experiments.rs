@@ -6,7 +6,9 @@ use hycap::{capacity_exponent, MobilityRegime, ModelExponents, Scenario};
 use hycap_errors::HycapError;
 use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, PopulationConfig};
 use hycap_routing::{baselines, StaticMultihopPlan, TrafficMatrix};
-use hycap_sim::{fit_loglog, Checkpoint, FitResult, WorkerPool};
+use hycap_sim::{
+    fit_loglog, scenario_digest, CacheEntry, Checkpoint, FitResult, ResultCache, WorkerPool,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
@@ -182,6 +184,69 @@ pub fn run_table1_row_checkpointed(
     pool: &WorkerPool,
     checkpoint: Option<&Arc<Checkpoint>>,
 ) -> Result<RowResult, HycapError> {
+    run_table1_row_impl(
+        label, exps, with_bs, mobility, scale, seed, pool, checkpoint, None,
+    )
+}
+
+/// [`run_table1_row_checkpointed`] with an on-disk [`ResultCache`]: every
+/// per-rep measurement is keyed by the scenario's content digest (mode
+/// `"measure"` — the sequential engine), so reruns of the same row, or of
+/// any sweep sharing a point, serve bit-identical results from disk. The
+/// cache composes with the checkpoint journal: journal first (bound to
+/// this row's digest), cache second, compute last. Cache store failures
+/// degrade to a recompute and surface as the row's error only after the
+/// measurements complete.
+///
+/// # Errors
+///
+/// As [`run_table1_row_checkpointed`], plus cache-store I/O failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_table1_row_cached(
+    label: &'static str,
+    exps: ModelExponents,
+    with_bs: bool,
+    mobility: MobilityKind,
+    scale: Scale,
+    seed: u64,
+    pool: &WorkerPool,
+    checkpoint: Option<&Arc<Checkpoint>>,
+    cache: Option<&Arc<ResultCache>>,
+) -> Result<RowResult, HycapError> {
+    run_table1_row_impl(
+        label, exps, with_bs, mobility, scale, seed, pool, checkpoint, cache,
+    )
+}
+
+/// The cache key of one clustered-multihop (Corollary 3) measurement,
+/// which bypasses [`Scenario`] and therefore needs its own digest.
+fn clustered_cache_key(exps: &ModelExponents, n: usize, seed: u64) -> String {
+    let parts = [
+        "table1-clustered".to_string(),
+        format!("alpha={}", exps.alpha),
+        format!("m_exp={}", exps.m_exp),
+        format!("r_exp={}", exps.r_exp),
+        format!("k_exp={}", exps.k_exp),
+        format!("phi={}", exps.phi),
+        format!("n={n}"),
+        format!("seed={seed}"),
+    ];
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    format!("clustered-{}", scenario_digest(&refs))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_table1_row_impl(
+    label: &'static str,
+    exps: ModelExponents,
+    with_bs: bool,
+    mobility: MobilityKind,
+    scale: Scale,
+    seed: u64,
+    pool: &WorkerPool,
+    checkpoint: Option<&Arc<Checkpoint>>,
+    cache: Option<&Arc<ResultCache>>,
+) -> Result<RowResult, HycapError> {
     let ns = ladder_for(scale, &exps);
     let slots = scale.slots();
     let static_nodes = matches!(mobility, MobilityKind::Static);
@@ -191,6 +256,19 @@ pub fn run_table1_row_checkpointed(
         exps.classify().ok()
     };
     let reps = scale.reps();
+    // Cache-store failures are stashed here (first one wins) so a full
+    // disk never costs the row its measurements mid-flight; the error
+    // surfaces once the row completes, mirroring the journal funnel.
+    let cache_err: Arc<Mutex<Option<HycapError>>> = Arc::new(Mutex::new(None));
+    let stash = {
+        let slot = Arc::clone(&cache_err);
+        move |e: HycapError| {
+            slot.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get_or_insert(e);
+        }
+    };
+    let cache = cache.map(Arc::clone);
     // Per ladder point: (mobility term, infrastructure term), averaged
     // over positive reps.
     let point = move |n: usize| {
@@ -203,17 +281,41 @@ pub fn run_table1_row_checkpointed(
             let (lm, li) = if regime == Some(MobilityRegime::Weak) && !with_bs {
                 // Corollary 3 row: clustered static multihop at the
                 // Lemma 10 connectivity range.
-                (Some(measure_clustered_no_bs(&exps, n, seed)), None)
+                let lambda = match &cache {
+                    None => measure_clustered_no_bs(&exps, n, seed),
+                    Some(c) => {
+                        let key = clustered_cache_key(&exps, n, seed);
+                        match c.get(&key, |e| e.f64("lambda")) {
+                            Some(v) => v,
+                            None => {
+                                let v = measure_clustered_no_bs(&exps, n, seed);
+                                let mut entry = CacheEntry::new();
+                                entry.push_f64("lambda", v);
+                                if let Err(e) = c.put(&key, &entry) {
+                                    stash(e);
+                                }
+                                v
+                            }
+                        }
+                    }
+                };
+                (Some(lambda), None)
             } else {
-                let report = Scenario::builder(exps, n)
+                let sc = Scenario::builder(exps, n)
                     .mobility(mobility)
                     // 2x2 constant-area squarelets: the mobility radius is
                     // a larger fraction of the squarelet at small n, which
                     // shortens the finite-size transient of phase I/III.
                     .scheme_b_cells(2)
                     .seed(seed)
-                    .build_with_bs(with_bs)
-                    .measure(slots);
+                    .build_with_bs(with_bs);
+                let report = match &cache {
+                    None => sc.measure(slots),
+                    Some(c) => sc.measure_cached(slots, c).unwrap_or_else(|e| {
+                        stash(e);
+                        sc.measure(slots)
+                    }),
+                };
                 (report.lambda_mobility_typical, report.lambda_infra_typical)
             };
             if let Some(l) = lm.filter(|&l| l > 0.0) {
@@ -323,16 +425,42 @@ pub fn run_table1_row_checkpointed(
             Some(hycap::capacity_with_bs(r, &exps)),
         )],
     };
+    if let Some(e) = cache_err
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
     Ok(RowResult { label, components })
 }
 
 /// Runs all five Table I rows on one shared worker pool.
 pub fn run_table1(scale: Scale, seed: u64) -> Vec<RowResult> {
+    run_table1_cached(scale, seed, None).expect("a cache-free table run performs no store I/O")
+}
+
+/// [`run_table1`] with an optional result cache threaded through every
+/// row: ladder points already stored under the current engine version
+/// are served bit-identically instead of recomputed, so a warm rerun of
+/// the whole table costs only directory reads.
+///
+/// # Errors
+///
+/// [`HycapError::Io`] when a cache store fails; served rows are never
+/// affected.
+pub fn run_table1_cached(
+    scale: Scale,
+    seed: u64,
+    cache: Option<&Arc<ResultCache>>,
+) -> Result<Vec<RowResult>, HycapError> {
     let pool = WorkerPool::new(WorkerPool::default_threads());
     table1_exponents()
         .into_iter()
         .map(|(label, exps, with_bs, mobility)| {
-            run_table1_row(label, exps, with_bs, mobility, scale, seed, &pool)
+            run_table1_row_cached(
+                label, exps, with_bs, mobility, scale, seed, &pool, None, cache,
+            )
         })
         .collect()
 }
@@ -570,6 +698,62 @@ mod tests {
         for (a, b) in expect.iter().zip(&resumed.components[0].lambdas) {
             assert_eq!(a.to_bits(), b.to_bits(), "resume must reproduce exactly");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_rows_are_bit_identical_and_warm_runs_hit() {
+        let pool = WorkerPool::new(2);
+        let dir = std::env::temp_dir().join(format!("hycap-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(ResultCache::open(&dir).unwrap());
+        // One Scenario-backed row and the clustered-multihop row, which
+        // exercises the non-Scenario cache key.
+        for idx in [0usize, 2] {
+            let (label, exps, with_bs, mobility) = table1_exponents()[idx];
+            let plain = run_table1_row(label, exps, with_bs, mobility, Scale::Smoke, 11, &pool);
+            let cold = run_table1_row_cached(
+                label,
+                exps,
+                with_bs,
+                mobility,
+                Scale::Smoke,
+                11,
+                &pool,
+                None,
+                Some(&cache),
+            )
+            .unwrap();
+            let warm = run_table1_row_cached(
+                label,
+                exps,
+                with_bs,
+                mobility,
+                Scale::Smoke,
+                11,
+                &pool,
+                None,
+                Some(&cache),
+            )
+            .unwrap();
+            for (p, c) in plain.components.iter().zip(&cold.components) {
+                for (a, b) in p.lambdas.iter().zip(&c.lambdas) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{label}: caching must not perturb"
+                    );
+                }
+            }
+            for (p, w) in plain.components.iter().zip(&warm.components) {
+                for (a, b) in p.lambdas.iter().zip(&w.lambdas) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{label}: warm row must reproduce");
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, stats.stores, "every miss stores an entry");
+        assert_eq!(stats.hits, stats.misses, "warm runs hit every key");
         std::fs::remove_dir_all(&dir).ok();
     }
 

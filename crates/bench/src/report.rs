@@ -83,6 +83,30 @@ pub fn write_json(name: &str, json: &str) -> Result<PathBuf, HycapError> {
     Ok(path)
 }
 
+/// `true` when the bench was invoked with `--quick` (the CI smoke
+/// profile). Shared by the report bins so the flag is spelled and parsed
+/// exactly one way.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// [`write_json`] plus a copy at the repository root (`<name>.json`),
+/// where committed bench baselines live. Only for artifacts WITHOUT a CI
+/// gate that diffs the committed root file against a fresh run — a gated
+/// bench (BENCH_PR8, BENCH_PR9) must use plain [`write_json`], or the run
+/// would overwrite the very baseline it is gated against. Returns the
+/// `target/reports/` path.
+///
+/// # Errors
+///
+/// [`HycapError::Io`] on filesystem errors.
+pub fn write_json_with_root_copy(name: &str, json: &str) -> Result<PathBuf, HycapError> {
+    let path = write_json(name, json)?;
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}.json"));
+    fs::write(&root, json).map_err(|e| HycapError::io("write root json copy", &e))?;
+    Ok(path)
+}
+
 /// Writes a metrics [`Snapshot`] as flat `kind,name,field,value` CSV into
 /// [`reports_dir`], returning its path.
 ///

@@ -50,7 +50,7 @@ impl std::error::Error for ArgError {}
 
 /// Option names that are boolean switches (take no value).
 const SWITCHES: &[&str] = &[
-    "static", "no-bs", "no-skip", "help", "full", "occupy", "resume",
+    "static", "no-bs", "no-skip", "help", "full", "occupy", "resume", "no-cache",
 ];
 
 impl Args {

@@ -10,7 +10,7 @@ use hycap_routing::SchemeBPlan;
 use hycap_sim::{
     fit_loglog, geometric_ns, load_ladder, scenario_digest, Checkpoint, FaultSchedule,
     FlowRunStats, FlowSizes, FlowWorkload, FluidEngine, OutagePolicy, PacingTrace, PacketEngine,
-    WorkerPool,
+    ResultCache, WorkerPool,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -25,12 +25,13 @@ USAGE:
   hycap theory   --alpha A --m M --r R --k K --phi P [--static] [--no-bs]
   hycap measure  --alpha A --m M --r R --k K --phi P --n N
                  [--slots S] [--seed X] [--threads T] [--static] [--no-bs]
-                 [--metrics PATH]
+                 [--metrics PATH] [--cache DIR] [--no-cache]
   hycap sweep    --alpha A --m M --r R --k K --phi P
                  [--ns 200,400,800 | --min-n N --max-n N --count C]
                  [--ladder-max N] [--slots S] [--seed X] [--threads T]
                  [--static] [--no-bs] [--metrics PATH] [--deadline SECS]
-                 [--checkpoint PATH] [--resume]
+                 [--checkpoint PATH] [--resume] [--cache DIR] [--no-cache]
+  hycap cache    stats|gc|clear --cache DIR
   hycap surface  --phi P [--res 21]
   hycap degrade  --alpha A --m M --r R --k K --phi P --n N
                  [--fail-frac F] [--outage-p P] [--outage-seed Y]
@@ -98,6 +99,21 @@ LADDER (sweep subcommand):
                      list and replaces --max-n for the geometric default,
                      so one flag scales a sweep recipe up or down
 
+RESULT CACHE (measure and sweep subcommands):
+  --cache DIR   content-addressed on-disk result cache: each measurement
+                (per ladder point for sweep) is keyed by a digest of every
+                bit-relevant parameter plus the engine version; a warm run
+                serves cached results byte-identically — damaged entries
+                degrade to a recompute, never a wrong answer. Hit/miss
+                counts go to stderr so stdout stays byte-identical.
+  --no-cache    ignore --cache (wins when both are given)
+
+CACHE MAINTENANCE (cache subcommand):
+  stats         live/stale entry counts and total bytes
+  gc            drop entries from other engine versions, damaged entries,
+                orphan snapshots and leftover temporaries
+  clear         remove every cache file
+
 CRASH SAFETY (sweep subcommand):
   --deadline SECS    stop cleanly at the next ladder-point boundary once
                      SECS of wall clock have elapsed; the partial table is
@@ -147,6 +163,32 @@ fn metrics_path(args: &Args) -> Result<Option<PathBuf>, Box<dyn std::error::Erro
         }
     }
     Ok(Some(path))
+}
+
+/// The `--cache DIR` option shared by measure/sweep: the on-disk result
+/// cache, disabled by `--no-cache` (which wins when both are given).
+fn result_cache(args: &Args) -> Result<Option<ResultCache>, Box<dyn std::error::Error>> {
+    if args.flag("no-cache") {
+        return Ok(None);
+    }
+    match args.get::<String>("cache")? {
+        None => Ok(None),
+        Some(dir) => Ok(Some(ResultCache::open(Path::new(&dir))?)),
+    }
+}
+
+/// Prints the run's cache traffic to stderr — stdout must stay
+/// byte-identical between cold and warm runs so their reports diff clean
+/// (same convention as the sweep resume status).
+fn cache_status(cache: &ResultCache) {
+    let s = cache.stats();
+    eprintln!(
+        "cache: {} hit(s), {} miss(es), {} store(s) in {}",
+        s.hits,
+        s.misses,
+        s.stores,
+        cache.dir().display()
+    );
 }
 
 /// The `--threads <count>` option shared by measure/sweep/degrade: a
@@ -261,14 +303,24 @@ pub fn measure(args: &Args) -> CmdResult {
     let n: usize = args.require("n")?;
     let slots: usize = args.get_or("slots", 300)?;
     let metrics = metrics_path(args)?;
+    let cache = result_cache(args)?;
     let pool = worker_pool(args)?;
     let sc = scenario(args, exps, n)?;
-    let (report, snapshot) = if metrics.is_some() {
-        let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
-        (report, Some(snapshot))
-    } else {
-        (sc.measure_par(slots, &pool)?, None)
+    let (report, snapshot) = match (&cache, metrics.is_some()) {
+        (Some(c), true) => {
+            let (report, snapshot) = sc.measure_par_observed_cached(slots, &pool, c)?;
+            (report, Some(snapshot))
+        }
+        (Some(c), false) => (sc.measure_par_cached(slots, &pool, c)?, None),
+        (None, true) => {
+            let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
+            (report, Some(snapshot))
+        }
+        (None, false) => (sc.measure_par(slots, &pool)?, None),
     };
+    if let Some(c) = &cache {
+        cache_status(c);
+    }
     let mut out = String::new();
     writeln!(
         out,
@@ -418,6 +470,7 @@ pub fn sweep(args: &Args) -> CmdResult {
             checkpoint_path.as_deref().unwrap_or("")
         );
     }
+    let cache = result_cache(args)?;
     let pool = worker_pool(args)?;
     let mut merged = Snapshot::default();
     let mut out = String::new();
@@ -438,13 +491,25 @@ pub fn sweep(args: &Args) -> CmdResult {
         let (lambda, typical) = match cached {
             Some(point) => point,
             None => {
+                // Per-point granularity: the checkpoint journal answers
+                // "did this run already compute the point", the result
+                // cache answers "did any run ever" — journal first (it is
+                // bound to this sweep's digest), then the cache, then
+                // compute and record to both.
                 let sc = scenario(args, exps, n)?;
-                let report = if metrics.is_some() {
-                    let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
-                    merged.merge(&snapshot);
-                    report
-                } else {
-                    sc.measure_par(slots, &pool)?
+                let report = match (&cache, metrics.is_some()) {
+                    (Some(c), true) => {
+                        let (report, snapshot) = sc.measure_par_observed_cached(slots, &pool, c)?;
+                        merged.merge(&snapshot);
+                        report
+                    }
+                    (Some(c), false) => sc.measure_par_cached(slots, &pool, c)?,
+                    (None, true) => {
+                        let (report, snapshot) = sc.measure_par_observed(slots, &pool)?;
+                        merged.merge(&snapshot);
+                        report
+                    }
+                    (None, false) => sc.measure_par(slots, &pool)?,
                 };
                 let typical = report
                     .lambda_mobility_typical
@@ -461,6 +526,9 @@ pub fn sweep(args: &Args) -> CmdResult {
             "n = {n:6}: lambda = {lambda:.6} (typical {typical:.6})"
         )?;
         lambdas.push(typical);
+    }
+    if let Some(c) = &cache {
+        cache_status(c);
     }
     if let Some(completed) = cut_after {
         writeln!(
@@ -495,6 +563,50 @@ pub fn sweep(args: &Args) -> CmdResult {
     }
     if let Some(path) = metrics {
         report_snapshot(&mut out, &path, &merged)?;
+    }
+    done(out)
+}
+
+/// `hycap cache` — inspect or maintain an on-disk result cache. The
+/// action rides in the nested command slot (`hycap cache stats --cache
+/// DIR`): `stats` counts live/stale entries and bytes, `gc` drops entries
+/// from other engine versions plus damaged files, `clear` removes
+/// everything.
+pub fn cache(args: &Args) -> CmdResult {
+    let dir: String = args.require("cache")?;
+    let cache = ResultCache::open(Path::new(&dir))?;
+    let mut out = String::new();
+    match args.command() {
+        "stats" => {
+            let d = cache.disk_stats()?;
+            writeln!(out, "cache:         {}", cache.dir().display())?;
+            writeln!(out, "live entries:  {}", d.live_entries)?;
+            writeln!(out, "stale entries: {}", d.stale_entries)?;
+            writeln!(out, "bytes:         {}", d.bytes)?;
+        }
+        "gc" => {
+            let r = cache.gc()?;
+            writeln!(
+                out,
+                "gc: removed {} file(s), freed {} byte(s)",
+                r.removed, r.bytes_freed
+            )?;
+        }
+        "clear" => {
+            let r = cache.clear()?;
+            writeln!(
+                out,
+                "clear: removed {} file(s), freed {} byte(s)",
+                r.removed, r.bytes_freed
+            )?;
+        }
+        other => {
+            return Err(HycapError::invalid(
+                "cache",
+                format!("unknown cache action '{other}' (expected stats, gc or clear)"),
+            )
+            .into())
+        }
     }
     done(out)
 }
@@ -631,15 +743,18 @@ pub fn degrade(args: &Args) -> CmdResult {
 
 /// One-line flow-run summary shared by the single-run and sweep outputs.
 fn flow_summary(stats: &FlowRunStats) -> String {
+    // An FCT percentile only exists once a flow completed; render "-"
+    // instead of a fake 0-slot completion time.
+    let pct = |p: Option<f64>| p.map_or_else(|| "-".to_string(), |v| format!("{v:.0}"));
     format!(
-        "flows {}/{} ({:.1}%), packets {}/{}, fct p50 = {:.0}, p99 = {:.0}, mean delay = {:.2}",
+        "flows {}/{} ({:.1}%), packets {}/{}, fct p50 = {}, p99 = {}, mean delay = {:.2}",
         stats.flows_completed,
         stats.flows_started,
         100.0 * stats.completion_ratio(),
         stats.packets_delivered,
         stats.packets_injected,
-        stats.fct_p50,
-        stats.fct_p99,
+        pct(stats.fct_p50),
+        pct(stats.fct_p99),
         stats.mean_delay,
     )
 }
@@ -1025,6 +1140,90 @@ mod tests {
         let one = measure(&args(&format!("{base} --threads 1"))).unwrap().text;
         let four = measure(&args(&format!("{base} --threads 4"))).unwrap().text;
         assert_eq!(one, four);
+    }
+
+    fn temp_cache_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hycap-cli-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sweep_with_cache_serves_warm_run_byte_identically() {
+        let dir = temp_cache_dir("sweep");
+        let base = "sweep --alpha 0.25 --m 1.0 --k 0.5 --ns 100,200 --slots 60 --seed 4";
+        let uncached = sweep(&args(base)).unwrap().text;
+        let cmd = format!("{base} --cache {}", dir.display());
+        let cold = sweep(&args(&cmd)).unwrap().text;
+        let warm = sweep(&args(&cmd)).unwrap().text;
+        assert_eq!(cold, uncached, "caching must not perturb the report");
+        assert_eq!(warm, cold, "warm run must be byte-identical");
+        // --no-cache wins over --cache: the entries are ignored (the run
+        // still recomputes and matches, proving the flag disables lookup).
+        let out = sweep(&args(&format!("{cmd} --no-cache"))).unwrap().text;
+        assert_eq!(out, uncached);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn measure_with_cache_and_metrics_rebuilds_snapshot_byte_identically() {
+        let dir = temp_cache_dir("measure-metrics");
+        let m1 = std::env::temp_dir().join("hycap_cli_cache_metrics_cold.json");
+        let m2 = std::env::temp_dir().join("hycap_cli_cache_metrics_warm.json");
+        let base = format!(
+            "measure --alpha 0.25 --m 1.0 --k 0.5 --n 150 --slots 60 --seed 3 --cache {}",
+            dir.display()
+        );
+        let cold = measure(&args(&format!("{base} --metrics {}", m1.display())))
+            .unwrap()
+            .text;
+        let warm = measure(&args(&format!("{base} --metrics {}", m2.display())))
+            .unwrap()
+            .text;
+        let cold_json = std::fs::read_to_string(&m1).unwrap();
+        let warm_json = std::fs::read_to_string(&m2).unwrap();
+        std::fs::remove_file(&m1).ok();
+        std::fs::remove_file(&m2).ok();
+        // The warm snapshot is rebuilt from the cached state payload and
+        // must render byte-identically to the cold one.
+        assert_eq!(warm_json, cold_json);
+        let strip = |text: &str| -> String {
+            text.lines()
+                .filter(|l| !l.starts_with("metrics:"))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        assert_eq!(strip(&warm), strip(&cold));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_subcommand_reports_and_maintains_the_store() {
+        let dir = temp_cache_dir("subcommand");
+        let cmd = format!(
+            "measure --alpha 0.25 --m 1.0 --k 0.5 --n 100 --slots 40 --seed 6 --cache {}",
+            dir.display()
+        );
+        measure(&args(&cmd)).unwrap();
+        let stats = cache(&args(&format!("stats --cache {}", dir.display())))
+            .unwrap()
+            .text;
+        assert!(stats.contains("live entries:  1"), "{stats}");
+        assert!(stats.contains("stale entries: 0"), "{stats}");
+        let gc = cache(&args(&format!("gc --cache {}", dir.display())))
+            .unwrap()
+            .text;
+        assert!(gc.contains("removed 0 file(s)"), "{gc}");
+        let cleared = cache(&args(&format!("clear --cache {}", dir.display())))
+            .unwrap()
+            .text;
+        // One .entry file: a metrics-less measure stores no snapshot.
+        assert!(cleared.contains("removed 1 file(s)"), "{cleared}");
+        let err = cache(&args(&format!("evict --cache {}", dir.display()))).unwrap_err();
+        let hycap_err = err.downcast_ref::<HycapError>().expect("typed error");
+        assert_eq!(hycap_err.exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! hycap sweep    --alpha A --m M --r R --k K --phi P
 //!                [--ns 200,400,800] [--slots S] [--seed X] [--static] [--no-bs]
 //!                [--metrics PATH]
+//! hycap cache    stats|gc|clear --cache DIR
 //! hycap surface  --phi P [--res 21]
 //! hycap degrade  --alpha A --m M --r R --k K --phi P --n N
 //!                [--fail-frac F] [--outage-p P] [--slots S] [--seed X] [--occupy]
@@ -28,6 +29,13 @@
 //! boundary, exit 4), `--checkpoint PATH` (journal completed points) and
 //! `--resume` (reuse journaled points; bit-identical merged report).
 //!
+//! `measure` and `sweep` accept `--cache DIR`: a content-addressed on-disk
+//! result cache keyed by every bit-relevant parameter plus the engine
+//! version. Warm runs serve cached results byte-identically (hit/miss
+//! counts go to stderr); `--no-cache` disables it, and the `cache`
+//! subcommand inspects (`stats`), prunes (`gc`) or wipes (`clear`) a
+//! cache directory.
+//!
 //! Exit codes: 0 success; 1 unexpected failure (including I/O); 2 invalid
 //! input (bad arguments or parameters); 3 missing/exhausted
 //! infrastructure; 4 run interrupted by a deadline or budget — partial
@@ -39,10 +47,18 @@ mod commands;
 use args::Args;
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv.first().is_some_and(|a| a == "help" || a == "--help") {
         print!("{}", commands::USAGE);
         return;
+    }
+    // `cache` carries its action as a nested subcommand (`hycap cache
+    // stats --cache DIR`), which the flat parser would reject as a stray
+    // positional token — strip the outer command and parse the rest, so
+    // the action lands in the nested command slot.
+    let is_cache = argv.first().is_some_and(|a| a == "cache");
+    if is_cache {
+        argv.remove(0);
     }
     let parsed = match Args::parse(argv) {
         Ok(a) => a,
@@ -56,19 +72,10 @@ fn main() {
         print!("{}", commands::USAGE);
         return;
     }
-    let result = match parsed.command() {
-        "classify" => commands::classify(&parsed),
-        "theory" => commands::theory(&parsed),
-        "measure" => commands::measure(&parsed),
-        "sweep" => commands::sweep(&parsed),
-        "surface" => commands::surface(&parsed),
-        "degrade" => commands::degrade(&parsed),
-        "flows" => commands::flows(&parsed),
-        other => {
-            eprintln!("error: unknown subcommand '{other}'");
-            eprint!("{}", commands::USAGE);
-            std::process::exit(2);
-        }
+    let result = if is_cache {
+        commands::cache(&parsed)
+    } else {
+        dispatch(&parsed)
     };
     match result {
         Ok(output) => {
@@ -80,6 +87,23 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(exit_code_for(e.as_ref()));
+        }
+    }
+}
+
+fn dispatch(parsed: &Args) -> Result<commands::CmdOutput, Box<dyn std::error::Error>> {
+    match parsed.command() {
+        "classify" => commands::classify(parsed),
+        "theory" => commands::theory(parsed),
+        "measure" => commands::measure(parsed),
+        "sweep" => commands::sweep(parsed),
+        "surface" => commands::surface(parsed),
+        "degrade" => commands::degrade(parsed),
+        "flows" => commands::flows(parsed),
+        other => {
+            eprintln!("error: unknown subcommand '{other}'");
+            eprint!("{}", commands::USAGE);
+            std::process::exit(2);
         }
     }
 }

@@ -16,8 +16,8 @@ use hycap_mobility::{ClusteredModel, Kernel, MobilityKind, Population, Populatio
 use hycap_obs::{MetricsSink, Observer, Snapshot};
 use hycap_routing::{SchemeAPlan, SchemeBPlan, SchemeCPlan, TrafficMatrix};
 use hycap_sim::{
-    FlowRunStats, FlowWorkload, FluidEngine, HybridNetwork, Pacing, PacingTrace, PacketEngine,
-    WorkerPool,
+    scenario_digest, CacheEntry, FlowRunStats, FlowWorkload, FluidEngine, HybridNetwork, Pacing,
+    PacingTrace, PacketEngine, ResultCache, WorkerPool,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -445,6 +445,133 @@ impl Scenario {
         Ok((report, snap.expect("observed run yields a snapshot")))
     }
 
+    /// Canonical digest parts naming this scenario for the result cache:
+    /// every field that changes the measured bits (all builder knobs, `n`,
+    /// the seed), plus the sampling `mode` and slot count. The engine
+    /// version is folded in by [`scenario_digest`] itself, so an engine
+    /// bump invalidates every cached result at once.
+    pub fn digest_parts(&self, mode: &str, slots: usize) -> Vec<String> {
+        vec![
+            format!("mode={mode}"),
+            format!("alpha={}", self.exponents.alpha),
+            format!("m_exp={}", self.exponents.m_exp),
+            format!("r_exp={}", self.exponents.r_exp),
+            format!("k_exp={}", self.exponents.k_exp),
+            format!("phi={}", self.exponents.phi),
+            format!("n={}", self.n),
+            format!("kernel={:?}", self.kernel),
+            format!("mobility={:?}", self.mobility),
+            format!("placement={:?}", self.placement),
+            format!("with_bs={}", self.with_bs),
+            format!("delta={}", self.delta),
+            format!("c_t={}", self.c_t),
+            format!("scheme_b_cells={}", self.scheme_b_cells),
+            format!("seed={}", self.seed),
+            format!("flow_skip={}", self.flow_skip),
+            format!("slots={slots}"),
+        ]
+    }
+
+    /// The content-addressed [`ResultCache`] key for this scenario under
+    /// sampling `mode` and `slots`. Mode is `"measure"` for the sequential
+    /// engine and `"measure_par"` for the slot-sharded one — the two agree
+    /// in distribution, not bit-for-bit, so they must never share a key.
+    pub fn cache_key(&self, mode: &str, slots: usize) -> String {
+        self.cache_key_with(mode, slots, &[])
+    }
+
+    /// [`Scenario::cache_key`] with extra digest parts folded in — e.g. a
+    /// [`hycap_sim::FaultSchedule::digest_parts`] for faulted runs, so an
+    /// edit to the fault schedule invalidates exactly the points it
+    /// perturbs and no others.
+    pub fn cache_key_with(&self, mode: &str, slots: usize, extra: &[String]) -> String {
+        let mut parts = self.digest_parts(mode, slots);
+        parts.extend_from_slice(extra);
+        let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+        format!("scenario-{}", scenario_digest(&refs))
+    }
+
+    /// [`Scenario::measure`] backed by an on-disk [`ResultCache`]: a hit
+    /// returns the stored report without realizing the network; a miss
+    /// runs the measurement and stores the result. Cached and computed
+    /// reports are bit-identical — damaged or missing entries degrade to
+    /// a recompute, never a wrong answer.
+    ///
+    /// # Errors
+    ///
+    /// Only cache-store I/O failures; lookups never error.
+    pub fn measure_cached(
+        &self,
+        slots: usize,
+        cache: &ResultCache,
+    ) -> Result<ScenarioReport, HycapError> {
+        let key = self.cache_key("measure", slots);
+        if let Some(report) = cache.get(&key, ScenarioReport::from_cache_entry) {
+            return Ok(report);
+        }
+        let report = self.measure(slots);
+        cache.put(&key, &report.to_cache_entry())?;
+        Ok(report)
+    }
+
+    /// [`Scenario::measure_par`] backed by an on-disk [`ResultCache`].
+    /// Keys carry the `"measure_par"` mode tag: the slot-sharded sampling
+    /// mode is bitwise distinct from the sequential one, so the two
+    /// populate disjoint entries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::measure_par`], plus cache-store I/O failures.
+    pub fn measure_par_cached(
+        &self,
+        slots: usize,
+        pool: &WorkerPool,
+        cache: &ResultCache,
+    ) -> Result<ScenarioReport, HycapError> {
+        let key = self.cache_key("measure_par", slots);
+        if let Some(report) = cache.get(&key, ScenarioReport::from_cache_entry) {
+            return Ok(report);
+        }
+        let report = self.measure_par(slots, pool)?;
+        cache.put(&key, &report.to_cache_entry())?;
+        Ok(report)
+    }
+
+    /// [`Scenario::measure_par_observed`] backed by an on-disk
+    /// [`ResultCache`]: the full-fidelity `hycap-metrics-state/1` snapshot
+    /// is stored alongside the report, so a warm run rebuilds a merged
+    /// `--metrics` snapshot byte-identical to the cold one. The key is
+    /// shared with [`Scenario::measure_par_cached`] (observation never
+    /// perturbs the measurement), but the decode additionally demands a
+    /// parseable snapshot — an entry stored by the unobserved variant is a
+    /// miss here, and the recompute upgrades it in place.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::measure_par_observed`], plus cache-store I/O
+    /// failures.
+    pub fn measure_par_observed_cached(
+        &self,
+        slots: usize,
+        pool: &WorkerPool,
+        cache: &ResultCache,
+    ) -> Result<(ScenarioReport, Snapshot), HycapError> {
+        let key = self.cache_key("measure_par", slots);
+        let hit = cache.get(&key, |e| {
+            let report = ScenarioReport::from_cache_entry(e)?;
+            let snap = Snapshot::from_state_str(e.snapshot_state()?).ok()?;
+            Some((report, snap))
+        });
+        if let Some(hit) = hit {
+            return Ok(hit);
+        }
+        let (report, snap) = self.measure_par_observed(slots, pool)?;
+        let mut entry = report.to_cache_entry();
+        entry.set_snapshot_state(snap.to_state_string());
+        cache.put(&key, &entry)?;
+        Ok((report, snap))
+    }
+
     fn measure_par_impl(
         &self,
         slots: usize,
@@ -694,6 +821,85 @@ pub struct ScenarioReport {
     pub slots: usize,
 }
 
+impl ScenarioReport {
+    /// Encodes the report as a [`CacheEntry`] — exact f64 bits, optional
+    /// fields present iff `Some` — such that
+    /// [`ScenarioReport::from_cache_entry`] round-trips it bit-identically.
+    pub fn to_cache_entry(&self) -> CacheEntry {
+        let mut e = CacheEntry::new();
+        e.push_text(
+            "regime",
+            match self.regime {
+                Some(MobilityRegime::Strong) => "strong",
+                Some(MobilityRegime::Weak) => "weak",
+                Some(MobilityRegime::Trivial) => "trivial",
+                None => "boundary",
+            },
+        );
+        if let Some(v) = self.lambda_mobility {
+            e.push_f64("lambda_mobility", v);
+        }
+        if let Some(v) = self.lambda_infra {
+            e.push_f64("lambda_infra", v);
+        }
+        if let Some(v) = self.lambda_mobility_typical {
+            e.push_f64("lambda_mobility_typical", v);
+        }
+        if let Some(v) = self.lambda_infra_typical {
+            e.push_f64("lambda_infra_typical", v);
+        }
+        e.push_f64("lambda", self.lambda);
+        if let Some(t) = self.theory {
+            e.push_f64("theory_poly", t.poly);
+            e.push_f64("theory_log", t.log);
+        }
+        e.push_u64("params_n", self.params.n as u64);
+        e.push_u64("params_k", self.params.k as u64);
+        e.push_u64("params_m", self.params.m as u64);
+        e.push_f64("params_r", self.params.r);
+        e.push_f64("params_c", self.params.c);
+        e.push_f64("params_f", self.params.f);
+        e.push_u64("slots", self.slots as u64);
+        e
+    }
+
+    /// Decodes a report from a [`CacheEntry`]. `None` on any missing or
+    /// malformed field — the cache treats that as a miss and recomputes,
+    /// which is the soundness backstop for torn or stale entries.
+    pub fn from_cache_entry(entry: &CacheEntry) -> Option<ScenarioReport> {
+        let regime = match entry.text("regime")? {
+            "strong" => Some(MobilityRegime::Strong),
+            "weak" => Some(MobilityRegime::Weak),
+            "trivial" => Some(MobilityRegime::Trivial),
+            "boundary" => None,
+            _ => return None,
+        };
+        let theory = match (entry.f64("theory_poly"), entry.f64("theory_log")) {
+            (Some(poly), Some(log)) => Some(Order { poly, log }),
+            (None, None) => None,
+            _ => return None,
+        };
+        Some(ScenarioReport {
+            regime,
+            lambda_mobility: entry.f64("lambda_mobility"),
+            lambda_infra: entry.f64("lambda_infra"),
+            lambda_mobility_typical: entry.f64("lambda_mobility_typical"),
+            lambda_infra_typical: entry.f64("lambda_infra_typical"),
+            lambda: entry.f64("lambda")?,
+            theory,
+            params: RealizedParams {
+                n: usize::try_from(entry.u64("params_n")?).ok()?,
+                k: usize::try_from(entry.u64("params_k")?).ok()?,
+                m: usize::try_from(entry.u64("params_m")?).ok()?,
+                r: entry.f64("params_r")?,
+                c: entry.f64("params_c")?,
+                f: entry.f64("params_f")?,
+            },
+            slots: usize::try_from(entry.u64("slots")?).ok()?,
+        })
+    }
+}
+
 /// The result of [`Scenario::measure_flows`]: flow-completion statistics
 /// for each applicable scheme, keyed by the same regime dispatch as
 /// [`ScenarioReport`].
@@ -934,5 +1140,99 @@ mod tests {
         let pool = WorkerPool::new(2);
         let err = scenario.measure_par(40, &pool).unwrap_err();
         assert!(matches!(err, HycapError::InvalidParameter { .. }), "{err}");
+    }
+
+    fn temp_cache(name: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "hycap-scenario-cache-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(&dir).unwrap()
+    }
+
+    fn report_bits(r: &ScenarioReport) -> Vec<Option<u64>> {
+        vec![
+            r.lambda_mobility.map(f64::to_bits),
+            r.lambda_infra.map(f64::to_bits),
+            r.lambda_mobility_typical.map(f64::to_bits),
+            r.lambda_infra_typical.map(f64::to_bits),
+            Some(r.lambda.to_bits()),
+        ]
+    }
+
+    #[test]
+    fn cache_keys_separate_modes_slots_and_seeds() {
+        let s = Scenario::builder(strong_exps(), 200).seed(1).build();
+        let base = s.cache_key("measure", 100);
+        assert_ne!(base, s.cache_key("measure_par", 100));
+        assert_ne!(base, s.cache_key("measure", 101));
+        let other = Scenario::builder(strong_exps(), 200).seed(2).build();
+        assert_ne!(base, other.cache_key("measure", 100));
+        assert_ne!(
+            base,
+            s.cache_key_with("measure", 100, &["fault=crash@0:1".into()])
+        );
+    }
+
+    #[test]
+    fn cached_measure_is_bit_identical_to_computed() {
+        let cache = temp_cache("measure");
+        let scenario = Scenario::builder(strong_exps(), 200).seed(21).build();
+        let computed = scenario.measure(80);
+        let cold = scenario.measure_cached(80, &cache).unwrap();
+        let warm = scenario.measure_cached(80, &cache).unwrap();
+        assert_eq!(report_bits(&cold), report_bits(&computed));
+        assert_eq!(report_bits(&warm), report_bits(&computed));
+        assert_eq!(warm, computed);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn cached_measure_par_observed_round_trips_report_and_snapshot() {
+        let cache = temp_cache("par-observed");
+        let scenario = Scenario::builder(strong_exps(), 200).seed(22).build();
+        let pool = WorkerPool::new(2);
+        let (computed, snap) = scenario.measure_par_observed(60, &pool).unwrap();
+        let (cold, cold_snap) = scenario
+            .measure_par_observed_cached(60, &pool, &cache)
+            .unwrap();
+        let (warm, warm_snap) = scenario
+            .measure_par_observed_cached(60, &pool, &cache)
+            .unwrap();
+        assert_eq!(cold, computed);
+        assert_eq!(warm, computed);
+        assert_eq!(report_bits(&warm), report_bits(&computed));
+        assert_eq!(cold_snap.to_json(), snap.to_json());
+        assert_eq!(warm_snap.to_json(), snap.to_json());
+        // The unobserved variant shares the key and hits the same entry.
+        let bare = scenario.measure_par_cached(60, &pool, &cache).unwrap();
+        assert_eq!(bare, computed);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (2, 1, 1));
+    }
+
+    #[test]
+    fn unobserved_entry_is_a_miss_for_the_observed_variant() {
+        let cache = temp_cache("upgrade");
+        let scenario = Scenario::builder(strong_exps(), 200).seed(23).build();
+        let pool = WorkerPool::new(2);
+        // Seed the key without a snapshot payload.
+        let bare = scenario.measure_par_cached(50, &pool, &cache).unwrap();
+        // The observed variant must not fabricate a snapshot: it misses,
+        // recomputes and upgrades the entry in place.
+        let (report, snap) = scenario
+            .measure_par_observed_cached(50, &pool, &cache)
+            .unwrap();
+        assert_eq!(report, bare);
+        // Now the upgraded entry serves observed hits.
+        let (again, snap2) = scenario
+            .measure_par_observed_cached(50, &pool, &cache)
+            .unwrap();
+        assert_eq!(again, report);
+        assert_eq!(snap2.to_json(), snap.to_json());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 2, 2));
     }
 }

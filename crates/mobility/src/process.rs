@@ -89,6 +89,14 @@ impl MobilityKind {
     pub fn counter_samplable(&self) -> bool {
         matches!(self, MobilityKind::IidStationary | MobilityKind::Static)
     }
+
+    /// `true` when positions never change across slots, making any
+    /// position-derived per-slot computation (notably the schedule) a
+    /// constant of the run — the precondition for the engines' schedule
+    /// memoization.
+    pub fn is_static(&self) -> bool {
+        matches!(self, MobilityKind::Static)
+    }
 }
 
 /// The per-node mobility state machine.

@@ -42,7 +42,9 @@ pub use probe::{
 pub use sink::{
     Histogram, MemorySink, MetricsSink, NoopSink, SpanStats, SpanTimer, HISTOGRAM_BUCKETS,
 };
-pub use snapshot::{read_peak_rss_kb, Snapshot, SNAPSHOT_SCHEMA};
+pub use snapshot::{
+    read_peak_rss_kb, Snapshot, StateParseError, SNAPSHOT_SCHEMA, SNAPSHOT_STATE_SCHEMA,
+};
 
 /// What engines thread through a measurement run: a sink for metrics plus
 /// optional invariant probes.

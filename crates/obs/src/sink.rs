@@ -157,6 +157,36 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Raw log₂ bucket counts, for full-fidelity state export
+    /// ([`crate::Snapshot::to_state_string`]). Bucket `i` covers
+    /// `floor(log2(v)) == i - 40`; summary quantiles are derived from these.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Reassembles a histogram from previously exported raw parts.
+    ///
+    /// `min`/`max` are the *internal* extrema: `+∞`/`-∞` sentinels when
+    /// `count == 0` (what [`Histogram::default`] holds), the exact observed
+    /// values otherwise. Round-trips bit-exactly with [`Histogram::buckets`]
+    /// plus the count/sum/min/max accessors, which is what makes cached
+    /// snapshots merge and re-render byte-identically to recomputed ones.
+    pub fn from_raw_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        buckets: [u64; HISTOGRAM_BUCKETS],
+    ) -> Self {
+        Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
+    }
+
     /// Folds `other` into `self`. Bucket-wise addition keeps the merge
     /// exact at the bucket level, so quantiles of a merged histogram do not
     /// depend on how samples were partitioned across sinks.

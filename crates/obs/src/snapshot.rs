@@ -7,12 +7,33 @@
 //! snapshot test locks in.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::probe::{Probes, Violation, MAX_VIOLATION_DETAILS};
-use crate::sink::{Histogram, MemorySink, SpanStats};
+use crate::sink::{Histogram, MemorySink, SpanStats, HISTOGRAM_BUCKETS};
 
 /// Schema identifier embedded in every JSON snapshot.
 pub const SNAPSHOT_SCHEMA: &str = "hycap-metrics/1";
+
+/// Schema identifier heading the full-fidelity state format
+/// ([`Snapshot::to_state_string`]). Distinct from [`SNAPSHOT_SCHEMA`]: the
+/// JSON export summarises histograms (lossy), the state format carries raw
+/// buckets and exact `f64` bits so a parsed snapshot is indistinguishable
+/// from the original.
+pub const SNAPSHOT_STATE_SCHEMA: &str = "hycap-metrics-state/1";
+
+/// A state-format parse failure ([`Snapshot::from_state_str`]). Callers
+/// caching snapshots on disk treat any parse failure as a cache miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateParseError(String);
+
+impl fmt::Display for StateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot state parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StateParseError {}
 
 /// A self-contained, mergeable export of one observer's state.
 #[derive(Debug, Default, Clone)]
@@ -253,6 +274,282 @@ impl Snapshot {
         }
         out
     }
+
+    /// Serialises the *complete* snapshot state under
+    /// [`SNAPSHOT_STATE_SCHEMA`]: raw histogram buckets and every `f64` as
+    /// its exact 16-hex-digit bit pattern. Unlike [`Snapshot::to_json`]
+    /// (which summarises histograms and is therefore not invertible), the
+    /// state format round-trips through [`Snapshot::from_state_str`]
+    /// bit-exactly — merges and re-rendered JSON/CSV of the parsed copy are
+    /// byte-identical to the original's. A trailing `end <records>` line
+    /// makes truncation detectable.
+    pub fn to_state_string(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(SNAPSHOT_STATE_SCHEMA);
+        out.push('\n');
+        let mut records = 0usize;
+        let mut push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+            records += 1;
+        };
+        for (name, v) in &self.counters {
+            push(&mut out, format!("counter {} {v}", state_escape(name)));
+        }
+        for (name, h) in &self.histograms {
+            let mut line = format!(
+                "hist {} {} {} {} {}",
+                state_escape(name),
+                h.count(),
+                f64_hex(h.sum()),
+                f64_hex(h.min().unwrap_or(f64::INFINITY)),
+                f64_hex(h.max().unwrap_or(f64::NEG_INFINITY)),
+            );
+            for b in h.buckets() {
+                line.push(' ');
+                line.push_str(&b.to_string());
+            }
+            push(&mut out, line);
+        }
+        for (name, s) in &self.spans {
+            push(
+                &mut out,
+                format!("span {} {} {}", state_escape(name), s.count, s.total_micros),
+            );
+        }
+        for (name, v) in &self.probe_checks {
+            push(&mut out, format!("probe {} {v}", state_escape(name)));
+        }
+        for v in &self.violations {
+            let slot = v.slot.map_or_else(|| "-".to_string(), |s| s.to_string());
+            push(
+                &mut out,
+                format!(
+                    "violation {} {slot} {}",
+                    state_escape(v.probe),
+                    state_escape(&v.detail)
+                ),
+            );
+        }
+        push(
+            &mut out,
+            format!("violation_count {}", self.violation_count),
+        );
+        if let Some(kb) = self.peak_rss_kb {
+            push(&mut out, format!("peak_rss_kb {kb}"));
+        }
+        out.push_str(&format!("end {records}\n"));
+        out
+    }
+
+    /// Parses a [`Snapshot::to_state_string`] export back into a snapshot.
+    ///
+    /// Strict by design: a wrong schema line, malformed record, missing or
+    /// mismatched `end` line, or trailing garbage is an error — a cache
+    /// layer must be able to rely on "parses ⇒ faithful", so anything less
+    /// degrades to a recompute rather than a wrong answer.
+    ///
+    /// # Errors
+    ///
+    /// [`StateParseError`] describing the first offending line.
+    pub fn from_state_str(s: &str) -> Result<Snapshot, StateParseError> {
+        let err = |msg: &str| StateParseError(msg.to_string());
+        let mut lines = s.lines();
+        if lines.next() != Some(SNAPSHOT_STATE_SCHEMA) {
+            return Err(err("missing or unknown schema header"));
+        }
+        let mut snap = Snapshot::default();
+        let mut records = 0usize;
+        let mut saw_count = false;
+        // `while let` rather than `for`: the counter must exclude the end
+        // line itself, so `enumerate` would be off by one there.
+        while let Some(line) = lines.next() {
+            if let Some(rest) = line.strip_prefix("end ") {
+                if rest != records.to_string() {
+                    return Err(err("record count mismatch at end line"));
+                }
+                if lines.next().is_some() {
+                    return Err(err("trailing data after end line"));
+                }
+                if !saw_count {
+                    return Err(err("missing violation_count record"));
+                }
+                return Ok(snap);
+            }
+            records += 1;
+            let mut tok = line.split(' ');
+            let kind = tok.next().ok_or_else(|| err("empty record line"))?;
+            match kind {
+                "counter" => {
+                    let name = next_name(&mut tok)?;
+                    snap.counters.insert(name, next_u64(&mut tok)?);
+                }
+                "hist" => {
+                    let name = next_name(&mut tok)?;
+                    let count = next_u64(&mut tok)?;
+                    let sum = next_f64(&mut tok)?;
+                    let min = next_f64(&mut tok)?;
+                    let max = next_f64(&mut tok)?;
+                    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                    for b in &mut buckets {
+                        *b = next_u64(&mut tok)?;
+                    }
+                    if tok.next().is_some() {
+                        return Err(err("extra histogram buckets"));
+                    }
+                    snap.histograms.insert(
+                        name,
+                        Histogram::from_raw_parts(count, sum, min, max, buckets),
+                    );
+                }
+                "span" => {
+                    let name = next_name(&mut tok)?;
+                    let count = next_u64(&mut tok)?;
+                    let total_micros = next_u64(&mut tok)?;
+                    snap.spans.insert(
+                        name,
+                        SpanStats {
+                            count,
+                            total_micros,
+                        },
+                    );
+                }
+                "probe" => {
+                    let name = next_name(&mut tok)?;
+                    snap.probe_checks.insert(name, next_u64(&mut tok)?);
+                }
+                "violation" => {
+                    let probe = next_name(&mut tok)?;
+                    let slot_tok = tok.next().ok_or_else(|| err("violation missing slot"))?;
+                    let slot = if slot_tok == "-" {
+                        None
+                    } else {
+                        Some(
+                            slot_tok
+                                .parse::<u64>()
+                                .map_err(|_| err("bad violation slot"))?,
+                        )
+                    };
+                    let detail_tok = tok.next().ok_or_else(|| err("violation missing detail"))?;
+                    let detail =
+                        state_unescape(detail_tok).ok_or_else(|| err("bad detail escape"))?;
+                    snap.violations.push(Violation {
+                        probe,
+                        slot,
+                        detail,
+                    });
+                }
+                "violation_count" => {
+                    snap.violation_count = next_u64(&mut tok)?;
+                    saw_count = true;
+                }
+                "peak_rss_kb" => {
+                    snap.peak_rss_kb = Some(next_u64(&mut tok)?);
+                }
+                other => return Err(StateParseError(format!("unknown record kind '{other}'"))),
+            }
+            if kind != "hist" && tok.next().is_some() {
+                return Err(err("trailing tokens on record line"));
+            }
+        }
+        Err(err("missing end line (truncated state)"))
+    }
+}
+
+/// Interns a parsed metric/probe name so it can live behind the `&'static
+/// str` keys the sink types use. Each distinct name is leaked exactly once
+/// per process; the universe of names is the engines' fixed metric
+/// vocabulary, so the leak is bounded and tiny.
+fn intern_name(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = pool
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn next_name<'a>(tok: &mut impl Iterator<Item = &'a str>) -> Result<&'static str, StateParseError> {
+    let raw = tok
+        .next()
+        .ok_or_else(|| StateParseError("missing name token".into()))?;
+    let name = state_unescape(raw).ok_or_else(|| StateParseError("bad name escape".into()))?;
+    Ok(intern_name(&name))
+}
+
+fn next_u64<'a>(tok: &mut impl Iterator<Item = &'a str>) -> Result<u64, StateParseError> {
+    tok.next()
+        .ok_or_else(|| StateParseError("missing integer token".into()))?
+        .parse()
+        .map_err(|_| StateParseError("bad integer token".into()))
+}
+
+fn next_f64<'a>(tok: &mut impl Iterator<Item = &'a str>) -> Result<f64, StateParseError> {
+    let raw = tok
+        .next()
+        .ok_or_else(|| StateParseError("missing f64 token".into()))?;
+    if raw.len() != 16 {
+        return Err(StateParseError("f64 token is not 16 hex digits".into()));
+    }
+    u64::from_str_radix(raw, 16)
+        .map(f64::from_bits)
+        .map_err(|_| StateParseError("bad f64 hex token".into()))
+}
+
+/// Exact bit pattern, 16 hex digits — the same convention the checkpoint
+/// journal uses, so a stored value parses back to identical bits.
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Escapes a string into a single whitespace-free token (`\s` space, `\n`
+/// newline, `\r` CR, `\t` tab, `\\` backslash, `\z` the empty string).
+fn state_escape(s: &str) -> String {
+    if s.is_empty() {
+        return "\\z".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn state_unescape(s: &str) -> Option<String> {
+    if s == "\\z" {
+        return Some(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            's' => out.push(' '),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Reads the process peak resident-set size (`VmHWM`) in KiB from
@@ -402,6 +699,76 @@ mod tests {
             // Any running test binary has touched at least a few hundred KiB.
             assert!(kb > 100, "VmHWM of {kb} KiB is implausibly small");
         }
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let snap = sample();
+        let state = snap.to_state_string();
+        assert!(state.starts_with("hycap-metrics-state/1\n"));
+        let parsed = Snapshot::from_state_str(&state).unwrap();
+        assert_eq!(parsed.to_state_string(), state);
+        assert_eq!(parsed.to_json(), snap.to_json());
+        assert_eq!(parsed.to_csv(), snap.to_csv());
+
+        // Merges of parsed copies behave exactly like the originals.
+        let mut merged_orig = Snapshot::default();
+        merged_orig.merge(&snap);
+        merged_orig.merge(&snap);
+        let mut merged_parsed = Snapshot::default();
+        merged_parsed.merge(&parsed);
+        merged_parsed.merge(&parsed);
+        assert_eq!(merged_parsed.to_json(), merged_orig.to_json());
+    }
+
+    #[test]
+    fn state_round_trips_violations_rss_and_empty() {
+        let sink = MemorySink::new();
+        let mut probes = Probes::new();
+        probes.fail(
+            crate::probe::PROBE_SCHEDULE_FEASIBILITY,
+            Some(7),
+            "pair \"3\" overlaps\nnode 9 \\ tab\there".into(),
+        );
+        probes.fail(crate::probe::PROBE_QUEUE_STABILITY, None, String::new());
+        let mut snap = Snapshot::from_parts(&sink, Some(&probes));
+        snap.record_peak_rss_kb(1_234);
+        let parsed = Snapshot::from_state_str(&snap.to_state_string()).unwrap();
+        assert_eq!(parsed.to_json(), snap.to_json());
+        assert_eq!(parsed.violations(), snap.violations());
+        assert_eq!(parsed.peak_rss_kb(), Some(1_234));
+
+        let empty = Snapshot::default();
+        let parsed = Snapshot::from_state_str(&empty.to_state_string()).unwrap();
+        assert_eq!(parsed.to_json(), empty.to_json());
+    }
+
+    #[test]
+    fn state_parse_rejects_corruption_and_truncation() {
+        let state = sample().to_state_string();
+        // Truncation: dropping the end line (or anything after it) fails.
+        let truncated: String = state
+            .lines()
+            .take(state.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Snapshot::from_state_str(&truncated).is_err());
+        // Wrong schema header.
+        assert!(Snapshot::from_state_str(
+            &state.replace("hycap-metrics-state/1", "hycap-metrics-state/2")
+        )
+        .is_err());
+        // A dropped record makes the end count mismatch.
+        let dropped: String = state
+            .lines()
+            .filter(|l| !l.starts_with("counter "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Snapshot::from_state_str(&dropped).is_err());
+        // Trailing garbage after end.
+        assert!(Snapshot::from_state_str(&format!("{state}junk\n")).is_err());
+        // Mangled f64 token.
+        assert!(Snapshot::from_state_str(&state.replace("hist ", "hist! ")).is_err());
     }
 
     #[test]

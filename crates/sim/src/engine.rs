@@ -105,6 +105,14 @@ impl HybridNetwork {
         self.population.counter_samplable()
     }
 
+    /// `true` when slot snapshots never change: the mobile population's
+    /// mobility kind is [`hycap_mobility::MobilityKind::is_static`] (base
+    /// stations are always static). Engines use this to enable schedule
+    /// memoization, which is only sound over frozen positions.
+    pub fn positions_static(&self) -> bool {
+        self.population.config().mobility.is_static()
+    }
+
     /// Streams the slot-`slot` combined `MS ++ BS` snapshot to `emit` in
     /// chunks of at most `chunk` positions, without mutating the network or
     /// materializing all `n + k` positions.

@@ -298,11 +298,12 @@ pub struct FlowRunStats {
     /// Mean flow-completion time in slots over completed flows (0 when
     /// nothing completed).
     pub mean_fct: f64,
-    /// Median FCT in slots (nearest-rank; 0 when nothing completed).
-    pub fct_p50: f64,
-    /// 99th-percentile FCT in slots (nearest-rank; 0 when nothing
+    /// Median FCT in slots (nearest-rank; `None` when nothing completed,
+    /// so an idle run cannot masquerade as a 0-slot FCT).
+    pub fct_p50: Option<f64>,
+    /// 99th-percentile FCT in slots (nearest-rank; `None` when nothing
     /// completed).
-    pub fct_p99: f64,
+    pub fct_p99: Option<f64>,
     /// Mean per-packet delay in slots over delivered packets (0 when
     /// nothing was delivered).
     pub mean_delay: f64,
@@ -336,8 +337,8 @@ impl FlowRunStats {
             } else {
                 fcts.iter().sum::<u64>() as f64 / fcts.len() as f64
             },
-            fct_p50: percentile(fcts, 0.50),
-            fct_p99: percentile(fcts, 0.99),
+            fct_p50: (!fcts.is_empty()).then(|| percentile(fcts, 0.50)),
+            fct_p99: (!fcts.is_empty()).then(|| percentile(fcts, 0.99)),
             mean_delay: if counts.delivered == 0 {
                 0.0
             } else {
@@ -2252,7 +2253,7 @@ mod tests {
         assert_eq!(stats.flows_started, 160);
         assert!(stats.flows_completed > 0, "no flow completed: {stats:?}");
         assert!(stats.mean_fct > 0.0);
-        assert!(stats.fct_p99 >= stats.fct_p50);
+        assert!(stats.fct_p99.unwrap() >= stats.fct_p50.unwrap());
         assert_eq!(
             stats.packets_injected,
             stats.packets_delivered + stats.backlog
@@ -2337,7 +2338,7 @@ mod tests {
         assert_eq!(stats.flows_started, 0);
         assert_eq!(stats.packets_injected, 0);
         assert_eq!(stats.mean_fct, 0.0);
-        assert_eq!(stats.fct_p50, 0.0);
+        assert!(stats.fct_p50.is_none());
         assert_eq!(stats.mean_delay, 0.0);
         assert_eq!(stats.completion_ratio(), 1.0);
         assert_eq!(stats.slots, 200);

@@ -39,8 +39,8 @@ use hycap_infra::Backbone;
 use hycap_obs::{MetricsSink, Observer, Snapshot, SpanTimer};
 use hycap_routing::{edge_key, EdgeKey, SchemeAPlan, SchemeBPlan, TrafficMatrix, TwoHopPlan};
 use hycap_wireless::{
-    critical_range, schedule_observed, schedule_prebuilt_observed, SStarScheduler, ScheduledPair,
-    Scheduler, SlotWorkspace,
+    critical_range, schedule_memoized_observed, schedule_observed, schedule_prebuilt_observed,
+    SStarScheduler, ScheduleMemo, ScheduledPair, Scheduler, SlotWorkspace,
 };
 use rand::Rng;
 use std::collections::HashMap;
@@ -151,6 +151,7 @@ pub struct FluidEngine {
     delta: f64,
     c_t: f64,
     range_override: Option<f64>,
+    memoize: bool,
 }
 
 impl FluidEngine {
@@ -168,7 +169,20 @@ impl FluidEngine {
             delta,
             c_t,
             range_override: None,
+            memoize: true,
         }
+    }
+
+    /// Disables the static-position schedule memo ([`ScheduleMemo`]).
+    ///
+    /// Memoization is on by default and bit-identical to recomputation (it
+    /// only engages when [`HybridNetwork::positions_static`] holds, and
+    /// invalidates on every alive-mask change); this switch exists so the
+    /// cache bench can measure the speedup and *assert* that identity
+    /// rather than trust it.
+    pub fn without_schedule_memo(mut self) -> Self {
+        self.memoize = false;
+        self
     }
 
     /// Overrides the transmission range with an explicit value instead of
@@ -1032,6 +1046,9 @@ impl FluidEngine {
         let mut alive = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
+        // Sound only over frozen positions; the memo re-checks the alive
+        // mask itself, so fault transitions invalidate it per slot.
+        let mut memo = (self.memoize && net.positions_static()).then(ScheduleMemo::new);
         for slot in slots {
             if let Some(meter) = budget {
                 if !meter.charge_slot() {
@@ -1051,16 +1068,29 @@ impl FluidEngine {
                 false
             };
             advance(net, slot, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                masked.then_some(alive.as_slice()),
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
+            match memo.as_mut() {
+                Some(memo) => schedule_memoized_observed(
+                    memo,
+                    &scheduler,
+                    &buf,
+                    range,
+                    masked.then_some(alive.as_slice()),
+                    slot as u64,
+                    &mut ws,
+                    &mut pairs,
+                    obs,
+                ),
+                None => schedule_observed(
+                    &scheduler,
+                    &buf,
+                    range,
+                    masked.then_some(alive.as_slice()),
+                    slot as u64,
+                    &mut ws,
+                    &mut pairs,
+                    obs,
+                ),
+            }
             acc.total_pairs += pairs.len();
             for &pair in &pairs {
                 if pair.a >= n || pair.b >= n {
@@ -1130,6 +1160,9 @@ impl FluidEngine {
         let mut alive = Vec::new();
         let mut ws = SlotWorkspace::new();
         let mut pairs: Vec<ScheduledPair> = Vec::new();
+        // Sound only over frozen positions; the memo re-checks the alive
+        // mask itself, so fault transitions invalidate it per slot.
+        let mut memo = (self.memoize && net.positions_static()).then(ScheduleMemo::new);
         for slot in slots {
             if let Some(meter) = budget {
                 if !meter.charge_slot() {
@@ -1149,16 +1182,29 @@ impl FluidEngine {
                 false
             };
             advance(net, slot, &mut buf);
-            schedule_observed(
-                &scheduler,
-                &buf,
-                range,
-                masked.then_some(alive.as_slice()),
-                slot as u64,
-                &mut ws,
-                &mut pairs,
-                obs,
-            );
+            match memo.as_mut() {
+                Some(memo) => schedule_memoized_observed(
+                    memo,
+                    &scheduler,
+                    &buf,
+                    range,
+                    masked.then_some(alive.as_slice()),
+                    slot as u64,
+                    &mut ws,
+                    &mut pairs,
+                    obs,
+                ),
+                None => schedule_observed(
+                    &scheduler,
+                    &buf,
+                    range,
+                    masked.then_some(alive.as_slice()),
+                    slot as u64,
+                    &mut ws,
+                    &mut pairs,
+                    obs,
+                ),
+            }
             acc.total_pairs += pairs.len();
             for &pair in &pairs {
                 // Classify MS–BS contacts.
@@ -2811,6 +2857,72 @@ mod tests {
             report.scheduled_pairs_per_slot.to_bits(),
             plain.scheduled_pairs_per_slot.to_bits()
         );
+    }
+
+    #[test]
+    fn static_schedule_memo_is_bit_identical() {
+        // Static mobility engages the Level-2 schedule memo on every slot;
+        // the run must be bit-identical to the memo-free engine, report and
+        // observed snapshot alike, including under fault-driven mask churn.
+        let mut rng = StdRng::seed_from_u64(77);
+        let config = PopulationConfig::builder(220)
+            .alpha(0.25)
+            .kernel(Kernel::uniform_disk(1.0))
+            .mobility(MobilityKind::Static)
+            .build();
+        let pop = Population::generate(&config, &mut rng);
+        let bs = BaseStations::generate_regular(16, 1.0);
+        let homes = pop.home_points().points().to_vec();
+        let traffic = TrafficMatrix::permutation(220, &mut rng);
+        let plan_a = SchemeAPlan::build(&homes, &traffic, (220f64).powf(0.25));
+        let plan_b = SchemeBPlan::build(&homes, &traffic, &bs, 4);
+        let net = HybridNetwork::with_infrastructure(pop, bs);
+        assert!(net.positions_static());
+        let on = FluidEngine::default();
+        let off = on.without_schedule_memo();
+
+        let (ra, sa) = on
+            .measure_scheme_a_ctr_observed(&net, &plan_a, 80, 5)
+            .unwrap();
+        let (rb, sb) = off
+            .measure_scheme_a_ctr_observed(&net, &plan_a, 80, 5)
+            .unwrap();
+        assert_eq!(ra.lambda.to_bits(), rb.lambda.to_bits());
+        assert_eq!(
+            ra.scheduled_pairs_per_slot.to_bits(),
+            rb.scheduled_pairs_per_slot.to_bits()
+        );
+        assert_eq!(sa.to_json(), sb.to_json());
+
+        // Fault churn: scripted crash/repair plus per-slot Bernoulli
+        // outage masks — the memo must invalidate on every transition.
+        let schedule = FaultSchedule::empty()
+            .crash_bs(10, 0)
+            .repair_bs(40, 0)
+            .with_bernoulli_bs_outage(0.2, 9);
+        let (da, fsa) = on
+            .measure_scheme_b_with_faults_ctr_observed(
+                &net,
+                &plan_b,
+                60,
+                &schedule,
+                OutagePolicy::RadioOff,
+                5,
+            )
+            .unwrap();
+        let (db, fsb) = off
+            .measure_scheme_b_with_faults_ctr_observed(
+                &net,
+                &plan_b,
+                60,
+                &schedule,
+                OutagePolicy::RadioOff,
+                5,
+            )
+            .unwrap();
+        assert_eq!(da.base.lambda.to_bits(), db.base.lambda.to_bits());
+        assert_eq!(da.tally, db.tally);
+        assert_eq!(fsa.to_json(), fsb.to_json());
     }
 
     #[test]

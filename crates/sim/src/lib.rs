@@ -23,6 +23,10 @@
 //!   cuts/degradation, Bernoulli outages) with graceful degradation wired
 //!   through both engines; an empty schedule is bit-identical to the
 //!   fault-free path.
+//! * [`cache`] — a content-addressed on-disk result store keyed by the
+//!   scenario digest: warm lookups replay stored `f64` bits (and metrics
+//!   snapshots) byte-identically, and any corruption degrades to a miss,
+//!   never a wrong answer.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+pub mod cache;
 mod checkpoint;
 mod engine;
 mod events;
@@ -58,6 +63,7 @@ mod pool;
 pub mod sweep;
 
 pub use budget::{BudgetExceeded, BudgetMeter, Budgeted, RunBudget};
+pub use cache::{CacheDiskStats, CacheEntry, CacheStats, CacheValue, GcReport, ResultCache};
 pub use checkpoint::{scenario_digest, Checkpoint, ENGINE_VERSION};
 pub use engine::HybridNetwork;
 pub use events::{Event, EventList, EventQueue, FlowRng, Time};

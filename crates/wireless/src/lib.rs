@@ -42,8 +42,9 @@ pub use linkcap::{ContactEstimate, LinkCapacityEstimator};
 pub use protocol::ProtocolModel;
 pub use schedule::{
     check_schedule_feasibility, check_schedule_feasibility_indexed, schedule_active_observed,
-    schedule_observed, schedule_prebuilt_observed, GreedyMatchingScheduler, GreedyVersion,
-    SStarScheduler, ScheduledPair, Scheduler, SlotWorkspace,
+    schedule_memoized_observed, schedule_observed, schedule_prebuilt_observed,
+    GreedyMatchingScheduler, GreedyVersion, SStarScheduler, ScheduleMemo, ScheduledPair, Scheduler,
+    SlotWorkspace,
 };
 
 /// Index of a node in a position array (mobile stations first, then base

@@ -699,6 +699,130 @@ pub fn schedule_observed<Sch, S>(
     }
 }
 
+/// An intra-run schedule memo for static-position slot loops (the Level-2
+/// half of the deterministic cache).
+///
+/// Scheduling policies are pure functions of `(positions, alive mask)`
+/// ([`Scheduler`] takes nothing else), so when positions are frozen —
+/// [`hycap_mobility::MobilityKind::is_static`] populations, and base
+/// stations always — recomputing the schedule every slot produces the same
+/// pairs every time. The memo stores the pairs from the last computed slot
+/// together with the alive mask they were computed under and replays them
+/// while both stay unchanged, turning the dominant per-slot cost into a
+/// `memcpy`.
+///
+/// Soundness contract: the **caller** guarantees positions are identical
+/// across the calls sharing one memo (one memo per engine run over a
+/// static network); the memo itself re-verifies the alive mask on every
+/// slot, so fault transitions — scripted crashes/repairs or per-slot
+/// Bernoulli outage masks — invalidate it automatically and can never
+/// leak a stale schedule. Replayed slots emit the identical metrics and
+/// re-run the feasibility probe, so observed snapshots are byte-identical
+/// with the memo on or off (asserted by tests and the PR 10 bench, not
+/// just documented).
+///
+/// Hit/miss counts are exposed for benches and tests only — deliberately
+/// **not** emitted into metrics sinks, because per-chunk memo traffic
+/// depends on how slots were sharded across workers and would break
+/// thread-count snapshot bit-identity.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleMemo {
+    valid: bool,
+    mask: Option<Vec<bool>>,
+    pairs: Vec<ScheduledPair>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScheduleMemo {
+    /// A fresh, empty memo.
+    pub fn new() -> Self {
+        ScheduleMemo::default()
+    }
+
+    /// Drops the stored schedule; the next slot recomputes.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.pairs.clear();
+        self.mask = None;
+    }
+
+    /// Slots served by replaying the stored schedule.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Slots that recomputed (including the first).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn matches(&self, alive: Option<&[bool]>) -> bool {
+        self.valid
+            && match (&self.mask, alive) {
+                (None, None) => true,
+                (Some(m), Some(a)) => m.as_slice() == a,
+                _ => false,
+            }
+    }
+}
+
+/// [`schedule_observed`] with a [`ScheduleMemo`] in front: replays the
+/// memoized pairs when the alive mask is unchanged (an `O(n)` compare
+/// versus an `O(n log n)`-ish schedule build), recomputes and refreshes
+/// the memo otherwise. Byte-for-byte equivalent to [`schedule_observed`]
+/// on every slot — identical pairs, identical counters, identical probe
+/// verdicts — provided the caller honours the memo's static-positions
+/// contract.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_memoized_observed<Sch, S>(
+    memo: &mut ScheduleMemo,
+    scheduler: &Sch,
+    positions: &[Point],
+    range: f64,
+    alive: Option<&[bool]>,
+    slot: u64,
+    ws: &mut SlotWorkspace,
+    out: &mut Vec<ScheduledPair>,
+    obs: &mut Observer<S>,
+) where
+    Sch: Scheduler + ?Sized,
+    S: MetricsSink,
+{
+    if memo.matches(alive) {
+        memo.hits += 1;
+        out.clear();
+        out.extend_from_slice(&memo.pairs);
+        if obs.sink.enabled() {
+            obs.sink.counter("schedule.slots", 1);
+            obs.sink.counter("schedule.pairs_total", out.len() as u64);
+            obs.sink
+                .observe("schedule.pairs_per_slot", out.len() as f64);
+        }
+        if let Some(probes) = obs.probes_mut() {
+            // Re-probe the replayed slot: probe *check counts* are part of
+            // the snapshot, so a memo hit must verify (and tally) exactly
+            // what a recompute would have.
+            check_schedule_feasibility(
+                probes,
+                slot,
+                positions,
+                out,
+                range,
+                scheduler.delta(),
+                alive,
+            );
+        }
+        return;
+    }
+    memo.misses += 1;
+    schedule_observed(scheduler, positions, range, alive, slot, ws, out, obs);
+    memo.valid = true;
+    memo.mask = alive.map(<[bool]>::to_vec);
+    memo.pairs.clear();
+    memo.pairs.extend_from_slice(out);
+}
+
 /// [`schedule_observed`] for the demand-driven active-set path: runs
 /// [`SStarScheduler::schedule_active_into`] and feeds the result through
 /// the same metrics and feasibility probe.
@@ -1010,6 +1134,73 @@ mod tests {
         positions.push(Point::new(0.18, 0.10)); // within guard (0.1) of node 1
         let pairs = sched.schedule(&positions, 0.05);
         assert!(pairs.is_empty(), "got {pairs:?}");
+    }
+
+    #[test]
+    fn memoized_schedule_is_bit_identical_and_mask_sensitive() {
+        use hycap_obs::Observer;
+        use rand::Rng;
+        let sched = SStarScheduler::new(0.5);
+        let mut rng = StdRng::seed_from_u64(991);
+        let n = 120;
+        let positions: Vec<Point> = (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let range = 0.04;
+        let mut memo = ScheduleMemo::new();
+        let mut ws_a = SlotWorkspace::new();
+        let mut ws_b = SlotWorkspace::new();
+        let mut memoized = Vec::new();
+        let mut direct = Vec::new();
+        let mut obs_a = Observer::recording().with_probes();
+        let mut obs_b = Observer::recording().with_probes();
+        // Alternate masks across slots: all-alive (None), a mask, the same
+        // mask again (memo hit), a different mask (memo miss), None again.
+        let mask1: Vec<bool> = (0..n).map(|i| i % 7 != 0).collect();
+        let mask2: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+        let masks: Vec<Option<&[bool]>> =
+            vec![None, None, Some(&mask1), Some(&mask1), Some(&mask2), None];
+        for (slot, alive) in masks.iter().enumerate() {
+            schedule_memoized_observed(
+                &mut memo,
+                &sched,
+                &positions,
+                range,
+                *alive,
+                slot as u64,
+                &mut ws_a,
+                &mut memoized,
+                &mut obs_a,
+            );
+            schedule_observed(
+                &sched,
+                &positions,
+                range,
+                *alive,
+                slot as u64,
+                &mut ws_b,
+                &mut direct,
+                &mut obs_b,
+            );
+            assert_eq!(memoized, direct, "slot {slot}");
+        }
+        // Identical pairs AND identical observability bytes.
+        assert_eq!(obs_a.snapshot().to_json(), obs_b.snapshot().to_json());
+        // Slots 1 and 3 replay; 0, 2, 4 and 5 recompute (5: mask2 ≠ None).
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.misses(), 4);
+        // Invalidation forces a recompute even with an unchanged mask.
+        memo.invalidate();
+        schedule_memoized_observed(
+            &mut memo,
+            &sched,
+            &positions,
+            range,
+            None,
+            6,
+            &mut ws_a,
+            &mut memoized,
+            &mut obs_a,
+        );
+        assert_eq!(memo.misses(), 5);
     }
 
     #[test]

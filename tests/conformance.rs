@@ -401,7 +401,10 @@ fn empty_run_row_reports_zeros_and_finite_json() {
         .unwrap();
     assert_eq!(flow_stats.flows_started, 0);
     assert_eq!(flow_stats.mean_fct.to_bits(), 0.0f64.to_bits());
-    assert_eq!(flow_stats.fct_p99.to_bits(), 0.0f64.to_bits());
+    assert!(
+        flow_stats.fct_p99.is_none(),
+        "idle run must not report an FCT"
+    );
     assert_eq!(flow_stats.mean_delay.to_bits(), 0.0f64.to_bits());
 
     assert!(obs.is_clean(), "violations: {:?}", obs.violations());
